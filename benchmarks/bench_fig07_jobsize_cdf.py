@@ -1,0 +1,36 @@
+"""Figure 7: CDF of the proportion of boards allocated to jobs of a given size."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import fig7_jobsize_cdf
+
+from _bench_utils import run_once
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_jobsize_cdf(benchmark, fidelity):
+    data = run_once(
+        benchmark,
+        fig7_jobsize_cdf,
+        cluster_boards=4096,
+        num_mixes=fidelity["traces"],
+        seed=1,
+    )
+    print()
+    print("Figure 7 - proportion of boards allocated to jobs of size <= s")
+    for label in ("original", "sampled"):
+        points = data[label]
+        print(f"  {label}:")
+        for size, cdf in points:
+            print(f"    {size:>6d} boards  {cdf * 100:6.1f}%")
+    # Shape checks: both CDFs are monotone and reach 100%, and a meaningful
+    # share of boards belongs to small (<100 board) jobs as well as to the
+    # heavy tail of large jobs.
+    for label in ("original", "sampled"):
+        values = [v for _, v in data[label]]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0, abs=1e-6)
+    below_100 = [v for s, v in data["sampled"] if s <= 100][-1]
+    assert 0.2 < below_100 < 0.95

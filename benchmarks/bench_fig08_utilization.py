@@ -1,0 +1,40 @@
+"""Figure 8: system utilization of the greedy allocator and its heuristics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import fig8_utilization, format_distribution_summary
+
+from _bench_utils import run_once
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_utilization(benchmark, fidelity):
+    clusters = {
+        "Small 16x16 Hx2Mesh": (16, 16),
+        "Small 8x8 Hx4Mesh": (8, 8),
+        "Large 32x32 Hx4Mesh": (32, 32),
+    }
+    if fidelity["include_large"]:
+        clusters["Large 64x64 Hx2Mesh"] = (64, 64)
+
+    data = run_once(
+        benchmark,
+        fig8_utilization,
+        clusters=clusters,
+        num_traces=fidelity["traces"],
+        seed=3,
+    )
+    print()
+    for cluster, per_preset in data.items():
+        print(format_distribution_summary(f"Figure 8 - {cluster} (utilization %)", per_preset))
+        print()
+    # Shape checks: heuristics never hurt, and sorted allocation reaches a
+    # high median utilization as in the paper (>90%).
+    for cluster, per_preset in data.items():
+        base = np.median(per_preset["greedy"])
+        best = np.median(per_preset["greedy+transpose+aspect+sort"])
+        assert best >= base - 0.02
+        assert best > 0.9

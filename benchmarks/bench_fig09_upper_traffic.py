@@ -1,0 +1,43 @@
+"""Figure 9: fraction of job traffic crossing the upper fat-tree levels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import fig9_upper_traffic
+
+from _bench_utils import run_once
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09_upper_level_traffic(benchmark, fidelity):
+    clusters = {"Large 32x32 Hx4Mesh": (32, 32, 32)}
+    if fidelity["include_large"]:
+        clusters["Large 64x64 Hx2Mesh"] = (64, 64, 16)
+
+    data = run_once(
+        benchmark,
+        fig9_upper_traffic,
+        clusters=clusters,
+        num_traces=max(4, fidelity["traces"] // 4),
+        seed=5,
+    )
+    print()
+    for cluster, per_preset in data.items():
+        print(f"Figure 9 - {cluster}: traffic crossing upper tree levels (%)")
+        for preset, fractions in per_preset.items():
+            print(
+                f"  {preset:<42} alltoall {fractions['alltoall'] * 100:5.1f}%  "
+                f"allreduce {fractions['allreduce'] * 100:5.1f}%"
+            )
+        print()
+    # Shape checks (paper): upper-level traffic stays below ~50% for alltoall,
+    # allreduce crosses far less than alltoall, and the locality heuristic
+    # reduces the alltoall fraction relative to plain greedy.
+    for per_preset in data.values():
+        for fractions in per_preset.values():
+            assert fractions["alltoall"] <= 0.6
+            assert fractions["allreduce"] <= fractions["alltoall"] + 1e-9
+        greedy = per_preset["greedy"]["alltoall"]
+        locality = per_preset["greedy+transpose+aspect+locality"]["alltoall"]
+        assert locality <= greedy + 0.05

@@ -1,0 +1,43 @@
+"""Figure 10: HxMesh utilization for different numbers of failed boards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import fig10_failures
+
+from _bench_utils import run_once
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_failure_utilization(benchmark, fidelity):
+    clusters = {
+        "Hx2Small (16x16)": ((16, 16), (0, 10, 20, 30, 40)),
+        "Hx4Small (8x8)": ((8, 8), (0, 10, 20, 30, 40)),
+        "Hx4Large (32x32)": ((32, 32), (0, 25, 50, 75, 100)),
+    }
+    if fidelity["include_large"]:
+        clusters["Hx2Large (64x64)"] = ((64, 64), (0, 25, 50, 75, 100))
+
+    data = run_once(
+        benchmark,
+        fig10_failures,
+        clusters=clusters,
+        num_trials=fidelity["trials"],
+        seed=7,
+    )
+    print()
+    for cluster, per_mode in data.items():
+        print(f"Figure 10 - {cluster}: median utilization of working boards (%)")
+        for mode, series in per_mode.items():
+            line = "  ".join(f"{n:>3d} failed: {u * 100:5.1f}" for n, u in series)
+            print(f"  {mode:<9} {line}")
+        print()
+    # Shape checks (paper): median utilization of working boards stays above
+    # ~70% even with many failures, and sorting jobs helps.
+    for cluster, per_mode in data.items():
+        for mode, series in per_mode.items():
+            assert all(u > 0.55 for _, u in series), (cluster, mode, series)
+        worst_sorted = min(u for _, u in per_mode["sorted"])
+        worst_unsorted = min(u for _, u in per_mode["unsorted"])
+        assert worst_sorted >= worst_unsorted - 0.1

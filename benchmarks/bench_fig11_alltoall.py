@@ -1,0 +1,61 @@
+"""Figure 11: alltoall bandwidth of the small topologies vs message size.
+
+The large-message asymptote of every curve is measured with the flow-level
+simulator (the same measurement that feeds Table II); smaller message sizes
+follow the balanced-shift alpha-beta model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    cluster_configs,
+    fig11_alltoall_sweep,
+    format_series,
+    measure_topology,
+    network_profiles,
+)
+from repro.workloads import NetworkProfile
+
+from _bench_utils import run_once
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_alltoall_bandwidth(benchmark, fidelity):
+    def build():
+        measured = {}
+        for config in cluster_configs("small"):
+            topo = config.build()
+            summary = measure_topology(
+                topo, num_phases=fidelity["small_phases"], max_paths=fidelity["max_paths"]
+            )
+            measured[config.key] = {
+                "alltoall": summary.alltoall_fraction,
+                "allreduce": summary.allreduce_fraction,
+            }
+        profiles = network_profiles("small", measured=measured)
+        return fig11_alltoall_sweep("small", profiles=profiles)
+
+    series = run_once(benchmark, build)
+    print()
+    print(
+        format_series(
+            "Figure 11 - alltoall bandwidth (fraction of injection) vs message size [B]",
+            series,
+            x_label="message size",
+            y_label="fraction of 1.6 Tb/s injection",
+        )
+    )
+    # Shape checks: every curve saturates with message size, the fat tree
+    # saturates near full injection, HxMesh near its bisection-limited share.
+    ft = dict(series["nonblocking fat tree"])
+    hx2 = dict(series["Hx2Mesh"])
+    torus = dict(series["2D torus"])
+    largest = max(ft)
+    assert ft[largest] > 0.7
+    assert 0.1 < hx2[largest] < 0.5
+    assert torus[largest] < hx2[largest]
+    for curve in series.values():
+        values = [v for _, v in curve]
+        assert values == sorted(values)

@@ -1,0 +1,48 @@
+"""Figure 12: per-accelerator bandwidth distribution under permutation traffic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import fig12_permutation, format_distribution_summary
+
+from _bench_utils import run_once
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_permutation_distribution(benchmark, fidelity):
+    # The Dragonfly max-min solve over ~1k flows with many parallel channels
+    # is the most expensive entry; skip it in quick mode.
+    skip = () if fidelity["include_large"] else ("dragonfly",)
+
+    data = run_once(
+        benchmark,
+        fig12_permutation,
+        "small",
+        num_permutations=fidelity["permutations"],
+        max_paths=fidelity["max_paths"],
+        skip_keys=skip,
+        seed=11,
+    )
+    print()
+    print(
+        format_distribution_summary(
+            "Figure 12 - per-accelerator receive bandwidth (% of injection)",
+            {label: entry["distribution"] for label, entry in data.items()},
+        )
+    )
+    print()
+    print("cost per average permutation bandwidth (relative to nonblocking fat tree)")
+    for label, entry in data.items():
+        rel = entry.get("relative_cost_per_bandwidth", float("nan"))
+        print(f"  {label:<24} {rel:8.2f}x   mean bw {entry['mean_fraction'] * 100:6.1f}%")
+    # Shape checks: the fat tree achieves the highest mean bandwidth, but
+    # HxMeshes are far cheaper per unit of permutation bandwidth.
+    means = {label: entry["mean_fraction"] for label, entry in data.items()}
+    assert means["nonblocking fat tree"] >= means["Hx2Mesh"]
+    rel = {label: entry["relative_cost_per_bandwidth"] for label, entry in data.items()}
+    assert rel["Hx4Mesh"] < 1.0
+    # significant variance across connections on the direct topologies
+    hx_dist = np.asarray(data["Hx2Mesh"]["distribution"])
+    assert hx_dist.std() > 0.01

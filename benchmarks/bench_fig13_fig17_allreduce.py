@@ -1,0 +1,70 @@
+"""Figures 13 and 17: full-system allreduce bandwidth vs message size.
+
+Figure 13 is the large-cluster sweep, Figure 17 (appendix) the small-cluster
+one.  Both compare the dual-ring ("rings") and 2D-torus ("torus") algorithms
+on the grid topologies against the per-plane ring on the switched ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import fig13_allreduce_sweep, fig17_allreduce_sweep, format_series
+
+from _bench_utils import run_once
+
+
+def _flatten(series):
+    flat = {}
+    for topo, per_alg in series.items():
+        for alg, points in per_alg.items():
+            flat[f"{topo}/{alg}"] = points
+    return flat
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_allreduce_large_cluster(benchmark):
+    series = run_once(benchmark, fig13_allreduce_sweep, "large")
+    print()
+    print(
+        format_series(
+            "Figure 13 - large-cluster allreduce bus bandwidth [GB/s] vs message size [B]",
+            _flatten(series),
+            x_label="message size",
+            y_label="GB/s",
+            y_scale=1e-9,
+        )
+    )
+    hx = series["Hx2Mesh"]
+    sizes = [s for s, _ in hx["rings"]]
+    rings, torus = dict(hx["rings"]), dict(hx["torus"])
+    # the torus algorithm wins for small messages (sqrt(p) latency)...
+    assert torus[sizes[0]] > rings[sizes[0]]
+    # ...and the rings algorithm gains relative ground as messages grow.
+    assert rings[sizes[-1]] / torus[sizes[-1]] > rings[sizes[0]] / torus[sizes[0]]
+    # all topologies deliver nearly full bandwidth for the ring algorithms at
+    # large messages (Section V-A2e) -- compare HxMesh vs fat tree.
+    ft = dict(series["nonblocking fat tree"]["bidirectional-ring"])
+    assert ft[sizes[-1]] > 0
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17_allreduce_small_cluster(benchmark):
+    series = run_once(benchmark, fig17_allreduce_sweep)
+    print()
+    print(
+        format_series(
+            "Figure 17 - small-cluster allreduce bus bandwidth [GB/s] vs message size [B]",
+            _flatten(series),
+            x_label="message size",
+            y_label="GB/s",
+            y_scale=1e-9,
+        )
+    )
+    hx = series["Hx4Mesh"]
+    sizes = [s for s, _ in hx["rings"]]
+    rings, torus = dict(hx["rings"]), dict(hx["torus"])
+    # on the small cluster the rings overtake the torus algorithm within the
+    # swept message range (lower ring latency at p=1024)
+    assert rings[sizes[-1]] > torus[sizes[-1]]
+    assert torus[sizes[0]] > rings[sizes[0]]

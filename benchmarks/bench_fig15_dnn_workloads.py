@@ -1,0 +1,69 @@
+"""Figure 15 and the Section V-B iteration-time results.
+
+Regenerates (a) the per-topology iteration times of the five DNN workloads
+(ResNet-152, GPT-3, GPT-3 MoE, CosmoFlow, DLRM) and (b) the relative cost
+savings of Hx2Mesh/Hx4Mesh over the six baseline topologies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    dnn_iteration_times,
+    fig15_cost_savings,
+    format_nested_table,
+    network_profiles,
+)
+from repro.workloads import get_workload
+
+from _bench_utils import run_once
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_dnn_iteration_times(benchmark):
+    times = run_once(benchmark, dnn_iteration_times)
+    print()
+    print(
+        format_nested_table(
+            "Section V-B - iteration times [ms]",
+            {w: {t: v * 1000 for t, v in per.items()} for w, per in times.items()},
+        )
+    )
+    gpt3 = next(k for k in times if k.startswith("GPT-3 ("))
+    moe = next(k for k in times if "MoE" in k)
+    resnet = next(k for k in times if "ResNet" in k)
+    # Paper's qualitative results: the fat tree is fastest for GPT-3, the
+    # torus is by far the slowest, HxMesh sits in between; ResNet overhead is
+    # negligible on every topology.
+    assert times[gpt3]["nonblocking fat tree"] <= times[gpt3]["Hx2Mesh"]
+    assert times[gpt3]["2D torus"] > 1.4 * times[gpt3]["nonblocking fat tree"]
+    assert times[moe]["Hx4Mesh"] > times[moe]["Hx2Mesh"]
+    spread = max(times[resnet].values()) / min(times[resnet].values())
+    assert spread < 1.05
+    # calibration anchor: GPT-3 on the nonblocking fat tree matches the paper
+    wl = get_workload("gpt3")
+    assert times[gpt3]["nonblocking fat tree"] == pytest.approx(
+        wl.paper_reference["nonblocking fat tree"], rel=0.08
+    )
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_relative_cost_savings(benchmark):
+    savings = run_once(benchmark, fig15_cost_savings)
+    print()
+    for hx, per_workload in savings.items():
+        print(format_nested_table(f"Figure 15 - relative cost saving of {hx}", per_workload))
+        print()
+    hx2 = savings["Hx2Mesh"]
+    hx4 = savings["Hx4Mesh"]
+    resnet = next(k for k in hx2 if "ResNet" in k)
+    gpt3 = next(k for k in hx2 if k.startswith("GPT-3 ("))
+    # Headline conclusions of the paper: HxMesh is several times cheaper per
+    # unit of DNN training performance than fat trees and Dragonfly for the
+    # data-parallel workloads, still >1x for GPT-3, and Hx4Mesh saves more
+    # than Hx2Mesh.
+    assert hx2[resnet]["nonblocking fat tree"] > 3.0
+    assert hx4[resnet]["nonblocking fat tree"] > hx2[resnet]["nonblocking fat tree"]
+    assert hx2[gpt3]["nonblocking fat tree"] > 1.0
+    assert hx2[resnet]["Dragonfly"] > 3.0

@@ -1,0 +1,34 @@
+"""Figure 16 / Listing 1: edge-disjoint Hamiltonian cycle construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import (
+    are_edge_disjoint,
+    disjoint_hamiltonian_cycles,
+    is_hamiltonian_cycle,
+)
+from repro.analysis import fig16_hamiltonian_cycles
+
+from _bench_utils import run_once
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_example_tori(benchmark):
+    cycles = run_once(benchmark, fig16_hamiltonian_cycles)
+    print()
+    print("Figure 16 - edge-disjoint Hamiltonian cycles")
+    for (rows, cols), (red, green) in cycles.items():
+        print(f"  {rows}x{cols}: red starts {red[:4]} ... green starts {green[:4]} ...")
+        assert is_hamiltonian_cycle(red, rows, cols)
+        assert is_hamiltonian_cycle(green, rows, cols)
+        assert are_edge_disjoint(red, green)
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_large_grid_construction_speed(benchmark):
+    """Cycle construction must scale to the large 128x128 accelerator grid."""
+    red, green = run_once(benchmark, disjoint_hamiltonian_cycles, 128, 128)
+    assert len(red) == len(green) == 128 * 128
+    assert are_edge_disjoint(red, green)

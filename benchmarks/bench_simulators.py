@@ -1,0 +1,68 @@
+"""Cross-validation and performance of the two network simulators.
+
+Not a table/figure of the paper, but the substrate every bandwidth number
+relies on: the flow-level simulator is validated against the packet-level
+simulator on a small HxMesh (same permutation traffic), and the raw speed of
+both is recorded so regressions in the simulation substrate are visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_hammingmesh
+from repro.sim import FlowSimulator, PacketNetwork, PacketSimConfig, random_permutation
+
+from _bench_utils import run_once
+
+
+@pytest.mark.benchmark(group="simulators")
+def test_flowsim_alltoall_small_hxmesh(benchmark, fidelity):
+    topo = build_hammingmesh(2, 2, 8, 8)
+
+    def run():
+        sim = FlowSimulator(topo, max_paths=fidelity["max_paths"])
+        return sim.alltoall_bandwidth(num_phases=16, seed=1)
+
+    bw = run_once(benchmark, run)
+    print(f"\n8x8 Hx2Mesh alltoall fraction: {bw * 100:.1f}%")
+    assert 0.1 < bw < 0.6
+
+
+@pytest.mark.benchmark(group="simulators")
+def test_packet_vs_flow_agreement(benchmark):
+    topo = build_hammingmesh(2, 2, 4, 4)
+    flows = random_permutation(topo.num_accelerators, seed=4)
+    size = 1 << 18
+
+    def run():
+        net = PacketNetwork(topo, config=PacketSimConfig(max_paths=4))
+        net.send_flows(flows, size)
+        packet_mean = net.run().message_bandwidths().mean()
+        flow_mean = (
+            FlowSimulator(topo, max_paths=4).maxmin_rates(flows).flow_rates.mean() * 50e9
+        )
+        return packet_mean, flow_mean
+
+    packet_mean, flow_mean = run_once(benchmark, run)
+    ratio = packet_mean / flow_mean
+    print(f"\npacket-level vs flow-level mean bandwidth ratio: {ratio:.2f}")
+    assert 0.6 < ratio < 1.4
+
+
+@pytest.mark.benchmark(group="simulators")
+def test_packet_simulator_event_rate(benchmark):
+    """Raw packet-simulator throughput (events processed for a fixed load)."""
+    topo = build_hammingmesh(2, 2, 4, 4)
+    flows = random_permutation(topo.num_accelerators, seed=9)
+
+    def run():
+        net = PacketNetwork(topo)
+        net.send_flows(flows, 1 << 17)
+        net.run()
+        return net.engine.processed_events
+
+    events = run_once(benchmark, run)
+    print(f"\nprocessed events: {events}")
+    assert events > 1000

@@ -1,0 +1,75 @@
+"""Benchmark regenerating Table II: cost, bandwidth, diameter of all topologies.
+
+Prints the measured table next to the paper's published values.  The small
+(~1k accelerator) cluster is always evaluated; the large (~16k) cluster is
+included with ``REPRO_FULL=1`` (it takes considerably longer because every
+topology graph has ~16k endpoints).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import build_table2, format_table2
+
+from _bench_utils import run_once
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_small_cluster(benchmark, fidelity):
+    def build():
+        return build_table2(
+            "small",
+            num_phases=fidelity["small_phases"],
+            max_paths=fidelity["max_paths"],
+        )
+
+    rows = run_once(benchmark, build)
+    print()
+    print("Table II - small cluster (~1,024 accelerators)")
+    print(format_table2(rows))
+    labels = {r.key: r for r in rows}
+    # Shape checks mirroring the paper's conclusions.
+    assert labels["hx2mesh"].cost_millions < labels["ft_nonblocking"].cost_millions / 3
+    assert labels["hx4mesh"].allreduce_saving > labels["ft_nonblocking"].allreduce_saving
+    assert labels["torus"].global_bw_percent < labels["hx2mesh"].global_bw_percent
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_large_cluster(benchmark, fidelity):
+    if not fidelity["include_large"]:
+        pytest.skip("large-cluster Table II needs REPRO_FULL=1")
+
+    def build():
+        return build_table2(
+            "large",
+            num_phases=fidelity["large_phases"],
+            max_paths=4,
+        )
+
+    rows = run_once(benchmark, build)
+    print()
+    print("Table II - large cluster (~16,384 accelerators)")
+    print(format_table2(rows))
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_cost_column_only(benchmark):
+    """The cost column alone (cheap, always runs at full scale)."""
+    from repro.analysis import cluster_configs
+
+    def build():
+        out = {}
+        for cluster in ("small", "large"):
+            out[cluster] = {
+                c.label: c.cost.total_millions for c in cluster_configs(cluster)
+            }
+        return out
+
+    costs = run_once(benchmark, build)
+    print()
+    for cluster, values in costs.items():
+        print(f"Network cost [$M] - {cluster} cluster")
+        for label, millions in values.items():
+            print(f"  {label:<24} {millions:10.1f}")
+    assert costs["large"]["Hx4Mesh"] < costs["large"]["nonblocking fat tree"] / 10

@@ -1,0 +1,40 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+corresponding rows/series.  By default the sampling fidelity is reduced so
+that the whole suite finishes in minutes on a laptop; set ``REPRO_FULL=1``
+to run the full-fidelity versions (the large 16k-accelerator cluster with
+full phase sampling takes tens of minutes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false", "False")
+
+
+@pytest.fixture(scope="session")
+def fidelity():
+    """Sampling parameters used by the benchmarks (quick vs full)."""
+    if FULL:
+        return {
+            "small_phases": 64,
+            "large_phases": 16,
+            "max_paths": 8,
+            "traces": 200,
+            "trials": 25,
+            "permutations": 4,
+            "include_large": True,
+        }
+    return {
+        "small_phases": 24,
+        "large_phases": 6,
+        "max_paths": 8,
+        "traces": 30,
+        "trials": 8,
+        "permutations": 2,
+        "include_large": False,
+    }

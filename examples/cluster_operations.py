@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Operating a HammingMesh cluster: job allocation, failures, defragmentation.
+
+Scenario: you run a 64x64 Hx2Mesh training cluster (4,096 boards, 16,384
+accelerators).  Jobs arrive with sizes drawn from an MLaaS-like distribution,
+boards fail over time, and you occasionally checkpoint/restart everything to
+defragment.  This example shows how the allocation stack supports that
+workflow and reports the utilization impact of each step.
+
+Run with ``python examples/cluster_operations.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.allocation import (
+    AllocatorOptions,
+    BoardGrid,
+    GreedyAllocator,
+    sample_job_mixes,
+    upper_level_fraction,
+)
+
+GRID_X = GRID_Y = 64
+BOARDS = GRID_X * GRID_Y
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # 1. Fill the healthy cluster with a sampled job mix ----------------------
+    grid = BoardGrid(GRID_X, GRID_Y)
+    options = AllocatorOptions(transpose=True, aspect_ratio=True, locality=True,
+                               boards_per_leaf=16)
+    allocator = GreedyAllocator(grid, options)
+    mix = sample_job_mixes(BOARDS, 1, seed=11)[0].sorted_by_size()
+    result = allocator.allocate_trace(mix)
+    print(f"initial fill: {len(result.placed)} jobs placed, "
+          f"{len(result.rejected)} rejected, "
+          f"utilization {result.utilization * 100:.1f}%")
+    upper = np.mean([
+        upper_level_fraction(sm, boards_per_leaf=16) for sm in result.placed.values()
+    ])
+    print(f"average share of job traffic crossing upper fat-tree levels: {upper * 100:.1f}%"
+          " (this is why 2:1 tapering of the global trees is safe)")
+
+    # 2. Boards fail while jobs come and go -----------------------------------
+    # Finish and release a random half of the jobs, then fail some boards.
+    finished = rng.choice(list(result.placed), size=len(result.placed) // 2, replace=False)
+    for job_id in finished:
+        grid.release(int(job_id))
+    failed = grid.fail_random(60, seed=13)
+    print(f"\nreleased {len(finished)} finished jobs, {len(failed)} boards failed")
+
+    # 3. Keep allocating new jobs onto the fragmented cluster -----------------
+    new_mix = sample_job_mixes(grid.num_free, 1, seed=17)[0]
+    new_jobs = [j.__class__(j.job_id + 10_000, j.u, j.v) for j in new_mix]
+    placed = 0
+    for job in new_jobs:
+        if allocator.allocate(job) is not None:
+            placed += 1
+    print(f"fragmented cluster: placed {placed}/{len(new_jobs)} new jobs, "
+          f"utilization of working boards {grid.utilization() * 100:.1f}%")
+
+    # 4. Defragment: checkpoint everything, restart in size order -------------
+    # (The paper argues this takes < 1 s of network time for 64 GiB states.)
+    running = [(job_id, grid.boards_of(job_id)) for job_id in grid.jobs()]
+    sizes = {job_id: len(boards) for job_id, boards in running}
+    grid.reset(keep_failures=True)
+    defrag = GreedyAllocator(grid, options)
+    from repro.allocation import JobRequest, most_square_shape
+
+    placed_after = 0
+    for job_id, boards in sorted(running, key=lambda kv: sizes[kv[0]], reverse=True):
+        u, v = most_square_shape(sizes[job_id])
+        if defrag.allocate(JobRequest(job_id, u, v)) is not None:
+            placed_after += 1
+    print(f"after defragmentation: {placed_after}/{len(running)} jobs re-placed, "
+          f"utilization {grid.utilization() * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Choosing a training-cluster network for a given DNN workload mix.
+
+For each of the paper's five workloads (ResNet-152, GPT-3, GPT-3 MoE,
+CosmoFlow, DLRM), this example compares the eight Table-II topologies on
+three axes: per-iteration time, exposed communication overhead, and network
+cost per unit of training throughput.  It ends with the Figure-15-style
+"relative cost savings" of the two HammingMesh variants.
+
+Run with ``python examples/dnn_training_comparison.py``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    cluster_configs,
+    dnn_iteration_times,
+    fig15_cost_savings,
+    format_nested_table,
+    network_profiles,
+)
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    profiles = network_profiles("small")
+    configs = {c.key: c for c in cluster_configs("small")}
+
+    # 1. Iteration times ------------------------------------------------------
+    times = dnn_iteration_times(profiles=profiles)
+    print(format_nested_table(
+        "per-iteration time [ms]",
+        {w: {t: v * 1000 for t, v in per.items()} for w, per in times.items()},
+    ))
+
+    # 2. Communication overhead ----------------------------------------------
+    print()
+    overheads = {}
+    for name in ("resnet152", "gpt3", "gpt3_moe", "cosmoflow", "dlrm"):
+        workload = get_workload(name)
+        overheads[workload.name] = {
+            configs[key].label: workload.communication_overhead(profile) * 100
+            for key, profile in profiles.items()
+        }
+    print(format_nested_table("exposed communication overhead [%]", overheads,
+                              value_format="{:.1f}"))
+
+    # 3. Cost per unit of training throughput ---------------------------------
+    print()
+    cost_per_throughput = {}
+    for wname, per_topo in times.items():
+        cost_per_throughput[wname] = {}
+        for key, profile in profiles.items():
+            label = configs[key].label
+            iterations_per_second = 1.0 / per_topo[label]
+            cost_per_throughput[wname][label] = (
+                configs[key].cost.total_millions / iterations_per_second
+            )
+    print(format_nested_table(
+        "network cost per training throughput [$M / (iterations/s)]",
+        cost_per_throughput,
+    ))
+
+    # 4. Figure-15-style savings ----------------------------------------------
+    print()
+    savings = fig15_cost_savings(profiles=profiles)
+    for hx, per_workload in savings.items():
+        print(format_nested_table(f"relative cost saving of {hx} (Figure 15)", per_workload))
+        print()
+    print("Reading: a value of 4.0 under 'nonblocking fat tree' means the HxMesh "
+          "delivers the same training performance at one quarter of the network cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: build a HammingMesh, inspect it, and measure its bandwidth.
+
+This walks through the core public API in a few lines:
+
+1. build a 16x16 Hx2Mesh (1,024 accelerators) and a fat tree of the same size,
+2. look at structural properties (diameter, bisection, cost),
+3. measure alltoall and allreduce bandwidth with the flow-level simulator,
+4. run a small packet-level simulation for a latency estimate.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core import build_hammingmesh, hx2mesh
+from repro.cost import fat_tree_cost, hammingmesh_cost
+from repro.sim import FlowSimulator, PacketNetwork
+from repro.topology import analytic_diameter, build_fat_tree, relative_bisection_bandwidth
+
+
+def main() -> None:
+    # 1. Build the topologies ------------------------------------------------
+    hx = build_hammingmesh(2, 2, 16, 16)         # 16x16 Hx2Mesh
+    ft = build_fat_tree(1024)                     # nonblocking fat tree
+    print(f"built {hx.name}: {hx.num_accelerators} accelerators, "
+          f"{hx.num_switches} switches, {hx.num_links} directed links")
+    print(f"built {ft.name}: {ft.num_accelerators} accelerators, "
+          f"{ft.num_switches} switches")
+
+    # 2. Structural properties and capital cost ------------------------------
+    print("\nstructure:")
+    print(f"  HxMesh diameter {analytic_diameter(hx)} cables, "
+          f"bisection {relative_bisection_bandwidth(hx):.2f} of injection")
+    print(f"  fat tree diameter {analytic_diameter(ft)} cables")
+    hx_cost = hammingmesh_cost(hx2mesh(16, 16))
+    ft_cost = fat_tree_cost(1024)
+    print(f"  HxMesh network cost  ${hx_cost.total_millions:6.1f}M "
+          f"({hx_cost.num_switches} switches)")
+    print(f"  fat tree network cost ${ft_cost.total_millions:6.1f}M "
+          f"({ft_cost.num_switches} switches)")
+
+    # 3. Bandwidth with the flow-level simulator ------------------------------
+    print("\nflow-level bandwidth (fractions of 1.6 Tb/s injection):")
+    for name, topo in (("Hx2Mesh", hx), ("fat tree", ft)):
+        sim = FlowSimulator(topo, max_paths=8)
+        a2a = sim.alltoall_bandwidth(num_phases=24, seed=1)
+        print(f"  {name:<10} alltoall {a2a * 100:5.1f}%")
+    from repro.analysis import measure_allreduce_fraction
+
+    for name, topo in (("Hx2Mesh", hx), ("fat tree", ft)):
+        ar = measure_allreduce_fraction(topo)
+        print(f"  {name:<10} allreduce {ar * 100:5.1f}% of the theoretical optimum")
+
+    # 4. A tiny packet-level simulation ---------------------------------------
+    small = build_hammingmesh(2, 2, 4, 4)
+    net = PacketNetwork(small)
+    msg = net.send(0, small.num_accelerators - 1, 1 << 20)   # 1 MiB corner to corner
+    net.run()
+    print(f"\npacket-level: 1 MiB across the {small.name} took "
+          f"{msg.completion_time * 1e6:.1f} us "
+          f"({msg.observed_bandwidth() / 1e9:.1f} GB/s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Exploring the HammingMesh design space: board size and global tapering.
+
+Figure 1 of the paper sketches HammingMesh's bandwidth-cost-flexibility
+trade-off: larger boards and more aggressive tapering reduce cost (and global
+bandwidth), while the allreduce bandwidth that deep learning actually needs
+stays at full rate.  This example quantifies that trade-off for a ~1k
+accelerator machine by sweeping the board size (Hx1/Hx2/Hx4) and the global
+tapering factor, reporting cost, alltoall bandwidth and allreduce bandwidth
+for every design point.
+
+Run with ``python examples/topology_design_space.py``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import measure_allreduce_fraction, measure_alltoall_fraction
+from repro.core import build_hammingmesh
+from repro.core.params import HxMeshParams
+from repro.cost import fat_tree_cost, hammingmesh_cost
+
+
+def design_points():
+    """(label, params) pairs covering board sizes 1, 2, 4 at ~1k accelerators."""
+    yield "32x32 Hx1Mesh", HxMeshParams(a=1, b=1, x=32, y=32)
+    yield "16x16 Hx2Mesh", HxMeshParams(a=2, b=2, x=16, y=16)
+    yield "8x8   Hx4Mesh", HxMeshParams(a=4, b=4, x=8, y=8)
+
+
+def main() -> None:
+    reference = fat_tree_cost(1024)
+    print(f"reference: nonblocking fat tree for 1,024 accelerators costs "
+          f"${reference.total_millions:.1f}M\n")
+    header = (f"{'design point':<18}{'taper':>7}{'cost[$M]':>10}{'vs FT':>8}"
+              f"{'alltoall%':>11}{'allreduce%':>12}")
+    print(header)
+    print("-" * len(header))
+
+    for label, params in design_points():
+        for taper in (1.0, 0.5):
+            p = params.with_taper(taper)
+            cost = hammingmesh_cost(p)
+            topo = build_hammingmesh(
+                p.a, p.b, p.x, p.y, global_taper=p.global_taper
+            )
+            a2a = measure_alltoall_fraction(topo, num_phases=16, max_paths=8)
+            ared = measure_allreduce_fraction(topo)
+            print(
+                f"{label:<18}{taper:>7.2f}{cost.total_millions:>10.2f}"
+                f"{reference.total / cost.total:>7.1f}x"
+                f"{a2a * 100:>11.1f}{ared * 100:>12.1f}"
+            )
+    print("\nTakeaway: growing the board from 1x1 to 4x4 cuts the network cost by "
+          "another ~4x while the allreduce (deep-learning) bandwidth stays at full "
+          "rate; only the rarely-needed global alltoall bandwidth shrinks.  Tapering "
+          "the global trees is a second, orthogonal dial (it only changes cost when "
+          "a dimension actually needs a multi-level tree).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""HammingMesh reproduction: topology, simulation, allocation and workloads.
+
+This package reproduces *HammingMesh: A Network Topology for Large-Scale
+Deep Learning* (Hoefler et al., SC'22) as a self-contained Python library:
+
+* :mod:`repro.core` -- the HammingMesh topology family, its routing and
+  virtual sub-meshes (the paper's primary contribution);
+* :mod:`repro.topology` -- the baseline topologies it is compared against
+  (fat tree, Dragonfly, 2D HyperX, 2D torus) on a common graph model;
+* :mod:`repro.sim` -- flow-level and packet-level network simulators;
+* :mod:`repro.collectives` -- ring / dual-ring / 2D-torus allreduce,
+  alltoall, and edge-disjoint Hamiltonian cycle mapping;
+* :mod:`repro.cost` -- the capital-cost model of Table II;
+* :mod:`repro.allocation` -- greedy job allocation, failures, utilization;
+* :mod:`repro.workloads` -- DNN communication workload models (ResNet-152,
+  CosmoFlow, GPT-3, GPT-3 MoE, DLRM);
+* :mod:`repro.analysis` -- the experiment harness regenerating Table II and
+  every evaluation figure.
+
+Quick start::
+
+    from repro.core import build_hammingmesh
+    from repro.sim import FlowSimulator
+
+    topo = build_hammingmesh(2, 2, 16, 16)       # 16x16 Hx2Mesh, 1024 accelerators
+    sim = FlowSimulator(topo)
+    print(sim.alltoall_bandwidth(num_phases=32))  # fraction of injection bandwidth
+"""
+
+from . import allocation, analysis, collectives, core, cost, sim, topology, workloads
+from .core import HxMeshParams, HxMeshRouter, build_hammingmesh, hx2mesh, hx4mesh
+from .sim import FlowSimulator, PacketNetwork
+from .topology import Topology, build_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "core",
+    "topology",
+    "sim",
+    "collectives",
+    "cost",
+    "allocation",
+    "workloads",
+    "analysis",
+    "HxMeshParams",
+    "HxMeshRouter",
+    "build_hammingmesh",
+    "hx2mesh",
+    "hx4mesh",
+    "FlowSimulator",
+    "PacketNetwork",
+    "Topology",
+    "build_topology",
+]

@@ -1,0 +1,22 @@
+"""Small deterministic integer mixing utilities.
+
+Path providers use hash-based rotation to spread capped multipath
+enumerations over parallel links/switches.  A proper avalanche mix is
+required: simple multiplicative hashes leak low-bit structure (e.g. all even
+keys selecting the same parallel link), which shows up as artificial
+hot-spots in the flow-level simulator.
+"""
+
+from __future__ import annotations
+
+__all__ = ["mix64"]
+
+_MASK = (1 << 64) - 1
+
+
+def mix64(key: int) -> int:
+    """SplitMix64 finaliser: a cheap, well-mixed 64-bit integer hash."""
+    z = (key + 0x9E3779B97F4A7C15) & _MASK
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    return (z ^ (z >> 31)) & _MASK

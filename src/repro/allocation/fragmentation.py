@@ -1,0 +1,85 @@
+"""Failure / fragmentation experiments (Figure 10 of the paper).
+
+Random board failures fragment the grid; because virtual sub-HxMeshes can be
+formed from non-consecutive boards, utilization degrades gracefully.  These
+helpers run the paper's experiment: fail ``k`` random boards, allocate a
+sampled job mix with the greedy allocator, and report the utilization of the
+*working* boards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .greedy import AllocatorOptions, GreedyAllocator
+from .grid import BoardGrid
+from .jobs import JobTrace
+from .workload_gen import JobSizeDistribution, sample_job_mixes
+
+__all__ = ["FailureExperimentResult", "utilization_under_failures"]
+
+
+@dataclass
+class FailureExperimentResult:
+    """Utilization samples for one (cluster, failure count) configuration."""
+
+    num_failed: int
+    utilizations: List[float]
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.utilizations)) if self.utilizations else 0.0
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.utilizations)) if self.utilizations else 0.0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.utilizations, q)) if self.utilizations else 0.0
+
+
+def utilization_under_failures(
+    x: int,
+    y: int,
+    failed_counts: Sequence[int],
+    *,
+    num_trials: int = 20,
+    sort_jobs: bool = False,
+    options: AllocatorOptions = AllocatorOptions(transpose=True, aspect_ratio=True),
+    distribution: Optional[JobSizeDistribution] = None,
+    max_job_boards: Optional[int] = None,
+    seed: int = 0,
+) -> List[FailureExperimentResult]:
+    """Run the Figure-10 experiment on an ``x`` x ``y`` board grid.
+
+    For every entry of ``failed_counts``, ``num_trials`` independent trials
+    are run: fail that many random boards, draw a fresh job mix sized to the
+    number of *working* boards, allocate it (optionally sorted by size), and
+    record the utilization of working boards.
+    """
+    results: List[FailureExperimentResult] = []
+    for num_failed in failed_counts:
+        utils: List[float] = []
+        for trial in range(num_trials):
+            trial_seed = seed * 7919 + num_failed * 131 + trial
+            grid = BoardGrid(x, y)
+            if num_failed:
+                grid.fail_random(num_failed, seed=trial_seed)
+            mixes = sample_job_mixes(
+                grid.num_working,
+                1,
+                distribution=distribution,
+                max_job_boards=max_job_boards or grid.num_working,
+                seed=trial_seed + 1,
+            )
+            trace: JobTrace = mixes[0]
+            if sort_jobs:
+                trace = trace.sorted_by_size()
+            allocator = GreedyAllocator(grid, options)
+            result = allocator.allocate_trace(trace)
+            utils.append(result.utilization)
+        results.append(FailureExperimentResult(num_failed, utils))
+    return results

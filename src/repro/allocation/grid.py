@@ -1,0 +1,138 @@
+"""Board-grid state for HxMesh job allocation.
+
+The allocator views an ``x`` x ``y`` HxMesh purely at board granularity: a
+board is free, allocated to a job, or failed (the board is the unit of
+failure, Section III-E).  :class:`BoardGrid` tracks this state, exposes the
+per-row availability sets consumed by the greedy sub-mesh search, and
+computes the utilization metrics reported in Figures 8 and 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.subnetwork import VirtualSubMesh
+
+__all__ = ["BoardGrid"]
+
+Coord = Tuple[int, int]
+FREE = -1
+FAILED = -2
+
+
+class BoardGrid:
+    """Allocation state of an ``x`` columns x ``y`` rows board grid."""
+
+    def __init__(self, x: int, y: int):
+        if x < 1 or y < 1:
+            raise ValueError("grid dimensions must be positive")
+        self.x = x
+        self.y = y
+        # state[row][col] = FREE, FAILED, or job id (>= 0)
+        self._state: List[List[int]] = [[FREE] * x for _ in range(y)]
+        self._job_boards: Dict[int, List[Coord]] = {}
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def num_boards(self) -> int:
+        return self.x * self.y
+
+    @property
+    def num_failed(self) -> int:
+        return sum(row.count(FAILED) for row in self._state)
+
+    @property
+    def num_working(self) -> int:
+        return self.num_boards - self.num_failed
+
+    @property
+    def num_allocated(self) -> int:
+        return sum(1 for row in self._state for s in row if s >= 0)
+
+    @property
+    def num_free(self) -> int:
+        return sum(row.count(FREE) for row in self._state)
+
+    def state(self, coord: Coord) -> int:
+        return self._state[coord[0]][coord[1]]
+
+    def is_free(self, coord: Coord) -> bool:
+        return self._state[coord[0]][coord[1]] == FREE
+
+    def job_at(self, coord: Coord) -> Optional[int]:
+        s = self._state[coord[0]][coord[1]]
+        return s if s >= 0 else None
+
+    def boards_of(self, job_id: int) -> List[Coord]:
+        return list(self._job_boards.get(job_id, []))
+
+    def jobs(self) -> List[int]:
+        return list(self._job_boards)
+
+    def utilization(self) -> float:
+        """Fraction of *working* boards allocated to jobs (Figure 8/10 metric)."""
+        working = self.num_working
+        return self.num_allocated / working if working else 0.0
+
+    def occupancy_matrix(self) -> List[List[int]]:
+        """Copy of the raw state matrix (rows of job ids / FREE / FAILED)."""
+        return [list(row) for row in self._state]
+
+    # -------------------------------------------------------------- row views
+    def row_available(self) -> List[FrozenSet[int]]:
+        """Per-row sets of free column indices (input of the greedy search)."""
+        return [
+            frozenset(c for c in range(self.x) if self._state[r][c] == FREE)
+            for r in range(self.y)
+        ]
+
+    # -------------------------------------------------------------- mutations
+    def fail_boards(self, coords: Iterable[Coord]) -> None:
+        """Mark boards as failed; allocated boards cannot fail mid-experiment."""
+        for r, c in coords:
+            if self._state[r][c] >= 0:
+                raise ValueError(f"board {(r, c)} is allocated; free it before failing")
+            self._state[r][c] = FAILED
+
+    def fail_random(self, count: int, seed: int = 0) -> List[Coord]:
+        """Fail ``count`` random free boards; returns the failed coordinates."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        free = [(r, c) for r in range(self.y) for c in range(self.x)
+                if self._state[r][c] == FREE]
+        if count > len(free):
+            raise ValueError(f"cannot fail {count} boards, only {len(free)} are free")
+        chosen = [free[i] for i in rng.choice(len(free), size=count, replace=False)]
+        self.fail_boards(chosen)
+        return chosen
+
+    def allocate(self, job_id: int, submesh: VirtualSubMesh) -> None:
+        """Assign every board of ``submesh`` to ``job_id``."""
+        if job_id < 0:
+            raise ValueError("job ids must be non-negative")
+        if job_id in self._job_boards:
+            raise ValueError(f"job {job_id} is already allocated")
+        boards = submesh.boards()
+        for coord in boards:
+            if not self.is_free(coord):
+                raise ValueError(f"board {coord} is not free")
+        for r, c in boards:
+            self._state[r][c] = job_id
+        self._job_boards[job_id] = boards
+
+    def release(self, job_id: int) -> None:
+        """Free all boards of a job (checkpoint/shutdown)."""
+        for r, c in self._job_boards.pop(job_id):
+            self._state[r][c] = FREE
+
+    def reset(self, *, keep_failures: bool = True) -> None:
+        """Release every job; optionally also clear failures."""
+        for job_id in list(self._job_boards):
+            self.release(job_id)
+        if not keep_failures:
+            for r in range(self.y):
+                for c in range(self.x):
+                    if self._state[r][c] == FAILED:
+                        self._state[r][c] = FREE

@@ -1,0 +1,95 @@
+"""Job requests and job traces for the allocation experiments (Section IV).
+
+Training jobs request two-dimensional sets of boards (u x v).  A job trace
+is an ordered list of such requests, typically sampled from the cluster
+workload generator so that the requested boards sum to (at least) the
+cluster capacity, as in the paper's utilization experiments (Figure 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["JobRequest", "JobTrace", "most_square_shape", "aspect_ratio_shapes"]
+
+
+def most_square_shape(num_boards: int) -> Tuple[int, int]:
+    """The most-square u x v factorisation covering ``num_boards`` boards.
+
+    When ``num_boards`` is not a perfect rectangle product the request is
+    rounded up to the next rectangle (jobs request whole boards).  This is
+    the paper's default shaping rule ("By default, we make jobs as square as
+    possible").
+    """
+    if num_boards < 1:
+        raise ValueError("a job needs at least one board")
+    u = int(math.isqrt(num_boards))
+    while u > 1 and num_boards % u != 0:
+        u -= 1
+    v = num_boards // u
+    if u * v < num_boards:  # pragma: no cover - defensive; isqrt logic covers it
+        v += 1
+    return (u, v)
+
+
+def aspect_ratio_shapes(num_boards: int, max_ratio: int = 8) -> List[Tuple[int, int]]:
+    """All u x v factorisations of ``num_boards`` with aspect ratio <= ``max_ratio``.
+
+    Used by the "aspect ratio" allocation heuristic (a job requesting 4x16
+    boards may also function well as 2x32); shapes are ordered from most
+    square to most elongated.
+    """
+    shapes: List[Tuple[int, int]] = []
+    for u in range(1, int(math.isqrt(num_boards)) + 1):
+        if num_boards % u:
+            continue
+        v = num_boards // u
+        if v / u <= max_ratio:
+            shapes.append((u, v))
+    shapes.sort(key=lambda s: s[1] / s[0])
+    return shapes or [most_square_shape(num_boards)]
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A single training job requesting ``u`` x ``v`` boards."""
+
+    job_id: int
+    u: int
+    v: int
+
+    def __post_init__(self) -> None:
+        if self.u < 1 or self.v < 1:
+            raise ValueError("job dimensions must be positive")
+
+    @property
+    def num_boards(self) -> int:
+        return self.u * self.v
+
+    @classmethod
+    def from_board_count(cls, job_id: int, num_boards: int) -> "JobRequest":
+        u, v = most_square_shape(num_boards)
+        return cls(job_id, u, v)
+
+
+@dataclass
+class JobTrace:
+    """An ordered sequence of job requests."""
+
+    jobs: List[JobRequest] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def total_boards(self) -> int:
+        return sum(j.num_boards for j in self.jobs)
+
+    def sorted_by_size(self, descending: bool = True) -> "JobTrace":
+        """Trace reordered by job size (the "sorting" heuristic)."""
+        return JobTrace(sorted(self.jobs, key=lambda j: j.num_boards, reverse=descending))

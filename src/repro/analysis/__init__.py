@@ -1,0 +1,58 @@
+"""Experiment orchestration: Table II, every figure, and text reporting."""
+
+from .bandwidth import (
+    BandwidthSummary,
+    measure_allreduce_fraction,
+    measure_alltoall_fraction,
+    measure_permutation_fractions,
+    measure_topology,
+)
+from .clusters import ClusterTopology, cluster_configs, large_cluster_configs, small_cluster_configs
+from .figures import (
+    DEFAULT_FRACTIONS,
+    dnn_iteration_times,
+    fig7_jobsize_cdf,
+    fig8_utilization,
+    fig9_upper_traffic,
+    fig10_failures,
+    fig11_alltoall_sweep,
+    fig12_permutation,
+    fig13_allreduce_sweep,
+    fig15_cost_savings,
+    fig16_hamiltonian_cycles,
+    fig17_allreduce_sweep,
+    network_profiles,
+)
+from .report import format_distribution_summary, format_nested_table, format_series
+from .table2 import Table2Row, build_table2, format_table2
+
+__all__ = [
+    "BandwidthSummary",
+    "measure_topology",
+    "measure_alltoall_fraction",
+    "measure_allreduce_fraction",
+    "measure_permutation_fractions",
+    "ClusterTopology",
+    "cluster_configs",
+    "small_cluster_configs",
+    "large_cluster_configs",
+    "Table2Row",
+    "build_table2",
+    "format_table2",
+    "DEFAULT_FRACTIONS",
+    "network_profiles",
+    "fig7_jobsize_cdf",
+    "fig8_utilization",
+    "fig9_upper_traffic",
+    "fig10_failures",
+    "fig11_alltoall_sweep",
+    "fig12_permutation",
+    "fig13_allreduce_sweep",
+    "fig17_allreduce_sweep",
+    "fig15_cost_savings",
+    "fig16_hamiltonian_cycles",
+    "dnn_iteration_times",
+    "format_series",
+    "format_distribution_summary",
+    "format_nested_table",
+]

@@ -1,0 +1,128 @@
+"""Bandwidth measurements used by Table II and the microbenchmark figures.
+
+Thin wrappers around the flow-level simulator that implement the paper's
+measurement conventions:
+
+* **global (alltoall) bandwidth** is reported as the achievable fraction of
+  each accelerator's injection bandwidth (1.6 Tb/s) for large messages;
+* **allreduce bandwidth** is reported as the fraction of the theoretical
+  optimum (half the injection bandwidth) achieved by the best large-message
+  algorithm: two bidirectional rings on edge-disjoint Hamiltonian cycles on
+  the grid topologies, the standard per-plane bidirectional ring on the
+  switched topologies;
+* **permutation traffic** reports the per-accelerator receive-bandwidth
+  distribution under max-min fair sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..collectives.ring import dual_ring_steady_flows, ring_orders_for
+from ..sim.flowsim import FlowSimulator
+from ..sim.traffic import random_permutation
+from ..topology.base import Topology
+
+__all__ = [
+    "measure_alltoall_fraction",
+    "measure_allreduce_fraction",
+    "measure_permutation_fractions",
+    "BandwidthSummary",
+    "measure_topology",
+]
+
+
+def measure_alltoall_fraction(
+    topo: Topology,
+    *,
+    num_phases: Optional[int] = 48,
+    max_paths: int = 8,
+    seed: int = 1,
+    sim: Optional[FlowSimulator] = None,
+) -> float:
+    """Global (alltoall) bandwidth as a fraction of injection bandwidth."""
+    sim = sim or FlowSimulator(topo, max_paths=max_paths)
+    return sim.alltoall_bandwidth(num_phases=num_phases, seed=seed)
+
+
+def measure_allreduce_fraction(
+    topo: Topology,
+    *,
+    max_paths: int = 8,
+    sim: Optional[FlowSimulator] = None,
+) -> float:
+    """Allreduce bandwidth as a fraction of the theoretical optimum.
+
+    The grid topologies (HammingMesh, torus) run two bidirectional rings on
+    edge-disjoint Hamiltonian cycles; the switched topologies run one
+    bidirectional ring per plane (collapsed into a single ring at 4x
+    capacity).  The achieved fraction is the sustainable per-accelerator
+    send rate divided by the injection bandwidth (each byte is sent twice by
+    a bandwidth-optimal ring, and the optimum is injection/2, so the two
+    factors of two cancel).
+    """
+    sim = sim or FlowSimulator(topo, max_paths=max_paths)
+    orders = ring_orders_for(topo)
+    flows = dual_ring_steady_flows(orders)
+    result = sim.symmetric_rate(flows)
+    flows_per_acc = 2 * len(orders)
+    send_rate = result.min_rate * flows_per_acc
+    return min(send_rate / sim.injection_capacity, 1.0)
+
+
+def measure_permutation_fractions(
+    topo: Topology,
+    *,
+    num_permutations: int = 4,
+    max_paths: int = 8,
+    seed: int = 0,
+    sim: Optional[FlowSimulator] = None,
+) -> np.ndarray:
+    """Per-accelerator receive bandwidth fractions under permutation traffic.
+
+    Concatenates the per-accelerator results of ``num_permutations``
+    independent random permutations (Figure 12 plots the distribution).
+    """
+    sim = sim or FlowSimulator(topo, max_paths=max_paths)
+    samples: List[np.ndarray] = []
+    for i in range(num_permutations):
+        flows = random_permutation(len(sim.ranks), seed=seed + i)
+        samples.append(sim.permutation_bandwidths(flows))
+    return np.concatenate(samples)
+
+
+@dataclass(frozen=True)
+class BandwidthSummary:
+    """Measured bandwidth fractions of one topology."""
+
+    name: str
+    alltoall_fraction: float
+    allreduce_fraction: float
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "alltoall_fraction": self.alltoall_fraction,
+            "allreduce_fraction": self.allreduce_fraction,
+        }
+
+
+def measure_topology(
+    topo: Topology,
+    *,
+    num_phases: Optional[int] = 48,
+    max_paths: int = 8,
+    seed: int = 1,
+) -> BandwidthSummary:
+    """Measure both Table-II bandwidth columns for one topology."""
+    sim = FlowSimulator(topo, max_paths=max_paths)
+    return BandwidthSummary(
+        name=topo.name,
+        alltoall_fraction=measure_alltoall_fraction(
+            topo, num_phases=num_phases, seed=seed, sim=sim
+        ),
+        allreduce_fraction=measure_allreduce_fraction(topo, sim=sim),
+    )

@@ -1,0 +1,186 @@
+"""The example cluster configurations of Table II.
+
+Two design points are compared throughout the paper: a *small* cluster with
+~1,000 accelerators and a *large* cluster with ~16,000 accelerators, each
+built as eight different topologies (three fat-tree variants, Dragonfly,
+2D HyperX, Hx2Mesh, Hx4Mesh and a 2D torus).  This module centralises those
+configurations: how to build the simulated topology graph, how to compute
+the capital cost, and the published Table II values used for comparison in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.hammingmesh import build_hammingmesh
+from ..core.params import hx2mesh, hx4mesh
+from ..cost.model import (
+    CostBreakdown,
+    dragonfly_cost,
+    fat_tree_cost,
+    hammingmesh_cost,
+    hyperx_cost,
+    torus_cost,
+)
+from ..topology.base import Topology
+from ..topology.dragonfly import build_dragonfly
+from ..topology.fattree import build_fat_tree
+from ..topology.hyperx import build_hyperx2d
+from ..topology.torus import build_torus2d
+
+__all__ = ["ClusterTopology", "small_cluster_configs", "large_cluster_configs", "cluster_configs"]
+
+
+@dataclass
+class ClusterTopology:
+    """One Table-II row: a named topology at a given cluster scale."""
+
+    key: str
+    label: str
+    family: str
+    num_accelerators: int
+    build: Callable[[], Topology]
+    cost: CostBreakdown
+    analytic_diameter: int
+    #: values printed in the paper's Table II (for EXPERIMENTS.md comparison)
+    paper: Dict[str, float] = field(default_factory=dict)
+
+
+def small_cluster_configs() -> List[ClusterTopology]:
+    """The ~1,000-accelerator cluster design points of Table II."""
+    return [
+        ClusterTopology(
+            "ft_nonblocking", "nonblocking fat tree", "fattree", 1024,
+            lambda: build_fat_tree(1024),
+            fat_tree_cost(1024, taper=1.0),
+            4,
+            paper={"cost": 25.3, "global_bw": 99.9, "allreduce_bw": 98.9, "diameter": 4},
+        ),
+        ClusterTopology(
+            "ft_tapered50", "fat tree 50% tapered", "fattree", 1024,
+            lambda: build_fat_tree(1024, taper=0.5),
+            fat_tree_cost(1024, taper=0.5),
+            4,
+            paper={"cost": 17.6, "global_bw": 51.2, "allreduce_bw": 98.9, "diameter": 4},
+        ),
+        ClusterTopology(
+            "ft_tapered75", "fat tree 75% tapered", "fattree", 1024,
+            lambda: build_fat_tree(1024, taper=0.25),
+            fat_tree_cost(1024, taper=0.25),
+            4,
+            paper={"cost": 13.2, "global_bw": 25.7, "allreduce_bw": 98.9, "diameter": 4},
+        ),
+        ClusterTopology(
+            "dragonfly", "Dragonfly", "dragonfly", 1024,
+            lambda: build_dragonfly(8, routers_per_group=16, endpoints_per_router=8,
+                                    global_links_per_router=8),
+            dragonfly_cost(8, 16, 8, 8, virtual_per_physical=2),
+            3,
+            paper={"cost": 27.9, "global_bw": 62.9, "allreduce_bw": 98.8, "diameter": 3},
+        ),
+        ClusterTopology(
+            "hyperx", "2D HyperX", "hyperx", 1024,
+            # one terminal per switch: the four identical planes collapse into
+            # 4x-capacity switch-to-switch links (same convention as the
+            # other switched baselines)
+            lambda: build_hyperx2d(32, 32, terminals=1, link_capacity=4.0),
+            hyperx_cost(32, 32),
+            4,
+            paper={"cost": 10.8, "global_bw": 91.6, "allreduce_bw": 98.1, "diameter": 4},
+        ),
+        ClusterTopology(
+            "hx2mesh", "Hx2Mesh", "hammingmesh", 1024,
+            lambda: build_hammingmesh(2, 2, 16, 16),
+            hammingmesh_cost(hx2mesh(16, 16)),
+            4,
+            paper={"cost": 5.4, "global_bw": 25.4, "allreduce_bw": 98.3, "diameter": 4},
+        ),
+        ClusterTopology(
+            "hx4mesh", "Hx4Mesh", "hammingmesh", 1024,
+            lambda: build_hammingmesh(4, 4, 8, 8),
+            hammingmesh_cost(hx4mesh(8, 8)),
+            8,
+            paper={"cost": 2.7, "global_bw": 11.3, "allreduce_bw": 98.4, "diameter": 8},
+        ),
+        ClusterTopology(
+            "torus", "2D torus", "torus", 1024,
+            lambda: build_torus2d(16, 16),
+            torus_cost(16, 16),
+            32,
+            paper={"cost": 2.5, "global_bw": 2.0, "allreduce_bw": 98.1, "diameter": 32},
+        ),
+    ]
+
+
+def large_cluster_configs() -> List[ClusterTopology]:
+    """The ~16,000-accelerator cluster design points of Table II."""
+    return [
+        ClusterTopology(
+            "ft_nonblocking", "nonblocking fat tree", "fattree", 16384,
+            lambda: build_fat_tree(16384),
+            fat_tree_cost(16384, taper=1.0),
+            6,
+            paper={"cost": 680, "global_bw": 98.9, "allreduce_bw": 99.8, "diameter": 6},
+        ),
+        ClusterTopology(
+            "ft_tapered50", "fat tree 50% tapered", "fattree", 16384,
+            lambda: build_fat_tree(16384, taper=0.5),
+            fat_tree_cost(16384, taper=0.5),
+            6,
+            paper={"cost": 419, "global_bw": 47.6, "allreduce_bw": 99.8, "diameter": 6},
+        ),
+        ClusterTopology(
+            "ft_tapered75", "fat tree 75% tapered", "fattree", 16384,
+            lambda: build_fat_tree(16384, taper=0.25),
+            fat_tree_cost(16384, taper=0.25),
+            6,
+            paper={"cost": 271, "global_bw": 24.0, "allreduce_bw": 99.8, "diameter": 6},
+        ),
+        ClusterTopology(
+            "dragonfly", "Dragonfly", "dragonfly", 16320,
+            lambda: build_dragonfly(30, routers_per_group=32, endpoints_per_router=17,
+                                    global_links_per_router=16),
+            dragonfly_cost(30, 32, 17, 16),
+            5,
+            paper={"cost": 429, "global_bw": 71.5, "allreduce_bw": 98.6, "diameter": 5},
+        ),
+        ClusterTopology(
+            "hyperx", "2D HyperX", "hyperx", 16384,
+            lambda: build_hyperx2d(64, 64, terminals=4),
+            hyperx_cost(128, 128),
+            8,
+            paper={"cost": 448, "global_bw": 95.8, "allreduce_bw": 91.4, "diameter": 8},
+        ),
+        ClusterTopology(
+            "hx2mesh", "Hx2Mesh", "hammingmesh", 16384,
+            lambda: build_hammingmesh(2, 2, 64, 64),
+            hammingmesh_cost(hx2mesh(64, 64)),
+            8,
+            paper={"cost": 224, "global_bw": 25.0, "allreduce_bw": 92.3, "diameter": 8},
+        ),
+        ClusterTopology(
+            "hx4mesh", "Hx4Mesh", "hammingmesh", 16384,
+            lambda: build_hammingmesh(4, 4, 32, 32),
+            hammingmesh_cost(hx4mesh(32, 32)),
+            8,
+            paper={"cost": 43.3, "global_bw": 10.5, "allreduce_bw": 92.2, "diameter": 8},
+        ),
+        ClusterTopology(
+            "torus", "2D torus", "torus", 16384,
+            lambda: build_torus2d(64, 64),
+            torus_cost(64, 64),
+            128,
+            paper={"cost": 39.5, "global_bw": 1.1, "allreduce_bw": 91.4, "diameter": 128},
+        ),
+    ]
+
+
+def cluster_configs(cluster: str) -> List[ClusterTopology]:
+    """Configurations for ``"small"`` or ``"large"`` clusters."""
+    if cluster == "small":
+        return small_cluster_configs()
+    if cluster == "large":
+        return large_cluster_configs()
+    raise ValueError(f"unknown cluster {cluster!r} (expected 'small' or 'large')")

@@ -1,0 +1,448 @@
+"""Series generators for every evaluation figure of the paper.
+
+Each ``figNN_*`` function returns plain Python/NumPy data structures (the
+series a plot of that figure would show); the benchmark harness prints them
+and EXPERIMENTS.md records the comparison against the published figures.
+
+Figures covered: 7 (job-size CDF), 8 (allocation utilization), 9 (upper
+fat-tree-level traffic), 10 (utilization under failures), 11 (alltoall
+bandwidth vs message size), 12 (permutation bandwidth distribution),
+13/17 (allreduce bandwidth vs message size, large/small clusters),
+15 (relative cost savings for the DNN workloads), 16 (edge-disjoint
+Hamiltonian cycles), and the Section V-B iteration-time table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..allocation import (
+    AllocatorOptions,
+    BoardGrid,
+    GreedyAllocator,
+    alibaba_like_distribution,
+    sample_job_mixes,
+    upper_level_fraction,
+    utilization_under_failures,
+)
+from ..collectives.cost_models import allreduce_bus_bandwidth
+from ..collectives.hamiltonian import disjoint_hamiltonian_cycles
+from ..cost.model import CostBreakdown
+from ..workloads import WORKLOADS, NetworkProfile, get_workload
+from ..workloads.overlap import PORT_BYTES_PER_S
+from .bandwidth import measure_permutation_fractions, measure_topology
+from .clusters import ClusterTopology, cluster_configs
+
+__all__ = [
+    "DEFAULT_FRACTIONS",
+    "network_profiles",
+    "fig7_jobsize_cdf",
+    "fig8_utilization",
+    "fig9_upper_traffic",
+    "fig10_failures",
+    "fig11_alltoall_sweep",
+    "fig12_permutation",
+    "fig13_allreduce_sweep",
+    "fig15_cost_savings",
+    "fig16_hamiltonian_cycles",
+    "dnn_iteration_times",
+]
+
+
+#: Measured bandwidth fractions of the small-cluster configurations
+#: (flow-level simulator, 48 sampled phases, 8 paths).  Used as the default
+#: network profiles for the workload figures so that they do not need to
+#: re-run the flow simulations; refreshed values can be passed explicitly.
+DEFAULT_FRACTIONS: Dict[str, Dict[str, float]] = {
+    "ft_nonblocking": {"alltoall": 0.89, "allreduce": 1.00, "diameter": 4},
+    "ft_tapered50": {"alltoall": 0.48, "allreduce": 1.00, "diameter": 4},
+    "ft_tapered75": {"alltoall": 0.24, "allreduce": 1.00, "diameter": 4},
+    "dragonfly": {"alltoall": 0.93, "allreduce": 1.00, "diameter": 3},
+    "hyperx": {"alltoall": 1.00, "allreduce": 1.00, "diameter": 4},
+    "hx2mesh": {"alltoall": 0.25, "allreduce": 1.00, "diameter": 4},
+    "hx4mesh": {"alltoall": 0.13, "allreduce": 1.00, "diameter": 8},
+    "torus": {"alltoall": 0.058, "allreduce": 1.00, "diameter": 32},
+}
+
+
+def network_profiles(
+    cluster: str = "small",
+    *,
+    measured: Optional[Dict[str, Dict[str, float]]] = None,
+    measure: bool = False,
+    num_phases: Optional[int] = 48,
+    max_paths: int = 8,
+) -> Dict[str, NetworkProfile]:
+    """Network profiles for every topology of the chosen cluster.
+
+    By default the stored :data:`DEFAULT_FRACTIONS` are used; with
+    ``measure=True`` the flow-level simulator is run instead (slow for the
+    large cluster).
+    """
+    configs = cluster_configs(cluster)
+    fractions = dict(DEFAULT_FRACTIONS)
+    if measured:
+        fractions.update(measured)
+    profiles: Dict[str, NetworkProfile] = {}
+    for config in configs:
+        if measure:
+            topo = config.build()
+            summary = measure_topology(topo, num_phases=num_phases, max_paths=max_paths)
+            a2a, ar = summary.alltoall_fraction, summary.allreduce_fraction
+        else:
+            entry = fractions.get(config.key, {"alltoall": 0.5, "allreduce": 1.0})
+            a2a, ar = entry["alltoall"], entry["allreduce"]
+        profiles[config.key] = NetworkProfile.from_measurements(
+            config.label,
+            config.family,
+            alltoall_fraction=a2a,
+            allreduce_fraction=ar,
+            diameter=config.analytic_diameter,
+        )
+    return profiles
+
+
+# ------------------------------------------------------------------- Figure 7
+def fig7_jobsize_cdf(
+    cluster_boards: int = 4096, num_mixes: int = 200, seed: int = 0
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Job-size CDFs: the original distribution and the sampled job mixes."""
+    dist = alibaba_like_distribution()
+    original = dist.board_weighted_cdf()
+    mixes = sample_job_mixes(cluster_boards, num_mixes, seed=seed)
+    sizes = np.array([job.num_boards for mix in mixes for job in mix])
+    boards = sizes.astype(float)
+    order = np.argsort(sizes)
+    cum = np.cumsum(boards[order]) / boards.sum()
+    sampled: List[Tuple[int, float]] = []
+    last_size = None
+    for s, c in zip(sizes[order], cum):
+        if last_size is not None and s == last_size:
+            sampled[-1] = (int(s), float(c))
+        else:
+            sampled.append((int(s), float(c)))
+        last_size = s
+    return {"original": original, "sampled": sampled}
+
+
+# ------------------------------------------------------------------- Figure 8
+FIG8_PRESETS = [
+    ("greedy", False),
+    ("greedy+transpose", False),
+    ("greedy+transpose+aspect", False),
+    ("greedy+transpose+aspect+locality", False),
+    ("greedy+transpose+aspect", True),
+    ("greedy+transpose+aspect+locality", True),
+]
+
+FIG8_CLUSTERS = {
+    "Small 16x16 Hx2Mesh": (16, 16),
+    "Small 8x8 Hx4Mesh": (8, 8),
+    "Large 64x64 Hx2Mesh": (64, 64),
+    "Large 32x32 Hx4Mesh": (32, 32),
+}
+
+
+def fig8_utilization(
+    *,
+    clusters: Optional[Dict[str, Tuple[int, int]]] = None,
+    num_traces: int = 50,
+    seed: int = 0,
+) -> Dict[str, Dict[str, List[float]]]:
+    """System utilization distributions per cluster and heuristic combination."""
+    out: Dict[str, Dict[str, List[float]]] = {}
+    for cluster_name, (x, y) in (clusters or FIG8_CLUSTERS).items():
+        per_preset: Dict[str, List[float]] = {}
+        mixes = sample_job_mixes(x * y, num_traces, seed=seed, max_job_boards=x * y)
+        for preset, sort in FIG8_PRESETS:
+            label = preset + ("+sort" if sort else "")
+            utils: List[float] = []
+            for mix in mixes:
+                grid = BoardGrid(x, y)
+                allocator = GreedyAllocator(grid, AllocatorOptions.named(preset))
+                trace = mix.sorted_by_size() if sort else mix
+                utils.append(allocator.allocate_trace(trace).utilization)
+            per_preset[label] = utils
+        out[cluster_name] = per_preset
+    return out
+
+
+# ------------------------------------------------------------------- Figure 9
+FIG9_CLUSTERS = {
+    "Large 64x64 Hx2Mesh": (64, 64, 16),
+    "Large 32x32 Hx4Mesh": (32, 32, 32),
+}
+
+
+def fig9_upper_traffic(
+    *,
+    clusters: Optional[Dict[str, Tuple[int, int, int]]] = None,
+    num_traces: int = 20,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Mean fraction of traffic crossing the upper fat-tree levels.
+
+    Returns ``{cluster: {preset: {"alltoall": f, "allreduce": f}}}``; the
+    fraction is averaged over jobs weighted by their board count.
+    """
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for cluster_name, (x, y, boards_per_leaf) in (clusters or FIG9_CLUSTERS).items():
+        per_preset: Dict[str, Dict[str, float]] = {}
+        mixes = sample_job_mixes(x * y, num_traces, seed=seed, max_job_boards=x * y)
+        for preset, sort in FIG8_PRESETS:
+            label = preset + ("+sort" if sort else "")
+            totals = {"alltoall": 0.0, "allreduce": 0.0}
+            weight = 0.0
+            for mix in mixes:
+                grid = BoardGrid(x, y)
+                options = AllocatorOptions.named(preset)
+                options = AllocatorOptions(
+                    transpose=options.transpose,
+                    aspect_ratio=options.aspect_ratio,
+                    locality=options.locality,
+                    boards_per_leaf=boards_per_leaf,
+                )
+                allocator = GreedyAllocator(grid, options)
+                trace = mix.sorted_by_size() if sort else mix
+                result = allocator.allocate_trace(trace)
+                for submesh in result.placed.values():
+                    w = submesh.num_boards
+                    weight += w
+                    for pattern in ("alltoall", "allreduce"):
+                        totals[pattern] += w * upper_level_fraction(
+                            submesh, boards_per_leaf=boards_per_leaf, pattern=pattern
+                        )
+            per_preset[label] = {
+                k: (v / weight if weight else 0.0) for k, v in totals.items()
+            }
+        out[cluster_name] = per_preset
+    return out
+
+
+# ------------------------------------------------------------------ Figure 10
+FIG10_CLUSTERS = {
+    "Hx2Small": ((16, 16), (0, 10, 20, 30, 40)),
+    "Hx4Small": ((8, 8), (0, 10, 20, 30, 40)),
+    "Hx2Large": ((64, 64), (0, 25, 50, 75, 100)),
+    "Hx4Large": ((32, 32), (0, 25, 50, 75, 100)),
+}
+
+
+def fig10_failures(
+    *,
+    clusters=None,
+    num_trials: int = 10,
+    seed: int = 0,
+) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+    """Median utilization of working boards vs number of failed boards."""
+    out: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
+    for name, ((x, y), counts) in (clusters or FIG10_CLUSTERS).items():
+        per_mode: Dict[str, List[Tuple[int, float]]] = {}
+        for sort_jobs, label in ((False, "unsorted"), (True, "sorted")):
+            results = utilization_under_failures(
+                x, y, counts, num_trials=num_trials, sort_jobs=sort_jobs, seed=seed
+            )
+            per_mode[label] = [(r.num_failed, r.median) for r in results]
+        out[name] = per_mode
+    return out
+
+
+# ------------------------------------------------------------------ Figure 11
+DEFAULT_MESSAGE_SIZES = tuple(2 ** k for k in range(10, 25, 2))  # 1 KiB .. 16 MiB
+
+
+def fig11_alltoall_sweep(
+    cluster: str = "small",
+    *,
+    message_sizes: Sequence[int] = DEFAULT_MESSAGE_SIZES,
+    profiles: Optional[Dict[str, NetworkProfile]] = None,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Alltoall effective bandwidth (fraction of injection) vs message size.
+
+    ``message_sizes`` are per-peer block sizes (as in the paper's
+    microbenchmark); the balanced-shift alltoall runs ``P - 1`` phases of one
+    block each, so the effective per-process bandwidth is
+    ``block / (alpha + block / measured_alltoall_bandwidth)`` -- the measured
+    large-message fraction is the asymptote, small blocks are latency-bound.
+    """
+    configs = {c.key: c for c in cluster_configs(cluster)}
+    profiles = profiles or network_profiles(cluster)
+    out: Dict[str, List[Tuple[int, float]]] = {}
+    for key, profile in profiles.items():
+        series = []
+        for size in message_sizes:
+            phase_time = profile.alpha + size / profile.alltoall_bandwidth
+            effective = size / phase_time
+            series.append((size, effective / (4 * PORT_BYTES_PER_S)))
+        out[configs[key].label] = series
+    return out
+
+
+# ------------------------------------------------------------------ Figure 12
+def fig12_permutation(
+    cluster: str = "small",
+    *,
+    num_permutations: int = 2,
+    max_paths: int = 8,
+    skip_keys: Sequence[str] = (),
+    seed: int = 0,
+) -> Dict[str, Dict[str, object]]:
+    """Per-accelerator bandwidth distribution under random permutation traffic.
+
+    Returns, per topology: the raw distribution (fractions of injection),
+    its mean, and the cost per average bandwidth relative to the nonblocking
+    fat tree.
+    """
+    configs = cluster_configs(cluster)
+    results: Dict[str, Dict[str, object]] = {}
+    reference_ratio = None
+    for config in configs:
+        if config.key in skip_keys:
+            continue
+        topo = config.build()
+        dist = measure_permutation_fractions(
+            topo, num_permutations=num_permutations, max_paths=max_paths, seed=seed
+        )
+        mean = float(dist.mean())
+        cost_per_bw = config.cost.total_millions / max(mean, 1e-9)
+        if config.key == "ft_nonblocking":
+            reference_ratio = cost_per_bw
+        results[config.label] = {
+            "distribution": dist,
+            "mean_fraction": mean,
+            "cost_per_bandwidth": cost_per_bw,
+        }
+    if reference_ratio:
+        for entry in results.values():
+            entry["relative_cost_per_bandwidth"] = (
+                entry["cost_per_bandwidth"] / reference_ratio
+            )
+    return results
+
+
+# ------------------------------------------------------------- Figures 13 / 17
+ALLREDUCE_SWEEP_SIZES = tuple(2 ** k for k in range(14, 33, 2))  # 16 KiB .. 4 GiB
+
+
+def fig13_allreduce_sweep(
+    cluster: str = "large",
+    *,
+    message_sizes: Sequence[int] = ALLREDUCE_SWEEP_SIZES,
+    algorithms: Sequence[str] = ("rings", "torus"),
+    profiles: Optional[Dict[str, NetworkProfile]] = None,
+) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+    """Full-system allreduce bus bandwidth vs message size (Figures 13/17).
+
+    On the grid topologies both the dual-ring ("rings") and the 2D-torus
+    ("torus") algorithms are evaluated; the switched topologies use the
+    standard per-plane ring.  Bandwidths are bytes/s per accelerator.
+    """
+    configs = {c.key: c for c in cluster_configs(cluster)}
+    profiles = profiles or network_profiles(cluster)
+    out: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
+    for key, profile in profiles.items():
+        config = configs[key]
+        p = config.num_accelerators
+        beta = 1.0 / (profile.allreduce_busbw * 2.0)  # seconds per byte per NIC
+        per_alg: Dict[str, List[Tuple[int, float]]] = {}
+        if config.family in ("hammingmesh", "torus", "hyperx"):
+            algs = list(algorithms)
+        else:
+            algs = ["bidirectional-ring"]
+        for alg in algs:
+            series = []
+            for size in message_sizes:
+                bw = allreduce_bus_bandwidth(alg, p, size, profile.alpha, beta)
+                series.append((size, bw))
+            per_alg[alg] = series
+        out[config.label] = per_alg
+    return out
+
+
+def fig17_allreduce_sweep(**kwargs):
+    """Small-cluster variant of the allreduce sweep (Figure 17)."""
+    kwargs.setdefault("cluster", "small")
+    return fig13_allreduce_sweep(**kwargs)
+
+
+# ------------------------------------------------------------------ Figure 15
+FIG15_WORKLOADS = ["resnet152", "gpt3", "gpt3_moe", "cosmoflow", "dlrm"]
+FIG15_BASELINES = [
+    "ft_nonblocking",
+    "ft_tapered50",
+    "ft_tapered75",
+    "dragonfly",
+    "hyperx",
+    "torus",
+]
+
+
+def fig15_cost_savings(
+    *,
+    cluster: str = "small",
+    profiles: Optional[Dict[str, NetworkProfile]] = None,
+    workload_names: Sequence[str] = tuple(FIG15_WORKLOADS),
+    hx_keys: Sequence[str] = ("hx2mesh", "hx4mesh"),
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Relative cost savings of HxMesh vs the other topologies (Figure 15).
+
+    Following the paper, the saving of an HxMesh over topology X for a given
+    workload is ``(cost_X / cost_Hx) * (exposed_comm_X / exposed_comm_Hx)``:
+    the network-cost ratio corrected by the ratio of communication overheads.
+    Returns ``{hx_label: {workload: {baseline_label: saving}}}``.
+    """
+    configs = {c.key: c for c in cluster_configs(cluster)}
+    profiles = profiles or network_profiles(cluster)
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for hx_key in hx_keys:
+        hx_label = configs[hx_key].label
+        hx_cost = configs[hx_key].cost.total_millions
+        out[hx_label] = {}
+        for wname in workload_names:
+            workload = get_workload(wname)
+            hx_time = workload.iteration_time(profiles[hx_key])
+            hx_overhead = max(hx_time - workload.compute_time, 1e-9)
+            per_baseline: Dict[str, float] = {}
+            for base_key in FIG15_BASELINES:
+                base = configs[base_key]
+                base_time = workload.iteration_time(profiles[base_key])
+                base_overhead = max(base_time - workload.compute_time, 1e-9)
+                saving = (base.cost.total_millions / hx_cost) * (
+                    base_overhead / hx_overhead
+                )
+                per_baseline[base.label] = saving
+            out[hx_label][workload.name] = per_baseline
+    return out
+
+
+# ------------------------------------------------------------------ Figure 16
+def fig16_hamiltonian_cycles(
+    shapes: Sequence[Tuple[int, int]] = ((4, 4), (8, 4), (9, 3), (16, 8)),
+) -> Dict[Tuple[int, int], Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]]:
+    """The example edge-disjoint Hamiltonian cycle pairs of Figure 16."""
+    return {shape: disjoint_hamiltonian_cycles(*shape) for shape in shapes}
+
+
+# --------------------------------------------------------- Section V-B table
+def dnn_iteration_times(
+    *,
+    cluster: str = "small",
+    profiles: Optional[Dict[str, NetworkProfile]] = None,
+    workload_names: Sequence[str] = tuple(FIG15_WORKLOADS),
+) -> Dict[str, Dict[str, float]]:
+    """Per-topology iteration times (seconds) of the Section V-B workloads."""
+    configs = cluster_configs(cluster)
+    profiles = profiles or network_profiles(cluster)
+    out: Dict[str, Dict[str, float]] = {}
+    for wname in workload_names:
+        workload = get_workload(wname)
+        out[workload.name] = {
+            config.label: workload.iteration_time(profiles[config.key])
+            for config in configs
+            if config.key in profiles
+        }
+    return out

@@ -1,0 +1,68 @@
+"""Plain-text rendering of figure series (the benchmarks print these)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["format_series", "format_distribution_summary", "format_nested_table"]
+
+
+def format_series(
+    title: str,
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    y_scale: float = 1.0,
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` as an aligned text table."""
+    lines = [title]
+    xs = sorted({x for s in series.values() for x, _ in s})
+    header = f"{x_label:>14} " + " ".join(f"{label[:16]:>17}" for label in series)
+    lines.append(header)
+    for x in xs:
+        row = [f"{x:>14.5g}"]
+        for label, points in series.items():
+            lookup = dict(points)
+            value = lookup.get(x)
+            row.append(f"{value * y_scale:>17.4g}" if value is not None else f"{'-':>17}")
+        lines.append(" ".join(row))
+    lines.append(f"(values: {y_label})")
+    return "\n".join(lines)
+
+
+def format_distribution_summary(
+    title: str, distributions: Mapping[str, Sequence[float]], *, scale: float = 100.0
+) -> str:
+    """Render distributions as mean / median / percentiles."""
+    lines = [title, f"{'label':<26}{'mean':>9}{'median':>9}{'p5':>9}{'p95':>9}"]
+    for label, values in distributions.items():
+        arr = np.asarray(list(values), dtype=float) * scale
+        lines.append(
+            f"{label[:25]:<26}{arr.mean():>9.2f}{np.median(arr):>9.2f}"
+            f"{np.percentile(arr, 5):>9.2f}{np.percentile(arr, 95):>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_nested_table(
+    title: str, data: Mapping[str, Mapping[str, float]], *, value_format: str = "{:.2f}"
+) -> str:
+    """Render ``{row: {column: value}}`` as a text matrix."""
+    columns: List[str] = []
+    for row in data.values():
+        for col in row:
+            if col not in columns:
+                columns.append(col)
+    lines = [title, f"{'':<30}" + "".join(f"{c[:14]:>16}" for c in columns)]
+    for row_label, row in data.items():
+        cells = []
+        for col in columns:
+            value = row.get(col)
+            cells.append(
+                f"{value_format.format(value):>16}" if value is not None else f"{'-':>16}"
+            )
+        lines.append(f"{row_label[:29]:<30}" + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Assembly of Table II: cost, bandwidth and diameter of all topologies.
+
+For each configuration of :mod:`repro.analysis.clusters` the row contains:
+
+* network cost in millions of dollars (capital-cost model),
+* global (alltoall) bandwidth as % of injection (flow-level simulation),
+* global-bandwidth cost saving relative to the nonblocking fat tree,
+* allreduce bandwidth as % of the theoretical optimum,
+* allreduce cost saving relative to the nonblocking fat tree,
+* network diameter in cables.
+
+Savings follow the paper's definition: the ratio of *cost per unit of
+bandwidth* of the nonblocking fat tree to that of the topology at hand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .bandwidth import measure_topology
+from .clusters import ClusterTopology, cluster_configs
+
+__all__ = ["Table2Row", "build_table2", "format_table2"]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table II (measured values, plus the paper's for reference)."""
+
+    key: str
+    label: str
+    cost_millions: float
+    global_bw_percent: float
+    global_saving: float
+    allreduce_bw_percent: float
+    allreduce_saving: float
+    diameter: int
+    paper: Dict[str, float]
+
+    def as_dict(self) -> Dict[str, float]:
+        d = dataclasses.asdict(self)
+        return d
+
+
+def _savings(
+    cost: float, bw: float, reference_cost: float, reference_bw: float
+) -> float:
+    """Cost-per-bandwidth saving relative to the reference topology."""
+    if bw <= 0 or reference_bw <= 0:
+        return 0.0
+    return (reference_cost / reference_bw) / (cost / bw)
+
+
+def build_table2(
+    cluster: str = "small",
+    *,
+    num_phases: Optional[int] = 48,
+    max_paths: int = 8,
+    seed: int = 1,
+    configs: Optional[List[ClusterTopology]] = None,
+    skip_keys: Optional[List[str]] = None,
+) -> List[Table2Row]:
+    """Build the Table II rows for the given cluster scale.
+
+    ``num_phases``/``max_paths`` control the fidelity (and run time) of the
+    flow-level bandwidth measurements; the benchmark harness uses reduced
+    settings for the 16k-accelerator cluster unless a full run is requested.
+    ``skip_keys`` allows omitting individual topologies (e.g. the very large
+    graphs) from a quick run.
+    """
+    chosen = configs if configs is not None else cluster_configs(cluster)
+    skip = set(skip_keys or [])
+    rows: List[Table2Row] = []
+    measurements = []
+    for config in chosen:
+        if config.key in skip:
+            continue
+        topo = config.build()
+        summary = measure_topology(
+            topo, num_phases=num_phases, max_paths=max_paths, seed=seed
+        )
+        measurements.append((config, summary))
+
+    reference = next(
+        ((c, s) for c, s in measurements if c.key == "ft_nonblocking"), measurements[0]
+    )
+    ref_cost = reference[0].cost.total_millions
+    ref_global = reference[1].alltoall_fraction
+    ref_allreduce = reference[1].allreduce_fraction
+
+    for config, summary in measurements:
+        cost = config.cost.total_millions
+        rows.append(
+            Table2Row(
+                key=config.key,
+                label=config.label,
+                cost_millions=cost,
+                global_bw_percent=summary.alltoall_fraction * 100.0,
+                global_saving=_savings(
+                    cost, summary.alltoall_fraction, ref_cost, ref_global
+                ),
+                allreduce_bw_percent=summary.allreduce_fraction * 100.0,
+                allreduce_saving=_savings(
+                    cost, summary.allreduce_fraction, ref_cost, ref_allreduce
+                ),
+                diameter=config.analytic_diameter,
+                paper=dict(config.paper),
+            )
+        )
+    return rows
+
+
+def format_table2(rows: List[Table2Row], *, include_paper: bool = True) -> str:
+    """Render Table II as a fixed-width text table (the benchmark prints this)."""
+    header = (
+        f"{'topology':<24}{'cost[M$]':>10}{'glob BW%':>10}{'glob sav':>10}"
+        f"{'ared BW%':>10}{'ared sav':>10}{'diam':>6}"
+    )
+    if include_paper:
+        header += f"{'paper cost':>12}{'paper glob%':>12}{'paper ared%':>12}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        line = (
+            f"{row.label:<24}{row.cost_millions:>10.1f}{row.global_bw_percent:>10.1f}"
+            f"{row.global_saving:>9.1f}x{row.allreduce_bw_percent:>10.1f}"
+            f"{row.allreduce_saving:>9.1f}x{row.diameter:>6d}"
+        )
+        if include_paper:
+            line += (
+                f"{row.paper.get('cost', float('nan')):>12.1f}"
+                f"{row.paper.get('global_bw', float('nan')):>12.1f}"
+                f"{row.paper.get('allreduce_bw', float('nan')):>12.1f}"
+            )
+        lines.append(line)
+    return "\n".join(lines)

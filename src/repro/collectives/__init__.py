@@ -1,0 +1,66 @@
+"""Collective communication algorithms (Section V-A2, Appendix D).
+
+Ring, dual-ring and 2D-torus allreduce, balanced-shift alltoall, the
+edge-disjoint Hamiltonian cycle construction they are mapped with, and the
+alpha-beta runtime models used by the figures and the DNN workload models.
+"""
+
+from .alltoall import alltoall_time, balanced_shift_schedule
+from .cost_models import (
+    ALGORITHMS,
+    AllreduceModel,
+    allreduce_bus_bandwidth,
+    allreduce_time,
+    bidirectional_ring_time,
+    dual_rings_time,
+    ring_allreduce_time,
+    torus2d_allreduce_time,
+    tree_allreduce_time,
+)
+from .hamiltonian import (
+    are_edge_disjoint,
+    boustrophedon_cycle,
+    cycle_edges,
+    disjoint_hamiltonian_cycles,
+    is_hamiltonian_cycle,
+    supports_disjoint_cycles,
+)
+from .ring import (
+    dual_ring_steady_flows,
+    grid_ring_orders,
+    natural_ring_order,
+    ring_allreduce_schedule,
+    ring_orders_for,
+    ring_steady_flows,
+)
+from .schedule import CommSchedule, Transfer
+from .torus2d import Torus2DAllreduce
+
+__all__ = [
+    "CommSchedule",
+    "Transfer",
+    "balanced_shift_schedule",
+    "alltoall_time",
+    "AllreduceModel",
+    "ALGORITHMS",
+    "allreduce_time",
+    "allreduce_bus_bandwidth",
+    "tree_allreduce_time",
+    "ring_allreduce_time",
+    "bidirectional_ring_time",
+    "dual_rings_time",
+    "torus2d_allreduce_time",
+    "disjoint_hamiltonian_cycles",
+    "supports_disjoint_cycles",
+    "is_hamiltonian_cycle",
+    "are_edge_disjoint",
+    "cycle_edges",
+    "boustrophedon_cycle",
+    "natural_ring_order",
+    "grid_ring_orders",
+    "ring_orders_for",
+    "ring_steady_flows",
+    "dual_ring_steady_flows",
+    "ring_allreduce_schedule",
+    "Torus2DAllreduce",
+]

@@ -1,0 +1,48 @@
+"""Balanced-shift alltoall (Section V-A1a of the paper).
+
+Every process sends a distinct block to every other process; the
+implementation performs ``p - 1`` iterations where, in iteration ``i``,
+process ``j`` sends its block to process ``(j + i) mod p``.  The schedule
+generator below is used by the DLRM and GPT-3-MoE workload models and by the
+Figure 11 benchmark; the achievable large-message bandwidth itself comes
+from :meth:`repro.sim.flowsim.FlowSimulator.alltoall_bandwidth`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .schedule import CommSchedule, Transfer
+
+__all__ = ["balanced_shift_schedule", "alltoall_time"]
+
+
+def balanced_shift_schedule(p: int, total_size: float) -> CommSchedule:
+    """Schedule of a full alltoall of ``total_size`` bytes per process.
+
+    Each process sends ``total_size / (p - 1)`` bytes to every peer, one peer
+    per phase, following the balanced shift pattern.
+    """
+    if p < 2:
+        return CommSchedule()
+    block = total_size / (p - 1)
+    schedule = CommSchedule()
+    for shift in range(1, p):
+        phase: List[Transfer] = []
+        for j in range(p):
+            if block > 0:
+                phase.append(Transfer(j, (j + shift) % p, block))
+        schedule.add_phase(phase)
+    return schedule
+
+
+def alltoall_time(p: int, total_size: float, alpha: float, beta_effective: float) -> float:
+    """Alpha-beta completion time of the balanced-shift alltoall.
+
+    ``beta_effective`` is the reciprocal of the *achievable* per-process
+    alltoall bandwidth on the target topology (seconds per byte), which
+    already accounts for the topology's global-bandwidth limitations.
+    """
+    if p < 2 or total_size <= 0:
+        return 0.0
+    return (p - 1) * alpha + total_size * beta_effective

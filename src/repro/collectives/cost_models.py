@@ -1,0 +1,125 @@
+"""Alpha-beta runtime models of the allreduce algorithms (Section V-A2).
+
+The paper analyses four allreduce algorithm families for large data:
+
+* simple (binomial) trees        -- ``T ~ log2(p) * (alpha + S*beta)``
+* pipelined ring (1 NIC)          -- ``T ~ 2*p*alpha + 2*S*beta``
+* bidirectional pipelined ring    -- ``T ~ 2*p*alpha +   S*beta``
+* two bidirectional rings mapped
+  on edge-disjoint Hamiltonian
+  cycles (4 NICs per plane)       -- ``T ~ 2*p*alpha + S/2*beta``
+* 2D-torus reduce-scatter /
+  allreduce / allgather           -- ``T ~ 4*sqrt(p)*alpha + S*beta*(1+2*sqrt(p))/(4*sqrt(p))``
+
+``beta`` is the time per byte of a single network interface; a system with
+``k`` interfaces injects ``k/beta`` bytes per second.  ``alpha`` is the
+per-message latency.  These models drive Figures 13 and 17 and the
+message-size sweeps of the benchmarks; the *achievable* per-interface
+bandwidth (which replaces ``1/beta`` on congested topologies) comes from the
+flow-level simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+__all__ = [
+    "AllreduceModel",
+    "tree_allreduce_time",
+    "ring_allreduce_time",
+    "bidirectional_ring_time",
+    "dual_rings_time",
+    "torus2d_allreduce_time",
+    "allreduce_time",
+    "allreduce_bus_bandwidth",
+    "ALGORITHMS",
+]
+
+
+def tree_allreduce_time(p: int, size: float, alpha: float, beta: float) -> float:
+    """Binomial-tree allreduce: each item travels ``log2 p`` times."""
+    if p <= 1:
+        return 0.0
+    stages = math.ceil(math.log2(p))
+    return stages * alpha + stages * size * beta
+
+
+def ring_allreduce_time(p: int, size: float, alpha: float, beta: float) -> float:
+    """Unidirectional pipelined ring (reduce-scatter + allgather)."""
+    if p <= 1:
+        return 0.0
+    return 2 * p * alpha + 2 * size * beta
+
+
+def bidirectional_ring_time(p: int, size: float, alpha: float, beta: float) -> float:
+    """Bidirectional pipelined ring using two NICs (half the data each way)."""
+    if p <= 1:
+        return 0.0
+    return 2 * p * alpha + size * beta
+
+
+def dual_rings_time(p: int, size: float, alpha: float, beta: float) -> float:
+    """Two bidirectional rings on edge-disjoint Hamiltonian cycles (4 NICs)."""
+    if p <= 1:
+        return 0.0
+    return 2 * p * alpha + size * beta / 2
+
+
+def torus2d_allreduce_time(p: int, size: float, alpha: float, beta: float) -> float:
+    """2D-torus allreduce: row reduce-scatter, column allreduce, row allgather.
+
+    Two transposed instances run concurrently on half of the data each, using
+    all four interfaces (Section V-A2c).  The latency term is
+    ``4*sqrt(p)*alpha``; the bandwidth term is ``S*beta*(1+2*sqrt(p))/(2*sqrt(p))``,
+    i.e. asymptotically twice the dual-ring algorithm's ``S*beta/2`` -- the
+    paper describes the torus algorithm as "2x less bandwidth-efficient" than
+    the rings, trading bandwidth for the O(sqrt(p)) latency (Figure 13).
+    """
+    if p <= 1:
+        return 0.0
+    side = math.sqrt(p)
+    return 4 * side * alpha + size * beta * (1 + 2 * side) / (2 * side)
+
+
+#: Algorithm name -> time model, matching the labels used in Figures 13/17.
+ALGORITHMS: Dict[str, Callable[[int, float, float, float], float]] = {
+    "tree": tree_allreduce_time,
+    "ring": ring_allreduce_time,
+    "bidirectional-ring": bidirectional_ring_time,
+    "rings": dual_rings_time,
+    "torus": torus2d_allreduce_time,
+}
+
+
+def allreduce_time(algorithm: str, p: int, size: float, alpha: float, beta: float) -> float:
+    """Completion time of ``algorithm`` on ``p`` ranks for ``size`` bytes."""
+    try:
+        model = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(f"unknown allreduce algorithm {algorithm!r}; "
+                         f"available: {sorted(ALGORITHMS)}") from None
+    return model(p, size, alpha, beta)
+
+
+def allreduce_bus_bandwidth(algorithm: str, p: int, size: float, alpha: float, beta: float) -> float:
+    """Bus bandwidth ``S / T`` in bytes per second (the paper's y axis)."""
+    t = allreduce_time(algorithm, p, size, alpha, beta)
+    return size / t if t > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class AllreduceModel:
+    """Bound algorithm + network parameters, convenient for sweeps."""
+
+    algorithm: str
+    p: int
+    alpha: float
+    beta: float
+
+    def time(self, size: float) -> float:
+        return allreduce_time(self.algorithm, self.p, size, self.alpha, self.beta)
+
+    def bus_bandwidth(self, size: float) -> float:
+        return allreduce_bus_bandwidth(self.algorithm, self.p, size, self.alpha, self.beta)

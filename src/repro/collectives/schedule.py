@@ -1,0 +1,125 @@
+"""Communication schedules: phases of point-to-point transfers.
+
+A :class:`CommSchedule` is the common currency between the collective
+algorithms, the DNN workload models and the simulators: a list of *phases*,
+each a list of point-to-point :class:`Transfer` objects that are executed
+concurrently; phases are separated by a synchronisation point (the next
+phase starts when the slowest transfer of the previous one finished, which
+is how the pipelined collectives of Section V-A2 behave round by round).
+
+Two evaluators are provided:
+
+* :meth:`CommSchedule.time_alphabeta` -- congestion-free alpha-beta timing
+  (every transfer proceeds at the full per-NIC bandwidth), useful for quick
+  estimates and for unit tests;
+* :meth:`CommSchedule.time_flowsim` -- per-phase max-min fair rates from the
+  flow-level simulator, capturing topology contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..sim.flowsim import FlowSimulator
+from ..sim.traffic import Flow
+
+__all__ = ["Transfer", "CommSchedule"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One point-to-point transfer of ``size`` bytes between two ranks."""
+
+    src: int
+    dst: int
+    size: float
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("transfer endpoints must differ")
+        if self.size < 0:
+            raise ValueError("transfer size must be non-negative")
+
+
+@dataclass
+class CommSchedule:
+    """An ordered list of communication phases."""
+
+    phases: List[List[Transfer]] = field(default_factory=list)
+
+    def add_phase(self, transfers: Iterable[Transfer]) -> None:
+        self.phases.append(list(transfers))
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    def total_bytes(self) -> float:
+        """Total bytes sent across all phases and all ranks."""
+        return sum(t.size for phase in self.phases for t in phase)
+
+    def max_bytes_per_rank(self) -> float:
+        """Largest total send volume of any single rank."""
+        per_rank: Dict[int, float] = {}
+        for phase in self.phases:
+            for t in phase:
+                per_rank[t.src] = per_rank.get(t.src, 0.0) + t.size
+        return max(per_rank.values(), default=0.0)
+
+    # ------------------------------------------------------------- evaluation
+    def time_alphabeta(self, alpha: float, beta: float) -> float:
+        """Congestion-free timing: per phase, ``alpha + max_transfer * beta``.
+
+        ``beta`` is seconds per byte of one NIC; concurrent transfers from
+        the same rank within a phase share that NIC, so the per-rank send
+        volume (not the single largest transfer) bounds the phase.
+        """
+        total = 0.0
+        for phase in self.phases:
+            if not phase:
+                continue
+            per_rank: Dict[int, float] = {}
+            for t in phase:
+                per_rank[t.src] = per_rank.get(t.src, 0.0) + t.size
+                per_rank.setdefault(t.dst, 0.0)
+            busiest = max(per_rank.values(), default=0.0)
+            total += alpha + busiest * beta
+        return total
+
+    def time_flowsim(
+        self,
+        sim: FlowSimulator,
+        alpha: float,
+        *,
+        bytes_per_unit: float = 1.0,
+        exact: bool = False,
+    ) -> float:
+        """Timing with per-phase rates from the flow-level simulator.
+
+        ``bytes_per_unit`` converts the simulator's normalised bandwidth
+        units (1.0 == one 400 Gb/s port == 50 GB/s) into bytes per second.
+        With ``exact`` the max-min solver is used per phase; the default uses
+        the fast symmetric-rate bound, which is exact for the ring and torus
+        schedules where all transfers of a phase carry the same volume.
+        """
+        total = 0.0
+        for phase in self.phases:
+            if not phase:
+                continue
+            sizes = {t.size for t in phase}
+            flows = [Flow(t.src, t.dst, demand=t.size) for t in phase if t.size > 0]
+            if not flows:
+                continue
+            if exact:
+                result = sim.maxmin_rates(flows)
+            else:
+                result = sim.symmetric_rate(flows)
+            # rate is per unit of demand: a flow of size S proceeds at
+            # S * rate "size units" per second once scaled by bytes_per_unit.
+            rates = result.flow_rates
+            durations = [
+                f.demand / max(r * bytes_per_unit, 1e-30) for f, r in zip(flows, rates)
+            ]
+            total += alpha + max(durations)
+        return total

@@ -1,0 +1,145 @@
+"""HammingMesh topology construction (the paper's primary contribution).
+
+A HammingMesh (HxMesh) connects an ``x`` x ``y`` grid of ``a`` x ``b``
+accelerator boards: accelerators on a board form an inexpensive PCB 2D mesh,
+and the board edges are connected row-wise and column-wise by global
+switched networks (a single 64-port switch per row/column when it suffices,
+otherwise a fat tree).  Every accelerator forwards packets within a plane
+like a small 4x4 switch, which gives each plane a structure of orthogonal,
+dimension-wise fully-connected cycles (Section III, Figure 3).
+
+The builder produces a :class:`~repro.topology.base.Topology` whose ``meta``
+dictionary carries the structural handles (boards, row/column networks,
+coordinate lookups) that the HxMesh routing engine, the allocation stack and
+the collectives mapper rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..topology.base import CableClass, Topology, TopologyError, register_topology
+from ..topology.board import BoardHandle, add_board
+from ..topology.fattree import GlobalNetwork
+from .params import HxMeshParams
+
+__all__ = ["build_hammingmesh", "build_hammingmesh_params", "accelerator_coordinates"]
+
+
+def build_hammingmesh_params(params: HxMeshParams) -> Topology:
+    """Build a HammingMesh from an :class:`HxMeshParams` object."""
+    a, b, x, y = params.a, params.b, params.x, params.y
+    cap = params.link_capacity
+    topo = Topology(params.name.replace(" ", "-"))
+
+    # ---------------------------------------------------------------- boards
+    boards: Dict[Tuple[int, int], BoardHandle] = {}
+    for gr in range(y):
+        for gc in range(x):
+            boards[(gr, gc)] = add_board(topo, (gr, gc), a, b, capacity=cap)
+
+    # ------------------------------------------------------- global networks
+    # One row network per (board row gr, on-board row br): it connects the
+    # West and East edge ports of that on-board row across all x boards of
+    # the global row.  Analogously one column network per (board column gc,
+    # on-board column bc).  Access links use DAC in the row dimension and
+    # AoC in the column dimension, inter-switch links are always AoC
+    # (Section III-D).
+    row_networks: Dict[Tuple[int, int], GlobalNetwork] = {}
+    col_networks: Dict[Tuple[int, int], GlobalNetwork] = {}
+
+    if x > 1:
+        for gr in range(y):
+            for br in range(b):
+                ports: List[int] = []
+                for gc in range(x):
+                    handle = boards[(gr, gc)]
+                    ports.append(handle.node_at(br, 0))        # West port
+                    ports.append(handle.node_at(br, a - 1))    # East port
+                row_networks[(gr, br)] = GlobalNetwork(
+                    topo,
+                    ports,
+                    radix=params.radix,
+                    taper=params.global_taper,
+                    access_capacity=cap,
+                    trunk_capacity=cap,
+                    access_cable=CableClass.DAC,
+                    trunk_cable=CableClass.AOC,
+                    tag=f"row{gr}.{br}",
+                )
+    if y > 1:
+        for gc in range(x):
+            for bc in range(a):
+                ports = []
+                for gr in range(y):
+                    handle = boards[(gr, gc)]
+                    ports.append(handle.node_at(0, bc))         # North port
+                    ports.append(handle.node_at(b - 1, bc))     # South port
+                col_networks[(gc, bc)] = GlobalNetwork(
+                    topo,
+                    ports,
+                    radix=params.radix,
+                    taper=params.global_taper,
+                    access_capacity=cap,
+                    trunk_capacity=cap,
+                    access_cable=CableClass.AOC,
+                    trunk_cable=CableClass.AOC,
+                    tag=f"col{gc}.{bc}",
+                )
+
+    if not row_networks and not col_networks:
+        raise TopologyError("HxMesh with a single board has no global network")
+
+    coord_of: Dict[int, Tuple[int, int, int, int]] = {}
+    for (gr, gc), handle in boards.items():
+        for br in range(b):
+            for bc in range(a):
+                coord_of[handle.node_at(br, bc)] = (gr, gc, br, bc)
+
+    topo.meta.update(
+        family="hammingmesh",
+        params=params,
+        boards=boards,
+        row_networks=row_networks,
+        col_networks=col_networks,
+        coord_of=coord_of,
+        plane_count=params.planes,
+        injection_capacity=params.injection_capacity,
+    )
+    topo.validate()
+    return topo
+
+
+@register_topology("hammingmesh")
+def build_hammingmesh(
+    a: int,
+    b: int,
+    x: int,
+    y: int,
+    *,
+    radix: int = 64,
+    global_taper: float = 1.0,
+    planes: int = 4,
+    link_capacity: float = 1.0,
+) -> Topology:
+    """Build an ``x`` x ``y`` HxMesh with ``a`` x ``b`` boards.
+
+    Convenience wrapper around :func:`build_hammingmesh_params`; see
+    :class:`~repro.core.params.HxMeshParams` for parameter semantics.
+    """
+    params = HxMeshParams(
+        a=a, b=b, x=x, y=y, radix=radix, global_taper=global_taper,
+        planes=planes, link_capacity=link_capacity,
+    )
+    return build_hammingmesh_params(params)
+
+
+def accelerator_coordinates(topo: Topology, node: int) -> Tuple[int, int, int, int]:
+    """Return ``(board_row, board_col, on_board_row, on_board_col)`` of an
+    accelerator node in a HammingMesh topology."""
+    if topo.meta.get("family") != "hammingmesh":
+        raise TopologyError("not a HammingMesh topology")
+    try:
+        return topo.meta["coord_of"][node]
+    except KeyError:
+        raise TopologyError(f"node {node} is not an accelerator of this HxMesh") from None

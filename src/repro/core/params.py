@@ -1,0 +1,131 @@
+"""Parameter objects for HammingMesh topologies.
+
+A 2D HammingMesh is parameterised by the board dimensions ``(a, b)`` and the
+global dimensions ``(x, y)`` (Section III of the paper): it connects
+``a * b * x * y`` accelerators arranged as an ``x`` x ``y`` grid of ``a`` x
+``b`` boards.  The global row and column networks are built from 64-port
+switches (a single switch when it suffices, a fat tree otherwise) and can be
+tapered to trade global bandwidth for cost (Section III-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+__all__ = ["HxMeshParams", "hx1mesh", "hx2mesh", "hx4mesh"]
+
+
+@dataclass(frozen=True)
+class HxMeshParams:
+    """Parameters of an ``x`` x ``y`` HxMesh with ``a`` x ``b`` boards.
+
+    Attributes
+    ----------
+    a, b:
+        Board dimensions: ``a`` accelerator columns (East-West direction) and
+        ``b`` accelerator rows (North-South direction).
+    x, y:
+        Global dimensions: ``x`` board columns and ``y`` board rows.
+    radix:
+        Port count of the global switches (64 throughout the paper).
+    global_taper:
+        Uplink/downlink ratio of the global fat trees; 1.0 is full bandwidth,
+        0.5 is the 2:1 tapering discussed in Section III-F.  Ignored when a
+        dimension fits in a single switch.
+    planes:
+        Number of physical network planes (4 in the paper's case study).  The
+        simulators model a single plane with four ports; the cost model
+        multiplies by ``planes``.
+    link_capacity:
+        Capacity of one port in normalised units (1.0 == 400 Gb/s).
+    """
+
+    a: int
+    b: int
+    x: int
+    y: int
+    radix: int = 64
+    global_taper: float = 1.0
+    planes: int = 4
+    link_capacity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.a < 1 or self.b < 1:
+            raise ValueError(f"board dimensions must be >= 1, got {self.a}x{self.b}")
+        if self.x < 1 or self.y < 1:
+            raise ValueError(f"global dimensions must be >= 1, got {self.x}x{self.y}")
+        if self.x * self.y < 2:
+            raise ValueError("an HxMesh needs at least two boards")
+        if self.radix < 4:
+            raise ValueError("switch radix must be at least 4")
+        if not (0.0 < self.global_taper <= 1.0):
+            raise ValueError(f"global_taper must be in (0, 1], got {self.global_taper}")
+        if self.planes < 1:
+            raise ValueError("planes must be >= 1")
+        if self.link_capacity <= 0:
+            raise ValueError("link_capacity must be positive")
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def board_size(self) -> int:
+        """Accelerators per board."""
+        return self.a * self.b
+
+    @property
+    def num_boards(self) -> int:
+        return self.x * self.y
+
+    @property
+    def num_accelerators(self) -> int:
+        return self.a * self.b * self.x * self.y
+
+    @property
+    def row_ports(self) -> int:
+        """Ports attached to one global row network (per on-board row)."""
+        return 2 * self.x
+
+    @property
+    def col_ports(self) -> int:
+        """Ports attached to one global column network (per on-board column)."""
+        return 2 * self.y
+
+    @property
+    def injection_capacity(self) -> float:
+        """Per-accelerator injection bandwidth of one plane (4 ports)."""
+        return 4.0 * self.link_capacity
+
+    @property
+    def name(self) -> str:
+        """Conventional name, e.g. ``"16x16 Hx2Mesh"`` for square boards."""
+        if self.a == self.b:
+            return f"{self.x}x{self.y} Hx{self.a}Mesh"
+        return f"{self.x}x{self.y} H{self.a}x{self.b}Mesh"
+
+    def with_taper(self, taper: float) -> "HxMeshParams":
+        """Copy of these parameters with a different global tapering."""
+        return replace(self, global_taper=taper)
+
+    def board_of(self, rank: int) -> Tuple[int, int]:
+        """Board (row, col) coordinate of accelerator ``rank`` in row-major
+        accelerator ordering (boards in row-major order, accelerators
+        row-major within each board)."""
+        if not (0 <= rank < self.num_accelerators):
+            raise ValueError(f"rank {rank} out of range")
+        board = rank // self.board_size
+        return divmod(board, self.x)
+
+
+def hx1mesh(x: int, y: int, **kwargs) -> HxMeshParams:
+    """Parameters of an Hx1Mesh (1x1 boards) == 2D HyperX."""
+    return HxMeshParams(a=1, b=1, x=x, y=y, **kwargs)
+
+
+def hx2mesh(x: int, y: int, **kwargs) -> HxMeshParams:
+    """Parameters of an Hx2Mesh (2x2 boards)."""
+    return HxMeshParams(a=2, b=2, x=x, y=y, **kwargs)
+
+
+def hx4mesh(x: int, y: int, **kwargs) -> HxMeshParams:
+    """Parameters of an Hx4Mesh (4x4 boards)."""
+    return HxMeshParams(a=4, b=4, x=x, y=y, **kwargs)

@@ -1,0 +1,310 @@
+"""HammingMesh routing (Section IV-C of the paper).
+
+Packets on an HxMesh are routed adaptively along minimal paths:
+
+* **Same board** -- adaptive dimension-ordered routing on the board's 2D
+  mesh (packets may also wrap through the row/column switches like on a
+  torus; this implementation enumerates the on-board minimal paths, which
+  are never longer than the wrap alternative for the board sizes used in
+  the paper).
+* **Same global row / column** -- route inside the source board to the East
+  or West (North or South) edge, cross the row (column) network using
+  up/down routing, then route inside the destination board.
+* **Different row and column** -- traverse an intermediate board that shares
+  the row of the source and the column of the destination (or vice versa),
+  crossing two global networks.
+
+The router returns *candidate minimal paths* as lists of directed link
+indices; the flow-level simulator splits traffic evenly across them
+(approximating packet-level adaptive routing) and the packet-level simulator
+picks among the next hops adaptively.
+
+Deadlock freedom follows the paper's argument: north-last turn restriction
+inside boards, up/down routing inside the trees, and a virtual-channel
+increment on every board-to-board transition (at most three VCs since a
+packet crosses at most two global trees).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._hash import mix64
+from ..topology.base import Topology, TopologyError
+from ..topology.board import BoardHandle, EAST, NORTH, SOUTH, WEST
+from ..topology.fattree import GlobalNetwork
+
+__all__ = ["HxMeshRouter", "board_mesh_path", "virtual_channel_of", "MAX_VIRTUAL_CHANNELS"]
+
+#: A packet crosses at most two global trees, so three virtual channels
+#: suffice for deadlock freedom (Section IV-C3).
+MAX_VIRTUAL_CHANNELS = 3
+
+
+def board_mesh_path(
+    handle: BoardHandle,
+    src_pos: Tuple[int, int],
+    dst_pos: Tuple[int, int],
+    order: str = "xy",
+) -> List[int]:
+    """Dimension-ordered path on a board mesh between two on-board positions.
+
+    ``order`` is ``"xy"`` (East/West first, then North/South) or ``"yx"``.
+    Returns the list of directed on-board link indices; empty when source and
+    destination coincide.
+    """
+    sr, sc = src_pos
+    dr, dc = dst_pos
+    path: List[int] = []
+
+    def walk_cols(r: int, c0: int, c1: int) -> int:
+        nonlocal path
+        step = 1 if c1 > c0 else -1
+        direction = EAST if step > 0 else WEST
+        c = c0
+        while c != c1:
+            node = handle.node_at(r, c)
+            path.append(handle.mesh_link(node, direction))
+            c += step
+        return c
+
+    def walk_rows(c: int, r0: int, r1: int) -> int:
+        nonlocal path
+        step = 1 if r1 > r0 else -1
+        direction = SOUTH if step > 0 else NORTH
+        r = r0
+        while r != r1:
+            node = handle.node_at(r, c)
+            path.append(handle.mesh_link(node, direction))
+            r += step
+        return r
+
+    if order == "xy":
+        walk_cols(sr, sc, dc)
+        walk_rows(dc, sr, dr)
+    elif order == "yx":
+        walk_rows(sc, sr, dr)
+        walk_cols(dr, sc, dc)
+    else:
+        raise ValueError(f"unknown order {order!r}")
+    return path
+
+
+class HxMeshRouter:
+    """Minimal adaptive routing on a HammingMesh topology.
+
+    The router is constructed once per topology and caches the structural
+    metadata produced by the builder.  :meth:`paths` is the main entry point
+    used by the simulators.
+    """
+
+    def __init__(self, topo: Topology, *, minimal_slack: int = 0):
+        if topo.meta.get("family") != "hammingmesh":
+            raise TopologyError("HxMeshRouter requires a HammingMesh topology")
+        self.topo = topo
+        self.params = topo.meta["params"]
+        self.boards: Dict[Tuple[int, int], BoardHandle] = topo.meta["boards"]
+        self.row_networks: Dict[Tuple[int, int], GlobalNetwork] = topo.meta["row_networks"]
+        self.col_networks: Dict[Tuple[int, int], GlobalNetwork] = topo.meta["col_networks"]
+        self.coord_of: Dict[int, Tuple[int, int, int, int]] = topo.meta["coord_of"]
+        #: Extra hops (beyond the shortest candidate) a path may have and
+        #: still be considered by adaptive routing.  0 = strictly minimal.
+        self.minimal_slack = minimal_slack
+
+    # --------------------------------------------------------------- segments
+    def _board_paths(
+        self, board: BoardHandle, src_pos: Tuple[int, int], dst_pos: Tuple[int, int]
+    ) -> List[List[int]]:
+        """Up to two DOR paths (xy and yx) between two positions on a board."""
+        if src_pos == dst_pos:
+            return [[]]
+        p1 = board_mesh_path(board, src_pos, dst_pos, "xy")
+        p2 = board_mesh_path(board, src_pos, dst_pos, "yx")
+        return [p1] if p1 == p2 else [p1, p2]
+
+    def _row_cross(
+        self,
+        gr: int,
+        br: int,
+        src_board: BoardHandle,
+        src_pos: Tuple[int, int],
+        dst_board: BoardHandle,
+        dst_pos: Tuple[int, int],
+        max_tree_paths: int = 2,
+    ) -> List[List[int]]:
+        """Paths from ``src_pos`` on ``src_board`` to ``dst_pos`` on
+        ``dst_board`` that cross the row network of (``gr``, ``br``)."""
+        a = self.params.a
+        network = self.row_networks[(gr, br)]
+        out: List[List[int]] = []
+        exit_cols = {0, a - 1}
+        entry_cols = {0, a - 1}
+        for exit_col, entry_col in itertools.product(exit_cols, entry_cols):
+            exit_node = src_board.node_at(br, exit_col)
+            entry_node = dst_board.node_at(br, entry_col)
+            tree_paths = network.paths(exit_node, entry_node, max_paths=max_tree_paths)
+            if not tree_paths:
+                continue
+            for head in self._board_paths(src_board, src_pos, (br, exit_col)):
+                for tail in self._board_paths(dst_board, (br, entry_col), dst_pos):
+                    for mid in tree_paths:
+                        out.append(head + mid + tail)
+        return out
+
+    def _col_cross(
+        self,
+        gc: int,
+        bc: int,
+        src_board: BoardHandle,
+        src_pos: Tuple[int, int],
+        dst_board: BoardHandle,
+        dst_pos: Tuple[int, int],
+        max_tree_paths: int = 2,
+    ) -> List[List[int]]:
+        """Paths crossing the column network of (``gc``, ``bc``)."""
+        b = self.params.b
+        network = self.col_networks[(gc, bc)]
+        out: List[List[int]] = []
+        for exit_row, entry_row in itertools.product({0, b - 1}, {0, b - 1}):
+            exit_node = src_board.node_at(exit_row, bc)
+            entry_node = dst_board.node_at(entry_row, bc)
+            tree_paths = network.paths(exit_node, entry_node, max_paths=max_tree_paths)
+            if not tree_paths:
+                continue
+            for head in self._board_paths(src_board, src_pos, (exit_row, bc)):
+                for tail in self._board_paths(dst_board, (entry_row, bc), dst_pos):
+                    for mid in tree_paths:
+                        out.append(head + mid + tail)
+        return out
+
+    # ------------------------------------------------------------------ paths
+    def paths(self, src: int, dst: int, max_paths: int = 4) -> List[List[int]]:
+        """Candidate minimal paths (lists of directed link indices)."""
+        if src == dst:
+            return [[]]
+        try:
+            sgr, sgc, sbr, sbc = self.coord_of[src]
+            dgr, dgc, dbr, dbc = self.coord_of[dst]
+        except KeyError:
+            raise TopologyError("src/dst must be accelerators of the HxMesh") from None
+        src_board = self.boards[(sgr, sgc)]
+        dst_board = self.boards[(dgr, dgc)]
+
+        # Candidate paths are collected per "routing class" (e.g. row-first
+        # vs column-first, via the source's or the destination's on-board
+        # row) and then interleaved round-robin, so that the even multipath
+        # split of the flow-level simulator balances load across the classes
+        # the way packet-level adaptive routing would.  A flow-dependent hash
+        # rotates both the class order and the order within each class, so
+        # that capping at ``max_paths`` does not systematically favour one
+        # class or one board edge over another across many flows.
+        key = mix64(src * 1_000_003 + dst)
+        classes: List[List[List[int]]] = []
+        if (sgr, sgc) == (dgr, dgc):
+            classes.append(self._board_paths(src_board, (sbr, sbc), (dbr, dbc)))
+        elif sgr == dgr:
+            # Same global row: cross one row network.  Candidate on-board
+            # rows: the source's and the destination's.
+            for br in sorted({sbr, dbr}):
+                classes.append(
+                    self._row_cross(sgr, br, src_board, (sbr, sbc), dst_board, (dbr, dbc))
+                )
+        elif sgc == dgc:
+            for bc in sorted({sbc, dbc}):
+                classes.append(
+                    self._col_cross(sgc, bc, src_board, (sbr, sbc), dst_board, (dbr, dbc))
+                )
+        else:
+            # Different row and column: route through an intermediate board.
+            # Option 1: row first to board (sgr, dgc), then column; candidate
+            # crossing rows are the source's and the destination's.
+            inter1 = self.boards[(sgr, dgc)]
+            for br in sorted({sbr, dbr}):
+                option: List[List[int]] = []
+                heads = self._row_cross(sgr, br, src_board, (sbr, sbc), inter1, (br, dbc))
+                tails = self._col_cross(dgc, dbc, inter1, (br, dbc), dst_board, (dbr, dbc))
+                # Sort by length with a flow-dependent tie-break: equal-length
+                # alternatives (e.g. leaving via the East vs the West edge)
+                # must not be resolved the same way for every flow, or the
+                # truncation below funnels all transit through one board edge.
+                heads.sort(key=lambda q: (len(q), mix64(key ^ hash(tuple(q[:1])))))
+                tails.sort(key=lambda q: (len(q), mix64(key ^ hash(tuple(q[-1:])))))
+                for h, t in itertools.product(heads[:2], tails[:2]):
+                    option.append(h + t)
+                classes.append(option)
+            # Option 2: column first to board (dgr, sgc), then row.
+            inter2 = self.boards[(dgr, sgc)]
+            for bc in sorted({sbc, dbc}):
+                option = []
+                heads = self._col_cross(sgc, bc, src_board, (sbr, sbc), inter2, (dbr, bc))
+                tails = self._row_cross(dgr, dbr, inter2, (dbr, bc), dst_board, (dbr, dbc))
+                heads.sort(key=lambda q: (len(q), mix64(key ^ hash(tuple(q[:1])))))
+                tails.sort(key=lambda q: (len(q), mix64(key ^ hash(tuple(q[-1:])))))
+                for h, t in itertools.product(heads[:2], tails[:2]):
+                    option.append(h + t)
+                classes.append(option)
+
+        # Sort within each class by length (equal lengths broken by a
+        # flow-dependent hash so aggregate load spreads evenly over board
+        # edges), rotate the class order per flow, and interleave.  Only
+        # near-minimal paths survive (within ``minimal_slack`` hops of the
+        # shortest candidate), matching Section IV-C's routing "adaptively
+        # along all shortest paths".
+        prepared: List[List[List[int]]] = []
+        for i, cls in enumerate(classes):
+            if not cls:
+                continue
+            cls.sort(
+                key=lambda q: (len(q), mix64(key ^ (i << 20) ^ (q[0] if q else 0)))
+            )
+            prepared.append(cls)
+        if prepared:
+            rot = key % len(prepared)
+            prepared = prepared[rot:] + prepared[:rot]
+        candidates: List[List[int]] = []
+        for picks in itertools.zip_longest(*prepared):
+            for path in picks:
+                if path is not None:
+                    candidates.append(path)
+        if not candidates:
+            raise TopologyError(f"no path found between accelerators {src} and {dst}")
+        unique: Dict[Tuple[int, ...], List[int]] = {}
+        for path in candidates:
+            unique.setdefault(tuple(path), path)
+        deduped = list(unique.values())
+        shortest = min(len(p) for p in deduped)
+        minimal = [p for p in deduped if len(p) <= shortest + self.minimal_slack]
+        return minimal[:max_paths]
+
+    # ----------------------------------------------------------- VC assignment
+    def virtual_channels(self, path: Sequence[int]) -> List[int]:
+        """Virtual channel index for every hop of ``path``.
+
+        The VC is incremented each time the packet enters a new global
+        network (i.e. when it leaves a board for a tree), which bounds the
+        number of required VCs by three (Section IV-C3).
+        """
+        return virtual_channel_of(self.topo, path)
+
+
+def virtual_channel_of(topo: Topology, path: Sequence[int]) -> List[int]:
+    """Per-hop virtual channel indices for a path on any topology.
+
+    The VC starts at 0 and increments whenever the packet transitions from
+    an accelerator onto a switch (injecting into a global network).  This
+    matches the HxMesh deadlock-avoidance rule and is a no-op (single
+    increment) for the switched baseline topologies.
+    """
+    vc = 0
+    out: List[int] = []
+    prev_on_switch = False
+    for li in path:
+        link = topo.link(li)
+        entering_switch = topo.is_switch(link.dst)
+        leaving_acc = topo.is_accelerator(link.src)
+        if entering_switch and leaving_acc:
+            vc = min(vc + 1, MAX_VIRTUAL_CHANNELS - 1)
+        out.append(vc)
+        prev_on_switch = entering_switch
+    return out

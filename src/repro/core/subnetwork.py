@@ -1,0 +1,153 @@
+"""Virtual sub-HxMeshes (Section III-E of the paper).
+
+Any set of boards of an HxMesh in which all boards that share a physical row
+have the same sequence of column coordinates forms a *virtual sub-HxMesh*: a
+subnetwork with the same properties as a physical HxMesh of that size.  This
+is the key flexibility advantage over torus networks -- jobs can be placed on
+non-consecutive boards, which keeps utilization high in the presence of
+failed boards (Figure 5).
+
+This module provides the :class:`VirtualSubMesh` abstraction, validation of
+the sub-mesh property, and the row-intersection search primitive the greedy
+allocator (Section IV-A) builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["VirtualSubMesh", "is_valid_submesh", "find_submesh_rows"]
+
+Coord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class VirtualSubMesh:
+    """A u x v virtual sub-HxMesh.
+
+    Attributes
+    ----------
+    rows:
+        Physical row indices, in virtual-row order.
+    cols:
+        Physical column indices, in virtual-column order.
+    """
+
+    rows: Tuple[int, ...]
+    cols: Tuple[int, ...]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(u, v): number of board rows and columns of the virtual mesh."""
+        return (len(self.rows), len(self.cols))
+
+    @property
+    def num_boards(self) -> int:
+        return len(self.rows) * len(self.cols)
+
+    def boards(self) -> List[Coord]:
+        """Physical board coordinates covered by this sub-mesh."""
+        return [(r, c) for r in self.rows for c in self.cols]
+
+    def physical(self, vr: int, vc: int) -> Coord:
+        """Physical board coordinate of virtual position (``vr``, ``vc``)."""
+        return (self.rows[vr], self.cols[vc])
+
+    def virtual(self, coord: Coord) -> Tuple[int, int]:
+        """Virtual position of a physical board coordinate."""
+        try:
+            return (self.rows.index(coord[0]), self.cols.index(coord[1]))
+        except ValueError:
+            raise KeyError(f"board {coord} is not part of this sub-mesh") from None
+
+    def __contains__(self, coord: object) -> bool:
+        return (
+            isinstance(coord, tuple)
+            and len(coord) == 2
+            and coord[0] in self.rows
+            and coord[1] in self.cols
+        )
+
+    def transposed(self) -> "VirtualSubMesh":
+        """The v x u sub-mesh obtained by swapping the roles of rows/columns.
+
+        Note this is a *logical* transpose used when a job accepts a
+        transposed layout; physically the same boards are used.
+        """
+        return VirtualSubMesh(rows=self.rows, cols=self.cols)
+
+
+def is_valid_submesh(boards: Iterable[Coord]) -> bool:
+    """Check the sub-mesh property for an arbitrary set of boards.
+
+    The set is a valid virtual sub-HxMesh iff it equals the Cartesian
+    product of its row set and column set, i.e. every board (r, c) with r in
+    the used rows and c in the used columns is present ("all boards that are
+    in the same row have the same sequence of column coordinates").
+    """
+    board_set = set(boards)
+    if not board_set:
+        return False
+    rows = {r for r, _ in board_set}
+    cols_by_row: Dict[int, Set[int]] = {}
+    for r, c in board_set:
+        cols_by_row.setdefault(r, set()).add(c)
+    first_cols = next(iter(cols_by_row.values()))
+    return all(cols == first_cols for cols in cols_by_row.values())
+
+
+def find_submesh_rows(
+    row_available: Sequence[FrozenSet[int]],
+    u: int,
+    v: int,
+    *,
+    try_all_starts: bool = False,
+) -> Optional[VirtualSubMesh]:
+    """Greedy search for a u x v sub-mesh (Section IV-A).
+
+    ``row_available[r]`` is the set of column indices available in physical
+    row ``r``.  The algorithm:
+
+    1. select the first row with at least ``v`` available columns,
+    2. repeatedly add another row whose intersection with the running
+       column intersection still has at least ``v`` columns,
+    3. stop after ``u`` rows or fail.
+
+    With ``try_all_starts`` the search is restarted from every feasible
+    starting row (a cheap robustness improvement over the paper's
+    first-fit; both behave identically on most traces).
+    Returns a :class:`VirtualSubMesh` with exactly ``u`` rows and ``v``
+    columns (the lexicographically smallest columns of the final
+    intersection), or ``None`` when no allocation is found.
+    """
+    if u < 1 or v < 1:
+        raise ValueError("sub-mesh dimensions must be positive")
+    num_rows = len(row_available)
+    if u > num_rows:
+        return None
+
+    starts = range(num_rows) if try_all_starts else range(num_rows)
+    tried_first_fit = False
+    for start in starts:
+        if len(row_available[start]) < v:
+            continue
+        selected = [start]
+        intersection = set(row_available[start])
+        for r in range(num_rows):
+            if len(selected) >= u:
+                break
+            if r == start or len(row_available[r]) < v:
+                continue
+            candidate = intersection & row_available[r]
+            if len(candidate) >= v:
+                selected.append(r)
+                intersection = candidate
+        if len(selected) >= u:
+            rows = tuple(sorted(selected[:u]))
+            cols = tuple(sorted(intersection)[:v])
+            return VirtualSubMesh(rows=rows, cols=cols)
+        tried_first_fit = True
+        if not try_all_starts and tried_first_fit:
+            return None
+    return None

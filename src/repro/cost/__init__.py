@@ -1,0 +1,22 @@
+"""Capital-cost model (Section III-C, Appendix C/E of the paper)."""
+
+from .catalog import DEFAULT_CATALOG, PriceCatalog
+from .model import (
+    CostBreakdown,
+    dragonfly_cost,
+    fat_tree_cost,
+    hammingmesh_cost,
+    hyperx_cost,
+    torus_cost,
+)
+
+__all__ = [
+    "PriceCatalog",
+    "DEFAULT_CATALOG",
+    "CostBreakdown",
+    "fat_tree_cost",
+    "dragonfly_cost",
+    "hammingmesh_cost",
+    "hyperx_cost",
+    "torus_cost",
+]

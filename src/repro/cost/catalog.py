@@ -1,0 +1,42 @@
+"""Price catalog for the capital-cost model (Section III-C / Appendix E).
+
+The paper prices all networks with a single switch type and two cable types,
+sourced from colfaxdirect.com in spring 2022:
+
+* 64-port switch (Edgecore AS7816-64X): $14,280
+* 20 m active optical cable (AoC):      $603
+* 5 m passive copper cable (DAC):       $272
+
+On-board PCB traces are free (included in the accelerator packaging cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..topology.base import CableClass
+
+__all__ = ["PriceCatalog", "DEFAULT_CATALOG"]
+
+
+@dataclass(frozen=True)
+class PriceCatalog:
+    """Unit prices in US dollars."""
+
+    switch: float = 14_280.0
+    aoc_cable: float = 603.0
+    dac_cable: float = 272.0
+    pcb_trace: float = 0.0
+    switch_radix: int = 64
+
+    def cable_price(self, cable: CableClass) -> float:
+        """Price of one bidirectional cable of the given class."""
+        if cable is CableClass.AOC:
+            return self.aoc_cable
+        if cable is CableClass.DAC:
+            return self.dac_cable
+        return self.pcb_trace
+
+
+#: Default catalog with the paper's April-2022 prices.
+DEFAULT_CATALOG = PriceCatalog()

@@ -1,0 +1,55 @@
+"""Network simulation substrates: flow-level and packet-level simulators."""
+
+from .engine import EventEngine
+from .flowsim import FlowAssignment, FlowSimulator, PhaseResult
+from .network import PacketNetwork, PacketSimConfig, PacketSimResult
+from .packet import DEFAULT_PACKET_SIZE, Message, Packet
+from .paths import (
+    DragonflyPathProvider,
+    FatTreePathProvider,
+    GenericPathProvider,
+    HxMeshPathProvider,
+    HyperXPathProvider,
+    PathProvider,
+    TorusPathProvider,
+    path_provider_for,
+)
+from .traffic import (
+    Flow,
+    alltoall_phase,
+    alltoall_phases,
+    nearest_neighbor_2d_flows,
+    random_permutation,
+    ring_neighbor_flows,
+    sampled_alltoall_phases,
+    uniform_pair_sample,
+)
+
+__all__ = [
+    "EventEngine",
+    "FlowSimulator",
+    "FlowAssignment",
+    "PhaseResult",
+    "PacketNetwork",
+    "PacketSimConfig",
+    "PacketSimResult",
+    "Message",
+    "Packet",
+    "DEFAULT_PACKET_SIZE",
+    "PathProvider",
+    "GenericPathProvider",
+    "FatTreePathProvider",
+    "DragonflyPathProvider",
+    "TorusPathProvider",
+    "HyperXPathProvider",
+    "HxMeshPathProvider",
+    "path_provider_for",
+    "Flow",
+    "alltoall_phase",
+    "alltoall_phases",
+    "sampled_alltoall_phases",
+    "random_permutation",
+    "uniform_pair_sample",
+    "ring_neighbor_flows",
+    "nearest_neighbor_2d_flows",
+]

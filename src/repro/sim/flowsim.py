@@ -1,0 +1,285 @@
+"""Flow-level network simulator: max-min fair bandwidth allocation.
+
+This is the cluster-scale substitute for the paper's SST packet-level
+simulations (see DESIGN.md, substitution table).  Traffic is modelled as a
+set of flows; every flow is split evenly over its candidate minimal paths
+(approximating packet-spraying / adaptive routing) and link bandwidth is
+shared max-min fairly between the subflows using the classic progressive
+filling algorithm.  For symmetric patterns (alltoall, rings) a faster
+bottleneck analysis is provided that assumes all flows progress at the same
+rate, which is exact for such patterns.
+
+All rates are in normalised units of one 400 Gb/s port; per-accelerator
+injection capacity is 4.0 in every simulated configuration (Section III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..topology.base import Topology, TopologyError
+from .paths import PathProvider, path_provider_for
+from .traffic import Flow
+
+__all__ = ["FlowAssignment", "FlowSimulator", "PhaseResult"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class FlowAssignment:
+    """Internal representation of a set of flows routed onto the topology.
+
+    ``entry_link[i]`` / ``entry_subflow[i]`` give, for every (subflow, link)
+    incidence, the directed link index and the subflow index; ``subflow_flow``
+    maps subflows back to the originating flow and ``subflow_weight`` holds
+    the share of the flow's demand carried by the subflow (1/k for k paths).
+    """
+
+    num_flows: int
+    num_subflows: int
+    entry_link: np.ndarray
+    entry_subflow: np.ndarray
+    subflow_flow: np.ndarray
+    subflow_weight: np.ndarray
+    flow_demand: np.ndarray
+
+
+@dataclass
+class PhaseResult:
+    """Result of simulating one traffic phase."""
+
+    flow_rates: np.ndarray          # achieved rate per flow (bandwidth units)
+    link_utilization: np.ndarray    # fraction of each link's capacity in use
+    bottleneck_link: int            # index of the most utilised link
+
+    @property
+    def min_rate(self) -> float:
+        return float(self.flow_rates.min()) if len(self.flow_rates) else 0.0
+
+    @property
+    def mean_rate(self) -> float:
+        return float(self.flow_rates.mean()) if len(self.flow_rates) else 0.0
+
+
+class FlowSimulator:
+    """Max-min fair flow-level simulator over a :class:`Topology`."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        *,
+        provider: Optional[PathProvider] = None,
+        max_paths: int = 4,
+    ):
+        self.topo = topo
+        self.provider = provider if provider is not None else path_provider_for(topo)
+        self.max_paths = max_paths
+        self.capacity = topo.link_capacity_array()
+        self.ranks = list(topo.accelerators)
+        self.injection_capacity = float(topo.meta.get("injection_capacity", 4.0))
+        self._path_cache: Dict[Tuple[int, int], List[List[int]]] = {}
+
+    # ------------------------------------------------------------------ paths
+    def _paths(self, src_node: int, dst_node: int) -> List[List[int]]:
+        key = (src_node, dst_node)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            cached = self.provider.paths(src_node, dst_node, max_paths=self.max_paths)
+            if not cached:
+                raise TopologyError(f"no path between nodes {src_node} and {dst_node}")
+            self._path_cache[key] = cached
+        return cached
+
+    def node_of_rank(self, rank: int) -> int:
+        return self.ranks[rank]
+
+    # -------------------------------------------------------------- assignment
+    def assign(self, flows: Sequence[Flow]) -> FlowAssignment:
+        """Route ``flows`` (given in ranks) and build the incidence arrays."""
+        entry_link: List[int] = []
+        entry_subflow: List[int] = []
+        subflow_flow: List[int] = []
+        subflow_weight: List[float] = []
+        flow_demand = np.array([f.demand for f in flows], dtype=np.float64)
+        sub = 0
+        for fi, flow in enumerate(flows):
+            if flow.src == flow.dst:
+                raise ValueError("flows must have distinct endpoints")
+            src_node = self.ranks[flow.src]
+            dst_node = self.ranks[flow.dst]
+            paths = self._paths(src_node, dst_node)
+            w = 1.0 / len(paths)
+            for path in paths:
+                subflow_flow.append(fi)
+                subflow_weight.append(w)
+                for li in path:
+                    entry_link.append(li)
+                    entry_subflow.append(sub)
+                sub += 1
+        return FlowAssignment(
+            num_flows=len(flows),
+            num_subflows=sub,
+            entry_link=np.asarray(entry_link, dtype=np.int64),
+            entry_subflow=np.asarray(entry_subflow, dtype=np.int64),
+            subflow_flow=np.asarray(subflow_flow, dtype=np.int64),
+            subflow_weight=np.asarray(subflow_weight, dtype=np.float64),
+            flow_demand=flow_demand,
+        )
+
+    # -------------------------------------------------------- symmetric solver
+    def symmetric_rate(self, flows: Sequence[Flow]) -> PhaseResult:
+        """Throughput when all flows progress at a common rate.
+
+        Exact for symmetric patterns (ring phases, balanced-shift alltoall
+        phases) where fairness forces every flow to the same rate: the common
+        rate is ``min_e capacity_e / load_e`` with per-link load computed from
+        the even multipath split and per-flow demand weights.
+        """
+        asg = self.assign(flows)
+        weights = (
+            asg.subflow_weight[asg.entry_subflow]
+            * asg.flow_demand[asg.subflow_flow[asg.entry_subflow]]
+        )
+        load = np.bincount(asg.entry_link, weights=weights, minlength=len(self.capacity))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(load > _EPS, self.capacity / np.maximum(load, _EPS), np.inf)
+        rate = float(ratio.min()) if len(ratio) else 0.0
+        bottleneck = int(np.argmin(ratio)) if len(ratio) else -1
+        link_util = np.where(self.capacity > 0, load * rate / self.capacity, 0.0)
+        return PhaseResult(
+            flow_rates=asg.flow_demand * rate,
+            link_utilization=link_util,
+            bottleneck_link=bottleneck,
+        )
+
+    # ----------------------------------------------------------- max-min solver
+    def maxmin_rates(self, flows: Sequence[Flow], *, max_iterations: int = 100000) -> PhaseResult:
+        """Max-min fair per-flow rates via progressive filling.
+
+        Subflows (one per candidate path) are filled simultaneously; a flow's
+        rate is the sum of its subflow rates.  Flow demands scale the filling
+        speed, so a flow with demand 2 receives twice the rate of a demand-1
+        flow sharing the same bottleneck (weighted max-min fairness).
+        """
+        asg = self.assign(flows)
+        L = len(self.capacity)
+        remaining = self.capacity.copy()
+        sub_rate = np.zeros(asg.num_subflows)
+        active = np.ones(asg.num_subflows, dtype=bool)
+        # Per-entry weight: demand share carried by the subflow on that link.
+        entry_weight = (
+            asg.subflow_weight[asg.entry_subflow]
+            * asg.flow_demand[asg.subflow_flow[asg.entry_subflow]]
+        )
+        iterations = 0
+        while active.any():
+            iterations += 1
+            if iterations > max_iterations:  # pragma: no cover - defensive
+                raise RuntimeError("max-min filling did not converge")
+            entry_active = active[asg.entry_subflow]
+            load = np.bincount(
+                asg.entry_link[entry_active],
+                weights=entry_weight[entry_active],
+                minlength=L,
+            )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                headroom = np.where(load > _EPS, remaining / np.maximum(load, _EPS), np.inf)
+            inc = float(headroom.min())
+            if not np.isfinite(inc):
+                break
+            # Advance all active subflows by inc (scaled by their weight).
+            sub_weights = asg.subflow_weight * asg.flow_demand[asg.subflow_flow]
+            sub_rate[active] += inc * sub_weights[active]
+            remaining = remaining - load * inc
+            # Freeze subflows crossing (almost) saturated links.
+            saturated = remaining <= _EPS * (1.0 + self.capacity)
+            if saturated.any():
+                entry_saturated = saturated[asg.entry_link] & entry_active
+                frozen_subflows = np.unique(asg.entry_subflow[entry_saturated])
+                active[frozen_subflows] = False
+            else:  # pragma: no cover - numerical safety
+                break
+        flow_rates = np.bincount(asg.subflow_flow, weights=sub_rate, minlength=asg.num_flows)
+        used = self.capacity - remaining
+        link_util = np.where(self.capacity > 0, used / self.capacity, 0.0)
+        bottleneck = int(np.argmax(link_util)) if L else -1
+        return PhaseResult(
+            flow_rates=flow_rates, link_utilization=link_util, bottleneck_link=bottleneck
+        )
+
+    # -------------------------------------------------------- derived analyses
+    def alltoall_bandwidth(
+        self,
+        *,
+        num_phases: Optional[int] = None,
+        seed: int = 0,
+        method: str = "aggregate",
+    ) -> float:
+        """Achievable per-accelerator alltoall bandwidth (fraction of injection).
+
+        Two models of the balanced-shift alltoall (Section V-A1a) are
+        available:
+
+        * ``"aggregate"`` (default, used for Table II): the classic global
+          bandwidth analysis.  Traffic of all shifts is aggregated into one
+          uniform load (every rank sends equally to every other rank), the
+          per-link load is computed for the even multipath split, and the
+          achievable injection rate is limited by the most loaded link.  With
+          long messages and adaptive routing, consecutive shift phases overlap
+          in the network, which this model captures.
+        * ``"phased"``: phases are barrier-synchronised; the result is the
+          harmonic mean of the per-phase achievable rates.  This is the more
+          pessimistic model and is exposed for sensitivity studies.
+
+        For large systems a stratified sample of shifts approximates the full
+        pattern; sampling whole permutation phases keeps every accelerator's
+        injection/ejection links exactly balanced, so the estimate has no
+        endpoint-sampling noise.
+        """
+        from .traffic import alltoall_phases, sampled_alltoall_phases
+
+        p = len(self.ranks)
+        if num_phases is None or num_phases >= p - 1:
+            phases = alltoall_phases(p)
+        else:
+            phases = sampled_alltoall_phases(p, num_phases, seed=seed)
+        if method == "phased":
+            inv_rates = []
+            for phase in phases:
+                rate = self.symmetric_rate(phase).min_rate
+                inv_rates.append(1.0 / max(rate, _EPS))
+            harmonic = len(inv_rates) / sum(inv_rates)
+            return min(harmonic / self.injection_capacity, 1.0)
+        if method != "aggregate":
+            raise ValueError(f"unknown alltoall method {method!r}")
+        # Aggregate all sampled phases into a single uniform-traffic load.
+        all_flows: List[Flow] = [f for phase in phases for f in phase]
+        asg = self.assign(all_flows)
+        weights = asg.subflow_weight[asg.entry_subflow]
+        load = np.bincount(asg.entry_link, weights=weights, minlength=len(self.capacity))
+        # Each accelerator appears exactly once per phase as a source, so an
+        # injection rate of R corresponds to R / num_phases per flow.
+        load = load / len(phases)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(load > _EPS, self.capacity / np.maximum(load, _EPS), np.inf)
+        injection_rate = float(ratio.min())
+        return min(injection_rate / self.injection_capacity, 1.0)
+
+    def permutation_bandwidths(self, flows: Sequence[Flow]) -> np.ndarray:
+        """Per-rank receive bandwidth (fraction of injection) for a permutation."""
+        result = self.maxmin_rates(flows)
+        by_dst = np.zeros(len(self.ranks))
+        for flow, rate in zip(flows, result.flow_rates):
+            by_dst[flow.dst] += rate
+        return by_dst / self.injection_capacity
+
+    def phase_bandwidth(self, flows: Sequence[Flow], *, exact: bool = False) -> float:
+        """Common achievable flow rate for one symmetric phase (units of ports)."""
+        if exact:
+            result = self.maxmin_rates(flows)
+            return result.min_rate
+        return self.symmetric_rate(flows).min_rate

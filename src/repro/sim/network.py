@@ -1,0 +1,204 @@
+"""Packet-level network simulator.
+
+This is the small-scale counterpart of the paper's SST simulations: messages
+are split into packets, each packet picks one of its flow's candidate
+minimal paths adaptively (least queueing delay along the path, evaluated at
+injection time, approximating per-packet adaptive routing), and every
+directed link serialises packets FIFO at its configured bandwidth with a
+fixed propagation latency (1 ns for on-board PCB traces, 20 ns for cables,
+matching Appendix F) plus a per-switch buffer latency.
+
+The model uses output-queued links; buffers are not explicitly bounded, so
+it measures throughput and (un)congested latency rather than loss/credit
+behaviour.  The test suite validates its steady-state throughput against the
+flow-level simulator on small configurations (DESIGN.md, substitution
+table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._hash import mix64
+from ..topology.base import CableClass, Topology
+from .engine import EventEngine
+from .packet import DEFAULT_PACKET_SIZE, Message, Packet
+from .paths import PathProvider, path_provider_for
+from .traffic import Flow
+
+__all__ = ["PacketSimConfig", "PacketNetwork", "PacketSimResult"]
+
+
+@dataclass(frozen=True)
+class PacketSimConfig:
+    """Timing parameters of the packet simulator (Appendix F defaults)."""
+
+    packet_size: int = DEFAULT_PACKET_SIZE
+    bytes_per_capacity_unit: float = 50e9      # one 400 Gb/s port
+    cable_latency: float = 20e-9
+    board_latency: float = 1e-9
+    buffer_latency: float = 40e-9
+    max_paths: int = 4
+    seed: int = 0
+
+
+@dataclass
+class PacketSimResult:
+    """Aggregate outcome of one packet-level run."""
+
+    messages: List[Message]
+    finish_time: float
+    link_busy_time: np.ndarray
+
+    @property
+    def all_finished(self) -> bool:
+        return all(m.finished for m in self.messages)
+
+    def message_bandwidths(self) -> np.ndarray:
+        return np.array([m.observed_bandwidth() for m in self.messages])
+
+    def aggregate_bandwidth(self) -> float:
+        """Total bytes delivered divided by the makespan."""
+        total = sum(m.size for m in self.messages)
+        return total / self.finish_time if self.finish_time > 0 else 0.0
+
+    def link_utilization(self, capacity: np.ndarray, bytes_per_unit: float) -> np.ndarray:
+        if self.finish_time <= 0:
+            return np.zeros_like(self.link_busy_time)
+        return self.link_busy_time / self.finish_time
+
+
+class PacketNetwork:
+    """Event-driven packet-level simulation over a :class:`Topology`."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        *,
+        provider: Optional[PathProvider] = None,
+        config: PacketSimConfig = PacketSimConfig(),
+    ):
+        self.topo = topo
+        self.config = config
+        self.provider = provider if provider is not None else path_provider_for(topo)
+        self.engine = EventEngine()
+        self.ranks = list(topo.accelerators)
+        n_links = topo.num_links
+        # Per-directed-link bookkeeping: time the link becomes free, total
+        # busy (serialisation) time, serialisation time per packet.
+        self._link_free = np.zeros(n_links)
+        self._link_busy = np.zeros(n_links)
+        self._serialization = np.empty(n_links)
+        self._latency = np.empty(n_links)
+        for idx, link in enumerate(topo.links):
+            rate = link.capacity * config.bytes_per_capacity_unit
+            self._serialization[idx] = config.packet_size / rate
+            self._latency[idx] = (
+                config.board_latency if link.cable is CableClass.PCB else config.cable_latency
+            )
+        self._messages: List[Message] = []
+        self._next_message_id = 0
+        self._next_packet_id = 0
+        self._path_cache: Dict[Tuple[int, int], List[List[int]]] = {}
+
+    # ---------------------------------------------------------------- sending
+    def send(
+        self, src_rank: int, dst_rank: int, size: float, *, start_time: float = 0.0,
+        tag: Optional[str] = None,
+    ) -> Message:
+        """Register a message between two accelerator ranks."""
+        if src_rank == dst_rank:
+            raise ValueError("messages need distinct endpoints")
+        message = Message(
+            message_id=self._next_message_id,
+            src=self.ranks[src_rank],
+            dst=self.ranks[dst_rank],
+            size=size,
+            start_time=start_time,
+            tag=tag,
+        )
+        self._next_message_id += 1
+        self._messages.append(message)
+        self.engine.schedule_at(start_time, lambda m=message: self._inject(m))
+        return message
+
+    def send_flows(self, flows: Sequence[Flow], size: float, *, start_time: float = 0.0) -> None:
+        """Register one message of ``size`` bytes per flow (ranks)."""
+        for flow in flows:
+            self.send(flow.src, flow.dst, size * flow.demand, start_time=start_time)
+
+    # -------------------------------------------------------------- internals
+    def _paths(self, src: int, dst: int) -> List[List[int]]:
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            cached = self.provider.paths(src, dst, max_paths=self.config.max_paths)
+            self._path_cache[key] = cached
+        return cached
+
+    def _choose_path(self, src: int, dst: int, salt: int) -> List[int]:
+        """Adaptive path choice: minimise queueing delay along the candidates."""
+        paths = self._paths(src, dst)
+        if len(paths) == 1:
+            return paths[0]
+        now = self.engine.now
+        best_path = paths[0]
+        best_cost = float("inf")
+        order = mix64(salt) % len(paths)
+        rotated = paths[order:] + paths[:order]
+        for path in rotated:
+            cost = 0.0
+            for li in path:
+                cost += max(0.0, self._link_free[li] - now) + self._serialization[li]
+            if cost < best_cost:
+                best_cost = cost
+                best_path = path
+        return best_path
+
+    def _inject(self, message: Message) -> None:
+        size_left = message.size
+        num_packets = max(1, int(np.ceil(message.size / self.config.packet_size)))
+        message.packets_total = num_packets
+        for i in range(num_packets):
+            payload = int(min(self.config.packet_size, size_left))
+            size_left -= payload
+            path = self._choose_path(message.src, message.dst, message.message_id * 131 + i)
+            packet = Packet(
+                packet_id=self._next_packet_id, message=message, size=payload, path=path
+            )
+            self._next_packet_id += 1
+            self._forward(packet)
+
+    def _forward(self, packet: Packet) -> None:
+        """Advance a packet by one hop (serialise on the next link)."""
+        if packet.at_last_hop:
+            self._deliver(packet)
+            return
+        li = packet.path[packet.hop]
+        now = self.engine.now
+        ser = self._serialization[li] * (packet.size / self.config.packet_size)
+        depart = max(now, self._link_free[li])
+        self._link_free[li] = depart + ser
+        self._link_busy[li] += ser
+        arrival = depart + ser + self._latency[li] + self.config.buffer_latency
+        packet.hop += 1
+        self.engine.schedule_at(arrival, lambda p=packet: self._forward(p))
+
+    def _deliver(self, packet: Packet) -> None:
+        message = packet.message
+        message.packets_arrived += 1
+        if message.packets_arrived >= message.packets_total:
+            message.completion_time = self.engine.now
+
+    # ------------------------------------------------------------------- run
+    def run(self, *, until: Optional[float] = None, max_events: Optional[int] = None) -> PacketSimResult:
+        """Run the simulation and return the aggregate result."""
+        finish = self.engine.run(until=until, max_events=max_events)
+        return PacketSimResult(
+            messages=list(self._messages),
+            finish_time=finish,
+            link_busy_time=self._link_busy.copy(),
+        )

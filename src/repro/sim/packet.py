@@ -1,0 +1,53 @@
+"""Packet and message records of the packet-level simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["Message", "Packet", "DEFAULT_PACKET_SIZE"]
+
+#: Packet size used by the paper's SST configuration (Appendix F).
+DEFAULT_PACKET_SIZE = 8192
+
+
+@dataclass
+class Message:
+    """An application-level transfer between two accelerators."""
+
+    message_id: int
+    src: int                 # accelerator node id
+    dst: int                 # accelerator node id
+    size: float              # bytes
+    start_time: float = 0.0
+    tag: Optional[str] = None
+    # filled in by the simulator
+    packets_total: int = 0
+    packets_arrived: int = 0
+    completion_time: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.completion_time is not None
+
+    def observed_bandwidth(self) -> float:
+        """Achieved bytes/s from injection start to last packet arrival."""
+        if self.completion_time is None or self.completion_time <= self.start_time:
+            return 0.0
+        return self.size / (self.completion_time - self.start_time)
+
+
+@dataclass
+class Packet:
+    """One packet of a message, following a fixed path of directed links."""
+
+    packet_id: int
+    message: Message
+    size: int
+    path: List[int]
+    hop: int = 0
+    virtual_channel: int = 0
+
+    @property
+    def at_last_hop(self) -> bool:
+        return self.hop >= len(self.path)

@@ -1,0 +1,320 @@
+"""Multipath route enumeration for every topology family.
+
+The flow-level simulator approximates packet-level adaptive routing by
+splitting each flow evenly over a small set of minimal paths; the packet
+simulator uses the same candidate sets to constrain its adaptive next-hop
+choices.  This module provides a uniform ``PathProvider`` interface and a
+structured (i.e. non-search-based) implementation per topology family, plus
+a generic BFS fallback used for tests and custom topologies.
+
+All providers return paths as lists of **directed link indices** of the
+underlying :class:`~repro.topology.base.Topology`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from .._hash import mix64
+from ..core.routing import HxMeshRouter
+from ..topology.base import Topology, TopologyError
+
+__all__ = [
+    "PathProvider",
+    "GenericPathProvider",
+    "FatTreePathProvider",
+    "DragonflyPathProvider",
+    "TorusPathProvider",
+    "HyperXPathProvider",
+    "HxMeshPathProvider",
+    "path_provider_for",
+]
+
+
+class PathProvider(Protocol):
+    """Protocol of a multipath route provider."""
+
+    topo: Topology
+
+    def paths(self, src: int, dst: int, max_paths: int = 4) -> List[List[int]]:
+        """Minimal candidate paths from accelerator ``src`` to ``dst``."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+class GenericPathProvider:
+    """BFS-based shortest-path provider for arbitrary topologies.
+
+    Enumerates up to ``max_paths`` shortest paths by BFS from the destination
+    followed by a depth-first descent along distance-decreasing links.  This
+    is exact but O(V+E) per destination, so it is only used for small
+    topologies, tests, and as a fallback when a structured provider cannot
+    produce a path.
+    """
+
+    def __init__(self, topo: Topology):
+        self.topo = topo
+        self._dist_cache: Dict[int, List[int]] = {}
+
+    def _distances_to(self, dst: int) -> List[int]:
+        cached = self._dist_cache.get(dst)
+        if cached is not None:
+            return cached
+        dist = [-1] * self.topo.num_nodes
+        dist[dst] = 0
+        q = deque([dst])
+        while q:
+            u = q.popleft()
+            for li in self.topo.in_links(u):
+                v = self.topo.link(li).src
+                if dist[v] < 0:
+                    dist[v] = dist[u] + 1
+                    q.append(v)
+        self._dist_cache[dst] = dist
+        return dist
+
+    def paths(self, src: int, dst: int, max_paths: int = 4) -> List[List[int]]:
+        if src == dst:
+            return [[]]
+        dist = self._distances_to(dst)
+        if dist[src] < 0:
+            raise TopologyError(f"no path from {src} to {dst}")
+        out: List[List[int]] = []
+
+        def descend(node: int, acc: List[int]) -> None:
+            if len(out) >= max_paths:
+                return
+            if node == dst:
+                out.append(list(acc))
+                return
+            for li in self.topo.out_links(node):
+                v = self.topo.link(li).dst
+                if dist[v] == dist[node] - 1:
+                    acc.append(li)
+                    descend(v, acc)
+                    acc.pop()
+                    if len(out) >= max_paths:
+                        return
+
+        descend(src, [])
+        return out
+
+
+# ---------------------------------------------------------------------------
+class FatTreePathProvider:
+    """Paths through a standalone fat-tree cluster (up/down routing)."""
+
+    def __init__(self, topo: Topology):
+        if topo.meta.get("family") != "fattree":
+            raise TopologyError("not a fat-tree topology")
+        self.topo = topo
+        self.network = topo.meta["network"]
+        self._fallback = GenericPathProvider(topo)
+
+    def paths(self, src: int, dst: int, max_paths: int = 4) -> List[List[int]]:
+        if src == dst:
+            return [[]]
+        out = self.network.paths(src, dst, max_paths=max_paths)
+        if not out:
+            out = self._fallback.paths(src, dst, max_paths=max_paths)
+        return out
+
+
+# ---------------------------------------------------------------------------
+class DragonflyPathProvider:
+    """Minimal (local-global-local) Dragonfly routing with channel multipath."""
+
+    def __init__(self, topo: Topology):
+        if topo.meta.get("family") != "dragonfly":
+            raise TopologyError("not a Dragonfly topology")
+        self.topo = topo
+        m = topo.meta
+        self.acc_router: Dict[int, int] = m["acc_router"]
+        self.router_group: Dict[int, int] = m["router_group"]
+        self.local_links: Dict[Tuple[int, int], Tuple[int, int]] = m["local_links"]
+        self.group_links: Dict[Tuple[int, int], List[Tuple[int, int, int]]] = m["group_links"]
+        self.access_links: Dict[int, Tuple[int, int]] = m["access_links"]
+
+    def _local(self, r1: int, r2: int) -> List[int]:
+        if r1 == r2:
+            return []
+        return [self.local_links[(r1, r2)][0]]
+
+    def paths(self, src: int, dst: int, max_paths: int = 4) -> List[List[int]]:
+        if src == dst:
+            return [[]]
+        up = self.access_links[src][0]
+        down = self.access_links[dst][1]
+        rs, rd = self.acc_router[src], self.acc_router[dst]
+        gs, gd = self.router_group[rs], self.router_group[rd]
+        if rs == rd:
+            return [[up, down]]
+        if gs == gd:
+            return [[up] + self._local(rs, rd) + [down]]
+        channels = self.group_links.get((gs, gd), [])
+        if not channels:
+            raise TopologyError(f"no global channel between groups {gs} and {gd}")
+        # Rotate the channel list by a pair-dependent offset so the capped
+        # path enumeration spreads different flows over different global
+        # channels (approximates adaptive routing's load balancing).
+        off = mix64(src * 1000003 + dst) % len(channels)
+        channels = channels[off:] + channels[:off]
+        candidates: List[List[int]] = []
+        for r1, r2, glink in channels:
+            path = [up] + self._local(rs, r1) + [glink] + self._local(r2, rd) + [down]
+            candidates.append(path)
+        candidates.sort(key=len)
+        shortest = len(candidates[0])
+        minimal = [p for p in candidates if len(p) == shortest]
+        # Keep some longer alternatives if there are few strictly minimal
+        # ones (approximates UGAL's willingness to take non-minimal paths).
+        if len(minimal) < max_paths:
+            minimal = candidates[: max(max_paths, len(minimal))]
+        return minimal[:max_paths]
+
+
+# ---------------------------------------------------------------------------
+class TorusPathProvider:
+    """Dimension-ordered routing on the 2D torus with minimal wrap choice."""
+
+    def __init__(self, topo: Topology):
+        if topo.meta.get("family") != "torus":
+            raise TopologyError("not a torus topology")
+        self.topo = topo
+        m = topo.meta
+        self.rows: int = m["rows"]
+        self.cols: int = m["cols"]
+        self.coord_of: Dict[int, Tuple[int, int]] = m["coord_of"]
+        self.grid = m["grid"]
+        self.dir_links: Dict[Tuple[int, int, str], int] = m["dir_links"]
+
+    def _dim_moves(self, delta: int, size: int, pos_dir: str, neg_dir: str) -> List[Tuple[str, int]]:
+        """Candidate (direction, hop count) moves along one dimension."""
+        fwd = delta % size
+        back = (-delta) % size
+        moves: List[Tuple[str, int]] = []
+        if fwd == 0:
+            return [("", 0)]
+        if fwd <= back:
+            moves.append((pos_dir, fwd))
+        if back <= fwd:
+            moves.append((neg_dir, back))
+        return moves
+
+    def _walk(self, r: int, c: int, direction: str, hops: int) -> Tuple[List[int], int, int]:
+        links: List[int] = []
+        for _ in range(hops):
+            links.append(self.dir_links[(r, c, direction)])
+            if direction == "E":
+                c = (c + 1) % self.cols
+            elif direction == "W":
+                c = (c - 1) % self.cols
+            elif direction == "S":
+                r = (r + 1) % self.rows
+            elif direction == "N":
+                r = (r - 1) % self.rows
+        return links, r, c
+
+    def paths(self, src: int, dst: int, max_paths: int = 4) -> List[List[int]]:
+        if src == dst:
+            return [[]]
+        (r1, c1), (r2, c2) = self.coord_of[src], self.coord_of[dst]
+        hmoves = self._dim_moves(c2 - c1, self.cols, "E", "W")
+        vmoves = self._dim_moves(r2 - r1, self.rows, "S", "N")
+        out: List[List[int]] = []
+        for (hd, hn), (vd, vn), order in itertools.product(hmoves, vmoves, ("xy", "yx")):
+            r, c = r1, c1
+            links: List[int] = []
+            steps = [(hd, hn), (vd, vn)] if order == "xy" else [(vd, vn), (hd, hn)]
+            for direction, hops in steps:
+                if hops == 0 or not direction:
+                    continue
+                seg, r, c = self._walk(r, c, direction, hops)
+                links.extend(seg)
+            if (r, c) != (r2, c2):  # pragma: no cover - defensive
+                continue
+            if links not in out:
+                out.append(links)
+            if len(out) >= max_paths:
+                break
+        return out
+
+
+# ---------------------------------------------------------------------------
+class HyperXPathProvider:
+    """Minimal routing on the switch-based 2D HyperX.
+
+    A flow crosses at most two switch-to-switch links: one in the row
+    dimension and one in the column dimension, via either of the two corner
+    switches (dimension order is the adaptive choice).
+    """
+
+    def __init__(self, topo: Topology):
+        if topo.meta.get("family") != "hyperx":
+            raise TopologyError("not a HyperX topology")
+        self.topo = topo
+        m = topo.meta
+        self.acc_switch: Dict[int, int] = m["acc_switch"]
+        self.switch_coord: Dict[int, Tuple[int, int]] = m["switch_coord"]
+        self.switch_grid = m["switch_grid"]
+        self.switch_links: Dict[Tuple[int, int], int] = m["switch_links"]
+        self.access_links: Dict[int, Tuple[int, int]] = m["access_links"]
+
+    def paths(self, src: int, dst: int, max_paths: int = 4) -> List[List[int]]:
+        if src == dst:
+            return [[]]
+        up = self.access_links[src][0]
+        down = self.access_links[dst][1]
+        s1, s2 = self.acc_switch[src], self.acc_switch[dst]
+        if s1 == s2:
+            return [[up, down]]
+        (r1, c1), (r2, c2) = self.switch_coord[s1], self.switch_coord[s2]
+        if r1 == r2 or c1 == c2:
+            return [[up, self.switch_links[(s1, s2)], down]]
+        mid_a = self.switch_grid[r1][c2]   # row first
+        mid_b = self.switch_grid[r2][c1]   # column first
+        out = [
+            [up, self.switch_links[(s1, mid_a)], self.switch_links[(mid_a, s2)], down],
+            [up, self.switch_links[(s1, mid_b)], self.switch_links[(mid_b, s2)], down],
+        ]
+        return out[:max_paths]
+
+
+# ---------------------------------------------------------------------------
+class HxMeshPathProvider:
+    """Adaptive minimal routing on HammingMesh (wraps :class:`HxMeshRouter`)."""
+
+    def __init__(self, topo: Topology):
+        self.topo = topo
+        self.router = HxMeshRouter(topo)
+        self._fallback: Optional[GenericPathProvider] = None
+
+    def paths(self, src: int, dst: int, max_paths: int = 4) -> List[List[int]]:
+        try:
+            return self.router.paths(src, dst, max_paths=max_paths)
+        except TopologyError:
+            if self._fallback is None:
+                self._fallback = GenericPathProvider(self.topo)
+            return self._fallback.paths(src, dst, max_paths=max_paths)
+
+
+# ---------------------------------------------------------------------------
+_PROVIDERS = {
+    "fattree": FatTreePathProvider,
+    "dragonfly": DragonflyPathProvider,
+    "torus": TorusPathProvider,
+    "hammingmesh": HxMeshPathProvider,
+    "hyperx": HyperXPathProvider,
+}
+
+
+def path_provider_for(topo: Topology) -> PathProvider:
+    """Return the structured path provider for ``topo``'s family, or the
+    generic BFS provider when the family is unknown."""
+    family = topo.meta.get("family")
+    cls = _PROVIDERS.get(family)
+    if cls is None:
+        return GenericPathProvider(topo)
+    return cls(topo)

@@ -1,0 +1,146 @@
+"""Traffic pattern generators used by the microbenchmarks (Section V-A).
+
+Patterns are expressed over *ranks* ``0..P-1`` (dense accelerator indices);
+the simulators translate ranks to topology node ids.  A pattern is either a
+single list of :class:`Flow` objects (one communication phase) or a list of
+phases executed one after another (e.g. the balanced-shift alltoall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Flow",
+    "alltoall_phase",
+    "alltoall_phases",
+    "sampled_alltoall_phases",
+    "random_permutation",
+    "uniform_pair_sample",
+    "ring_neighbor_flows",
+    "nearest_neighbor_2d_flows",
+]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A point-to-point transfer between two ranks with a relative demand."""
+
+    src: int
+    dst: int
+    demand: float = 1.0
+
+
+def alltoall_phase(p: int, shift: int) -> List[Flow]:
+    """Phase ``shift`` of the balanced-shift alltoall on ``p`` ranks.
+
+    In phase ``i`` every rank ``j`` sends to rank ``(j + i) mod p``
+    (Section V-A1a of the paper).
+    """
+    if not (1 <= shift < p):
+        raise ValueError(f"shift must be in [1, p), got {shift} for p={p}")
+    return [Flow(j, (j + shift) % p) for j in range(p)]
+
+
+def alltoall_phases(p: int) -> List[List[Flow]]:
+    """All ``p - 1`` phases of the balanced-shift alltoall."""
+    return [alltoall_phase(p, s) for s in range(1, p)]
+
+
+def sampled_alltoall_phases(p: int, num_phases: int, seed: int = 0) -> List[List[Flow]]:
+    """A stratified sample of alltoall phases for large ``p``.
+
+    Shifts are drawn evenly spaced across ``[1, p/2]`` (with a seeded random
+    offset) and every sampled shift ``s`` is paired with its complement
+    ``p - s``.  This keeps the sample symmetric under direction reversal
+    (East/West, North/South), which removes the directional bias a plain
+    random sample of shifts would impose on the link-load estimate, while
+    still covering near, medium and far communication distances.
+    """
+    if num_phases >= p - 1:
+        return alltoall_phases(p)
+    rng = np.random.default_rng(seed)
+    half = max(1, num_phases // 2)
+    stride = (p // 2) / half
+    offset = rng.uniform(0, stride)
+    shifts = set()
+    for i in range(half):
+        s = 1 + int(offset + i * stride) % (p - 1)
+        shifts.add(s)
+        shifts.add(p - s)
+    shifts.discard(0)
+    shifts.discard(p)
+    return [alltoall_phase(p, s) for s in sorted(shifts)]
+
+
+def random_permutation(p: int, seed: int = 0) -> List[Flow]:
+    """Random permutation traffic: each rank sends to a unique random peer."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(p)
+    # Avoid self-sends by re-drawing fixed points with a cyclic shift.
+    fixed = np.nonzero(perm == np.arange(p))[0]
+    if len(fixed) == 1:
+        other = (fixed[0] + 1) % p
+        perm[fixed[0]], perm[other] = perm[other], perm[fixed[0]]
+    elif len(fixed) > 1:
+        perm[fixed] = np.roll(perm[fixed], 1)
+    return [Flow(int(i), int(perm[i])) for i in range(p)]
+
+
+def uniform_pair_sample(p: int, num_samples: int, seed: int = 0) -> List[Flow]:
+    """Uniformly sampled ordered (src, dst) pairs, src != dst.
+
+    Used by the flow simulator's uniform-traffic throughput estimator to
+    approximate the average link load of an alltoall without enumerating all
+    ``p * (p - 1)`` pairs.
+    """
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, p, size=num_samples)
+    off = rng.integers(1, p, size=num_samples)
+    dst = (src + off) % p
+    return [Flow(int(s), int(d)) for s, d in zip(src, dst)]
+
+
+def ring_neighbor_flows(
+    order: Sequence[int], *, bidirectional: bool = False, wrap: bool = True
+) -> List[Flow]:
+    """Steady-state neighbour flows of a pipelined ring over ``order``.
+
+    Each rank sends to its successor (and, if ``bidirectional``, also to its
+    predecessor); this is the per-round communication pattern of the
+    pipelined ring allreduce of Section V-A2b.  With ``wrap=False`` the last
+    link of the ring is left unused (a pipeline rather than a ring).
+    """
+    p = len(order)
+    flows: List[Flow] = []
+    last = p if wrap else p - 1
+    for i in range(last):
+        flows.append(Flow(order[i], order[(i + 1) % p]))
+        if bidirectional:
+            flows.append(Flow(order[(i + 1) % p], order[i]))
+    return flows
+
+
+def nearest_neighbor_2d_flows(rows: int, cols: int, *, wrap: bool = True) -> List[Flow]:
+    """Nearest-neighbour (halo exchange) flows on a ``rows`` x ``cols`` grid.
+
+    Rank ``r * cols + c`` exchanges with its four neighbours; used to model
+    operator-parallel convolution workloads such as CosmoFlow.
+    """
+    flows: List[Flow] = []
+    for r in range(rows):
+        for c in range(cols):
+            me = r * cols + c
+            neighbours = []
+            if wrap or c + 1 < cols:
+                neighbours.append(r * cols + (c + 1) % cols)
+            if wrap or r + 1 < rows:
+                neighbours.append(((r + 1) % rows) * cols + c)
+            for nb in neighbours:
+                if nb != me:
+                    flows.append(Flow(me, nb))
+                    flows.append(Flow(nb, me))
+    return flows

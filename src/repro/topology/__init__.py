@@ -1,0 +1,58 @@
+"""Network topology substrates: graph model, baseline topologies, analysis.
+
+The :class:`~repro.topology.base.Topology` graph model is shared by every
+network in the reproduction; the submodules provide builders for the
+baseline topologies the paper compares against (fat tree, Dragonfly, 2D
+torus, 2D HyperX) and structural analysis (diameter, bisection, cable
+census).  The HammingMesh builder itself lives in :mod:`repro.core`.
+"""
+
+from .base import (
+    CableClass,
+    Link,
+    NodeKind,
+    Topology,
+    TopologyError,
+    available_topologies,
+    build_topology,
+    register_topology,
+)
+from .board import BoardHandle, add_board
+from .dragonfly import build_dragonfly, dragonfly_large, dragonfly_small
+from .fattree import GlobalNetwork, build_fat_tree, fat_tree_levels_for
+from .hyperx import build_hx1mesh, build_hyperx2d
+from .properties import (
+    analytic_diameter,
+    bfs_diameter,
+    cable_census,
+    relative_bisection_bandwidth,
+    switch_count,
+)
+from .torus import build_torus2d
+
+__all__ = [
+    "CableClass",
+    "Link",
+    "NodeKind",
+    "Topology",
+    "TopologyError",
+    "available_topologies",
+    "build_topology",
+    "register_topology",
+    "BoardHandle",
+    "add_board",
+    "GlobalNetwork",
+    "build_fat_tree",
+    "fat_tree_levels_for",
+    "build_dragonfly",
+    "dragonfly_small",
+    "dragonfly_large",
+    "build_hyperx2d",
+    "build_hx1mesh",
+    "build_torus2d",
+    "analytic_diameter",
+    "bfs_diameter",
+    "cable_census",
+    "relative_bisection_bandwidth",
+    "switch_count",
+]

@@ -1,0 +1,360 @@
+"""Core topology graph model shared by every network in the reproduction.
+
+A :class:`Topology` is a directed multigraph of *accelerators* (compute
+endpoints) and *switches* connected by *links*.  Links carry a capacity in
+normalised bandwidth units (1.0 == one 400 Gb/s port), a cable class used by
+the cost model (PCB trace, DAC copper, AoC optical), and an optional plane
+index.  All concrete topologies (fat tree, Dragonfly, torus, HyperX,
+HammingMesh) are built on top of this model so that the property analysis,
+the cost model, and both simulators can treat them uniformly.
+
+The module intentionally avoids heavyweight per-node Python objects in hot
+paths: node attributes live in plain dictionaries and link endpoints are
+stored in parallel integer lists so that they can be converted to NumPy
+arrays cheaply by the flow-level simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "NodeKind",
+    "CableClass",
+    "Link",
+    "Topology",
+    "TopologyError",
+    "register_topology",
+    "build_topology",
+    "available_topologies",
+]
+
+
+class TopologyError(ValueError):
+    """Raised for malformed topology constructions or invalid queries."""
+
+
+class NodeKind(enum.Enum):
+    """Role of a node inside a :class:`Topology`."""
+
+    ACCELERATOR = "accelerator"
+    SWITCH = "switch"
+
+
+class CableClass(enum.Enum):
+    """Physical cable technology, used by the capital-cost model.
+
+    ``PCB`` traces are on-board and free (included in packaging cost),
+    ``DAC`` are short passive copper cables, ``AOC`` are long active optical
+    cables.  These mirror the three technology tiers in Section III-C of the
+    paper.
+    """
+
+    PCB = "pcb"
+    DAC = "dac"
+    AOC = "aoc"
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link between two nodes.
+
+    Attributes
+    ----------
+    src, dst:
+        Node indices of the link endpoints.
+    capacity:
+        Bandwidth in normalised units (1.0 == one 400 Gb/s port).
+    cable:
+        Cable technology class (PCB / DAC / AOC).
+    plane:
+        Network plane the link belongs to (0-based).  HammingMesh simulates a
+        single plane with four ports; other topologies collapse their four
+        identical planes into one plane with 4x capacity (see DESIGN.md).
+    tag:
+        Free-form label used by routing engines (e.g. ``"board-E"``,
+        ``"tree-up"``).
+    """
+
+    src: int
+    dst: int
+    capacity: float = 1.0
+    cable: CableClass = CableClass.DAC
+    plane: int = 0
+    tag: str = ""
+
+
+class Topology:
+    """A directed multigraph of accelerators and switches.
+
+    Nodes are integers assigned on creation.  Every physical cable is added
+    as a *bidirectional* connection, i.e. two directed links, via
+    :meth:`add_link`.  Directed links can be added explicitly with
+    :meth:`add_directed_link` (used for asymmetric constructions in tests).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._kinds: List[NodeKind] = []
+        self._labels: List[str] = []
+        self._attrs: List[Dict[str, Any]] = []
+        self._links: List[Link] = []
+        # adjacency: node -> list of link indices leaving that node
+        self._out: List[List[int]] = []
+        self._in: List[List[int]] = []
+        self._accelerators: List[int] = []
+        self._switches: List[int] = []
+        # number of physical (bidirectional) cables per cable class,
+        # maintained incrementally by add_link for the cost model.
+        self._cable_counts: Dict[CableClass, int] = {c: 0 for c in CableClass}
+        self.meta: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ nodes
+    def _add_node(self, kind: NodeKind, label: str, **attrs: Any) -> int:
+        node = len(self._kinds)
+        self._kinds.append(kind)
+        self._labels.append(label)
+        self._attrs.append(dict(attrs))
+        self._out.append([])
+        self._in.append([])
+        if kind is NodeKind.ACCELERATOR:
+            self._accelerators.append(node)
+        else:
+            self._switches.append(node)
+        return node
+
+    def add_accelerator(self, label: str = "", **attrs: Any) -> int:
+        """Add an accelerator endpoint and return its node id."""
+        return self._add_node(NodeKind.ACCELERATOR, label, **attrs)
+
+    def add_switch(self, label: str = "", **attrs: Any) -> int:
+        """Add a packet switch and return its node id."""
+        return self._add_node(NodeKind.SWITCH, label, **attrs)
+
+    # ------------------------------------------------------------------ links
+    def add_directed_link(
+        self,
+        src: int,
+        dst: int,
+        *,
+        capacity: float = 1.0,
+        cable: CableClass = CableClass.DAC,
+        plane: int = 0,
+        tag: str = "",
+    ) -> int:
+        """Add a single directed link and return its link index."""
+        if not (0 <= src < len(self._kinds)) or not (0 <= dst < len(self._kinds)):
+            raise TopologyError(f"link endpoints out of range: {src}->{dst}")
+        if src == dst:
+            raise TopologyError("self links are not allowed")
+        if capacity <= 0:
+            raise TopologyError("link capacity must be positive")
+        idx = len(self._links)
+        self._links.append(Link(src, dst, capacity, cable, plane, tag))
+        self._out[src].append(idx)
+        self._in[dst].append(idx)
+        return idx
+
+    def add_link(
+        self,
+        a: int,
+        b: int,
+        *,
+        capacity: float = 1.0,
+        cable: CableClass = CableClass.DAC,
+        plane: int = 0,
+        tag: str = "",
+        count_cable: bool = True,
+    ) -> Tuple[int, int]:
+        """Add a bidirectional connection (two directed links).
+
+        ``count_cable`` controls whether the connection is counted as a
+        physical cable for the cost model; set to ``False`` for logical
+        shortcut links that do not correspond to purchasable cables.
+        """
+        i = self.add_directed_link(a, b, capacity=capacity, cable=cable, plane=plane, tag=tag)
+        j = self.add_directed_link(b, a, capacity=capacity, cable=cable, plane=plane, tag=tag)
+        if count_cable:
+            self._cable_counts[cable] += 1
+        return i, j
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def num_nodes(self) -> int:
+        return len(self._kinds)
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    @property
+    def accelerators(self) -> Sequence[int]:
+        return tuple(self._accelerators)
+
+    @property
+    def switches(self) -> Sequence[int]:
+        return tuple(self._switches)
+
+    @property
+    def num_accelerators(self) -> int:
+        return len(self._accelerators)
+
+    @property
+    def num_switches(self) -> int:
+        return len(self._switches)
+
+    @property
+    def links(self) -> Sequence[Link]:
+        return tuple(self._links)
+
+    def link(self, index: int) -> Link:
+        return self._links[index]
+
+    def kind(self, node: int) -> NodeKind:
+        return self._kinds[node]
+
+    def is_accelerator(self, node: int) -> bool:
+        return self._kinds[node] is NodeKind.ACCELERATOR
+
+    def is_switch(self, node: int) -> bool:
+        return self._kinds[node] is NodeKind.SWITCH
+
+    def label(self, node: int) -> str:
+        return self._labels[node]
+
+    def attrs(self, node: int) -> Dict[str, Any]:
+        return self._attrs[node]
+
+    def out_links(self, node: int) -> Sequence[int]:
+        """Indices of directed links leaving ``node``."""
+        return tuple(self._out[node])
+
+    def in_links(self, node: int) -> Sequence[int]:
+        """Indices of directed links entering ``node``."""
+        return tuple(self._in[node])
+
+    def neighbors(self, node: int) -> List[int]:
+        """Unique successor nodes of ``node``."""
+        seen: Dict[int, None] = {}
+        for li in self._out[node]:
+            seen.setdefault(self._links[li].dst, None)
+        return list(seen)
+
+    def degree(self, node: int) -> int:
+        """Number of outgoing directed links (port count on that plane)."""
+        return len(self._out[node])
+
+    def cable_count(self, cable: CableClass) -> int:
+        """Number of physical bidirectional cables of the given class."""
+        return self._cable_counts[cable]
+
+    def find_links(self, src: int, dst: int) -> List[int]:
+        """All directed link indices from ``src`` to ``dst``."""
+        return [li for li in self._out[src] if self._links[li].dst == dst]
+
+    # ------------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`TopologyError` on error.
+
+        Invariants: every accelerator has at least one outgoing and one
+        incoming link, link endpoint indices are in range, and capacities are
+        positive (the latter two are enforced at construction already).
+        """
+        for node in self._accelerators:
+            if not self._out[node] or not self._in[node]:
+                raise TopologyError(
+                    f"accelerator {node} ({self._labels[node]!r}) is disconnected"
+                )
+
+    def is_connected(self) -> bool:
+        """True if the underlying undirected graph is connected."""
+        if self.num_nodes == 0:
+            return True
+        seen = [False] * self.num_nodes
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            u = stack.pop()
+            for li in self._out[u]:
+                v = self._links[li].dst
+                if not seen[v]:
+                    seen[v] = True
+                    count += 1
+                    stack.append(v)
+            for li in self._in[u]:
+                v = self._links[li].src
+                if not seen[v]:
+                    seen[v] = True
+                    count += 1
+                    stack.append(v)
+        return count == self.num_nodes
+
+    # ------------------------------------------------------------ conversions
+    def to_networkx(self):
+        """Export as a :class:`networkx.MultiDiGraph` (for analysis/tests)."""
+        import networkx as nx
+
+        g = nx.MultiDiGraph(name=self.name)
+        for node in range(self.num_nodes):
+            g.add_node(node, kind=self._kinds[node].value, label=self._labels[node], **self._attrs[node])
+        for idx, link in enumerate(self._links):
+            g.add_edge(link.src, link.dst, key=idx, capacity=link.capacity,
+                       cable=link.cable.value, plane=link.plane, tag=link.tag)
+        return g
+
+    def link_capacity_array(self):
+        """Per-directed-link capacity as a NumPy array (flow simulator input)."""
+        import numpy as np
+
+        return np.array([l.capacity for l in self._links], dtype=np.float64)
+
+    def accelerator_index(self) -> Dict[int, int]:
+        """Map node id -> dense accelerator rank (0..P-1)."""
+        return {node: rank for rank, node in enumerate(self._accelerators)}
+
+    # ----------------------------------------------------------------- dunder
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Topology {self.name!r}: {self.num_accelerators} accelerators, "
+            f"{self.num_switches} switches, {self.num_links} directed links>"
+        )
+
+
+# --------------------------------------------------------------------- registry
+_REGISTRY: Dict[str, Callable[..., Topology]] = {}
+
+
+def register_topology(name: str) -> Callable[[Callable[..., Topology]], Callable[..., Topology]]:
+    """Decorator registering a topology builder under ``name``.
+
+    Builders registered here can be constructed generically with
+    :func:`build_topology`, which the benchmark harness uses to sweep over
+    topology families.
+    """
+
+    def decorator(fn: Callable[..., Topology]) -> Callable[..., Topology]:
+        if name in _REGISTRY:
+            raise TopologyError(f"topology {name!r} registered twice")
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def build_topology(name: str, /, **kwargs: Any) -> Topology:
+    """Build a registered topology by name."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise TopologyError(
+            f"unknown topology {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return builder(**kwargs)
+
+
+def available_topologies() -> List[str]:
+    """Names of all registered topology builders."""
+    return sorted(_REGISTRY)

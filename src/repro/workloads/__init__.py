@@ -1,0 +1,34 @@
+"""DNN communication workload models (Section V-B of the paper)."""
+
+from .cosmoflow import cosmoflow
+from .dlrm import dlrm
+from .dnn import WORKLOADS, ModelWorkload, get_workload, register_workload
+from .gpt3 import gpt3, gpt3_moe
+from .overlap import (
+    PORT_BYTES_PER_S,
+    CommOp,
+    NetworkProfile,
+    communication_time,
+    iteration_time,
+)
+from .parallelism import CommVolumes, ParallelismConfig
+from .resnet import resnet152
+
+__all__ = [
+    "ModelWorkload",
+    "WORKLOADS",
+    "register_workload",
+    "get_workload",
+    "CommOp",
+    "NetworkProfile",
+    "PORT_BYTES_PER_S",
+    "communication_time",
+    "iteration_time",
+    "ParallelismConfig",
+    "CommVolumes",
+    "resnet152",
+    "cosmoflow",
+    "gpt3",
+    "gpt3_moe",
+    "dlrm",
+]

@@ -1,0 +1,77 @@
+"""DNN workload abstraction used by the Section V-B experiments.
+
+A :class:`ModelWorkload` bundles a model's parallelism configuration, its
+per-iteration compute time (measured on A100s by the paper and taken as a
+fixed input, see DESIGN.md), and its per-iteration communication operations.
+Calling :meth:`ModelWorkload.iteration_time` with a
+:class:`~repro.workloads.overlap.NetworkProfile` yields the end-to-end
+iteration time on a given topology; :meth:`communication_overhead` gives the
+fraction of the iteration spent in exposed communication.
+
+The five concrete workloads of the paper (ResNet-152, CosmoFlow, GPT-3,
+GPT-3 MoE and DLRM) live in their own modules and register themselves in
+:data:`WORKLOADS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .overlap import CommOp, NetworkProfile, iteration_time as _iteration_time
+from .parallelism import ParallelismConfig
+
+__all__ = ["ModelWorkload", "WORKLOADS", "register_workload", "get_workload"]
+
+
+@dataclass(frozen=True)
+class ModelWorkload:
+    """A DNN training workload with fixed compute time and comm operations."""
+
+    name: str
+    parallelism: ParallelismConfig
+    compute_time: float                       # seconds per iteration
+    comm_ops: tuple                           # tuple[CommOp, ...]
+    description: str = ""
+    #: Per-topology iteration times published in Section V-B (seconds),
+    #: recorded for EXPERIMENTS.md comparison; keys are topology labels.
+    paper_reference: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_accelerators(self) -> int:
+        return self.parallelism.num_accelerators
+
+    def iteration_time(self, profile: NetworkProfile) -> float:
+        """End-to-end iteration time on the given network profile."""
+        return _iteration_time(self.compute_time, self.comm_ops, profile)
+
+    def communication_overhead(self, profile: NetworkProfile) -> float:
+        """Exposed-communication share of the iteration (0 = fully hidden)."""
+        total = self.iteration_time(profile)
+        return (total - self.compute_time) / total if total > 0 else 0.0
+
+    def total_comm_volume(self) -> float:
+        """Total per-accelerator communication volume per iteration (bytes)."""
+        return sum(op.volume * op.count for op in self.comm_ops)
+
+
+WORKLOADS: Dict[str, Callable[..., ModelWorkload]] = {}
+
+
+def register_workload(name: str):
+    """Decorator registering a workload factory under ``name``."""
+
+    def decorator(fn: Callable[..., ModelWorkload]):
+        WORKLOADS[name] = fn
+        return fn
+
+    return decorator
+
+
+def get_workload(name: str, **kwargs) -> ModelWorkload:
+    """Instantiate a registered workload by name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(f"unknown workload {name!r}; available: {sorted(WORKLOADS)}") from None
+    return factory(**kwargs)

@@ -1,0 +1,189 @@
+"""Network profiles and the compute/communication overlap iteration model.
+
+A :class:`NetworkProfile` condenses a topology into the handful of effective
+bandwidths the DNN workload models need:
+
+* ``p2p_bandwidth`` -- bytes/s a single accelerator can push to one neighbour
+  (pipeline-parallel sends).  Switched topologies stripe a single transfer
+  over all four planes; on HammingMesh and the torus a neighbour send uses
+  one directional port.
+* ``allreduce_busbw`` -- achieved allreduce bus bandwidth (bytes/s), at most
+  half the injection bandwidth.
+* ``alltoall_bandwidth`` -- achievable per-accelerator alltoall bandwidth.
+* ``alpha`` -- per-message latency.
+
+Profiles can be built from measured flow-simulator fractions (Table II) via
+:meth:`NetworkProfile.from_measurements`, or from the per-family defaults.
+
+The iteration model follows Section V-B: communication that the schedule
+allows to overlap hides underneath the iteration's compute time; whatever
+does not fit (plus intrinsically blocking communication) is exposed and adds
+to the iteration time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["PORT_BYTES_PER_S", "CommOp", "NetworkProfile", "iteration_time", "communication_time"]
+
+#: One 400 Gb/s port in bytes per second.
+PORT_BYTES_PER_S = 50e9
+
+#: Ports a single point-to-point transfer can stripe over, per family.
+#: Switched topologies give every accelerator one port per plane into a
+#: non-blocking core, so a single transfer stripes over all four planes.
+#: Direct topologies (HammingMesh, HyperX/Hx1Mesh, torus) reach a given
+#: neighbour through one directional port per plane.
+_P2P_PORTS = {
+    "fattree": 4.0,
+    "dragonfly": 4.0,
+    "hyperx": 1.0,
+    "hammingmesh": 1.0,
+    "torus": 1.0,
+}
+
+#: Effective bandwidth share of small operator-parallel groups (e.g. the
+#: 4-way Megatron allreduce).  On switched topologies and on HxMesh boards
+#: the group communicates at full bandwidth; on the torus the group shares
+#: its unswitched directional ports with pipeline and transit traffic.
+_SMALL_GROUP_FACTOR = {
+    "fattree": 1.0,
+    "dragonfly": 1.0,
+    "hyperx": 1.0,
+    "hammingmesh": 1.0,
+    "torus": 0.33,
+}
+
+#: Contention factor applied to point-to-point traffic: on the switchless
+#: torus, pipeline sends, operator collectives and pass-through traffic of
+#: neighbouring jobs share the same four ports without any isolation.
+_P2P_CONTENTION = {
+    "torus": 0.33,
+}
+
+
+@dataclass(frozen=True)
+class CommOp:
+    """One communication operation of a training iteration.
+
+    ``volume`` is the per-accelerator data size in bytes, ``group`` the
+    number of ranks participating, ``count`` how many times the operation
+    runs per iteration, and ``overlap`` the fraction of its time the training
+    schedule can hide behind compute (Section V-B: nonblocking allreduce,
+    pipelined send/recv, ...).
+    """
+
+    kind: str                     # "allreduce" | "alltoall" | "p2p" | "allgather"
+    volume: float
+    group: int
+    count: int = 1
+    overlap: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("allreduce", "alltoall", "p2p", "allgather", "reducescatter"):
+            raise ValueError(f"unknown communication kind {self.kind!r}")
+        if not (0.0 <= self.overlap <= 1.0):
+            raise ValueError("overlap must be within [0, 1]")
+        if self.volume < 0 or self.count < 0 or self.group < 1:
+            raise ValueError("invalid communication op parameters")
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Effective communication performance of one topology."""
+
+    name: str
+    family: str
+    p2p_bandwidth: float            # bytes/s
+    allreduce_busbw: float          # bytes/s
+    alltoall_bandwidth: float       # bytes/s
+    alpha: float = 2e-6             # seconds per message
+    supports_torus_algorithm: bool = False
+    #: bus bandwidth of small (operator-parallel) group allreduces, bytes/s
+    small_group_busbw: float = 0.0
+
+    def small_group_bandwidth(self) -> float:
+        return self.small_group_busbw if self.small_group_busbw > 0 else self.allreduce_busbw
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_measurements(
+        cls,
+        name: str,
+        family: str,
+        *,
+        alltoall_fraction: float,
+        allreduce_fraction: float,
+        injection_bytes_per_s: float = 4 * PORT_BYTES_PER_S,
+        diameter: int = 6,
+        link_latency: float = 20e-9,
+        software_overhead: float = 1.5e-6,
+    ) -> "NetworkProfile":
+        """Build a profile from Table-II style measured bandwidth fractions."""
+        p2p_ports = _P2P_PORTS.get(family, 4.0)
+        contention = _P2P_CONTENTION.get(family, 1.0)
+        allreduce_busbw = allreduce_fraction * injection_bytes_per_s / 2.0
+        return cls(
+            name=name,
+            family=family,
+            p2p_bandwidth=p2p_ports * PORT_BYTES_PER_S * contention,
+            allreduce_busbw=allreduce_busbw,
+            alltoall_bandwidth=alltoall_fraction * injection_bytes_per_s,
+            alpha=software_overhead + diameter * link_latency,
+            supports_torus_algorithm=family in ("hammingmesh", "torus", "hyperx"),
+            small_group_busbw=allreduce_busbw * _SMALL_GROUP_FACTOR.get(family, 1.0),
+        )
+
+
+# ----------------------------------------------------------------- timing
+def communication_time(op: CommOp, profile: NetworkProfile) -> float:
+    """Wall-clock time of one instance of ``op`` on ``profile``."""
+    if op.volume == 0 or op.group <= 1:
+        return 0.0
+    a = profile.alpha
+    if op.kind == "allreduce":
+        ring_latency = 2 * op.group * a
+        if op.group >= 16:
+            # Multi-algorithm selection (Section V-A2d): the 2D-torus
+            # algorithm's sqrt(p) latency wins for larger groups.
+            latency = min(ring_latency, 4 * math.sqrt(op.group) * a)
+        else:
+            latency = ring_latency
+        busbw = (
+            profile.small_group_bandwidth() if op.group <= 16 else profile.allreduce_busbw
+        )
+        return latency + op.volume / busbw
+    if op.kind in ("allgather", "reducescatter"):
+        busbw = (
+            profile.small_group_bandwidth() if op.group <= 16 else profile.allreduce_busbw
+        )
+        return op.group * a + op.volume / busbw
+    if op.kind == "alltoall":
+        return (op.group - 1) * a + op.volume / profile.alltoall_bandwidth
+    # point-to-point (pipeline neighbours, halo exchange)
+    return a + op.volume / profile.p2p_bandwidth
+
+
+def iteration_time(
+    compute_time: float,
+    ops: Sequence[CommOp],
+    profile: NetworkProfile,
+) -> float:
+    """Iteration time with compute/communication overlap.
+
+    The overlappable share of every operation hides behind compute as long
+    as the total hidden time does not exceed the compute time (the network
+    and the compute engine are independent resources); the remainder is
+    exposed and extends the iteration.
+    """
+    hideable = 0.0
+    exposed = 0.0
+    for op in ops:
+        t = communication_time(op, profile) * op.count
+        hideable += t * op.overlap
+        exposed += t * (1.0 - op.overlap)
+    spill = max(0.0, hideable - compute_time)
+    return compute_time + exposed + spill

@@ -1,0 +1,83 @@
+"""Parallelism decomposition and communication-volume model (Section V-B1).
+
+A training job runs on ``D x P x O`` accelerators (data, pipeline, operator
+parallelism).  Each dimension carries a characteristic per-iteration volume:
+
+* data dimension:      ``V_D = W * N_P / (O * P)``  (gradient allreduce)
+* pipeline dimension:  ``V_P = M * W * N_A / (D * P * O)`` (activations +
+  errors across each pipeline cut, forward and backward)
+* operator dimension:  ``V_O = W * N_O`` (operator-specific collectives, a
+  function of the local minibatch ``M / (D * P)``)
+
+``W`` is the word size, ``N_P`` the number of parameters, ``N_A`` the number
+of activations at a pipeline cut and ``M`` the global minibatch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ParallelismConfig", "CommVolumes"]
+
+
+@dataclass(frozen=True)
+class ParallelismConfig:
+    """Degrees of data, pipeline and operator parallelism."""
+
+    data: int = 1
+    pipeline: int = 1
+    operator: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.data, self.pipeline, self.operator) < 1:
+            raise ValueError("parallelism degrees must be >= 1")
+
+    @property
+    def num_accelerators(self) -> int:
+        return self.data * self.pipeline * self.operator
+
+    def logical_shape(self) -> tuple:
+        """Non-trivial dimensions of the logical job topology, largest first."""
+        dims = [d for d in (self.data, self.pipeline, self.operator) if d > 1]
+        return tuple(sorted(dims, reverse=True)) or (1,)
+
+
+@dataclass(frozen=True)
+class CommVolumes:
+    """Per-accelerator, per-iteration communication volumes in bytes."""
+
+    data_allreduce: float = 0.0      # gradient allreduce along D
+    pipeline_p2p: float = 0.0        # activations + errors along P
+    operator_collective: float = 0.0  # allreduce/allgather/halo along O
+    operator_alltoall: float = 0.0   # MoE / embedding alltoall volume
+
+    @property
+    def total(self) -> float:
+        return (
+            self.data_allreduce
+            + self.pipeline_p2p
+            + self.operator_collective
+            + self.operator_alltoall
+        )
+
+
+def data_parallel_volume(word_size: float, num_parameters: float,
+                         config: ParallelismConfig) -> float:
+    """V_D: bytes each data-parallel rank contributes to the gradient allreduce."""
+    return word_size * num_parameters / (config.operator * config.pipeline)
+
+
+def pipeline_volume(word_size: float, activations_per_example: float,
+                    minibatch: int, config: ParallelismConfig) -> float:
+    """V_P: bytes sent to the next pipeline stage per iteration (per direction)."""
+    return (
+        minibatch
+        * word_size
+        * activations_per_example
+        / (config.data * config.pipeline * config.operator)
+    )
+
+
+def operator_volume(word_size: float, elements: float) -> float:
+    """V_O: bytes of one operator-parallel collective."""
+    return word_size * elements

@@ -1,0 +1,280 @@
+"""Tests for the job allocation stack (grid, greedy allocator, heuristics,
+workload generator, locality estimator, fragmentation experiments)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.allocation import (
+    AllocatorOptions,
+    BoardGrid,
+    GreedyAllocator,
+    JobRequest,
+    JobTrace,
+    alibaba_like_distribution,
+    aspect_ratio_shapes,
+    most_square_shape,
+    sample_job_mixes,
+    upper_level_fraction,
+    utilization_under_failures,
+)
+from repro.core.subnetwork import VirtualSubMesh, is_valid_submesh
+
+
+class TestJobShapes:
+    @pytest.mark.parametrize(
+        "boards,expected", [(1, (1, 1)), (4, (2, 2)), (12, (3, 4)), (7, (1, 7)), (36, (6, 6))]
+    )
+    def test_most_square(self, boards, expected):
+        assert most_square_shape(boards) == expected
+
+    def test_most_square_invalid(self):
+        with pytest.raises(ValueError):
+            most_square_shape(0)
+
+    def test_aspect_ratio_shapes(self):
+        shapes = aspect_ratio_shapes(64, max_ratio=8)
+        assert (8, 8) in shapes
+        assert (4, 16) in shapes
+        assert (2, 32) not in shapes  # ratio 16 > 8
+        assert shapes[0] == (8, 8)    # most square first
+
+    def test_job_request(self):
+        job = JobRequest.from_board_count(3, 12)
+        assert job.num_boards == 12
+        with pytest.raises(ValueError):
+            JobRequest(0, 0, 2)
+
+    def test_trace_sorting(self):
+        trace = JobTrace([JobRequest(0, 1, 1), JobRequest(1, 4, 4), JobRequest(2, 2, 2)])
+        sizes = [j.num_boards for j in trace.sorted_by_size()]
+        assert sizes == [16, 4, 1]
+        assert trace.total_boards == 21
+
+
+class TestBoardGrid:
+    def test_initial_state(self):
+        grid = BoardGrid(4, 3)
+        assert grid.num_boards == 12
+        assert grid.num_free == 12
+        assert grid.utilization() == 0.0
+
+    def test_allocate_and_release(self):
+        grid = BoardGrid(4, 4)
+        sm = VirtualSubMesh(rows=(0, 1), cols=(0, 2))
+        grid.allocate(7, sm)
+        assert grid.num_allocated == 4
+        assert grid.job_at((0, 0)) == 7
+        assert grid.job_at((0, 1)) is None
+        assert grid.boards_of(7) == sm.boards()
+        grid.release(7)
+        assert grid.num_allocated == 0
+
+    def test_double_allocation_rejected(self):
+        grid = BoardGrid(4, 4)
+        sm = VirtualSubMesh(rows=(0,), cols=(0,))
+        grid.allocate(1, sm)
+        with pytest.raises(ValueError):
+            grid.allocate(2, sm)
+        with pytest.raises(ValueError):
+            grid.allocate(1, VirtualSubMesh(rows=(1,), cols=(1,)))
+
+    def test_failures(self):
+        grid = BoardGrid(4, 4)
+        failed = grid.fail_random(3, seed=1)
+        assert len(failed) == 3
+        assert grid.num_failed == 3
+        assert grid.num_working == 13
+        with pytest.raises(ValueError):
+            grid.fail_random(20)
+
+    def test_cannot_fail_allocated_board(self):
+        grid = BoardGrid(2, 2)
+        grid.allocate(0, VirtualSubMesh(rows=(0,), cols=(0,)))
+        with pytest.raises(ValueError):
+            grid.fail_boards([(0, 0)])
+
+    def test_row_available_excludes_failed_and_allocated(self):
+        grid = BoardGrid(3, 2)
+        grid.fail_boards([(0, 1)])
+        grid.allocate(0, VirtualSubMesh(rows=(1,), cols=(0,)))
+        avail = grid.row_available()
+        assert avail[0] == frozenset({0, 2})
+        assert avail[1] == frozenset({1, 2})
+
+    def test_utilization_counts_working_boards_only(self):
+        grid = BoardGrid(2, 2)
+        grid.fail_boards([(0, 0), (0, 1)])
+        grid.allocate(0, VirtualSubMesh(rows=(1,), cols=(0, 1)))
+        assert grid.utilization() == pytest.approx(1.0)
+
+    def test_reset(self):
+        grid = BoardGrid(2, 2)
+        grid.fail_boards([(0, 0)])
+        grid.allocate(0, VirtualSubMesh(rows=(1,), cols=(1,)))
+        grid.reset()
+        assert grid.num_allocated == 0 and grid.num_failed == 1
+        grid.reset(keep_failures=False)
+        assert grid.num_failed == 0
+
+
+class TestGreedyAllocator:
+    def test_exact_fit(self):
+        grid = BoardGrid(4, 4)
+        allocator = GreedyAllocator(grid)
+        sm = allocator.allocate(JobRequest(0, 4, 4))
+        assert sm is not None and sm.num_boards == 16
+        assert grid.utilization() == 1.0
+
+    def test_allocation_is_valid_submesh(self):
+        grid = BoardGrid(8, 8)
+        grid.fail_random(6, seed=2)
+        allocator = GreedyAllocator(grid, AllocatorOptions(transpose=True))
+        sm = allocator.allocate(JobRequest(0, 3, 5))
+        if sm is not None:
+            assert is_valid_submesh(sm.boards())
+            assert all(grid.job_at(b) == 0 for b in sm.boards())
+
+    def test_transpose_heuristic_helps(self):
+        # A 2x6 request cannot fit a 4-column grid, but its transpose can.
+        grid = BoardGrid(4, 8)
+        plain = GreedyAllocator(BoardGrid(4, 8), AllocatorOptions())
+        assert plain.allocate(JobRequest(0, 2, 6)) is None
+        transposing = GreedyAllocator(grid, AllocatorOptions(transpose=True))
+        assert transposing.allocate(JobRequest(0, 2, 6)) is not None
+
+    def test_aspect_ratio_heuristic_helps(self):
+        # 16 boards as 4x4 does not fit a 2-row grid; 2x8 does.
+        grid = BoardGrid(8, 2)
+        plain = GreedyAllocator(BoardGrid(8, 2), AllocatorOptions(transpose=True))
+        assert plain.allocate(JobRequest(0, 4, 4)) is None
+        flexible = GreedyAllocator(grid, AllocatorOptions(transpose=True, aspect_ratio=True))
+        assert flexible.allocate(JobRequest(0, 4, 4)) is not None
+
+    def test_oversized_job_rejected(self):
+        allocator = GreedyAllocator(BoardGrid(4, 4))
+        assert allocator.allocate(JobRequest(0, 5, 5)) is None
+
+    def test_no_board_shared_between_jobs(self):
+        grid = BoardGrid(8, 8)
+        allocator = GreedyAllocator(grid, AllocatorOptions(transpose=True, aspect_ratio=True))
+        trace = JobTrace([JobRequest(i, 2, 2) for i in range(20)])
+        result = allocator.allocate_trace(trace)
+        seen = {}
+        for job_id, sm in result.placed.items():
+            for board in sm.boards():
+                assert board not in seen, f"board {board} allocated twice"
+                seen[board] = job_id
+
+    def test_locality_prefers_compact_columns(self):
+        grid = BoardGrid(32, 32)
+        options = AllocatorOptions(
+            transpose=True, aspect_ratio=True, locality=True, boards_per_leaf=16
+        )
+        allocator = GreedyAllocator(grid, options)
+        sm = allocator.allocate(JobRequest(0, 4, 4))
+        assert sm is not None
+        assert upper_level_fraction(sm, boards_per_leaf=16) <= 0.5
+
+    def test_named_presets(self):
+        assert AllocatorOptions.named("greedy") == AllocatorOptions()
+        assert AllocatorOptions.named("greedy+transpose").transpose
+        with pytest.raises(ValueError):
+            AllocatorOptions.named("bogus")
+
+    @given(
+        grid_size=st.integers(4, 10),
+        jobs=st.lists(st.integers(1, 20), min_size=1, max_size=25),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_allocations_never_overlap_or_exceed_grid(self, grid_size, jobs):
+        grid = BoardGrid(grid_size, grid_size)
+        allocator = GreedyAllocator(
+            grid, AllocatorOptions(transpose=True, aspect_ratio=True)
+        )
+        trace = JobTrace([JobRequest(i, *most_square_shape(s)) for i, s in enumerate(jobs)])
+        result = allocator.allocate_trace(trace)
+        total = sum(sm.num_boards for sm in result.placed.values())
+        assert total == grid.num_allocated <= grid.num_boards
+        assert 0.0 <= result.utilization <= 1.0
+
+
+class TestWorkloadGenerator:
+    def test_distribution_is_normalised(self):
+        dist = alibaba_like_distribution()
+        assert sum(dist.probabilities) == pytest.approx(1.0)
+        assert dist.mean_size() > 1.0
+
+    def test_cdfs_are_monotone(self):
+        dist = alibaba_like_distribution()
+        for cdf in (dist.count_weighted_cdf(), dist.board_weighted_cdf()):
+            values = [v for _, v in cdf]
+            assert values == sorted(values)
+            assert values[-1] == pytest.approx(1.0)
+
+    def test_board_weighted_cdf_has_heavy_tail(self):
+        dist = alibaba_like_distribution()
+        below_100 = [v for s, v in dist.board_weighted_cdf() if s <= 100][-1]
+        # most of the job *count* is small but a large share of boards
+        # belongs to big jobs (Figure 7's shape)
+        assert 0.3 < below_100 < 0.9
+
+    def test_sample_job_mixes_fill_cluster(self):
+        mixes = sample_job_mixes(256, 5, seed=0)
+        assert len(mixes) == 5
+        for mix in mixes:
+            assert 0 < mix.total_boards <= 256
+            assert all(j.num_boards <= 256 for j in mix)
+
+    def test_mixes_are_deterministic_per_seed(self):
+        a = sample_job_mixes(64, 3, seed=7)
+        b = sample_job_mixes(64, 3, seed=7)
+        assert [[j.num_boards for j in m] for m in a] == [
+            [j.num_boards for j in m] for m in b
+        ]
+
+    def test_invalid_distribution(self):
+        from repro.allocation import JobSizeDistribution
+
+        with pytest.raises(ValueError):
+            JobSizeDistribution((1, 2), (0.5, 0.2))
+        with pytest.raises(ValueError):
+            JobSizeDistribution((0,), (1.0,))
+
+
+class TestLocality:
+    def test_single_leaf_job_has_no_upper_traffic(self):
+        sm = VirtualSubMesh(rows=(0, 1), cols=(2, 3))
+        assert upper_level_fraction(sm, boards_per_leaf=16) == 0.0
+
+    def test_spread_job_crosses_upper_levels(self):
+        sm = VirtualSubMesh(rows=(0, 40), cols=(1, 50))
+        assert upper_level_fraction(sm, boards_per_leaf=16, pattern="alltoall") > 0.4
+
+    def test_allreduce_leq_alltoall(self):
+        sm = VirtualSubMesh(rows=tuple(range(0, 64, 4)), cols=tuple(range(0, 64, 4)))
+        ar = upper_level_fraction(sm, boards_per_leaf=16, pattern="allreduce")
+        a2a = upper_level_fraction(sm, boards_per_leaf=16, pattern="alltoall")
+        assert ar <= a2a + 1e-9
+
+    def test_unknown_pattern(self):
+        sm = VirtualSubMesh(rows=(0, 1), cols=(0, 1))
+        with pytest.raises(ValueError):
+            upper_level_fraction(sm, pattern="bogus")
+
+
+class TestFragmentation:
+    def test_failure_experiment_shapes(self):
+        results = utilization_under_failures(8, 8, [0, 4, 8], num_trials=4, seed=1)
+        assert [r.num_failed for r in results] == [0, 4, 8]
+        for r in results:
+            assert len(r.utilizations) == 4
+            assert 0.0 <= r.median <= 1.0
+            assert 0.0 <= r.percentile(99) <= 1.0
+
+    def test_more_failures_do_not_increase_capacity(self):
+        results = utilization_under_failures(
+            8, 8, [0, 16], num_trials=6, seed=3, sort_jobs=True
+        )
+        # utilization of *working* boards stays high even with failures
+        assert results[1].median > 0.5

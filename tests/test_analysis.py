@@ -1,0 +1,206 @@
+"""Tests for the analysis/experiment harness (Table II, figures, reports)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DEFAULT_FRACTIONS,
+    build_table2,
+    cluster_configs,
+    dnn_iteration_times,
+    fig7_jobsize_cdf,
+    fig8_utilization,
+    fig9_upper_traffic,
+    fig10_failures,
+    fig11_alltoall_sweep,
+    fig13_allreduce_sweep,
+    fig15_cost_savings,
+    fig16_hamiltonian_cycles,
+    format_distribution_summary,
+    format_nested_table,
+    format_series,
+    format_table2,
+    measure_topology,
+    network_profiles,
+    small_cluster_configs,
+)
+from repro.analysis.table2 import _savings
+
+
+class TestClusters:
+    def test_small_cluster_has_eight_rows(self):
+        configs = small_cluster_configs()
+        assert len(configs) == 8
+        assert {c.key for c in configs} >= {"ft_nonblocking", "hx2mesh", "hx4mesh", "torus"}
+
+    def test_all_small_configs_build(self):
+        for config in small_cluster_configs():
+            topo = config.build()
+            assert abs(topo.num_accelerators - config.num_accelerators) <= 64
+
+    def test_costs_follow_paper_ordering(self):
+        configs = {c.key: c for c in small_cluster_configs()}
+        assert configs["hx4mesh"].cost.total < configs["hx2mesh"].cost.total
+        assert configs["hx2mesh"].cost.total < configs["ft_nonblocking"].cost.total
+
+    def test_unknown_cluster(self):
+        with pytest.raises(ValueError):
+            cluster_configs("medium")
+
+    def test_large_cluster_configs_exist(self):
+        configs = cluster_configs("large")
+        assert len(configs) == 8
+        assert all(c.num_accelerators >= 16000 for c in configs)
+
+
+class TestMeasurements:
+    def test_measure_topology_summary(self, hx2mesh_4x4):
+        summary = measure_topology(hx2mesh_4x4, num_phases=8, max_paths=4)
+        assert 0.0 < summary.alltoall_fraction <= 1.0
+        assert 0.5 < summary.allreduce_fraction <= 1.0
+        assert set(summary.as_dict()) == {"name", "alltoall_fraction", "allreduce_fraction"}
+
+
+class TestTable2:
+    def test_savings_helper(self):
+        assert _savings(10.0, 0.5, 20.0, 1.0) == pytest.approx(1.0)
+        assert _savings(10.0, 1.0, 20.0, 1.0) == pytest.approx(2.0)
+        assert _savings(10.0, 0.0, 20.0, 1.0) == 0.0
+
+    def test_build_table2_tiny_configs(self):
+        """Run the Table II pipeline on miniature stand-ins for speed."""
+        from repro.analysis.clusters import ClusterTopology
+        from repro.core.hammingmesh import build_hammingmesh
+        from repro.cost import fat_tree_cost, hammingmesh_cost
+        from repro.core.params import hx2mesh
+        from repro.topology import build_fat_tree
+
+        configs = [
+            ClusterTopology(
+                "ft_nonblocking", "nonblocking fat tree", "fattree", 64,
+                lambda: build_fat_tree(64), fat_tree_cost(64), 2, {"cost": 1.0},
+            ),
+            ClusterTopology(
+                "hx2mesh", "Hx2Mesh", "hammingmesh", 64,
+                lambda: build_hammingmesh(2, 2, 4, 4),
+                hammingmesh_cost(hx2mesh(4, 4)), 4, {"cost": 0.5},
+            ),
+        ]
+        rows = build_table2(configs=configs, num_phases=8, max_paths=4)
+        assert len(rows) == 2
+        by_key = {r.key: r for r in rows}
+        assert by_key["ft_nonblocking"].global_saving == pytest.approx(1.0)
+        assert by_key["ft_nonblocking"].global_bw_percent > 80
+        assert by_key["hx2mesh"].allreduce_bw_percent > 90
+        assert by_key["hx2mesh"].allreduce_saving > 0
+        assert by_key["hx2mesh"].diameter == 4
+        text = format_table2(rows)
+        assert "Hx2Mesh" in text and "glob BW%" in text
+
+
+class TestFigureGenerators:
+    def test_profiles_cover_all_topologies(self):
+        profiles = network_profiles("small")
+        assert set(profiles) == {c.key for c in small_cluster_configs()}
+        assert profiles["hx2mesh"].alltoall_bandwidth < profiles["ft_nonblocking"].alltoall_bandwidth
+
+    def test_default_fractions_sane(self):
+        for entry in DEFAULT_FRACTIONS.values():
+            assert 0.0 < entry["alltoall"] <= 1.0
+            assert 0.0 < entry["allreduce"] <= 1.0
+
+    def test_fig7(self):
+        data = fig7_jobsize_cdf(cluster_boards=256, num_mixes=20, seed=1)
+        for key in ("original", "sampled"):
+            values = [v for _, v in data[key]]
+            assert values == sorted(values)
+            assert values[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig8_small(self):
+        data = fig8_utilization(
+            clusters={"tiny": (8, 8)}, num_traces=5, seed=1
+        )
+        presets = data["tiny"]
+        assert all(0.0 <= u <= 1.0 for utils in presets.values() for u in utils)
+        base = np.mean(presets["greedy"])
+        best = np.mean(presets["greedy+transpose+aspect+sort"])
+        assert best >= base - 0.05
+
+    def test_fig9_small(self):
+        data = fig9_upper_traffic(
+            clusters={"tiny": (16, 16, 4)}, num_traces=3, seed=0
+        )
+        for preset, fractions in data["tiny"].items():
+            assert 0.0 <= fractions["alltoall"] <= 1.0
+            assert fractions["allreduce"] <= fractions["alltoall"] + 1e-9
+
+    def test_fig10_small(self):
+        data = fig10_failures(
+            clusters={"tiny": ((8, 8), (0, 8))}, num_trials=3, seed=0
+        )
+        series = data["tiny"]["sorted"]
+        assert [n for n, _ in series] == [0, 8]
+        assert all(0.0 <= u <= 1.0 for _, u in series)
+
+    def test_fig11_sweep_shape(self):
+        series = fig11_alltoall_sweep("small")
+        assert "Hx2Mesh" in series and "nonblocking fat tree" in series
+        for points in series.values():
+            fractions = [f for _, f in points]
+            assert all(0 <= f <= 1.0 + 1e-9 for f in fractions)
+            assert fractions[-1] >= fractions[0]  # saturates with message size
+        # HxMesh saturates below the fat tree
+        assert series["Hx2Mesh"][-1][1] < series["nonblocking fat tree"][-1][1]
+
+    def test_fig13_sweep_crossover(self):
+        series = fig13_allreduce_sweep("large")
+        hx = series["Hx2Mesh"]
+        assert set(hx) == {"rings", "torus"}
+        sizes = [s for s, _ in hx["rings"]]
+        rings = dict(hx["rings"])
+        torus = dict(hx["torus"])
+        # torus algorithm wins clearly at the smallest size (its sqrt(p)
+        # latency vs the rings' 2p latency) ...
+        assert torus[sizes[0]] >= rings[sizes[0]]
+        # ... and the rings algorithm catches up as messages grow (its
+        # asymptotic bandwidth is 2x the torus algorithm's).
+        ratio_small = rings[sizes[0]] / torus[sizes[0]]
+        ratio_large = rings[sizes[-1]] / torus[sizes[-1]]
+        assert ratio_large > ratio_small
+        # switched topologies expose only the ring algorithm
+        assert list(series["nonblocking fat tree"]) == ["bidirectional-ring"]
+
+    def test_fig15_savings_structure(self):
+        savings = fig15_cost_savings()
+        assert set(savings) == {"Hx2Mesh", "Hx4Mesh"}
+        for per_workload in savings.values():
+            for per_baseline in per_workload.values():
+                assert all(v > 0 for v in per_baseline.values())
+        resnet = next(k for k in savings["Hx4Mesh"] if "ResNet" in k)
+        # headline result: Hx4Mesh much cheaper than the nonblocking fat tree
+        assert savings["Hx4Mesh"][resnet]["nonblocking fat tree"] > 3.0
+
+    def test_fig16_cycles(self):
+        cycles = fig16_hamiltonian_cycles()
+        assert set(cycles) == {(4, 4), (8, 4), (9, 3), (16, 8)}
+
+    def test_dnn_iteration_times_table(self):
+        times = dnn_iteration_times()
+        gpt3 = next(k for k in times if k.startswith("GPT-3 ("))
+        per_topo = times[gpt3]
+        assert per_topo["nonblocking fat tree"] < per_topo["2D torus"]
+        assert per_topo["nonblocking fat tree"] <= per_topo["Hx2Mesh"]
+
+
+class TestReport:
+    def test_format_series(self):
+        text = format_series("t", {"a": [(1, 0.5), (2, 0.6)], "b": [(1, 0.7)]})
+        assert "t" in text and "0.5" in text and "-" in text
+
+    def test_format_distribution_summary(self):
+        text = format_distribution_summary("d", {"x": [0.1, 0.2, 0.3]})
+        assert "mean" in text and "x" in text
+
+    def test_format_nested_table(self):
+        text = format_nested_table("n", {"r": {"c1": 1.0, "c2": 2.0}})
+        assert "r" in text and "1.00" in text

@@ -1,0 +1,235 @@
+"""Tests for collective algorithms: Hamiltonian cycles, rings, 2D torus,
+alltoall, schedules and alpha-beta cost models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.collectives as C
+from repro.core import build_hammingmesh
+from repro.sim import FlowSimulator
+from repro.topology import build_fat_tree, build_torus2d
+
+
+class TestHamiltonianCycles:
+    @pytest.mark.parametrize("shape", [(4, 4), (8, 4), (9, 3), (16, 8), (32, 32)])
+    def test_paper_shapes(self, shape):
+        """The Figure 16 example shapes all admit edge-disjoint cycles."""
+        rows, cols = shape
+        red, green = C.disjoint_hamiltonian_cycles(rows, cols)
+        assert C.is_hamiltonian_cycle(red, rows, cols)
+        assert C.is_hamiltonian_cycle(green, rows, cols)
+        assert C.are_edge_disjoint(red, green)
+
+    def test_unsupported_shapes_raise(self):
+        with pytest.raises(ValueError):
+            C.disjoint_hamiltonian_cycles(6, 4)  # gcd(6,3) != 1
+        with pytest.raises(ValueError):
+            C.disjoint_hamiltonian_cycles(5, 3)  # 5 not a multiple of 3
+
+    def test_supports_predicate(self):
+        assert C.supports_disjoint_cycles(8, 4)
+        assert not C.supports_disjoint_cycles(8, 2)
+        assert not C.supports_disjoint_cycles(6, 4)
+        assert not C.supports_disjoint_cycles(2, 2)
+
+    @given(
+        cols=st.integers(3, 8),
+        k=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_construction_valid_whenever_supported(self, cols, k):
+        rows = cols * k
+        if not C.supports_disjoint_cycles(rows, cols):
+            return
+        red, green = C.disjoint_hamiltonian_cycles(rows, cols)
+        assert C.is_hamiltonian_cycle(red, rows, cols)
+        assert C.is_hamiltonian_cycle(green, rows, cols)
+        assert C.are_edge_disjoint(red, green)
+
+    def test_cycle_edges_count(self):
+        red, _ = C.disjoint_hamiltonian_cycles(4, 4)
+        assert len(C.cycle_edges(red)) == 16
+
+    @pytest.mark.parametrize("shape", [(4, 4), (5, 4), (4, 5), (6, 8), (9, 3)])
+    def test_boustrophedon_fallback(self, shape):
+        rows, cols = shape
+        cycle = C.boustrophedon_cycle(rows, cols)
+        assert C.is_hamiltonian_cycle(cycle, rows, cols)
+
+    def test_boustrophedon_unsupported(self):
+        with pytest.raises(ValueError):
+            C.boustrophedon_cycle(5, 7)
+
+    def test_is_hamiltonian_rejects_bad_cycles(self):
+        assert not C.is_hamiltonian_cycle([(0, 0), (0, 1)], 2, 2)
+        assert not C.is_hamiltonian_cycle([(0, 0), (0, 1), (1, 1), (0, 0)], 2, 2)
+
+
+class TestRingEmbeddings:
+    def test_natural_ring(self):
+        assert C.natural_ring_order(5) == [0, 1, 2, 3, 4]
+
+    def test_grid_ring_orders_on_hxmesh(self, hx2mesh_4x4):
+        orders = C.ring_orders_for(hx2mesh_4x4)
+        p = hx2mesh_4x4.num_accelerators
+        assert len(orders) == 2  # edge-disjoint pair on the 8x8 grid
+        for order in orders:
+            assert sorted(order) == list(range(p))
+
+    def test_grid_ring_orders_on_torus(self, torus_4x4_boards):
+        orders = C.ring_orders_for(torus_4x4_boards)
+        assert len(orders) == 2
+
+    def test_switched_topologies_get_single_ring(self, fat_tree_64):
+        orders = C.ring_orders_for(fat_tree_64)
+        assert len(orders) == 1
+        assert orders[0] == list(range(64))
+
+    def test_ring_steady_flows(self):
+        flows = C.ring_steady_flows([0, 1, 2], bidirectional=False)
+        assert len(flows) == 3
+        flows = C.ring_steady_flows([0, 1, 2], bidirectional=True)
+        assert len(flows) == 6
+
+    def test_dual_ring_flows_cover_four_ports(self, hx2mesh_4x4):
+        orders = C.ring_orders_for(hx2mesh_4x4)
+        flows = C.dual_ring_steady_flows(orders)
+        # every accelerator appears exactly twice as source per ring
+        from collections import Counter
+
+        sends = Counter(f.src for f in flows)
+        assert set(sends.values()) == {4}
+
+    def test_hxmesh_dual_rings_sustain_full_port_rate(self, hx2mesh_4x4):
+        sim = FlowSimulator(hx2mesh_4x4, max_paths=4)
+        flows = C.dual_ring_steady_flows(C.ring_orders_for(hx2mesh_4x4))
+        rate = sim.symmetric_rate(flows).min_rate
+        assert rate == pytest.approx(1.0, abs=0.05)
+
+
+class TestRingSchedule:
+    def test_round_and_volume_structure(self):
+        schedule = C.ring_allreduce_schedule([0, 1, 2, 3], size=4096, bidirectional=False)
+        assert schedule.num_phases == 2 * 3
+        # each rank sends one segment (size/p) per round
+        assert schedule.phases[0][0].size == pytest.approx(1024)
+        total = schedule.total_bytes()
+        assert total == pytest.approx(2 * 3 * 4 * 1024)
+
+    def test_bidirectional_halves_segments(self):
+        schedule = C.ring_allreduce_schedule([0, 1, 2, 3], size=4096, bidirectional=True)
+        assert schedule.phases[0][0].size == pytest.approx(512)
+
+    def test_trivial_ring(self):
+        assert C.ring_allreduce_schedule([0], size=100).num_phases == 0
+
+
+class TestTorus2D:
+    def test_square_grid_construction(self):
+        alg = C.Torus2DAllreduce.square(16)
+        assert alg.rows == alg.cols == 4
+        with pytest.raises(ValueError):
+            C.Torus2DAllreduce.square(12)
+
+    def test_steady_flows_use_four_ports(self):
+        alg = C.Torus2DAllreduce.square(16)
+        flows = alg.steady_flows()
+        from collections import Counter
+
+        sends = Counter(f.src for f in flows)
+        assert set(sends.values()) == {4}
+
+    def test_schedule_phase_count(self):
+        alg = C.Torus2DAllreduce.square(16)
+        schedule = alg.schedule(size=1 << 20)
+        # (cols-1) + 2*(rows-1) + (cols-1) phases
+        assert schedule.num_phases == 3 + 6 + 3
+
+    def test_for_topology(self, hx2mesh_4x4):
+        alg = C.Torus2DAllreduce.for_topology(hx2mesh_4x4)
+        assert alg.rows * alg.cols == hx2mesh_4x4.num_accelerators
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            C.Torus2DAllreduce(1, 4, {(0, c): c for c in range(4)})
+
+
+class TestSchedules:
+    def test_alphabeta_time_accumulates_phases(self):
+        s = C.CommSchedule()
+        s.add_phase([C.Transfer(0, 1, 1000.0)])
+        s.add_phase([C.Transfer(1, 0, 1000.0)])
+        t = s.time_alphabeta(alpha=1e-6, beta=1e-9)
+        assert t == pytest.approx(2 * (1e-6 + 1e-6), rel=1e-6)
+
+    def test_alphabeta_per_rank_serialisation(self):
+        s = C.CommSchedule()
+        s.add_phase([C.Transfer(0, 1, 1000.0), C.Transfer(0, 2, 1000.0)])
+        t = s.time_alphabeta(alpha=0.0, beta=1e-9)
+        assert t == pytest.approx(2e-6)
+
+    def test_transfer_validation(self):
+        with pytest.raises(ValueError):
+            C.Transfer(1, 1, 10.0)
+        with pytest.raises(ValueError):
+            C.Transfer(0, 1, -1.0)
+
+    def test_flowsim_timing_on_ring(self, hx2mesh_4x4):
+        sim = FlowSimulator(hx2mesh_4x4, max_paths=2)
+        order = C.ring_orders_for(hx2mesh_4x4)[0]
+        schedule = C.ring_allreduce_schedule(order, size=1 << 20, bidirectional=True)
+        t = schedule.time_flowsim(sim, alpha=1e-6, bytes_per_unit=50e9)
+        # bandwidth-optimal bound: 2 * (p-1)/p * S / (2 NICs * 50 GB/s)
+        assert t > 0
+        lower_bound = (1 << 20) / (2 * 50e9)
+        assert t > lower_bound
+
+    def test_balanced_shift_schedule(self):
+        s = C.balanced_shift_schedule(4, total_size=3000.0)
+        assert s.num_phases == 3
+        assert s.phases[0][0].size == pytest.approx(1000.0)
+        assert C.balanced_shift_schedule(1, 100).num_phases == 0
+
+
+class TestCostModels:
+    def test_known_formulas(self):
+        p, s, a, b = 16, 1e6, 1e-6, 1e-9
+        assert C.ring_allreduce_time(p, s, a, b) == pytest.approx(2 * p * a + 2 * s * b)
+        assert C.bidirectional_ring_time(p, s, a, b) == pytest.approx(2 * p * a + s * b)
+        assert C.dual_rings_time(p, s, a, b) == pytest.approx(2 * p * a + s * b / 2)
+        expected_torus = 4 * 4 * a + s * b * (1 + 2 * 4) / (2 * 4)
+        assert C.torus2d_allreduce_time(p, s, a, b) == pytest.approx(expected_torus)
+
+    def test_tree_uses_log_stages(self):
+        t = C.tree_allreduce_time(8, 1e6, 1e-6, 1e-9)
+        assert t == pytest.approx(3 * 1e-6 + 3 * 1e-3)
+
+    def test_trivial_group(self):
+        for alg in C.ALGORITHMS:
+            assert C.allreduce_time(alg, 1, 1e6, 1e-6, 1e-9) == 0.0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            C.allreduce_time("bogus", 4, 1.0, 1.0, 1.0)
+
+    def test_rings_beat_torus_for_large_messages(self):
+        p, a, b = 1024, 1e-6, 1e-9
+        big = 1 << 30
+        small = 1 << 14
+        assert C.dual_rings_time(p, big, a, b) < C.torus2d_allreduce_time(p, big, a, b)
+        assert C.torus2d_allreduce_time(p, small, a, b) < C.dual_rings_time(p, small, a, b)
+
+    def test_bus_bandwidth_monotone_in_size(self):
+        model = C.AllreduceModel("rings", 256, 1e-6, 1e-9)
+        assert model.bus_bandwidth(1 << 26) > model.bus_bandwidth(1 << 16)
+
+    @given(
+        p=st.integers(2, 2048),
+        size=st.floats(1.0, 1e9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_dual_rings_never_slower_than_bidirectional(self, p, size):
+        a, b = 1e-6, 1e-9
+        assert C.dual_rings_time(p, size, a, b) <= C.bidirectional_ring_time(p, size, a, b) + 1e-12

@@ -1,0 +1,119 @@
+"""Tests for the capital-cost model (Table II / Appendix C)."""
+
+import pytest
+
+from repro.core.params import HxMeshParams, hx1mesh, hx2mesh, hx4mesh
+from repro.cost import (
+    DEFAULT_CATALOG,
+    CostBreakdown,
+    PriceCatalog,
+    dragonfly_cost,
+    fat_tree_cost,
+    hammingmesh_cost,
+    hyperx_cost,
+    torus_cost,
+)
+from repro.topology import CableClass
+
+
+class TestCatalog:
+    def test_default_prices(self):
+        assert DEFAULT_CATALOG.switch == 14_280
+        assert DEFAULT_CATALOG.aoc_cable == 603
+        assert DEFAULT_CATALOG.dac_cable == 272
+        assert DEFAULT_CATALOG.pcb_trace == 0
+
+    def test_cable_price_lookup(self):
+        assert DEFAULT_CATALOG.cable_price(CableClass.AOC) == 603
+        assert DEFAULT_CATALOG.cable_price(CableClass.DAC) == 272
+        assert DEFAULT_CATALOG.cable_price(CableClass.PCB) == 0
+
+
+class TestBreakdown:
+    def test_totals(self):
+        b = CostBreakdown("x", num_switches=2, num_dac=10, num_aoc=5)
+        assert b.switch_cost == 2 * 14_280
+        assert b.cable_cost == 10 * 272 + 5 * 603
+        assert b.total == b.switch_cost + b.cable_cost
+        assert b.total_millions == pytest.approx(b.total / 1e6)
+
+    def test_scaled(self):
+        b = CostBreakdown("x", 4, 8, 12).scaled(0.5)
+        assert (b.num_switches, b.num_dac, b.num_aoc) == (2, 4, 6)
+
+
+class TestTable2SmallCluster:
+    """Reproduce the cost column of Table II (small, ~1k accelerators)."""
+
+    @pytest.mark.parametrize(
+        "breakdown,expected_millions",
+        [
+            (fat_tree_cost(1024), 25.3),
+            (fat_tree_cost(1024, taper=0.5), 17.6),
+            (fat_tree_cost(1024, taper=0.25), 13.2),
+            (dragonfly_cost(8, 16, 8, 8, virtual_per_physical=2), 27.9),
+            (hyperx_cost(32, 32), 10.8),
+            (hammingmesh_cost(hx2mesh(16, 16)), 5.4),
+            (hammingmesh_cost(hx4mesh(8, 8)), 2.7),
+        ],
+    )
+    def test_matches_paper(self, breakdown, expected_millions):
+        assert breakdown.total_millions == pytest.approx(expected_millions, rel=0.03)
+
+    def test_torus_cost_uses_only_dac(self):
+        b = torus_cost(16, 16)
+        assert b.num_switches == 0
+        assert b.num_aoc == 0
+        # Appendix C counts 1,024 DAC cables per plane for the small torus.
+        assert b.num_dac == 1024 * 4
+
+
+class TestTable2LargeCluster:
+    @pytest.mark.parametrize(
+        "breakdown,expected_millions",
+        [
+            (fat_tree_cost(16384), 680),
+            (fat_tree_cost(16384, taper=0.5), 419),
+            (fat_tree_cost(16384, taper=0.25), 271),
+            (dragonfly_cost(30, 32, 17, 16), 429),
+            (hyperx_cost(128, 128), 448),
+            (hammingmesh_cost(hx2mesh(64, 64)), 224),
+            (hammingmesh_cost(hx4mesh(32, 32)), 43.3),
+        ],
+    )
+    def test_matches_paper(self, breakdown, expected_millions):
+        assert breakdown.total_millions == pytest.approx(expected_millions, rel=0.03)
+
+
+class TestScalingBehaviour:
+    def test_hxmesh_cheaper_than_fat_tree(self):
+        assert hammingmesh_cost(hx2mesh(16, 16)).total < fat_tree_cost(1024).total
+        assert hammingmesh_cost(hx4mesh(8, 8)).total < hammingmesh_cost(hx2mesh(16, 16)).total
+
+    def test_tapering_reduces_cost_monotonically(self):
+        costs = [fat_tree_cost(4096, taper=t).total for t in (1.0, 0.5, 0.25)]
+        assert costs[0] > costs[1] > costs[2]
+
+    def test_hxmesh_tapering_reduces_tree_cost(self):
+        full = hammingmesh_cost(hx2mesh(64, 64))
+        tapered = hammingmesh_cost(hx2mesh(64, 64, global_taper=0.5))
+        assert tapered.total < full.total
+
+    def test_single_switch_dimension_has_no_trunks(self):
+        b = hammingmesh_cost(hx2mesh(16, 16))
+        # all AoC cables are column endpoint cables (no inter-switch trunks)
+        assert b.num_aoc == 2 * 2 * 16 * 16 * 4
+
+    def test_1d_hxmesh(self):
+        params = HxMeshParams(a=2, b=2, x=8, y=1)
+        b = hammingmesh_cost(params)
+        assert b.num_switches > 0
+        assert b.total > 0
+
+    def test_custom_catalog(self):
+        catalog = PriceCatalog(switch=1.0, aoc_cable=1.0, dac_cable=1.0)
+        b = fat_tree_cost(64, catalog=catalog)
+        assert b.total == b.num_switches + b.num_dac + b.num_aoc
+
+    def test_hx1mesh_cost_equals_hyperx_cost(self):
+        assert hyperx_cost(32, 32).total == hammingmesh_cost(hx1mesh(32, 32)).total

@@ -1,0 +1,149 @@
+"""Tests for the flow-level max-min fair simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import build_hammingmesh
+from repro.sim import Flow, FlowSimulator, random_permutation, ring_neighbor_flows
+from repro.topology import Topology, build_fat_tree
+
+
+def line_topology(capacities):
+    """acc - sw - sw - ... - acc chain with the given link capacities."""
+    topo = Topology("line")
+    a = topo.add_accelerator("a")
+    b = topo.add_accelerator("b")
+    prev = a
+    for i, cap in enumerate(capacities[:-1]):
+        sw = topo.add_switch(f"s{i}")
+        topo.add_link(prev, sw, capacity=cap)
+        prev = sw
+    topo.add_link(prev, b, capacity=capacities[-1])
+    topo.meta["injection_capacity"] = max(capacities)
+    return topo, a, b
+
+
+class TestSymmetricRate:
+    def test_single_flow_bottleneck(self):
+        topo, a, b = line_topology([4.0, 1.0, 2.0])
+        sim = FlowSimulator(topo)
+        result = sim.symmetric_rate([Flow(0, 1)])
+        assert result.min_rate == pytest.approx(1.0)
+        assert topo.link(result.bottleneck_link).capacity == pytest.approx(1.0)
+
+    def test_two_flows_share_a_link(self):
+        topo = Topology("shared")
+        a, b, c = (topo.add_accelerator() for _ in range(3))
+        sw = topo.add_switch()
+        topo.add_link(a, sw, capacity=2.0)
+        topo.add_link(b, sw, capacity=2.0)
+        topo.add_link(sw, c, capacity=2.0)
+        sim = FlowSimulator(topo)
+        result = sim.symmetric_rate([Flow(0, 2), Flow(1, 2)])
+        # both flows share the sw->c link of capacity 2
+        assert result.min_rate == pytest.approx(1.0)
+
+    def test_demand_weighting(self):
+        topo, a, b = line_topology([2.0, 2.0])
+        sim = FlowSimulator(topo)
+        result = sim.symmetric_rate([Flow(0, 1, demand=2.0)])
+        # rate is per unit of demand: demand 2 on a capacity-2 path -> 2.0 total
+        assert result.flow_rates[0] == pytest.approx(2.0)
+
+    def test_rejects_self_flow(self, fat_tree_64):
+        sim = FlowSimulator(fat_tree_64)
+        with pytest.raises(ValueError):
+            sim.symmetric_rate([Flow(0, 0)])
+
+    def test_link_utilization_bounded(self, hx2mesh_4x4):
+        sim = FlowSimulator(hx2mesh_4x4)
+        flows = random_permutation(hx2mesh_4x4.num_accelerators, seed=0)
+        result = sim.symmetric_rate(flows)
+        assert result.link_utilization.max() <= 1.0 + 1e-9
+
+
+class TestMaxMin:
+    def test_matches_symmetric_for_uniform_pattern(self, fat_tree_64):
+        sim = FlowSimulator(fat_tree_64)
+        flows = ring_neighbor_flows(list(range(64)))
+        sym = sim.symmetric_rate(flows).min_rate
+        mm = sim.maxmin_rates(flows)
+        assert mm.flow_rates.min() == pytest.approx(sym, rel=1e-6)
+
+    def test_unequal_paths_get_unequal_rates(self):
+        # Two flows: one through a fat link, one through a thin link.
+        topo = Topology("uneven")
+        a, b, c, d = (topo.add_accelerator() for _ in range(4))
+        topo.add_link(a, b, capacity=4.0)
+        topo.add_link(c, d, capacity=1.0)
+        topo.meta["injection_capacity"] = 4.0
+        sim = FlowSimulator(topo)
+        result = sim.maxmin_rates([Flow(0, 1), Flow(2, 3)])
+        assert result.flow_rates[0] == pytest.approx(4.0)
+        assert result.flow_rates[1] == pytest.approx(1.0)
+
+    def test_conservation_no_link_oversubscribed(self, hx2mesh_4x4):
+        sim = FlowSimulator(hx2mesh_4x4, max_paths=4)
+        flows = random_permutation(hx2mesh_4x4.num_accelerators, seed=3)
+        result = sim.maxmin_rates(flows)
+        assert result.link_utilization.max() <= 1.0 + 1e-6
+        assert (result.flow_rates > 0).all()
+
+    def test_maxmin_dominates_symmetric_minimum(self, hx2mesh_4x4):
+        """Max-min fairness never gives the worst flow less than the
+        all-equal allocation."""
+        sim = FlowSimulator(hx2mesh_4x4, max_paths=4)
+        flows = random_permutation(hx2mesh_4x4.num_accelerators, seed=5)
+        sym = sim.symmetric_rate(flows).min_rate
+        mm = sim.maxmin_rates(flows).flow_rates.min()
+        assert mm >= sym - 1e-9
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_property_rates_positive_and_feasible(self, seed):
+        topo = build_hammingmesh(2, 2, 2, 2)
+        sim = FlowSimulator(topo, max_paths=4)
+        flows = random_permutation(topo.num_accelerators, seed=seed)
+        result = sim.maxmin_rates(flows)
+        assert (result.flow_rates > 0).all()
+        assert result.link_utilization.max() <= 1.0 + 1e-6
+
+
+class TestDerivedMetrics:
+    def test_alltoall_nonblocking_fat_tree_near_full(self, fat_tree_64):
+        sim = FlowSimulator(fat_tree_64, max_paths=8)
+        bw = sim.alltoall_bandwidth(num_phases=16, seed=1)
+        assert bw > 0.85
+
+    def test_alltoall_hxmesh_limited(self, hx2mesh_4x4):
+        sim = FlowSimulator(hx2mesh_4x4, max_paths=8)
+        bw = sim.alltoall_bandwidth(num_phases=16, seed=1)
+        # around the bisection-related bound of 1/4, certainly below 1/2
+        assert 0.1 < bw < 0.55
+
+    def test_alltoall_phased_not_higher_than_aggregate(self, fat_tree_64):
+        sim = FlowSimulator(fat_tree_64, max_paths=8)
+        agg = sim.alltoall_bandwidth(num_phases=8, seed=1, method="aggregate")
+        phased = sim.alltoall_bandwidth(num_phases=8, seed=1, method="phased")
+        assert phased <= agg + 1e-6
+
+    def test_alltoall_unknown_method(self, fat_tree_64):
+        sim = FlowSimulator(fat_tree_64)
+        with pytest.raises(ValueError):
+            sim.alltoall_bandwidth(num_phases=4, method="bogus")
+
+    def test_permutation_bandwidths_per_rank(self, fat_tree_64):
+        sim = FlowSimulator(fat_tree_64, max_paths=8)
+        flows = random_permutation(64, seed=0)
+        fractions = sim.permutation_bandwidths(flows)
+        assert fractions.shape == (64,)
+        assert (fractions > 0).all()
+        assert fractions.max() <= 1.0 + 1e-9
+
+    def test_phase_bandwidth_exact_flag(self, hx2mesh_4x4):
+        sim = FlowSimulator(hx2mesh_4x4, max_paths=4)
+        flows = ring_neighbor_flows(list(range(hx2mesh_4x4.num_accelerators)))
+        fast = sim.phase_bandwidth(flows)
+        exact = sim.phase_bandwidth(flows, exact=True)
+        assert exact >= fast - 1e-9

@@ -1,0 +1,100 @@
+"""Tests for diameter, bisection and census analysis (Section III-A/B)."""
+
+import pytest
+
+from repro.core import build_hammingmesh
+from repro.core.params import hx2mesh, hx4mesh, hx1mesh
+from repro.topology import (
+    CableClass,
+    analytic_diameter,
+    bfs_diameter,
+    build_fat_tree,
+    cable_census,
+    relative_bisection_bandwidth,
+    switch_count,
+)
+from repro.topology.properties import fat_tree_global_stage
+
+
+class TestDiameterFormulas:
+    """The analytic diameters must reproduce the Table II column."""
+
+    @pytest.mark.parametrize(
+        "builder_kwargs,expected",
+        [
+            (dict(a=2, b=2, x=16, y=16), 4),    # small Hx2Mesh
+            (dict(a=4, b=4, x=8, y=8), 8),      # small Hx4Mesh
+            (dict(a=2, b=2, x=64, y=64), 8),    # large Hx2Mesh
+            (dict(a=4, b=4, x=32, y=32), 8),    # large Hx4Mesh
+            (dict(a=1, b=1, x=32, y=32), 4),    # small Hx1Mesh / HyperX
+        ],
+    )
+    def test_hammingmesh_diameters(self, builder_kwargs, expected):
+        topo = build_hammingmesh(**builder_kwargs)
+        assert analytic_diameter(topo) == expected
+
+    def test_fat_tree_diameters(self):
+        assert analytic_diameter(build_fat_tree(64)) == 2
+        assert analytic_diameter(build_fat_tree(1024)) == 4
+        assert analytic_diameter(build_fat_tree(4096)) == 6
+
+    def test_torus_diameter(self, torus_4x4_boards):
+        assert analytic_diameter(torus_4x4_boards) == 8
+        assert bfs_diameter(
+            torus_4x4_boards, sources=list(torus_4x4_boards.accelerators)[:4]
+        ) == 8
+
+    def test_dragonfly_diameter(self, dragonfly_small_fixture):
+        # h=2 < groups-1=3, so the worst case needs local hops on both sides.
+        assert analytic_diameter(dragonfly_small_fixture) == 5
+
+    def test_hyperx_diameter(self, hyperx_4x4):
+        assert analytic_diameter(hyperx_4x4) == 4
+        assert bfs_diameter(hyperx_4x4, sources=list(hyperx_4x4.accelerators)[:4]) == 4
+
+    def test_bfs_matches_analytic_on_small_hxmesh(self, hx2mesh_4x4):
+        assert bfs_diameter(hx2mesh_4x4) == analytic_diameter(hx2mesh_4x4)
+
+    def test_global_stage_helper(self):
+        assert fat_tree_global_stage(32, 64) == 2     # single switch
+        assert fat_tree_global_stage(128, 64) == 4    # two-level tree
+        with pytest.raises(Exception):
+            fat_tree_global_stage(0, 64)
+
+
+class TestBisection:
+    def test_fat_tree_bisection_equals_taper(self):
+        assert relative_bisection_bandwidth(build_fat_tree(64)) == 1.0
+        assert relative_bisection_bandwidth(build_fat_tree(128, taper=0.25)) == 0.25
+
+    def test_hammingmesh_bisection_is_half_board_width(self, hx2mesh_4x4):
+        assert relative_bisection_bandwidth(hx2mesh_4x4) == pytest.approx(0.25)
+        hx4 = build_hammingmesh(4, 4, 2, 2)
+        assert relative_bisection_bandwidth(hx4) == pytest.approx(0.125)
+
+    def test_torus_bisection(self, torus_4x4_boards):
+        value = relative_bisection_bandwidth(torus_4x4_boards)
+        assert 0.0 < value <= 0.5
+
+    def test_dragonfly_and_hyperx_full_bisection(self, dragonfly_small_fixture, hyperx_4x4):
+        assert relative_bisection_bandwidth(dragonfly_small_fixture) == 1.0
+        assert relative_bisection_bandwidth(hyperx_4x4) == 1.0
+
+
+class TestCensus:
+    def test_hxmesh_cable_census(self, hx2mesh_4x4):
+        census = cable_census(hx2mesh_4x4)
+        # 4 global rows x 2 on-board rows x 8 access cables each (DAC), same
+        # for columns but AoC.
+        assert census[CableClass.DAC] == 64
+        assert census[CableClass.AOC] == 64
+        assert census[CableClass.PCB] == 0  # PCB traces are not counted as cables
+
+    def test_switch_count(self, hx2mesh_4x4, fat_tree_64):
+        assert switch_count(hx2mesh_4x4) == 16
+        assert switch_count(fat_tree_64) == 1
+
+    def test_torus_has_only_dac(self, torus_4x4_boards):
+        census = cable_census(torus_4x4_boards)
+        assert census[CableClass.AOC] == 0
+        assert census[CableClass.DAC] > 0

@@ -1,0 +1,170 @@
+"""Tests for path providers and traffic pattern generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import (
+    Flow,
+    GenericPathProvider,
+    alltoall_phase,
+    alltoall_phases,
+    nearest_neighbor_2d_flows,
+    path_provider_for,
+    random_permutation,
+    ring_neighbor_flows,
+    sampled_alltoall_phases,
+    uniform_pair_sample,
+)
+from repro.topology import TopologyError
+
+
+def check_path(topo, src, dst, path):
+    node = src
+    for li in path:
+        link = topo.link(li)
+        assert link.src == node
+        node = link.dst
+    assert node == dst
+
+
+class TestPathProviders:
+    def test_provider_dispatch(self, all_small_topologies):
+        from repro.sim import (
+            DragonflyPathProvider,
+            FatTreePathProvider,
+            HxMeshPathProvider,
+            HyperXPathProvider,
+            TorusPathProvider,
+        )
+
+        expected = {
+            "hammingmesh": HxMeshPathProvider,
+            "fattree": FatTreePathProvider,
+            "dragonfly": DragonflyPathProvider,
+            "torus": TorusPathProvider,
+            "hyperx": HyperXPathProvider,
+        }
+        for family, topo in all_small_topologies.items():
+            assert isinstance(path_provider_for(topo), expected[family])
+
+    @pytest.mark.parametrize("family", ["hammingmesh", "fattree", "dragonfly", "torus", "hyperx"])
+    def test_paths_are_valid_on_every_family(self, all_small_topologies, family):
+        topo = all_small_topologies[family]
+        provider = path_provider_for(topo)
+        accs = list(topo.accelerators)
+        pairs = [(accs[0], accs[-1]), (accs[1], accs[len(accs) // 2]), (accs[-1], accs[0])]
+        for src, dst in pairs:
+            paths = provider.paths(src, dst, max_paths=4)
+            assert 1 <= len(paths) <= 4
+            for path in paths:
+                check_path(topo, src, dst, path)
+
+    @pytest.mark.parametrize("family", ["hammingmesh", "fattree", "dragonfly", "torus", "hyperx"])
+    def test_paths_match_bfs_shortest_length(self, all_small_topologies, family):
+        """Structured providers must return minimal-length paths."""
+        topo = all_small_topologies[family]
+        provider = path_provider_for(topo)
+        generic = GenericPathProvider(topo)
+        accs = list(topo.accelerators)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            src, dst = rng.choice(accs, 2, replace=False)
+            best = len(generic.paths(int(src), int(dst), max_paths=1)[0])
+            structured = provider.paths(int(src), int(dst), max_paths=4)
+            assert min(len(p) for p in structured) == best
+
+    def test_generic_provider_self_path(self, fat_tree_64):
+        provider = GenericPathProvider(fat_tree_64)
+        assert provider.paths(fat_tree_64.accelerators[0], fat_tree_64.accelerators[0]) == [[]]
+
+    def test_generic_provider_unreachable(self):
+        from repro.topology import Topology
+
+        topo = Topology("x")
+        a = topo.add_accelerator()
+        b = topo.add_accelerator()
+        c = topo.add_accelerator()
+        topo.add_link(a, b)
+        provider = GenericPathProvider(topo)
+        with pytest.raises(TopologyError):
+            provider.paths(a, c)
+
+    def test_torus_paths_use_minimal_wrap(self, torus_4x4_boards):
+        provider = path_provider_for(torus_4x4_boards)
+        meta = torus_4x4_boards.meta
+        src = meta["grid"][0][0]
+        dst = meta["grid"][0][7]  # one hop west across the wrap
+        paths = provider.paths(src, dst)
+        assert min(len(p) for p in paths) == 1
+
+    def test_fat_tree_same_leaf_short_path(self, fat_tree_64):
+        provider = path_provider_for(fat_tree_64)
+        accs = list(fat_tree_64.accelerators)
+        paths = provider.paths(accs[0], accs[1])
+        assert min(len(p) for p in paths) == 2
+
+    def test_dragonfly_intra_group_path(self, dragonfly_small_fixture):
+        provider = path_provider_for(dragonfly_small_fixture)
+        meta = dragonfly_small_fixture.meta
+        accs = list(dragonfly_small_fixture.accelerators)
+        # first two accelerators share a router
+        paths = provider.paths(accs[0], accs[1])
+        assert len(paths[0]) == 2
+
+
+class TestTrafficPatterns:
+    def test_alltoall_phase_is_permutation(self):
+        phase = alltoall_phase(8, 3)
+        assert len(phase) == 8
+        assert sorted(f.dst for f in phase) == list(range(8))
+        assert all(f.dst == (f.src + 3) % 8 for f in phase)
+
+    def test_alltoall_phase_bounds(self):
+        with pytest.raises(ValueError):
+            alltoall_phase(8, 0)
+        with pytest.raises(ValueError):
+            alltoall_phase(8, 8)
+
+    def test_alltoall_phases_cover_all_destinations(self):
+        phases = alltoall_phases(6)
+        assert len(phases) == 5
+        dsts_of_zero = sorted(f.dst for phase in phases for f in phase if f.src == 0)
+        assert dsts_of_zero == [1, 2, 3, 4, 5]
+
+    def test_sampled_phases_are_symmetric(self):
+        phases = sampled_alltoall_phases(128, 10, seed=2)
+        shifts = {f.dst - f.src if f.dst > f.src else f.dst - f.src + 128
+                  for phase in phases for f in phase if f.src == 0}
+        # every sampled shift s is accompanied by its complement 128 - s
+        assert all((128 - s) % 128 in shifts for s in shifts)
+
+    def test_sampled_phases_full_when_small(self):
+        assert len(sampled_alltoall_phases(8, 100)) == 7
+
+    @given(p=st.integers(4, 200), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_permutation_has_no_fixed_points(self, p, seed):
+        flows = random_permutation(p, seed=seed)
+        assert len(flows) == p
+        assert sorted(f.dst for f in flows) == list(range(p))
+        assert all(f.src != f.dst for f in flows)
+
+    def test_uniform_pair_sample_excludes_self(self):
+        flows = uniform_pair_sample(16, 500, seed=1)
+        assert len(flows) == 500
+        assert all(f.src != f.dst for f in flows)
+
+    def test_ring_neighbor_flows(self):
+        flows = ring_neighbor_flows([0, 1, 2, 3])
+        assert len(flows) == 4
+        bidir = ring_neighbor_flows([0, 1, 2, 3], bidirectional=True)
+        assert len(bidir) == 8
+        pipeline = ring_neighbor_flows([0, 1, 2, 3], wrap=False)
+        assert len(pipeline) == 3
+
+    def test_nearest_neighbor_2d(self):
+        flows = nearest_neighbor_2d_flows(2, 3)
+        # every flow has its reverse
+        pairs = {(f.src, f.dst) for f in flows}
+        assert all((d, s) in pairs for s, d in pairs)

@@ -1,0 +1,184 @@
+"""Tests for the DNN workload models and the overlap iteration model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import (
+    PORT_BYTES_PER_S,
+    CommOp,
+    NetworkProfile,
+    ParallelismConfig,
+    communication_time,
+    get_workload,
+    iteration_time,
+    WORKLOADS,
+)
+from repro.workloads.parallelism import (
+    data_parallel_volume,
+    operator_volume,
+    pipeline_volume,
+)
+
+
+def make_profile(family="fattree", a2a=1.0, ar=1.0, diameter=4):
+    return NetworkProfile.from_measurements(
+        family, family, alltoall_fraction=a2a, allreduce_fraction=ar, diameter=diameter
+    )
+
+
+class TestParallelism:
+    def test_config_counts(self):
+        cfg = ParallelismConfig(data=4, pipeline=3, operator=2)
+        assert cfg.num_accelerators == 24
+        assert cfg.logical_shape() == (4, 3, 2)
+        assert ParallelismConfig().logical_shape() == (1,)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ParallelismConfig(data=0)
+
+    def test_volume_formulas(self):
+        cfg = ParallelismConfig(data=8, pipeline=4, operator=2)
+        assert data_parallel_volume(4, 1e6, cfg) == pytest.approx(4e6 / 8)
+        assert pipeline_volume(4, 1e5, 64, cfg) == pytest.approx(64 * 4 * 1e5 / 64)
+        assert operator_volume(2, 100) == 200
+
+
+class TestCommOp:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommOp(kind="bogus", volume=1, group=2)
+        with pytest.raises(ValueError):
+            CommOp(kind="allreduce", volume=1, group=2, overlap=1.5)
+        with pytest.raises(ValueError):
+            CommOp(kind="allreduce", volume=-1, group=2)
+
+    def test_zero_volume_is_free(self):
+        profile = make_profile()
+        assert communication_time(CommOp("allreduce", 0, 16), profile) == 0.0
+        assert communication_time(CommOp("p2p", 100, 1), profile) == 0.0
+
+
+class TestCommunicationTime:
+    def test_allreduce_respects_busbw(self):
+        profile = make_profile(ar=1.0)
+        op = CommOp("allreduce", volume=1e9, group=1024)
+        t = communication_time(op, profile)
+        assert t >= 1e9 / profile.allreduce_busbw
+
+    def test_p2p_faster_on_fat_tree_than_hxmesh(self):
+        ft = make_profile("fattree")
+        hx = make_profile("hammingmesh")
+        op = CommOp("p2p", volume=1e9, group=2)
+        assert communication_time(op, ft) < communication_time(op, hx)
+
+    def test_alltoall_scales_with_measured_fraction(self):
+        good = make_profile(a2a=1.0)
+        poor = make_profile(a2a=0.1)
+        op = CommOp("alltoall", volume=1e9, group=64)
+        assert communication_time(op, poor) > 5 * communication_time(op, good)
+
+    def test_latency_dominates_small_collectives(self):
+        profile = make_profile()
+        op = CommOp("alltoall", volume=1e3, group=128)
+        t = communication_time(op, profile)
+        assert t >= 127 * profile.alpha
+
+    def test_torus_contention_slows_p2p(self):
+        torus = make_profile("torus")
+        hx = make_profile("hammingmesh")
+        op = CommOp("p2p", volume=1e9, group=2)
+        assert communication_time(op, torus) > communication_time(op, hx)
+
+
+class TestIterationModel:
+    def test_fully_overlapped_communication_is_free(self):
+        profile = make_profile()
+        ops = [CommOp("allreduce", volume=1e6, group=64, overlap=1.0)]
+        assert iteration_time(1.0, ops, profile) == pytest.approx(1.0)
+
+    def test_exposed_communication_adds_up(self):
+        profile = make_profile()
+        ops = [CommOp("p2p", volume=200e9, group=2, overlap=0.0)]  # 1 s at 200 GB/s
+        t = iteration_time(1.0, ops, profile)
+        assert t == pytest.approx(2.0, rel=0.01)
+
+    def test_overlap_spills_when_exceeding_compute(self):
+        profile = make_profile()
+        ops = [CommOp("p2p", volume=400e9, group=2, overlap=1.0)]  # 2 s hideable
+        t = iteration_time(1.0, ops, profile)
+        assert t == pytest.approx(2.0, rel=0.01)
+
+    @given(
+        compute=st.floats(1e-3, 1.0),
+        volume=st.floats(0, 1e9),
+        overlap=st.floats(0, 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_iteration_at_least_compute(self, compute, volume, overlap):
+        profile = make_profile()
+        ops = [CommOp("allreduce", volume=volume, group=32, overlap=overlap)]
+        t = iteration_time(compute, ops, profile)
+        assert t >= compute - 1e-12
+        # less overlap can never make the iteration faster
+        ops_no = [CommOp("allreduce", volume=volume, group=32, overlap=0.0)]
+        assert iteration_time(compute, ops_no, profile) >= t - 1e-12
+
+
+class TestWorkloads:
+    def test_registry_contains_all_models(self):
+        for name in ("resnet152", "cosmoflow", "gpt3", "gpt3_moe", "dlrm"):
+            assert name in WORKLOADS
+        with pytest.raises(ValueError):
+            get_workload("unknown-model")
+
+    def test_resnet_overhead_is_small_everywhere(self):
+        wl = get_workload("resnet152")
+        for family in ("fattree", "hammingmesh", "torus"):
+            overhead = wl.communication_overhead(make_profile(family))
+            assert overhead < 0.05
+
+    def test_resnet_scaling_with_d(self):
+        small = get_workload("resnet152", data_parallelism=256)
+        large = get_workload("resnet152", data_parallelism=1024)
+        assert small.compute_time > large.compute_time
+        with pytest.raises(ValueError):
+            get_workload("resnet152", data_parallelism=1)
+
+    def test_gpt3_fat_tree_matches_calibration(self):
+        wl = get_workload("gpt3")
+        t = wl.iteration_time(make_profile("fattree"))
+        assert t == pytest.approx(wl.paper_reference["nonblocking fat tree"], rel=0.05)
+
+    def test_gpt3_topology_ordering(self):
+        wl = get_workload("gpt3")
+        ft = wl.iteration_time(make_profile("fattree"))
+        hx = wl.iteration_time(make_profile("hammingmesh", a2a=0.25))
+        torus = wl.iteration_time(make_profile("torus", a2a=0.06, diameter=32))
+        assert ft < hx < torus
+
+    def test_moe_sensitive_to_alltoall_bandwidth(self):
+        wl = get_workload("gpt3_moe")
+        good = wl.iteration_time(make_profile("fattree", a2a=1.0))
+        poor = wl.iteration_time(make_profile("hammingmesh", a2a=0.1))
+        assert poor > good
+
+    def test_dlrm_latency_bound(self):
+        wl = get_workload("dlrm")
+        t = wl.iteration_time(make_profile("fattree"))
+        # iteration larger than compute but within a few milliseconds
+        assert wl.compute_time < t < 5e-3
+        assert wl.num_accelerators == 128
+
+    def test_cosmoflow_overhead_shape(self):
+        wl = get_workload("cosmoflow")
+        ft = wl.communication_overhead(make_profile("fattree"))
+        torus = wl.communication_overhead(make_profile("torus", a2a=0.06))
+        assert ft <= torus
+        assert torus < 0.25
+
+    def test_total_comm_volume_positive(self):
+        for name in WORKLOADS:
+            wl = get_workload(name)
+            assert wl.total_comm_volume() > 0
+            assert wl.num_accelerators >= 2
