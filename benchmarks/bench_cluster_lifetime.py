@@ -1,0 +1,73 @@
+"""Cluster lifetime simulation: dynamic counterparts of Figures 8 and 10.
+
+Jobs arrive, run, and complete on a 16x16 Hx2Mesh while boards fail and
+are repaired; the benchmark prints time-weighted utilization, wait time,
+and slowdown per allocator preset / scheduling policy, and a failure
+intensity sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    format_nested_table,
+    lifetime_failure_sweep,
+    lifetime_policy_comparison,
+)
+
+from _bench_utils import run_once
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_cluster_lifetime_policies(benchmark, fidelity):
+    num_jobs = 1000 if fidelity["include_large"] else 400
+    data = run_once(
+        benchmark,
+        lifetime_policy_comparison,
+        presets=("greedy", "greedy+transpose", "greedy+transpose+aspect"),
+        policies=("fcfs", "fcfs+backfill"),
+        num_jobs=num_jobs,
+        seed=7,
+    )
+    print()
+    print(
+        format_nested_table(
+            f"Cluster lifetime on a 16x16 Hx2Mesh ({num_jobs} jobs, MTBF 80h)",
+            data,
+            value_format="{:.3g}",
+        )
+    )
+    # Shape checks: every policy keeps the cluster busy, and backfilling
+    # strictly reduces waiting over plain FCFS for the same allocator.
+    for label, row in data.items():
+        assert 0.3 < row["time_weighted_utilization"] <= 1.0, (label, row)
+    for preset in ("greedy", "greedy+transpose+aspect"):
+        fcfs = data[f"{preset} / fcfs"]["mean_wait_time"]
+        backfill = data[f"{preset} / fcfs+backfill"]["mean_wait_time"]
+        assert backfill <= fcfs, (preset, fcfs, backfill)
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_cluster_lifetime_failure_sweep(benchmark, fidelity):
+    num_jobs = 600 if fidelity["include_large"] else 300
+    data = run_once(
+        benchmark,
+        lifetime_failure_sweep,
+        mtbf_hours=(320.0, 80.0, 20.0),
+        num_jobs=num_jobs,
+        seed=7,
+    )
+    print()
+    print(
+        format_nested_table(
+            f"Failure intensity sweep ({num_jobs} jobs, MTTR 2h, requeue)",
+            data,
+            value_format="{:.3g}",
+        )
+    )
+    # More frequent failures mean more recorded failures and evictions.
+    rows = list(data.values())
+    assert rows[0]["failures"] <= rows[-1]["failures"]
+    for row in rows:
+        assert 0.2 < row["time_weighted_utilization"] <= 1.0

@@ -1,83 +1,120 @@
 #!/usr/bin/env python3
-"""Operating a HammingMesh cluster: job allocation, failures, defragmentation.
+"""Operating a HammingMesh cluster over time with ``repro.cluster``.
 
-Scenario: you run a 64x64 Hx2Mesh training cluster (4,096 boards, 16,384
-accelerators).  Jobs arrive with sizes drawn from an MLaaS-like distribution,
-boards fail over time, and you occasionally checkpoint/restart everything to
-defragment.  This example shows how the allocation stack supports that
-workflow and reports the utilization impact of each step.
+Scenario: you run a 16x16 Hx2Mesh training cluster (256 boards, 1,024
+accelerators).  Jobs arrive continuously with MLaaS-like sizes, run for
+hours, and complete; boards fail and are repaired; the scheduler decides
+who runs where.  This example drives the event-driven cluster lifetime
+simulator end to end:
+
+1. a baseline run with the paper's best allocator and backfilling;
+2. the same trajectory under plain FCFS and under a weaker allocator,
+   showing how both knobs move utilization and wait time;
+3. a failure-heavy run comparing the requeue and shrink eviction policies;
+4. service times derived from the DNN workload models (flow-simulator
+   network profiles) instead of a statistical distribution.
 
 Run with ``python examples/cluster_operations.py``.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.allocation import (
-    AllocatorOptions,
-    BoardGrid,
-    GreedyAllocator,
-    sample_job_mixes,
-    upper_level_fraction,
+from repro.analysis import format_nested_table, lifetime_utilization_timeline
+from repro.cluster import (
+    ClusterSimConfig,
+    ClusterSimulator,
+    FailureModel,
+    FlowSimServiceTime,
+    LogNormalServiceTime,
 )
 
-GRID_X = GRID_Y = 64
-BOARDS = GRID_X * GRID_Y
+GRID_X = GRID_Y = 16
+SERVICE = LogNormalServiceTime(median_seconds=900.0, sigma=0.6)
+FAILURES = FailureModel(mtbf_hours=80.0, mttr_hours=2.0)
+NUM_JOBS = 600
+SEED = 7
+
+
+def describe(label: str, summary: dict) -> None:
+    print(
+        f"  {label:<42} util {summary['time_weighted_utilization'] * 100:5.1f}%  "
+        f"busy-util {summary['busy_utilization'] * 100:5.1f}%  "
+        f"wait {summary['mean_wait_time'] / 60:6.1f} min  "
+        f"slowdown {summary['mean_slowdown']:5.2f}  "
+        f"evictions {summary['evictions']:3.0f}"
+    )
 
 
 def main() -> None:
-    rng = np.random.default_rng(7)
+    # 1. Baseline: best allocator preset + backfilling, failures on --------
+    print(f"{NUM_JOBS} jobs on a {GRID_X}x{GRID_Y} Hx2Mesh "
+          f"(load 2.0, MTBF {FAILURES.mtbf_hours:g}h, MTTR {FAILURES.mttr_hours:g}h)\n")
+    baseline = ClusterSimConfig(
+        x=GRID_X, y=GRID_Y,
+        allocator="greedy+transpose+aspect",
+        policy="fcfs+backfill",
+        num_jobs=NUM_JOBS, load=2.0, service=SERVICE, failures=FAILURES, seed=SEED,
+    )
+    report = ClusterSimulator(baseline).run()
+    describe("greedy+transpose+aspect / fcfs+backfill", report.summary())
 
-    # 1. Fill the healthy cluster with a sampled job mix ----------------------
-    grid = BoardGrid(GRID_X, GRID_Y)
-    options = AllocatorOptions(transpose=True, aspect_ratio=True, locality=True,
-                               boards_per_leaf=16)
-    allocator = GreedyAllocator(grid, options)
-    mix = sample_job_mixes(BOARDS, 1, seed=11)[0].sorted_by_size()
-    result = allocator.allocate_trace(mix)
-    print(f"initial fill: {len(result.placed)} jobs placed, "
-          f"{len(result.rejected)} rejected, "
-          f"utilization {result.utilization * 100:.1f}%")
-    upper = np.mean([
-        upper_level_fraction(sm, boards_per_leaf=16) for sm in result.placed.values()
-    ])
-    print(f"average share of job traffic crossing upper fat-tree levels: {upper * 100:.1f}%"
-          " (this is why 2:1 tapering of the global trees is safe)")
+    # 2. Move the two knobs: scheduling policy and allocator quality -------
+    for allocator, policy in (
+        ("greedy+transpose+aspect", "fcfs"),
+        ("greedy", "fcfs+backfill"),
+        ("greedy", "fcfs"),
+    ):
+        config = ClusterSimConfig(
+            x=GRID_X, y=GRID_Y, allocator=allocator, policy=policy,
+            num_jobs=NUM_JOBS, load=2.0, service=SERVICE, failures=FAILURES, seed=SEED,
+        )
+        describe(f"{allocator} / {policy}", ClusterSimulator(config).run().summary())
 
-    # 2. Boards fail while jobs come and go -----------------------------------
-    # Finish and release a random half of the jobs, then fail some boards.
-    finished = rng.choice(list(result.placed), size=len(result.placed) // 2, replace=False)
-    for job_id in finished:
-        grid.release(int(job_id))
-    failed = grid.fail_random(60, seed=13)
-    print(f"\nreleased {len(finished)} finished jobs, {len(failed)} boards failed")
+    # 3. Heavy failures: requeue vs shrink eviction ------------------------
+    print("\nfailure-heavy regime (MTBF 10h): eviction policy comparison")
+    rows = {}
+    for eviction in ("requeue", "shrink"):
+        config = ClusterSimConfig(
+            x=GRID_X, y=GRID_Y, num_jobs=NUM_JOBS, load=2.0, service=SERVICE,
+            failures=FailureModel(mtbf_hours=10.0, mttr_hours=2.0, eviction=eviction),
+            seed=SEED,
+        )
+        heavy = ClusterSimulator(config).run()
+        summary = heavy.summary()
+        rows[eviction] = {
+            "utilization": summary["time_weighted_utilization"],
+            "mean_slowdown": summary["mean_slowdown"],
+            "p95_slowdown": summary["p95_slowdown"],
+            "evictions": summary["evictions"],
+            "shrinks": float(sum(job.shrinks for job in heavy.jobs)),
+        }
+    print(format_nested_table("", rows, value_format="{:.3g}"))
 
-    # 3. Keep allocating new jobs onto the fragmented cluster -----------------
-    new_mix = sample_job_mixes(grid.num_free, 1, seed=17)[0]
-    new_jobs = [j.__class__(j.job_id + 10_000, j.u, j.v) for j in new_mix]
-    placed = 0
-    for job in new_jobs:
-        if allocator.allocate(job) is not None:
-            placed += 1
-    print(f"fragmented cluster: placed {placed}/{len(new_jobs)} new jobs, "
-          f"utilization of working boards {grid.utilization() * 100:.1f}%")
+    # 4. Flow-simulator-derived service times ------------------------------
+    # Iteration times of the paper's DNN workloads on the stored Hx2Mesh
+    # network profile (measured with the flow-level simulator), times a
+    # sampled iteration count, replace the statistical service model.
+    from repro.analysis import network_profiles
 
-    # 4. Defragment: checkpoint everything, restart in size order -------------
-    # (The paper argues this takes < 1 s of network time for 64 GiB states.)
-    running = [(job_id, grid.boards_of(job_id)) for job_id in grid.jobs()]
-    sizes = {job_id: len(boards) for job_id, boards in running}
-    grid.reset(keep_failures=True)
-    defrag = GreedyAllocator(grid, options)
-    from repro.allocation import JobRequest, most_square_shape
+    profile = network_profiles("small")["hx2mesh"]
+    dnn_service = FlowSimServiceTime.from_profile(
+        profile, ("resnet152", "gpt3", "cosmoflow"),
+        iteration_range=(5_000, 50_000),
+    )
+    config = ClusterSimConfig(
+        x=GRID_X, y=GRID_Y, num_jobs=NUM_JOBS, load=2.0,
+        service=dnn_service, failures=FAILURES, seed=SEED,
+    )
+    report = ClusterSimulator(config).run()
+    print("\nDNN-derived service times (ResNet-152 / GPT-3 / CosmoFlow iterations):")
+    describe("greedy+transpose+aspect / fcfs+backfill", report.summary())
 
-    placed_after = 0
-    for job_id, boards in sorted(running, key=lambda kv: sizes[kv[0]], reverse=True):
-        u, v = most_square_shape(sizes[job_id])
-        if defrag.allocate(JobRequest(job_id, u, v)) is not None:
-            placed_after += 1
-    print(f"after defragmentation: {placed_after}/{len(running)} jobs re-placed, "
-          f"utilization {grid.utilization() * 100:.1f}%")
+    # A figure-style timeline of the run (downsampled step function).
+    timeline = lifetime_utilization_timeline(report, max_points=8)
+    points = "  ".join(
+        f"{t / 3600:5.1f}h:{u * 100:4.0f}%" for t, u in timeline["utilization"]
+    )
+    print(f"  utilization timeline  {points}")
 
 
 if __name__ == "__main__":

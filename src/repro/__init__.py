@@ -12,6 +12,8 @@ Deep Learning* (Hoefler et al., SC'22) as a self-contained Python library:
   alltoall, and edge-disjoint Hamiltonian cycle mapping;
 * :mod:`repro.cost` -- the capital-cost model of Table II;
 * :mod:`repro.allocation` -- greedy job allocation, failures, utilization;
+* :mod:`repro.cluster` -- event-driven cluster lifetime simulation (job
+  arrivals, scheduling policies, board failure/repair processes);
 * :mod:`repro.workloads` -- DNN communication workload models (ResNet-152,
   CosmoFlow, GPT-3, GPT-3 MoE, DLRM);
 * :mod:`repro.analysis` -- the experiment harness regenerating Table II and
@@ -27,7 +29,7 @@ Quick start::
     print(sim.alltoall_bandwidth(num_phases=32))  # fraction of injection bandwidth
 """
 
-from . import allocation, analysis, collectives, core, cost, sim, topology, workloads
+from . import allocation, analysis, cluster, collectives, core, cost, sim, topology, workloads
 from .core import HxMeshParams, HxMeshRouter, build_hammingmesh, hx2mesh, hx4mesh
 from .sim import FlowSimulator, PacketNetwork
 from .topology import Topology, build_topology
@@ -42,6 +44,7 @@ __all__ = [
     "collectives",
     "cost",
     "allocation",
+    "cluster",
     "workloads",
     "analysis",
     "HxMeshParams",

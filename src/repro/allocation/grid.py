@@ -70,6 +70,22 @@ class BoardGrid:
     def jobs(self) -> List[int]:
         return list(self._job_boards)
 
+    def _coords_where(self, predicate) -> List[Coord]:
+        return [(r, c) for r in range(self.y) for c in range(self.x)
+                if predicate(self._state[r][c])]
+
+    def free_coords(self) -> List[Coord]:
+        """All free board coordinates in row-major order."""
+        return self._coords_where(lambda s: s == FREE)
+
+    def failed_coords(self) -> List[Coord]:
+        """All failed board coordinates in row-major order."""
+        return self._coords_where(lambda s: s == FAILED)
+
+    def working_coords(self) -> List[Coord]:
+        """All non-failed board coordinates (free or allocated), row-major."""
+        return self._coords_where(lambda s: s != FAILED)
+
     def utilization(self) -> float:
         """Fraction of *working* boards allocated to jobs (Figure 8/10 metric)."""
         working = self.num_working
@@ -100,13 +116,19 @@ class BoardGrid:
         import numpy as np
 
         rng = np.random.default_rng(seed)
-        free = [(r, c) for r in range(self.y) for c in range(self.x)
-                if self._state[r][c] == FREE]
+        free = self.free_coords()
         if count > len(free):
             raise ValueError(f"cannot fail {count} boards, only {len(free)} are free")
         chosen = [free[i] for i in rng.choice(len(free), size=count, replace=False)]
         self.fail_boards(chosen)
         return chosen
+
+    def repair_boards(self, coords: Iterable[Coord]) -> None:
+        """Return failed boards to service (the repair half of MTBF/MTTR)."""
+        for r, c in coords:
+            if self._state[r][c] != FAILED:
+                raise ValueError(f"board {(r, c)} is not failed")
+            self._state[r][c] = FREE
 
     def allocate(self, job_id: int, submesh: VirtualSubMesh) -> None:
         """Assign every board of ``submesh`` to ``job_id``."""

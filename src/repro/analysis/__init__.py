@@ -23,6 +23,11 @@ from .figures import (
     fig17_allreduce_sweep,
     network_profiles,
 )
+from .lifetime import (
+    lifetime_failure_sweep,
+    lifetime_policy_comparison,
+    lifetime_utilization_timeline,
+)
 from .report import format_distribution_summary, format_nested_table, format_series
 from .table2 import Table2Row, build_table2, format_table2
 
@@ -52,6 +57,9 @@ __all__ = [
     "fig15_cost_savings",
     "fig16_hamiltonian_cycles",
     "dnn_iteration_times",
+    "lifetime_policy_comparison",
+    "lifetime_failure_sweep",
+    "lifetime_utilization_timeline",
     "format_series",
     "format_distribution_summary",
     "format_nested_table",

@@ -1,0 +1,154 @@
+"""Cluster lifetime experiments (beyond the paper's static Figures 8/10).
+
+These helpers run the event-driven :mod:`repro.cluster` simulator across
+allocator presets, scheduling policies, or failure intensities and return
+figure-style data structures, in the same spirit as the ``figNN_*``
+generators of :mod:`repro.analysis.figures`:
+
+* :func:`lifetime_policy_comparison` -- summary metrics per (allocator
+  preset, scheduling policy): the dynamic counterpart of Figure 8;
+* :func:`lifetime_failure_sweep` -- summary metrics versus board MTBF: the
+  dynamic counterpart of Figure 10;
+* :func:`lifetime_utilization_timeline` -- downsampled utilization /
+  fragmentation step functions for plotting a single run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster import (
+    ClusterReport,
+    ClusterSimConfig,
+    ClusterSimulator,
+    FailureModel,
+    LogNormalServiceTime,
+    ServiceTimeModel,
+)
+
+__all__ = [
+    "lifetime_policy_comparison",
+    "lifetime_failure_sweep",
+    "lifetime_utilization_timeline",
+]
+
+#: Summary columns reported by the comparison helpers.
+SUMMARY_KEYS = (
+    "time_weighted_utilization",
+    "busy_utilization",
+    "time_weighted_fragmentation",
+    "mean_wait_time",
+    "mean_slowdown",
+    "evictions",
+)
+
+_DEFAULT_SERVICE = LogNormalServiceTime(median_seconds=900.0, sigma=0.6)
+
+
+def _run(config: ClusterSimConfig) -> ClusterReport:
+    return ClusterSimulator(config).run()
+
+
+def lifetime_policy_comparison(
+    x: int = 16,
+    y: int = 16,
+    *,
+    presets: Sequence[str] = (
+        "greedy",
+        "greedy+transpose",
+        "greedy+transpose+aspect",
+    ),
+    policies: Sequence[str] = ("fcfs", "fcfs+backfill"),
+    num_jobs: int = 1000,
+    load: float = 2.0,
+    service: Optional[ServiceTimeModel] = None,
+    failures: Optional[FailureModel] = FailureModel(mtbf_hours=80.0, mttr_hours=2.0),
+    seed: int = 7,
+) -> Dict[str, Dict[str, float]]:
+    """Summary metrics per allocator preset x scheduling policy.
+
+    Returns ``{"preset / policy": {metric: value}}`` suitable for
+    :func:`repro.analysis.report.format_nested_table` (transposed as
+    needed).  All runs share the same seed, so they see the same arrival /
+    service / failure randomness and differ only in the decision logic.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for preset in presets:
+        for policy in policies:
+            config = ClusterSimConfig(
+                x=x,
+                y=y,
+                allocator=preset,
+                policy=policy,
+                num_jobs=num_jobs,
+                load=load,
+                service=service or _DEFAULT_SERVICE,
+                failures=failures,
+                seed=seed,
+            )
+            summary = _run(config).summary()
+            out[f"{preset} / {policy}"] = {k: summary[k] for k in SUMMARY_KEYS}
+    return out
+
+
+def lifetime_failure_sweep(
+    x: int = 16,
+    y: int = 16,
+    *,
+    mtbf_hours: Sequence[float] = (320.0, 80.0, 20.0),
+    mttr_hours: float = 2.0,
+    eviction: str = "requeue",
+    allocator: str = "greedy+transpose+aspect",
+    policy: str = "fcfs+backfill",
+    num_jobs: int = 600,
+    load: float = 2.0,
+    service: Optional[ServiceTimeModel] = None,
+    seed: int = 7,
+) -> Dict[str, Dict[str, float]]:
+    """Summary metrics as the board MTBF shrinks (failure intensity grows).
+
+    The dynamic generalization of Figure 10: instead of failing ``k``
+    boards once, boards fail continuously and jobs are evicted/requeued
+    (or shrunk), so the metric captures eviction work loss and repair
+    interplay, not just packing on a degraded grid.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for mtbf in mtbf_hours:
+        config = ClusterSimConfig(
+            x=x,
+            y=y,
+            allocator=allocator,
+            policy=policy,
+            num_jobs=num_jobs,
+            load=load,
+            service=service or _DEFAULT_SERVICE,
+            failures=FailureModel(
+                mtbf_hours=mtbf, mttr_hours=mttr_hours, eviction=eviction
+            ),
+            seed=seed,
+        )
+        summary = _run(config).summary()
+        row = {k: summary[k] for k in SUMMARY_KEYS}
+        row["failures"] = summary["failures"]
+        out[f"MTBF {mtbf:g}h"] = row
+    return out
+
+
+def lifetime_utilization_timeline(
+    report: ClusterReport, *, max_points: int = 200
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Downsampled utilization and fragmentation step functions of one run."""
+    series = {
+        "utilization": report.metrics.utilization_timeline(),
+        "fragmentation": report.metrics.fragmentation_timeline(),
+    }
+    out: Dict[str, List[Tuple[float, float]]] = {}
+    for name, points in series.items():
+        if len(points) > max_points:
+            stride = -(-len(points) // max_points)  # ceil keeps <= max_points
+            sampled = points[::stride]
+            if sampled[-1] != points[-1]:
+                sampled[-1] = points[-1]  # the series must end where the run does
+            points = sampled
+        out[name] = [(float(t), float(v)) for t, v in points]
+    return out

@@ -1,0 +1,63 @@
+"""Event-driven cluster lifetime simulation (beyond the paper's figures).
+
+The paper evaluates HxMesh allocation on *static* job mixes (Figures 8 and
+10).  This package simulates the cluster *over time*: jobs arrive (Poisson
+or trace-driven, sizes from the Alibaba-like generator), wait in a
+scheduler queue (FCFS or FCFS+backfill over the greedy allocator), run for
+a sampled or flow-simulator-derived service time, and complete -- while
+boards fail and are repaired per an MTBF/MTTR process that evicts or
+shrinks affected jobs.
+
+Quick start::
+
+    from repro.cluster import ClusterSimConfig, ClusterSimulator, FailureModel
+
+    config = ClusterSimConfig(
+        x=16, y=16,                                # 16x16 Hx2Mesh
+        allocator="greedy+transpose+aspect",
+        policy="fcfs+backfill",
+        num_jobs=1000,
+        failures=FailureModel(mtbf_hours=80, mttr_hours=2),
+        seed=7,
+    )
+    report = ClusterSimulator(config).run()
+    print(report.summary()["time_weighted_utilization"])
+"""
+
+from .failures import EVICTION_POLICIES, FailureModel
+from .jobs import ClusterJob, JobState
+from .metrics import ClusterMetrics, MetricSample
+from .scheduler import POLICIES, Scheduler
+from .simulator import ClusterReport, ClusterSimConfig, ClusterSimulator
+from .workload import (
+    ArrivalModel,
+    FixedServiceTime,
+    FlowSimServiceTime,
+    LogNormalServiceTime,
+    PoissonArrivals,
+    ServiceTimeModel,
+    TraceArrivals,
+    interarrival_for_load,
+)
+
+__all__ = [
+    "ClusterJob",
+    "JobState",
+    "Scheduler",
+    "POLICIES",
+    "FailureModel",
+    "EVICTION_POLICIES",
+    "ClusterMetrics",
+    "MetricSample",
+    "ClusterSimConfig",
+    "ClusterSimulator",
+    "ClusterReport",
+    "ArrivalModel",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "ServiceTimeModel",
+    "FixedServiceTime",
+    "LogNormalServiceTime",
+    "FlowSimServiceTime",
+    "interarrival_for_load",
+]

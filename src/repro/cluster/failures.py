@@ -1,0 +1,71 @@
+"""Board failure/repair process (generalizing the Figure-10 experiment).
+
+The paper's Figure 10 fails a fixed number of boards once and re-allocates
+a static mix.  Here failures are a *process*: every working board fails
+independently with rate ``1 / MTBF``, so the cluster-wide failure rate is
+``working_boards / MTBF`` (exponential superposition), and each failed
+board returns to service after an exponential repair time with mean MTTR.
+
+When a failure lands on an allocated board the running job is interrupted;
+the eviction policy decides what happens next:
+
+* ``"requeue"`` -- the job re-enters the queue head at its full board count
+  and waits for capacity (checkpoint/restart keeps finished work by
+  default).
+* ``"shrink"`` -- the job additionally halves its board request (down to
+  ``min_boards``) so it can restart sooner on the fragmented cluster; the
+  work balance is size-independent, so running smaller takes
+  proportionally longer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FailureModel", "EVICTION_POLICIES"]
+
+EVICTION_POLICIES = ("requeue", "shrink")
+
+_SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Per-board MTBF/MTTR parameters and the eviction policy."""
+
+    mtbf_hours: float            # mean time between failures of ONE board
+    mttr_hours: float = 2.0      # mean repair time of a failed board
+    eviction: str = "requeue"
+    #: credit work finished before the failure (checkpoint/restart)
+    checkpoint: bool = True
+    #: floor of the shrink policy (boards)
+    min_boards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mtbf_hours <= 0 or self.mttr_hours <= 0:
+            raise ValueError("MTBF and MTTR must be positive")
+        if self.eviction not in EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {self.eviction!r}; "
+                f"available: {EVICTION_POLICIES}"
+            )
+        if self.min_boards < 1:
+            raise ValueError("min_boards must be at least 1")
+
+    # ------------------------------------------------------------------ rates
+    @property
+    def board_failure_rate(self) -> float:
+        """Failures per second of a single working board."""
+        return 1.0 / (self.mtbf_hours * _SECONDS_PER_HOUR)
+
+    def cluster_failure_rate(self, working_boards: int) -> float:
+        """Failures per second across ``working_boards`` boards."""
+        return working_boards * self.board_failure_rate
+
+    @property
+    def mean_repair_seconds(self) -> float:
+        return self.mttr_hours * _SECONDS_PER_HOUR
+
+    def shrink_target(self, num_boards: int) -> int:
+        """Next (halved) board count for the shrink policy."""
+        return max(num_boards // 2, self.min_boards)

@@ -1,0 +1,129 @@
+"""Job lifecycle model of the cluster lifetime simulator.
+
+A :class:`ClusterJob` is a training job as the cluster scheduler sees it:
+it arrives at some time requesting a number of boards, waits in the queue,
+runs on an allocated virtual sub-mesh, and eventually completes -- possibly
+after being evicted and restarted by board failures, possibly at a reduced
+(shrunken) board count.
+
+Work is accounted in *board-seconds*: a job that needs ``service_time``
+seconds on ``num_boards`` boards carries ``service_time * num_boards``
+board-seconds of work, and running on ``b`` boards drains the balance at
+``b`` board-seconds per second.  This linear-scaling assumption is what
+lets eviction policies shrink a job onto fewer boards and still predict its
+completion time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..allocation.jobs import JobRequest, most_square_shape
+
+__all__ = ["JobState", "ClusterJob"]
+
+
+class JobState:
+    """Lifecycle states of a cluster job (plain strings for easy printing)."""
+
+    PENDING = "pending"      # queued, waiting for boards
+    RUNNING = "running"      # allocated and executing
+    COMPLETED = "completed"  # all work drained
+
+
+@dataclass
+class ClusterJob:
+    """One job moving through the simulated cluster."""
+
+    job_id: int
+    num_boards: int            # boards of the *current* request (shrink lowers it)
+    arrival_time: float
+    service_time: float        # nominal seconds at the originally requested size
+    state: str = JobState.PENDING
+
+    #: boards of the original request (slowdown is measured against this)
+    requested_boards: int = 0
+    #: board-seconds of work still to drain
+    work_remaining: float = 0.0
+    start_time: Optional[float] = None      # first time the job began running
+    last_start: Optional[float] = None      # most recent (re)start
+    finish_time: Optional[float] = None
+    restarts: int = 0
+    shrinks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_boards < 1:
+            raise ValueError("a job needs at least one board")
+        if self.service_time <= 0:
+            raise ValueError("service time must be positive")
+        if not self.requested_boards:
+            self.requested_boards = self.num_boards
+        if not self.work_remaining:
+            self.work_remaining = self.service_time * self.requested_boards
+
+    # ------------------------------------------------------------- lifecycle
+    def request(self) -> JobRequest:
+        """The allocation request for the job's current board count."""
+        u, v = most_square_shape(self.num_boards)
+        return JobRequest(self.job_id, u, v)
+
+    def begin(self, now: float) -> float:
+        """Mark the job running; returns the run time until completion."""
+        self.state = JobState.RUNNING
+        if self.start_time is None:
+            self.start_time = now
+        else:
+            self.restarts += 1
+        self.last_start = now
+        return self.remaining_runtime()
+
+    def remaining_runtime(self) -> float:
+        """Seconds of execution left at the current board count."""
+        return self.work_remaining / self.num_boards
+
+    def interrupt(self, now: float, *, checkpoint: bool = True) -> None:
+        """Stop a running job (eviction); optionally credit finished work.
+
+        With ``checkpoint=True`` the work executed since the last (re)start
+        is subtracted from the balance, modelling checkpoint/restart (the
+        paper argues a 64 GiB checkpoint costs < 1 s of network time); with
+        ``checkpoint=False`` the job restarts from scratch.
+        """
+        if self.state != JobState.RUNNING:
+            raise ValueError(f"job {self.job_id} is not running")
+        if checkpoint and self.last_start is not None:
+            done = (now - self.last_start) * self.num_boards
+            self.work_remaining = max(self.work_remaining - done, 1e-9)
+        self.state = JobState.PENDING
+
+    def shrink(self, new_boards: int) -> None:
+        """Reduce the job's board count (work balance is size-independent)."""
+        if not 1 <= new_boards < self.num_boards:
+            raise ValueError(
+                f"shrink target {new_boards} must be in [1, {self.num_boards})"
+            )
+        self.num_boards = new_boards
+        self.shrinks += 1
+
+    def complete(self, now: float) -> None:
+        self.state = JobState.COMPLETED
+        self.finish_time = now
+        self.work_remaining = 0.0
+
+    # --------------------------------------------------------------- metrics
+    @property
+    def wait_time(self) -> Optional[float]:
+        """Queue time before the first start (None while still queued)."""
+        return None if self.start_time is None else self.start_time - self.arrival_time
+
+    @property
+    def turnaround(self) -> Optional[float]:
+        return None if self.finish_time is None else self.finish_time - self.arrival_time
+
+    @property
+    def slowdown(self) -> Optional[float]:
+        """Turnaround over the nominal full-size service time (>= 1.0)."""
+        if self.finish_time is None:
+            return None
+        return max(self.turnaround / self.service_time, 1.0)

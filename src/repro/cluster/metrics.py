@@ -1,0 +1,154 @@
+"""Time-series metrics of a cluster lifetime run.
+
+:class:`ClusterMetrics` records a step-function sample of the cluster state
+at every event that changes it and integrates the usual scheduling metrics
+over simulated time:
+
+* **time-weighted utilization** -- allocated / working boards, averaged
+  over time (the dynamic counterpart of the Figure 8/10 metric);
+* **fragmentation** -- free working capacity that sits idle *while demand
+  is queued*; free boards with an empty queue are slack, not
+  fragmentation;
+* job-level **wait time** and **slowdown** distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .jobs import ClusterJob, JobState
+
+__all__ = ["MetricSample", "ClusterMetrics"]
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """Cluster state at one instant (holds until the next sample)."""
+
+    time: float
+    allocated_boards: int
+    working_boards: int
+    queued_jobs: int
+    queued_boards: int
+
+    @property
+    def utilization(self) -> float:
+        return self.allocated_boards / self.working_boards if self.working_boards else 0.0
+
+    @property
+    def fragmentation(self) -> float:
+        """Idle-but-working capacity fraction while jobs are waiting."""
+        if not self.working_boards or not self.queued_jobs:
+            return 0.0
+        return (self.working_boards - self.allocated_boards) / self.working_boards
+
+
+class ClusterMetrics:
+    """Accumulates samples and computes time-weighted summaries."""
+
+    def __init__(self) -> None:
+        self.samples: List[MetricSample] = []
+        self.completed: List[ClusterJob] = []
+        self.num_failures = 0
+        self.num_repairs = 0
+        self.num_evictions = 0
+        self._end_time: Optional[float] = None
+
+    # -------------------------------------------------------------- recording
+    def record_state(
+        self,
+        time: float,
+        *,
+        allocated_boards: int,
+        working_boards: int,
+        queued_jobs: int,
+        queued_boards: int,
+    ) -> None:
+        sample = MetricSample(
+            time, allocated_boards, working_boards, queued_jobs, queued_boards
+        )
+        if self.samples and self.samples[-1].time == time:
+            self.samples[-1] = sample  # collapse simultaneous events
+        else:
+            self.samples.append(sample)
+
+    def record_completion(self, job: ClusterJob) -> None:
+        self.completed.append(job)
+
+    def finalize(self, end_time: float) -> None:
+        self._end_time = end_time
+
+    # ------------------------------------------------------------ integration
+    def _weights(self) -> np.ndarray:
+        if not self.samples:
+            return np.zeros(0)
+        end = self._end_time if self._end_time is not None else self.samples[-1].time
+        times = np.array([s.time for s in self.samples] + [end])
+        return np.maximum(np.diff(times), 0.0)
+
+    def _time_weighted(self, values: Sequence[float]) -> float:
+        w = self._weights()
+        total = float(w.sum())
+        if total <= 0:
+            return 0.0
+        return float(np.dot(np.asarray(values, dtype=float), w) / total)
+
+    def time_weighted_utilization(self) -> float:
+        return self._time_weighted([s.utilization for s in self.samples])
+
+    def busy_utilization(self) -> float:
+        """Utilization averaged only over times with queued demand.
+
+        Idle-cluster intervals (empty queue during warm-up or drain) say
+        nothing about allocation quality; conditioning on a non-empty queue
+        isolates the packing efficiency the Figure-8 heuristics target.
+        """
+        w = self._weights()
+        busy = np.array([s.queued_jobs > 0 for s in self.samples], dtype=bool)
+        total = float(w[busy].sum()) if len(w) else 0.0
+        if total <= 0:
+            return 0.0
+        values = np.array([s.utilization for s in self.samples])
+        return float(np.dot(values[busy], w[busy]) / total)
+
+    def time_weighted_fragmentation(self) -> float:
+        return self._time_weighted([s.fragmentation for s in self.samples])
+
+    def mean_queue_length(self) -> float:
+        return self._time_weighted([s.queued_jobs for s in self.samples])
+
+    # ------------------------------------------------------------- job metrics
+    def wait_times(self) -> List[float]:
+        return [j.wait_time for j in self.completed if j.wait_time is not None]
+
+    def slowdowns(self) -> List[float]:
+        return [j.slowdown for j in self.completed if j.slowdown is not None]
+
+    def utilization_timeline(self) -> List[tuple]:
+        """``(time, utilization)`` step-function points (figure-style series)."""
+        return [(s.time, s.utilization) for s in self.samples]
+
+    def fragmentation_timeline(self) -> List[tuple]:
+        return [(s.time, s.fragmentation) for s in self.samples]
+
+    # ---------------------------------------------------------------- summary
+    def summary(self) -> Dict[str, float]:
+        waits = self.wait_times()
+        slows = self.slowdowns()
+        return {
+            "completed_jobs": float(len(self.completed)),
+            "time_weighted_utilization": self.time_weighted_utilization(),
+            "busy_utilization": self.busy_utilization(),
+            "time_weighted_fragmentation": self.time_weighted_fragmentation(),
+            "mean_queue_length": self.mean_queue_length(),
+            "mean_wait_time": float(np.mean(waits)) if waits else 0.0,
+            "p95_wait_time": float(np.percentile(waits, 95)) if waits else 0.0,
+            "mean_slowdown": float(np.mean(slows)) if slows else 0.0,
+            "p95_slowdown": float(np.percentile(slows, 95)) if slows else 0.0,
+            "failures": float(self.num_failures),
+            "repairs": float(self.num_repairs),
+            "evictions": float(self.num_evictions),
+        }

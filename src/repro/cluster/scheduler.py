@@ -1,0 +1,98 @@
+"""Queueing policies placing cluster jobs with the greedy allocator.
+
+The scheduler owns the pending-job queue and a
+:class:`~repro.allocation.greedy.GreedyAllocator` bound to the cluster's
+:class:`~repro.allocation.grid.BoardGrid`.  Whenever capacity may have
+changed (an arrival, a completion, a repair, an eviction) the simulator
+calls :meth:`Scheduler.dispatch`, which starts every job its policy allows:
+
+* ``"fcfs"`` -- strict first-come-first-served: place queue heads until the
+  head does not fit, then stop (head-of-line blocking included).
+* ``"fcfs+backfill"`` -- aggressive backfilling: when the head does not
+  fit, later jobs (up to ``backfill_depth`` of them) may jump ahead if
+  *they* fit.  No reservations are made, so very large jobs can starve
+  under sustained load -- the classic trade-off this policy knob exists to
+  study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from ..allocation.greedy import AllocatorOptions, GreedyAllocator
+from ..allocation.grid import BoardGrid
+from ..core.subnetwork import VirtualSubMesh
+from .jobs import ClusterJob
+
+__all__ = ["POLICIES", "Scheduler"]
+
+POLICIES = ("fcfs", "fcfs+backfill")
+
+
+class Scheduler:
+    """Pending-job queue plus a placement policy over a board grid."""
+
+    def __init__(
+        self,
+        grid: BoardGrid,
+        options: Union[str, AllocatorOptions] = "greedy+transpose+aspect",
+        *,
+        policy: str = "fcfs",
+        backfill_depth: int = 16,
+    ):
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; available: {POLICIES}")
+        if isinstance(options, str):
+            options = AllocatorOptions.named(options)
+        self.grid = grid
+        self.allocator = GreedyAllocator(grid, options)
+        self.policy = policy
+        self.backfill_depth = backfill_depth
+        self._queue: List[ClusterJob] = []
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def queued_boards(self) -> int:
+        return sum(job.num_boards for job in self._queue)
+
+    def pending_jobs(self) -> List[ClusterJob]:
+        return list(self._queue)
+
+    # --------------------------------------------------------------- mutation
+    def submit(self, job: ClusterJob, *, front: bool = False) -> None:
+        """Queue a job; evicted jobs re-enter at the front (no re-queueing
+        penalty beyond the work they lost)."""
+        if front:
+            self._queue.insert(0, job)
+        else:
+            self._queue.append(job)
+
+    def dispatch(self) -> List[Tuple[ClusterJob, VirtualSubMesh]]:
+        """Start every job the policy can place right now.
+
+        Returns ``(job, submesh)`` pairs in start order; the caller marks
+        the jobs running and schedules their completion events.
+        """
+        started: List[Tuple[ClusterJob, VirtualSubMesh]] = []
+        while self._queue:
+            placed = self.allocator.allocate(self._queue[0].request())
+            if placed is None:
+                break
+            started.append((self._queue.pop(0), placed))
+        if self.policy == "fcfs+backfill" and self._queue:
+            index = 1  # the head itself was just proven not to fit
+            examined = 0
+            while index < len(self._queue) and examined < self.backfill_depth:
+                job = self._queue[index]
+                placed = self.allocator.allocate(job.request())
+                if placed is None:
+                    index += 1
+                else:
+                    started.append((self._queue.pop(index), placed))
+                examined += 1
+        return started

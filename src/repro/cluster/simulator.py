@@ -1,0 +1,314 @@
+"""Event-driven cluster lifetime simulator.
+
+:class:`ClusterSimulator` wires the existing ingredients -- the
+deterministic :class:`~repro.sim.engine.EventEngine`, the
+:class:`~repro.allocation.grid.BoardGrid` / greedy allocator, the
+Alibaba-like workload generator, and (optionally) flow-simulator-derived
+service times -- into one long-running simulation: jobs arrive, queue,
+run, and complete while boards fail and are repaired.
+
+Event types and their races:
+
+* **arrival** -- a job joins the queue; the scheduler dispatches whatever
+  fits.
+* **completion** -- the job's boards are released; queued jobs may start.
+* **failure** -- a uniformly random working board fails.  If it was
+  allocated the victim job is evicted (its completion event is *cancelled*
+  -- the completion/failure race the engine's handles exist for) and
+  requeued per the eviction policy.
+* **repair** -- a failed board returns to service.
+
+All randomness flows through three independent, seeded generator streams
+(arrivals, service times, failures), so a run is a pure function of its
+:class:`ClusterSimConfig`: same seed, same metrics --
+:meth:`ClusterReport.fingerprint` digests the full job history to assert
+exactly that.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .._hash import mix64
+from ..allocation.greedy import AllocatorOptions
+from ..allocation.grid import BoardGrid
+from ..sim.engine import EventEngine, EventHandle
+from .failures import FailureModel
+from .jobs import ClusterJob
+from .metrics import ClusterMetrics
+from .scheduler import Scheduler
+from .workload import (
+    ArrivalModel,
+    LogNormalServiceTime,
+    PoissonArrivals,
+    ServiceTimeModel,
+    interarrival_for_load,
+)
+
+__all__ = ["ClusterSimConfig", "ClusterReport", "ClusterSimulator"]
+
+
+@dataclass(frozen=True)
+class ClusterSimConfig:
+    """Complete description of one cluster lifetime run (a run is a pure
+    function of this config)."""
+
+    x: int = 16
+    y: int = 16
+    allocator: Union[str, AllocatorOptions] = "greedy+transpose+aspect"
+    policy: str = "fcfs+backfill"
+    backfill_depth: int = 16
+    num_jobs: int = 1000
+    seed: int = 0
+    #: offered load used to derive Poisson arrivals when ``arrivals`` is None
+    load: float = 1.5
+    #: largest sampled job, in boards; defaults to a quarter of the cluster.
+    #: A job sized to the whole cluster can only start during a window with
+    #: zero failed boards -- vanishingly rare under an MTBF/MTTR process --
+    #: so the *lifetime* default is stricter than the static Figure-8 mixes.
+    max_job_boards: Optional[int] = None
+    arrivals: Optional[ArrivalModel] = None
+    service: ServiceTimeModel = field(default_factory=LogNormalServiceTime)
+    failures: Optional[FailureModel] = None
+    #: hard safety cap on processed events (runaway guard)
+    max_events: int = 2_000_000
+
+    @property
+    def cluster_boards(self) -> int:
+        return self.x * self.y
+
+    def build_arrivals(self) -> ArrivalModel:
+        """The arrival model (a private copy; trace cursors are stateful)."""
+        if self.arrivals is not None:
+            return copy.deepcopy(self.arrivals)
+        cap = self.max_job_boards
+        if cap is None:
+            cap = max(self.cluster_boards // 4, 1)
+        model = PoissonArrivals(mean_interarrival=1.0, max_job_boards=cap)
+        model.mean_interarrival = interarrival_for_load(
+            self.load, self.cluster_boards, model.mean_job_boards(), self.service.mean()
+        )
+        return model
+
+
+@dataclass
+class ClusterReport:
+    """Everything a lifetime run produced."""
+
+    config: ClusterSimConfig
+    duration: float
+    jobs: List[ClusterJob]
+    metrics: ClusterMetrics
+
+    def summary(self) -> Dict[str, float]:
+        out = {"duration": self.duration, "submitted_jobs": float(len(self.jobs))}
+        out.update(self.metrics.summary())
+        return out
+
+    def fingerprint(self) -> int:
+        """Order-sensitive digest of the full job history.
+
+        Two runs of the same seeded config must produce identical
+        fingerprints; any divergence in event ordering, placement, or
+        sampled randomness changes it.
+        """
+        digest = mix64(len(self.jobs))
+        for job in self.jobs:
+            for value in (
+                job.job_id,
+                job.num_boards,
+                job.requested_boards,
+                job.restarts,
+                job.shrinks,
+                int(job.arrival_time * 1e6),
+                int((job.finish_time or -1.0) * 1e6),
+            ):
+                digest = mix64(digest ^ mix64(value & ((1 << 64) - 1)))
+        for count in (
+            self.metrics.num_failures,
+            self.metrics.num_repairs,
+            self.metrics.num_evictions,
+            int(self.duration * 1e6),
+        ):
+            digest = mix64(digest ^ mix64(count))
+        return digest
+
+
+class ClusterSimulator:
+    """Runs one :class:`ClusterSimConfig` to completion."""
+
+    def __init__(self, config: ClusterSimConfig = ClusterSimConfig()):
+        self.config = config
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> ClusterReport:
+        """Simulate until every submitted job has completed."""
+        cfg = self.config
+        engine = EventEngine()
+        grid = BoardGrid(cfg.x, cfg.y)
+        scheduler = Scheduler(
+            grid, cfg.allocator, policy=cfg.policy, backfill_depth=cfg.backfill_depth
+        )
+        metrics = ClusterMetrics()
+        arrivals = cfg.build_arrivals()
+
+        arrival_rng = np.random.default_rng([cfg.seed, 0xA221])
+        service_rng = np.random.default_rng([cfg.seed, 0x5EE7])
+        failure_rng = np.random.default_rng([cfg.seed, 0xFA11])
+
+        jobs: List[ClusterJob] = []
+        running: Dict[int, Tuple[ClusterJob, EventHandle]] = {}
+        repair_handles: Dict[Tuple[int, int], EventHandle] = {}
+        failure_handle: List[Optional[EventHandle]] = [None]
+        arrivals_exhausted = [False]
+        finished = [False]
+
+        # ------------------------------------------------------------ helpers
+        def record() -> None:
+            metrics.record_state(
+                engine.now,
+                allocated_boards=grid.num_allocated,
+                working_boards=grid.num_working,
+                queued_jobs=scheduler.queue_length,
+                queued_boards=scheduler.queued_boards,
+            )
+
+        def dispatch() -> None:
+            for job, _submesh in scheduler.dispatch():
+                runtime = job.begin(engine.now)
+                handle = engine.schedule(runtime, _completion(job))
+                running[job.job_id] = (job, handle)
+
+        def check_finished() -> None:
+            if (
+                arrivals_exhausted[0]
+                and not running
+                and scheduler.queue_length == 0
+                and not finished[0]
+            ):
+                finished[0] = True
+                # Stop the self-perpetuating failure process and drain the
+                # outstanding repairs; the run is over.
+                engine.cancel(failure_handle[0])
+                for handle in repair_handles.values():
+                    engine.cancel(handle)
+
+        # ------------------------------------------------------------ arrivals
+        def schedule_next_arrival() -> None:
+            if len(jobs) >= cfg.num_jobs:
+                arrivals_exhausted[0] = True
+                return
+            drawn = arrivals.next_arrival(arrival_rng)
+            if drawn is None:
+                arrivals_exhausted[0] = True
+                return
+            gap, num_boards = drawn
+            service = cfg.service.sample(service_rng, num_boards)
+            job = ClusterJob(
+                job_id=len(jobs),
+                num_boards=num_boards,
+                arrival_time=engine.now + gap,
+                service_time=service,
+            )
+            jobs.append(job)
+            engine.schedule(gap, _arrival(job))
+
+        def _arrival(job: ClusterJob):
+            def fire() -> None:
+                scheduler.submit(job)
+                dispatch()
+                record()
+                schedule_next_arrival()
+                check_finished()
+
+            return fire
+
+        # ---------------------------------------------------------- completion
+        def _completion(job: ClusterJob):
+            def fire() -> None:
+                running.pop(job.job_id, None)
+                grid.release(job.job_id)
+                job.complete(engine.now)
+                metrics.record_completion(job)
+                dispatch()
+                record()
+                check_finished()
+
+            return fire
+
+        # ------------------------------------------------------------ failures
+        def reschedule_failure() -> None:
+            engine.cancel(failure_handle[0])
+            failure_handle[0] = None
+            if cfg.failures is None or finished[0]:
+                return
+            rate = cfg.failures.cluster_failure_rate(grid.num_working)
+            if rate <= 0.0:
+                return
+            delay = float(failure_rng.exponential(1.0 / rate))
+            failure_handle[0] = engine.schedule(delay, on_failure)
+
+        def on_failure() -> None:
+            failure_handle[0] = None
+            model = cfg.failures
+            working = grid.working_coords()
+            if not working:
+                reschedule_failure()
+                return
+            board = working[int(failure_rng.integers(len(working)))]
+            metrics.num_failures += 1
+            victim_id = grid.job_at(board)
+            if victim_id is not None:
+                job, handle = running.pop(victim_id)
+                engine.cancel(handle)  # the completion lost the race
+                job.interrupt(engine.now, checkpoint=model.checkpoint)
+                grid.release(victim_id)
+                metrics.num_evictions += 1
+                if model.eviction == "shrink" and job.num_boards > model.min_boards:
+                    job.shrink(model.shrink_target(job.num_boards))
+                scheduler.submit(job, front=True)
+            grid.fail_boards([board])
+            delay = float(failure_rng.exponential(model.mean_repair_seconds))
+            repair_handles[board] = engine.schedule(delay, _repair(board))
+            dispatch()  # an eviction may have freed boards for queued jobs
+            record()
+            reschedule_failure()  # the working count changed
+
+        def _repair(board: Tuple[int, int]):
+            def fire() -> None:
+                repair_handles.pop(board, None)
+                grid.repair_boards([board])
+                metrics.num_repairs += 1
+                dispatch()
+                record()
+                reschedule_failure()
+                check_finished()
+
+            return fire
+
+        # ---------------------------------------------------------------- run
+        record()
+        schedule_next_arrival()
+        reschedule_failure()
+        check_finished()  # num_jobs == 0 finishes before any event fires
+        engine.run(max_events=cfg.max_events)
+        if not finished[0]:
+            if engine.pending_events:
+                raise RuntimeError(
+                    f"cluster simulation hit the max_events cap ({cfg.max_events}) "
+                    f"with {engine.pending_events} events pending (a queued job "
+                    f"may be unplaceable on this grid)"
+                )
+            stuck = [job.job_id for job in scheduler.pending_jobs()]
+            raise RuntimeError(
+                f"cluster simulation deadlocked: jobs {stuck} can never be "
+                f"placed on the {cfg.x}x{cfg.y} grid (no failure/repair events "
+                f"remain to change capacity)"
+            )
+        duration = engine.now
+        metrics.finalize(duration)
+        return ClusterReport(config=cfg, duration=duration, jobs=jobs, metrics=metrics)

@@ -1,6 +1,6 @@
 """Network simulation substrates: flow-level and packet-level simulators."""
 
-from .engine import EventEngine
+from .engine import EventEngine, EventHandle
 from .flowsim import FlowAssignment, FlowSimulator, PhaseResult
 from .network import PacketNetwork, PacketSimConfig, PacketSimResult
 from .packet import DEFAULT_PACKET_SIZE, Message, Packet
@@ -27,6 +27,7 @@ from .traffic import (
 
 __all__ = [
     "EventEngine",
+    "EventHandle",
     "FlowSimulator",
     "FlowAssignment",
     "PhaseResult",

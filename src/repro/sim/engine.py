@@ -1,10 +1,18 @@
 """Discrete-event simulation core.
 
-A minimal but complete event engine: events are ``(time, sequence, callback)``
+A minimal but complete event engine: events are ``(time, sequence, handle)``
 tuples in a binary heap; the sequence number makes the ordering stable and
 deterministic for simultaneous events.  The packet-level network simulator
-builds on this engine; it is also reusable for custom simulations (see the
-examples).
+builds on this engine, the cluster lifetime simulator (:mod:`repro.cluster`)
+adds job completion/failure races on top of it, and it is also reusable for
+custom simulations (see the examples).
+
+Scheduling returns an :class:`EventHandle` that can be passed to
+:meth:`EventEngine.cancel`, which is how the cluster simulator resolves
+races such as "the job completed" vs "a board of the job failed": the loser
+of the race is cancelled instead of firing on stale state.  Cancellation is
+lazy (cancelled entries stay in the heap until they surface) so it is O(1)
+and never perturbs the deterministic ordering of the surviving events.
 """
 
 from __future__ import annotations
@@ -12,17 +20,50 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
-__all__ = ["EventEngine"]
+__all__ = ["EventEngine", "EventHandle"]
+
+
+class EventHandle:
+    """Cancellation token for one scheduled event.
+
+    The handle exposes the scheduled ``time`` and whether the event is still
+    ``pending`` (neither executed nor cancelled).  Handles are returned by
+    :meth:`EventEngine.schedule` / :meth:`EventEngine.schedule_at` and are
+    only meaningful for the engine that created them.
+    """
+
+    __slots__ = ("time", "_callback", "_cancelled")
+
+    def __init__(self, time: float, callback: Callable[[], None]):
+        self.time = time
+        self._callback: Optional[Callable[[], None]] = callback
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def pending(self) -> bool:
+        """True while the event has neither executed nor been cancelled."""
+        return self._callback is not None and not self._cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else (
+            "pending" if self._callback is not None else "done"
+        )
+        return f"EventHandle(time={self.time!r}, {state})"
 
 
 class EventEngine:
     """A deterministic discrete-event scheduler."""
 
     def __init__(self) -> None:
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._queue: List[Tuple[float, int, EventHandle]] = []
         self._sequence = 0
         self._now = 0.0
         self._processed = 0
+        self._live = 0  # scheduled and not yet executed or cancelled
 
     # ---------------------------------------------------------------- queries
     @property
@@ -32,36 +73,70 @@ class EventEngine:
 
     @property
     def pending_events(self) -> int:
-        return len(self._queue)
+        """Number of scheduled events that are neither executed nor cancelled."""
+        return self._live
 
     @property
     def processed_events(self) -> int:
         return self._processed
 
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` when the queue is empty.
+
+        Cancelled events never influence the result; the engine's clock and
+        event ordering are left untouched.
+        """
+        self._prune()
+        return self._queue[0][0] if self._queue else None
+
     # ------------------------------------------------------------- scheduling
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self._now + delay, callback)
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at an absolute simulation time."""
         if time < self._now:
             raise ValueError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        heapq.heappush(self._queue, (time, self._sequence, callback))
+        handle = EventHandle(time, callback)
+        heapq.heappush(self._queue, (time, self._sequence, handle))
         self._sequence += 1
+        self._live += 1
+        return handle
+
+    def cancel(self, handle: Optional[EventHandle]) -> bool:
+        """Cancel a scheduled event; returns whether anything was cancelled.
+
+        Cancelling ``None``, an already-cancelled handle, or an event that
+        has already executed is a harmless no-op returning ``False``, so
+        callers can unconditionally cancel whatever handle they hold.
+        """
+        if handle is None or not handle.pending:
+            return False
+        handle._cancelled = True
+        self._live -= 1
+        return True
 
     # -------------------------------------------------------------- execution
+    def _prune(self) -> None:
+        while self._queue and self._queue[0][2]._cancelled:
+            heapq.heappop(self._queue)
+
     def step(self) -> bool:
         """Process the next event; returns ``False`` when the queue is empty."""
+        self._prune()
         if not self._queue:
             return False
-        time, _, callback = heapq.heappop(self._queue)
+        time, _, handle = heapq.heappop(self._queue)
         self._now = time
         self._processed += 1
+        self._live -= 1
+        callback = handle._callback
+        handle._callback = None  # marks the handle as executed
         callback()
         return True
 
@@ -71,8 +146,11 @@ class EventEngine:
         Returns the simulation time after the last processed event.
         """
         processed = 0
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        while True:
+            next_time = self.peek()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
                 self._now = until
                 break
             if max_events is not None and processed >= max_events:
@@ -82,8 +160,16 @@ class EventEngine:
         return self._now
 
     def reset(self) -> None:
-        """Drop all pending events and rewind the clock."""
+        """Drop all pending events and rewind the clock.
+
+        Handles issued before the reset are marked cancelled, so a caller
+        unconditionally cancelling a stale handle later stays a no-op
+        instead of corrupting the live-event count.
+        """
+        for _, _, handle in self._queue:
+            handle._cancelled = True
         self._queue.clear()
         self._now = 0.0
         self._sequence = 0
         self._processed = 0
+        self._live = 0

@@ -108,6 +108,22 @@ class TestBoardGrid:
         grid.allocate(0, VirtualSubMesh(rows=(1,), cols=(0, 1)))
         assert grid.utilization() == pytest.approx(1.0)
 
+    def test_repair_boards(self):
+        grid = BoardGrid(2, 2)
+        grid.fail_boards([(0, 0)])
+        grid.repair_boards([(0, 0)])
+        assert grid.num_failed == 0 and grid.is_free((0, 0))
+        with pytest.raises(ValueError):
+            grid.repair_boards([(1, 1)])  # not failed
+
+    def test_coord_views(self):
+        grid = BoardGrid(2, 2)
+        grid.fail_boards([(0, 1)])
+        grid.allocate(0, VirtualSubMesh(rows=(1,), cols=(0,)))
+        assert grid.free_coords() == [(0, 0), (1, 1)]
+        assert grid.failed_coords() == [(0, 1)]
+        assert grid.working_coords() == [(0, 0), (1, 0), (1, 1)]
+
     def test_reset(self):
         grid = BoardGrid(2, 2)
         grid.fail_boards([(0, 0)])
@@ -240,6 +256,45 @@ class TestWorkloadGenerator:
             JobSizeDistribution((1, 2), (0.5, 0.2))
         with pytest.raises(ValueError):
             JobSizeDistribution((0,), (1.0,))
+
+    def test_sample_too_big_carries_to_next_mix(self):
+        from repro.allocation import JobSizeDistribution
+
+        # Cluster of 6 boards, every sample is 4 boards: the second draw of
+        # each mix (4 > 2 remaining) must be carried over and reappear as
+        # the FIRST job of the next mix (Section IV-B semantics), so every
+        # mix holds exactly one job despite nominal capacity for 1.5.
+        dist = JobSizeDistribution((4,), (1.0,))
+        mixes = sample_job_mixes(6, 3, distribution=dist, seed=0)
+        assert [[j.num_boards for j in m] for m in mixes] == [[4], [4], [4]]
+        # job ids keep increasing across mixes (the carried job is the same
+        # sample, not a duplicate)
+        ids = [j.job_id for m in mixes for j in m]
+        assert ids == [0, 1, 2]
+
+    def test_carry_over_preserves_sample_order(self):
+        from repro.allocation import JobSizeDistribution
+
+        # With no size ever skipped, the concatenation of all mixes must be
+        # exactly the raw sample stream: carried samples delay jobs across
+        # the mix boundary but never drop or reorder them.
+        dist = JobSizeDistribution((3, 4), (0.5, 0.5))
+        mixes = sample_job_mixes(8, 5, distribution=dist, seed=5)
+        flat = [j.num_boards for m in mixes for j in m]
+        rng = np.random.default_rng(5)
+        raw = [int(s) for s in dist.sample(rng, len(flat) + 8)]
+        assert flat == raw[: len(flat)]
+        # at least one mix must have left a gap that the carried sample
+        # explains (total < cluster while the next mix starts with it)
+        assert any(m.total_boards < 8 for m in mixes[:-1])
+
+    def test_mixes_deterministic_and_seed_sensitive(self):
+        a = sample_job_mixes(128, 4, seed=21)
+        b = sample_job_mixes(128, 4, seed=21)
+        c = sample_job_mixes(128, 4, seed=22)
+        key = lambda mixes: [[(j.job_id, j.u, j.v) for j in m] for m in mixes]
+        assert key(a) == key(b)
+        assert key(a) != key(c)
 
 
 class TestLocality:

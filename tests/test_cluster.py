@@ -1,0 +1,339 @@
+"""Tests for the event-driven cluster lifetime simulator (repro.cluster)
+and the EventEngine cancellation/peek extensions it builds on."""
+
+import numpy as np
+import pytest
+
+from repro.allocation import BoardGrid
+from repro.cluster import (
+    ClusterJob,
+    ClusterSimConfig,
+    ClusterSimulator,
+    FailureModel,
+    FixedServiceTime,
+    FlowSimServiceTime,
+    JobState,
+    LogNormalServiceTime,
+    PoissonArrivals,
+    Scheduler,
+    TraceArrivals,
+    interarrival_for_load,
+)
+from repro.sim import EventEngine
+
+
+# --------------------------------------------------------------- EventEngine
+class TestEventEngineCancellation:
+    def test_schedule_returns_pending_handle(self):
+        engine = EventEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        assert handle.pending and not handle.cancelled
+        assert handle.time == 1.0
+        assert engine.pending_events == 1
+
+    def test_cancelled_event_never_fires(self):
+        engine = EventEngine()
+        fired = []
+        keep = engine.schedule(1.0, lambda: fired.append("keep"))
+        drop = engine.schedule(0.5, lambda: fired.append("drop"))
+        assert engine.cancel(drop) is True
+        assert engine.pending_events == 1
+        engine.run()
+        assert fired == ["keep"]
+        assert keep.pending is False
+
+    def test_cancel_is_idempotent_and_safe(self):
+        engine = EventEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        assert engine.cancel(handle) is True
+        assert engine.cancel(handle) is False   # already cancelled
+        assert engine.cancel(None) is False     # no-op
+        engine.run()
+        assert engine.processed_events == 0
+
+    def test_cancel_after_execution_is_noop(self):
+        engine = EventEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert handle.pending is False
+        assert engine.cancel(handle) is False
+
+    def test_peek_skips_cancelled(self):
+        engine = EventEngine()
+        first = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        assert engine.peek() == 1.0
+        engine.cancel(first)
+        assert engine.peek() == 2.0
+        assert engine.now == 0.0  # peek must not advance the clock
+
+    def test_peek_empty(self):
+        engine = EventEngine()
+        assert engine.peek() is None
+        handle = engine.schedule(3.0, lambda: None)
+        engine.cancel(handle)
+        assert engine.peek() is None
+
+    def test_ordering_deterministic_with_cancellations(self):
+        """Simultaneous events keep insertion order even around cancels."""
+        engine = EventEngine()
+        order = []
+        handles = [
+            engine.schedule(1.0, lambda i=i: order.append(i)) for i in range(6)
+        ]
+        engine.cancel(handles[1])
+        engine.cancel(handles[4])
+        engine.run()
+        assert order == [0, 2, 3, 5]
+
+    def test_run_until_with_cancelled_head(self):
+        engine = EventEngine()
+        fired = []
+        head = engine.schedule(5.0, lambda: fired.append("head"))
+        engine.schedule(10.0, lambda: fired.append("tail"))
+        engine.cancel(head)
+        engine.run(until=7.0)
+        assert fired == [] and engine.now == 7.0
+
+    def test_reset_clears_live_count(self):
+        engine = EventEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.reset()
+        assert engine.pending_events == 0 and engine.peek() is None
+
+    def test_cancel_of_pre_reset_handle_is_noop(self):
+        engine = EventEngine()
+        stale = engine.schedule(1.0, lambda: None)
+        engine.reset()
+        engine.schedule(1.0, lambda: None)
+        assert engine.cancel(stale) is False  # must not touch the new event
+        assert engine.pending_events == 1
+        engine.run()
+        assert engine.pending_events == 0
+
+
+# ---------------------------------------------------------------- ClusterJob
+class TestClusterJob:
+    def test_work_accounting(self):
+        job = ClusterJob(job_id=0, num_boards=4, arrival_time=0.0, service_time=100.0)
+        assert job.work_remaining == 400.0
+        assert job.begin(10.0) == 100.0
+        job.interrupt(60.0)  # 50 s * 4 boards done
+        assert job.work_remaining == pytest.approx(200.0)
+        assert job.remaining_runtime() == pytest.approx(50.0)
+
+    def test_restart_without_checkpoint_loses_work(self):
+        job = ClusterJob(job_id=0, num_boards=2, arrival_time=0.0, service_time=100.0)
+        job.begin(0.0)
+        job.interrupt(50.0, checkpoint=False)
+        assert job.work_remaining == pytest.approx(200.0)
+
+    def test_shrink_scales_runtime(self):
+        job = ClusterJob(job_id=0, num_boards=8, arrival_time=0.0, service_time=100.0)
+        job.shrink(4)
+        assert job.num_boards == 4 and job.shrinks == 1
+        assert job.remaining_runtime() == pytest.approx(200.0)
+        with pytest.raises(ValueError):
+            job.shrink(4)  # must strictly shrink
+
+    def test_slowdown_and_wait(self):
+        job = ClusterJob(job_id=1, num_boards=1, arrival_time=100.0, service_time=50.0)
+        job.begin(150.0)
+        job.complete(210.0)
+        assert job.wait_time == 50.0
+        assert job.turnaround == 110.0
+        assert job.slowdown == pytest.approx(110.0 / 50.0)
+        assert job.state == JobState.COMPLETED
+
+
+# ----------------------------------------------------------------- Scheduler
+class TestScheduler:
+    def _job(self, job_id, boards):
+        return ClusterJob(
+            job_id=job_id, num_boards=boards, arrival_time=0.0, service_time=1.0
+        )
+
+    def test_fcfs_blocks_behind_head(self):
+        scheduler = Scheduler(BoardGrid(4, 4), "greedy", policy="fcfs")
+        scheduler.submit(self._job(0, 12))  # 3x4, fits
+        scheduler.submit(self._job(1, 16))  # 4x4, does not fit anymore
+        scheduler.submit(self._job(2, 1))   # would fit, but FCFS blocks
+        started = scheduler.dispatch()
+        assert [job.job_id for job, _ in started] == [0]
+        assert scheduler.queue_length == 2
+
+    def test_backfill_jumps_blocked_head(self):
+        scheduler = Scheduler(BoardGrid(4, 4), "greedy", policy="fcfs+backfill")
+        scheduler.submit(self._job(0, 12))
+        scheduler.submit(self._job(1, 16))
+        scheduler.submit(self._job(2, 1))
+        started = scheduler.dispatch()
+        assert [job.job_id for job, _ in started] == [0, 2]
+        assert [job.job_id for job in scheduler.pending_jobs()] == [1]
+
+    def test_front_submit_for_evicted_jobs(self):
+        scheduler = Scheduler(BoardGrid(4, 4), "greedy", policy="fcfs")
+        scheduler.submit(self._job(0, 1))
+        scheduler.submit(self._job(1, 1), front=True)
+        assert [job.job_id for job in scheduler.pending_jobs()] == [1, 0]
+        assert scheduler.queued_boards == 2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler(BoardGrid(2, 2), policy="srpt")
+
+
+# ------------------------------------------------------------ workload models
+class TestWorkloadModels:
+    def test_poisson_respects_cap(self):
+        rng = np.random.default_rng(0)
+        model = PoissonArrivals(mean_interarrival=10.0, max_job_boards=16)
+        for _ in range(200):
+            gap, size = model.next_arrival(rng)
+            assert gap >= 0.0 and 1 <= size <= 16
+        assert model.mean_job_boards() <= 16
+
+    def test_trace_arrivals_exhaust(self):
+        rng = np.random.default_rng(0)
+        model = TraceArrivals([4, 9, 1], mean_interarrival=5.0)
+        sizes = []
+        while (drawn := model.next_arrival(rng)) is not None:
+            sizes.append(drawn[1])
+        assert sizes == [4, 9, 1]
+
+    def test_interarrival_for_load(self):
+        gap = interarrival_for_load(2.0, 256, 8.0, 1000.0)
+        # offered load = mean_boards * mean_service / (gap * boards) == 2
+        assert 8.0 * 1000.0 / (gap * 256) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            interarrival_for_load(0.0, 256, 8.0, 1000.0)
+
+    def test_service_model_means(self):
+        assert FixedServiceTime(120.0).mean() == 120.0
+        lognormal = LogNormalServiceTime(900.0, 0.6)
+        rng = np.random.default_rng(1)
+        samples = [lognormal.sample(rng, 4) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(lognormal.mean(), rel=0.1)
+
+    def test_flowsim_service_times(self, hx2mesh_4x4):
+        model = FlowSimServiceTime.from_topology(
+            hx2mesh_4x4, ("resnet152", "gpt3"), num_phases=4, max_paths=2,
+            iteration_range=(100, 100),
+        )
+        assert len(model.iteration_times) == 2
+        rng = np.random.default_rng(0)
+        sample = model.sample(rng, 4)
+        # exactly 100 iterations of one of the two workloads
+        assert any(sample == pytest.approx(100 * t) for t in model.iteration_times)
+        assert model.mean() == pytest.approx(100 * np.mean(model.iteration_times))
+
+
+# ------------------------------------------------------------ full simulator
+class TestClusterSimulator:
+    def test_simple_run_completes_all_jobs(self):
+        config = ClusterSimConfig(
+            x=4, y=4, num_jobs=50, seed=3, service=FixedServiceTime(100.0),
+            failures=None,
+        )
+        report = ClusterSimulator(config).run()
+        assert len(report.jobs) == 50
+        assert all(job.state == JobState.COMPLETED for job in report.jobs)
+        summary = report.summary()
+        assert summary["completed_jobs"] == 50
+        assert 0.0 < summary["time_weighted_utilization"] <= 1.0
+        assert summary["failures"] == 0
+
+    def test_trace_driven_arrivals(self):
+        arrivals = TraceArrivals([4, 4, 1, 9, 16], mean_interarrival=50.0)
+        config = ClusterSimConfig(
+            x=4, y=4, num_jobs=100, seed=0, arrivals=arrivals,
+            service=FixedServiceTime(60.0), failures=None,
+        )
+        report = ClusterSimulator(config).run()
+        assert [job.requested_boards for job in report.jobs] == [4, 4, 1, 9, 16]
+        assert all(job.state == JobState.COMPLETED for job in report.jobs)
+
+    def test_failures_evict_and_jobs_still_finish(self):
+        config = ClusterSimConfig(
+            x=8, y=8, num_jobs=200, seed=5, load=2.0,
+            service=FixedServiceTime(3600.0),
+            failures=FailureModel(mtbf_hours=5.0, mttr_hours=0.5),
+        )
+        report = ClusterSimulator(config).run()
+        assert all(job.state == JobState.COMPLETED for job in report.jobs)
+        assert report.metrics.num_failures > 0
+        assert report.metrics.num_evictions > 0
+        assert report.metrics.num_repairs <= report.metrics.num_failures
+        evicted = [job for job in report.jobs if job.restarts > 0]
+        assert evicted, "with MTBF 5h some job must have restarted"
+
+    def test_shrink_eviction_reduces_board_count(self):
+        config = ClusterSimConfig(
+            x=8, y=8, num_jobs=200, seed=5, load=2.0,
+            service=FixedServiceTime(3600.0),
+            failures=FailureModel(mtbf_hours=5.0, mttr_hours=0.5, eviction="shrink"),
+        )
+        report = ClusterSimulator(config).run()
+        shrunk = [job for job in report.jobs if job.shrinks > 0]
+        assert shrunk
+        for job in shrunk:
+            assert job.num_boards < job.requested_boards
+            assert job.state == JobState.COMPLETED
+
+    def test_zero_jobs_run_is_empty(self):
+        report = ClusterSimulator(ClusterSimConfig(num_jobs=0)).run()
+        assert report.duration == 0.0 and report.jobs == []
+
+    def test_unplaceable_job_raises_instead_of_hanging(self):
+        # A 32-board job can never fit a 16-board grid; without failure
+        # events the simulation would deadlock silently, so it must raise.
+        arrivals = TraceArrivals([2, 32, 2], mean_interarrival=10.0)
+        config = ClusterSimConfig(
+            x=4, y=4, num_jobs=10, arrivals=arrivals,
+            service=FixedServiceTime(10.0), failures=None,
+        )
+        with pytest.raises(RuntimeError, match="never be placed"):
+            ClusterSimulator(config).run()
+
+    def test_same_seed_same_fingerprint(self):
+        config = ClusterSimConfig(
+            x=8, y=8, num_jobs=150, seed=11,
+            failures=FailureModel(mtbf_hours=40.0, mttr_hours=1.0),
+        )
+        a = ClusterSimulator(config).run()
+        b = ClusterSimulator(config).run()
+        assert a.fingerprint() == b.fingerprint()
+        assert a.summary() == b.summary()
+
+    def test_different_seed_different_fingerprint(self):
+        base = ClusterSimConfig(x=8, y=8, num_jobs=150, seed=11)
+        other = ClusterSimConfig(x=8, y=8, num_jobs=150, seed=12)
+        assert (
+            ClusterSimulator(base).run().fingerprint()
+            != ClusterSimulator(other).run().fingerprint()
+        )
+
+    def test_acceptance_1000_jobs_with_failures(self):
+        """ISSUE 1 acceptance: a deterministic seeded 1,000-job lifetime run
+        on a 16x16 Hx2Mesh with arrivals, completions and failures, where
+        the greedy+transpose+aspect preset beats plain greedy on
+        time-weighted utilization."""
+        service = LogNormalServiceTime(median_seconds=900.0, sigma=0.6)
+        failures = FailureModel(mtbf_hours=80.0, mttr_hours=2.0)
+        utilization = {}
+        for preset in ("greedy", "greedy+transpose+aspect"):
+            config = ClusterSimConfig(
+                x=16, y=16, allocator=preset, policy="fcfs+backfill",
+                num_jobs=1000, load=2.0, service=service, failures=failures,
+                seed=7,
+            )
+            report = ClusterSimulator(config).run()
+            assert len(report.jobs) == 1000
+            assert all(job.state == JobState.COMPLETED for job in report.jobs)
+            assert report.metrics.num_failures > 0
+            summary = report.summary()
+            utilization[preset] = summary["time_weighted_utilization"]
+            assert 0.0 < summary["busy_utilization"] <= 1.0
+            # determinism: a second run reproduces the exact history
+            assert ClusterSimulator(config).run().fingerprint() == report.fingerprint()
+        assert utilization["greedy+transpose+aspect"] > utilization["greedy"]
