@@ -1,8 +1,79 @@
-"""Helpers shared by the benchmark modules."""
+"""Helpers shared by the benchmark modules.
+
+Besides running each benchmark body exactly once, :func:`run_once` can
+record the reproduced series to a machine-readable ``BENCH_<name>.json``
+artifact (benchmark name, result data, wall-clock seconds), so the
+performance and output trajectory of the reproduction is trackable across
+PRs.  Artifacts land in ``benchmarks/artifacts/`` by default; set
+``REPRO_BENCH_DIR`` to redirect (or to an empty string to disable).
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Optional
 
-def run_once(benchmark, fn, *args, **kwargs):
-    """Run a benchmark body exactly once (these are experiments, not kernels)."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+_DEFAULT_DIR = Path(__file__).resolve().parent / "artifacts"
+
+
+def _artifact_dir() -> Optional[Path]:
+    configured = os.environ.get("REPRO_BENCH_DIR")
+    if configured is None:
+        return _DEFAULT_DIR
+    if not configured:
+        return None
+    return Path(configured)
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert benchmark results (numpy, dataclasses, tuple keys) to JSON."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return to_jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {
+            k if isinstance(k, str) else repr(k): to_jsonable(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy arrays and scalars
+        return value.tolist()
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def write_artifact(name: str, result: Any, wall_seconds: float) -> Optional[Path]:
+    """Write ``BENCH_<name>.json`` with the result and timing; return its path."""
+    directory = _artifact_dir()
+    if directory is None:
+        return None
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    payload = {
+        "benchmark": name,
+        "wall_seconds": wall_seconds,
+        "result": to_jsonable(result),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def run_once(benchmark, fn, *args, record: Optional[str] = None, **kwargs):
+    """Run a benchmark body exactly once (these are experiments, not kernels).
+
+    With ``record`` the returned series and the wall-clock time are written
+    to ``BENCH_<record>.json`` (see :func:`write_artifact`).
+    """
+    start = time.perf_counter()
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
+    if record:
+        write_artifact(record, result, wall)
+    return result

@@ -25,6 +25,7 @@ def test_cluster_lifetime_policies(benchmark, fidelity):
     data = run_once(
         benchmark,
         lifetime_policy_comparison,
+        record="cluster_lifetime_policies",
         presets=("greedy", "greedy+transpose", "greedy+transpose+aspect"),
         policies=("fcfs", "fcfs+backfill"),
         num_jobs=num_jobs,
@@ -54,6 +55,7 @@ def test_cluster_lifetime_failure_sweep(benchmark, fidelity):
     data = run_once(
         benchmark,
         lifetime_failure_sweep,
+        record="cluster_lifetime_failure_sweep",
         mtbf_hours=(320.0, 80.0, 20.0),
         num_jobs=num_jobs,
         seed=7,

@@ -14,6 +14,7 @@ def test_fig07_jobsize_cdf(benchmark, fidelity):
     data = run_once(
         benchmark,
         fig7_jobsize_cdf,
+        record="fig07_jobsize_cdf",
         cluster_boards=4096,
         num_mixes=fidelity["traces"],
         seed=1,

@@ -23,6 +23,7 @@ def test_fig08_utilization(benchmark, fidelity):
     data = run_once(
         benchmark,
         fig8_utilization,
+        record="fig08_utilization",
         clusters=clusters,
         num_traces=fidelity["traces"],
         seed=3,

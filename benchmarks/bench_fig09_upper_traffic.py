@@ -18,6 +18,7 @@ def test_fig09_upper_level_traffic(benchmark, fidelity):
     data = run_once(
         benchmark,
         fig9_upper_traffic,
+        record="fig09_upper_traffic",
         clusters=clusters,
         num_traces=max(4, fidelity["traces"] // 4),
         seed=5,

@@ -22,6 +22,7 @@ def test_fig10_failure_utilization(benchmark, fidelity):
     data = run_once(
         benchmark,
         fig10_failures,
+        record="fig10_failures",
         clusters=clusters,
         num_trials=fidelity["trials"],
         seed=7,

@@ -37,7 +37,7 @@ def test_fig11_alltoall_bandwidth(benchmark, fidelity):
         profiles = network_profiles("small", measured=measured)
         return fig11_alltoall_sweep("small", profiles=profiles)
 
-    series = run_once(benchmark, build)
+    series = run_once(benchmark, build, record="fig11_alltoall")
     print()
     print(
         format_series(

@@ -20,6 +20,7 @@ def test_fig12_permutation_distribution(benchmark, fidelity):
         benchmark,
         fig12_permutation,
         "small",
+        record="fig12_permutation",
         num_permutations=fidelity["permutations"],
         max_paths=fidelity["max_paths"],
         skip_keys=skip,

@@ -24,7 +24,9 @@ def _flatten(series):
 
 @pytest.mark.benchmark(group="fig13")
 def test_fig13_allreduce_large_cluster(benchmark):
-    series = run_once(benchmark, fig13_allreduce_sweep, "large")
+    series = run_once(
+        benchmark, fig13_allreduce_sweep, "large", record="fig13_allreduce_large"
+    )
     print()
     print(
         format_series(
@@ -50,7 +52,7 @@ def test_fig13_allreduce_large_cluster(benchmark):
 
 @pytest.mark.benchmark(group="fig17")
 def test_fig17_allreduce_small_cluster(benchmark):
-    series = run_once(benchmark, fig17_allreduce_sweep)
+    series = run_once(benchmark, fig17_allreduce_sweep, record="fig17_allreduce_small")
     print()
     print(
         format_series(

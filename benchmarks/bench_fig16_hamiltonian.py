@@ -16,7 +16,7 @@ from _bench_utils import run_once
 
 @pytest.mark.benchmark(group="fig16")
 def test_fig16_example_tori(benchmark):
-    cycles = run_once(benchmark, fig16_hamiltonian_cycles)
+    cycles = run_once(benchmark, fig16_hamiltonian_cycles, record="fig16_hamiltonian")
     print()
     print("Figure 16 - edge-disjoint Hamiltonian cycles")
     for (rows, cols), (red, green) in cycles.items():

@@ -1,18 +1,29 @@
-"""Cross-validation and performance of the two network simulators.
+"""Cross-validation and performance of the network-model backends.
 
 Not a table/figure of the paper, but the substrate every bandwidth number
-relies on: the flow-level simulator is validated against the packet-level
-simulator on a small HxMesh (same permutation traffic), and the raw speed of
-both is recorded so regressions in the simulation substrate are visible.
+relies on: the flow-level backend is validated against the packet-level
+backend on a small HxMesh (same permutation traffic), the raw speed of both
+is recorded so regressions in the simulation substrate are visible, and the
+shared-RouteTable reuse is measured (a warm table must beat a cold one on
+the repeated-topology sweeps every figure benchmark performs).
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 import pytest
 
 from repro.core import build_hammingmesh
-from repro.sim import FlowSimulator, PacketNetwork, PacketSimConfig, random_permutation
+from repro.sim import (
+    FlowSimulator,
+    PacketNetwork,
+    clear_route_tables,
+    get_backend,
+    random_permutation,
+    route_table_for,
+)
 
 from _bench_utils import run_once
 
@@ -22,10 +33,10 @@ def test_flowsim_alltoall_small_hxmesh(benchmark, fidelity):
     topo = build_hammingmesh(2, 2, 8, 8)
 
     def run():
-        sim = FlowSimulator(topo, max_paths=fidelity["max_paths"])
-        return sim.alltoall_bandwidth(num_phases=16, seed=1)
+        model = get_backend("flow", topo, max_paths=fidelity["max_paths"])
+        return model.alltoall_fraction(num_phases=16, seed=1)
 
-    bw = run_once(benchmark, run)
+    bw = run_once(benchmark, run, record="simulators_flow_alltoall")
     print(f"\n8x8 Hx2Mesh alltoall fraction: {bw * 100:.1f}%")
     assert 0.1 < bw < 0.6
 
@@ -34,18 +45,17 @@ def test_flowsim_alltoall_small_hxmesh(benchmark, fidelity):
 def test_packet_vs_flow_agreement(benchmark):
     topo = build_hammingmesh(2, 2, 4, 4)
     flows = random_permutation(topo.num_accelerators, seed=4)
-    size = 1 << 18
 
     def run():
-        net = PacketNetwork(topo, config=PacketSimConfig(max_paths=4))
-        net.send_flows(flows, size)
-        packet_mean = net.run().message_bandwidths().mean()
-        flow_mean = (
-            FlowSimulator(topo, max_paths=4).maxmin_rates(flows).flow_rates.mean() * 50e9
-        )
+        packet = get_backend("packet", topo, max_paths=4, message_size=1 << 18)
+        flow = get_backend("flow", topo, max_paths=4)
+        packet_mean = float(packet.phase_rates(flows).mean())
+        flow_mean = float(flow.phase_rates(flows, exact=True).mean())
         return packet_mean, flow_mean
 
-    packet_mean, flow_mean = run_once(benchmark, run)
+    packet_mean, flow_mean = run_once(
+        benchmark, run, record="simulators_packet_vs_flow"
+    )
     ratio = packet_mean / flow_mean
     print(f"\npacket-level vs flow-level mean bandwidth ratio: {ratio:.2f}")
     assert 0.6 < ratio < 1.4
@@ -63,6 +73,54 @@ def test_packet_simulator_event_rate(benchmark):
         net.run()
         return net.engine.processed_events
 
-    events = run_once(benchmark, run)
+    events = run_once(benchmark, run, record="simulators_packet_event_rate")
     print(f"\nprocessed events: {events}")
     assert events > 1000
+
+
+@pytest.mark.benchmark(group="simulators")
+def test_route_table_warm_vs_cold(benchmark, fidelity):
+    """Shared-RouteTable reuse: the warm run must beat the cold run.
+
+    Two identical alltoall + permutation measurements on fresh simulator
+    instances; the first pays the route enumeration, the second serves every
+    pair from the memoized table.
+    """
+    topo = build_hammingmesh(2, 2, 8, 8)
+    flows = random_permutation(topo.num_accelerators, seed=3)
+
+    def sweep():
+        sim = FlowSimulator(topo, max_paths=fidelity["max_paths"])
+        a2a = sim.alltoall_bandwidth(num_phases=12, seed=1)
+        perm = float(sim.permutation_bandwidths(flows).mean())
+        return a2a, perm
+
+    def run():
+        clear_route_tables()
+        t0 = time.perf_counter()
+        cold = sweep()
+        t_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = sweep()
+        t_warm = time.perf_counter() - t0
+        table = route_table_for(topo, max_paths=fidelity["max_paths"])
+        return {
+            "cold_seconds": t_cold,
+            "warm_seconds": t_warm,
+            "speedup": t_cold / max(t_warm, 1e-12),
+            "alltoall_fraction": cold[0],
+            "permutation_mean": cold[1],
+            "warm_matches_cold": cold == warm,
+            "pairs_routed": table.num_pairs_routed,
+            "pair_hits": table.stats.hits,
+        }
+
+    data = run_once(benchmark, run, record="simulators_route_table_reuse")
+    print(
+        f"\nroute-table reuse: cold {data['cold_seconds'] * 1e3:.1f} ms, "
+        f"warm {data['warm_seconds'] * 1e3:.1f} ms "
+        f"({data['speedup']:.1f}x, {data['pairs_routed']} pairs routed)"
+    )
+    assert data["warm_matches_cold"]
+    assert data["pair_hits"] > 0
+    assert data["warm_seconds"] < data["cold_seconds"]

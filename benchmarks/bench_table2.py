@@ -24,7 +24,7 @@ def test_table2_small_cluster(benchmark, fidelity):
             max_paths=fidelity["max_paths"],
         )
 
-    rows = run_once(benchmark, build)
+    rows = run_once(benchmark, build, record="table2_small")
     print()
     print("Table II - small cluster (~1,024 accelerators)")
     print(format_table2(rows))
@@ -47,7 +47,7 @@ def test_table2_large_cluster(benchmark, fidelity):
             max_paths=4,
         )
 
-    rows = run_once(benchmark, build)
+    rows = run_once(benchmark, build, record="table2_large")
     print()
     print("Table II - large cluster (~16,384 accelerators)")
     print(format_table2(rows))
@@ -66,7 +66,7 @@ def test_table2_cost_column_only(benchmark):
             }
         return out
 
-    costs = run_once(benchmark, build)
+    costs = run_once(benchmark, build, record="table2_costs")
     print()
     for cluster, values in costs.items():
         print(f"Network cost [$M] - {cluster} cluster")

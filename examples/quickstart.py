@@ -5,7 +5,8 @@ This walks through the core public API in a few lines:
 
 1. build a 16x16 Hx2Mesh (1,024 accelerators) and a fat tree of the same size,
 2. look at structural properties (diameter, bisection, cost),
-3. measure alltoall and allreduce bandwidth with the flow-level simulator,
+3. measure alltoall and allreduce bandwidth through a network backend
+   selected by name (``"analytic"`` / ``"flow"`` / ``"packet"``),
 4. run a small packet-level simulation for a latency estimate.
 
 Run with ``python examples/quickstart.py``.
@@ -15,7 +16,7 @@ from __future__ import annotations
 
 from repro.core import build_hammingmesh, hx2mesh
 from repro.cost import fat_tree_cost, hammingmesh_cost
-from repro.sim import FlowSimulator, PacketNetwork
+from repro.sim import PacketNetwork, get_backend
 from repro.topology import analytic_diameter, build_fat_tree, relative_bisection_bandwidth
 
 
@@ -40,17 +41,18 @@ def main() -> None:
     print(f"  fat tree network cost ${ft_cost.total_millions:6.1f}M "
           f"({ft_cost.num_switches} switches)")
 
-    # 3. Bandwidth with the flow-level simulator ------------------------------
+    # 3. Bandwidth through a backend selected by name -------------------------
+    # "analytic" (congestion-free), "flow" (max-min fair, Table II fidelity)
+    # and "packet" (event-driven) answer the same questions; backends on one
+    # topology share a memoized route table, so the allreduce measurement
+    # reuses the alltoall measurement's routes.
     print("\nflow-level bandwidth (fractions of 1.6 Tb/s injection):")
     for name, topo in (("Hx2Mesh", hx), ("fat tree", ft)):
-        sim = FlowSimulator(topo, max_paths=8)
-        a2a = sim.alltoall_bandwidth(num_phases=24, seed=1)
-        print(f"  {name:<10} alltoall {a2a * 100:5.1f}%")
-    from repro.analysis import measure_allreduce_fraction
-
-    for name, topo in (("Hx2Mesh", hx), ("fat tree", ft)):
-        ar = measure_allreduce_fraction(topo)
-        print(f"  {name:<10} allreduce {ar * 100:5.1f}% of the theoretical optimum")
+        model = get_backend("flow", topo, max_paths=8)
+        a2a = model.alltoall_fraction(num_phases=24, seed=1)
+        ar = model.allreduce_fraction()
+        print(f"  {name:<10} alltoall {a2a * 100:5.1f}%   "
+              f"allreduce {ar * 100:5.1f}% of the theoretical optimum")
 
     # 4. A tiny packet-level simulation ---------------------------------------
     small = build_hammingmesh(2, 2, 4, 4)

@@ -31,7 +31,7 @@ Quick start::
 
 from . import allocation, analysis, cluster, collectives, core, cost, sim, topology, workloads
 from .core import HxMeshParams, HxMeshRouter, build_hammingmesh, hx2mesh, hx4mesh
-from .sim import FlowSimulator, PacketNetwork
+from .sim import FlowSimulator, NetworkModel, PacketNetwork, get_backend
 from .topology import Topology, build_topology
 
 __version__ = "1.0.0"
@@ -54,6 +54,8 @@ __all__ = [
     "hx4mesh",
     "FlowSimulator",
     "PacketNetwork",
+    "NetworkModel",
+    "get_backend",
     "Topology",
     "build_topology",
 ]

@@ -1,7 +1,8 @@
 """Bandwidth measurements used by Table II and the microbenchmark figures.
 
-Thin wrappers around the flow-level simulator that implement the paper's
-measurement conventions:
+Thin wrappers around the pluggable network-model backends
+(:mod:`repro.sim.backend`) that implement the paper's measurement
+conventions:
 
 * **global (alltoall) bandwidth** is reported as the achievable fraction of
   each accelerator's injection bandwidth (1.6 Tb/s) for large messages;
@@ -12,18 +13,26 @@ measurement conventions:
   switched topologies;
 * **permutation traffic** reports the per-accelerator receive-bandwidth
   distribution under max-min fair sharing.
+
+Every function accepts ``backend`` — a registered backend name
+(``"analytic"``, ``"flow"``, ``"packet"``) or a ready
+:class:`~repro.sim.backend.NetworkModel` — so the same measurement can be
+re-run at a different fidelity.  The default is the flow-level simulator,
+which reproduces Table II.  Because backends share the memoized per-topology
+:class:`~repro.sim.routing.RouteTable`, repeated measurements on one
+topology reuse all routing work even when each call constructs a fresh
+backend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Union
 
 import numpy as np
 
-from ..collectives.ring import dual_ring_steady_flows, ring_orders_for
+from ..sim.backend import FlowBackend, NetworkModel, get_backend
 from ..sim.flowsim import FlowSimulator
-from ..sim.traffic import random_permutation
 from ..topology.base import Topology
 
 __all__ = [
@@ -34,6 +43,25 @@ __all__ = [
     "measure_topology",
 ]
 
+BackendLike = Union[str, NetworkModel]
+
+
+def _resolve(
+    topo: Topology,
+    backend: BackendLike,
+    sim: Optional[FlowSimulator],
+    max_paths: int,
+) -> NetworkModel:
+    """Build/pass through the backend; ``sim`` keeps the legacy signature."""
+    if sim is not None:
+        if sim.topo is not topo:
+            raise ValueError("simulator is bound to a different topology")
+        return FlowBackend(sim=sim)
+    if isinstance(backend, NetworkModel) or backend == "analytic":
+        return get_backend(backend, topo)
+    # both simulation fidelities honour the caller's multipath width
+    return get_backend(backend, topo, max_paths=max_paths)
+
 
 def measure_alltoall_fraction(
     topo: Topology,
@@ -42,10 +70,11 @@ def measure_alltoall_fraction(
     max_paths: int = 8,
     seed: int = 1,
     sim: Optional[FlowSimulator] = None,
+    backend: BackendLike = "flow",
 ) -> float:
     """Global (alltoall) bandwidth as a fraction of injection bandwidth."""
-    sim = sim or FlowSimulator(topo, max_paths=max_paths)
-    return sim.alltoall_bandwidth(num_phases=num_phases, seed=seed)
+    model = _resolve(topo, backend, sim, max_paths)
+    return model.alltoall_fraction(num_phases=num_phases, seed=seed)
 
 
 def measure_allreduce_fraction(
@@ -53,6 +82,7 @@ def measure_allreduce_fraction(
     *,
     max_paths: int = 8,
     sim: Optional[FlowSimulator] = None,
+    backend: BackendLike = "flow",
 ) -> float:
     """Allreduce bandwidth as a fraction of the theoretical optimum.
 
@@ -64,13 +94,8 @@ def measure_allreduce_fraction(
     a bandwidth-optimal ring, and the optimum is injection/2, so the two
     factors of two cancel).
     """
-    sim = sim or FlowSimulator(topo, max_paths=max_paths)
-    orders = ring_orders_for(topo)
-    flows = dual_ring_steady_flows(orders)
-    result = sim.symmetric_rate(flows)
-    flows_per_acc = 2 * len(orders)
-    send_rate = result.min_rate * flows_per_acc
-    return min(send_rate / sim.injection_capacity, 1.0)
+    model = _resolve(topo, backend, sim, max_paths)
+    return model.allreduce_fraction()
 
 
 def measure_permutation_fractions(
@@ -80,18 +105,15 @@ def measure_permutation_fractions(
     max_paths: int = 8,
     seed: int = 0,
     sim: Optional[FlowSimulator] = None,
+    backend: BackendLike = "flow",
 ) -> np.ndarray:
     """Per-accelerator receive bandwidth fractions under permutation traffic.
 
     Concatenates the per-accelerator results of ``num_permutations``
     independent random permutations (Figure 12 plots the distribution).
     """
-    sim = sim or FlowSimulator(topo, max_paths=max_paths)
-    samples: List[np.ndarray] = []
-    for i in range(num_permutations):
-        flows = random_permutation(len(sim.ranks), seed=seed + i)
-        samples.append(sim.permutation_bandwidths(flows))
-    return np.concatenate(samples)
+    model = _resolve(topo, backend, sim, max_paths)
+    return model.permutation_fractions(num_permutations=num_permutations, seed=seed)
 
 
 @dataclass(frozen=True)
@@ -116,13 +138,12 @@ def measure_topology(
     num_phases: Optional[int] = 48,
     max_paths: int = 8,
     seed: int = 1,
+    backend: BackendLike = "flow",
 ) -> BandwidthSummary:
     """Measure both Table-II bandwidth columns for one topology."""
-    sim = FlowSimulator(topo, max_paths=max_paths)
+    model = _resolve(topo, backend, None, max_paths)
     return BandwidthSummary(
         name=topo.name,
-        alltoall_fraction=measure_alltoall_fraction(
-            topo, num_phases=num_phases, seed=seed, sim=sim
-        ),
-        allreduce_fraction=measure_allreduce_fraction(topo, sim=sim),
+        alltoall_fraction=model.alltoall_fraction(num_phases=num_phases, seed=seed),
+        allreduce_fraction=model.allreduce_fraction(),
     )

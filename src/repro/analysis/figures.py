@@ -76,12 +76,13 @@ def network_profiles(
     measure: bool = False,
     num_phases: Optional[int] = 48,
     max_paths: int = 8,
+    backend: str = "flow",
 ) -> Dict[str, NetworkProfile]:
     """Network profiles for every topology of the chosen cluster.
 
     By default the stored :data:`DEFAULT_FRACTIONS` are used; with
-    ``measure=True`` the flow-level simulator is run instead (slow for the
-    large cluster).
+    ``measure=True`` the selected network backend is run instead (the
+    default flow-level fidelity is slow for the large cluster).
     """
     configs = cluster_configs(cluster)
     fractions = dict(DEFAULT_FRACTIONS)
@@ -91,7 +92,9 @@ def network_profiles(
     for config in configs:
         if measure:
             topo = config.build()
-            summary = measure_topology(topo, num_phases=num_phases, max_paths=max_paths)
+            summary = measure_topology(
+                topo, num_phases=num_phases, max_paths=max_paths, backend=backend
+            )
             a2a, ar = summary.alltoall_fraction, summary.allreduce_fraction
         else:
             entry = fractions.get(config.key, {"alltoall": 0.5, "allreduce": 1.0})
@@ -290,6 +293,7 @@ def fig12_permutation(
     max_paths: int = 8,
     skip_keys: Sequence[str] = (),
     seed: int = 0,
+    backend: str = "flow",
 ) -> Dict[str, Dict[str, object]]:
     """Per-accelerator bandwidth distribution under random permutation traffic.
 
@@ -305,7 +309,11 @@ def fig12_permutation(
             continue
         topo = config.build()
         dist = measure_permutation_fractions(
-            topo, num_permutations=num_permutations, max_paths=max_paths, seed=seed
+            topo,
+            num_permutations=num_permutations,
+            max_paths=max_paths,
+            seed=seed,
+            backend=backend,
         )
         mean = float(dist.mean())
         cost_per_bw = config.cost.total_millions / max(mean, 1e-9)

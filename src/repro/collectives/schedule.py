@@ -7,22 +7,28 @@ concurrently; phases are separated by a synchronisation point (the next
 phase starts when the slowest transfer of the previous one finished, which
 is how the pipelined collectives of Section V-A2 behave round by round).
 
-Two evaluators are provided:
+Evaluation goes through the pluggable network backends of
+:mod:`repro.sim.backend`:
 
-* :meth:`CommSchedule.time_alphabeta` -- congestion-free alpha-beta timing
-  (every transfer proceeds at the full per-NIC bandwidth), useful for quick
-  estimates and for unit tests;
-* :meth:`CommSchedule.time_flowsim` -- per-phase max-min fair rates from the
-  flow-level simulator, capturing topology contention.
+* :meth:`CommSchedule.time` -- per-phase timing on any
+  :class:`~repro.sim.backend.NetworkModel` (or backend name), so the same
+  schedule can be timed congestion-free (``"analytic"``), with max-min fair
+  contention (``"flow"``) or packet-by-packet (``"packet"``);
+* :meth:`CommSchedule.time_alphabeta` -- closed-form congestion-free
+  alpha-beta timing, useful for quick estimates and for unit tests;
+* :meth:`CommSchedule.time_flowsim` -- backward-compatible wrapper timing
+  the schedule on a :class:`~repro.sim.flowsim.FlowSimulator`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from ..sim.backend import FlowBackend, NetworkModel, get_backend
 from ..sim.flowsim import FlowSimulator
 from ..sim.traffic import Flow
+from ..topology.base import Topology
 
 __all__ = ["Transfer", "CommSchedule"]
 
@@ -87,6 +93,39 @@ class CommSchedule:
             total += alpha + busiest * beta
         return total
 
+    def time(
+        self,
+        backend: Union[str, NetworkModel],
+        alpha: float,
+        *,
+        topo: Optional[Topology] = None,
+        bytes_per_unit: float = 1.0,
+        exact: bool = False,
+        **knobs,
+    ) -> float:
+        """Timing with per-phase rates from a network-model backend.
+
+        ``backend`` is a :class:`~repro.sim.backend.NetworkModel` instance
+        or a registered backend name (``"analytic"``, ``"flow"``,
+        ``"packet"``); a name requires ``topo`` (fidelity ``knobs`` are
+        forwarded to the constructor).  ``bytes_per_unit`` converts the
+        backend's normalised bandwidth units (1.0 == one 400 Gb/s port ==
+        50 GB/s) into bytes per second.  With ``exact`` the max-min solver
+        is used per phase; the default uses the fast symmetric-rate bound,
+        which is exact for the ring and torus schedules where all transfers
+        of a phase carry the same volume.
+        """
+        model = get_backend(backend, topo, **knobs)
+        total = 0.0
+        for phase in self.phases:
+            flows = [Flow(t.src, t.dst, demand=t.size) for t in phase if t.size > 0]
+            if not flows:
+                continue
+            total += alpha + model.phase_duration(
+                flows, bytes_per_unit=bytes_per_unit, exact=exact
+            )
+        return total
+
     def time_flowsim(
         self,
         sim: FlowSimulator,
@@ -95,31 +134,7 @@ class CommSchedule:
         bytes_per_unit: float = 1.0,
         exact: bool = False,
     ) -> float:
-        """Timing with per-phase rates from the flow-level simulator.
-
-        ``bytes_per_unit`` converts the simulator's normalised bandwidth
-        units (1.0 == one 400 Gb/s port == 50 GB/s) into bytes per second.
-        With ``exact`` the max-min solver is used per phase; the default uses
-        the fast symmetric-rate bound, which is exact for the ring and torus
-        schedules where all transfers of a phase carry the same volume.
-        """
-        total = 0.0
-        for phase in self.phases:
-            if not phase:
-                continue
-            sizes = {t.size for t in phase}
-            flows = [Flow(t.src, t.dst, demand=t.size) for t in phase if t.size > 0]
-            if not flows:
-                continue
-            if exact:
-                result = sim.maxmin_rates(flows)
-            else:
-                result = sim.symmetric_rate(flows)
-            # rate is per unit of demand: a flow of size S proceeds at
-            # S * rate "size units" per second once scaled by bytes_per_unit.
-            rates = result.flow_rates
-            durations = [
-                f.demand / max(r * bytes_per_unit, 1e-30) for f, r in zip(flows, rates)
-            ]
-            total += alpha + max(durations)
-        return total
+        """Timing on an existing flow simulator (wraps :meth:`time`)."""
+        return self.time(
+            FlowBackend(sim=sim), alpha, bytes_per_unit=bytes_per_unit, exact=exact
+        )

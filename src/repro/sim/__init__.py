@@ -1,9 +1,21 @@
-"""Network simulation substrates: flow-level and packet-level simulators."""
+"""Network simulation substrates: flow-level and packet-level simulators,
+shared vectorized route tables, and the pluggable backend interface."""
 
+from .backend import (
+    BACKENDS,
+    AnalyticBackend,
+    FlowBackend,
+    NetworkModel,
+    PacketBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .engine import EventEngine, EventHandle
 from .flowsim import FlowAssignment, FlowSimulator, PhaseResult
 from .network import PacketNetwork, PacketSimConfig, PacketSimResult
 from .packet import DEFAULT_PACKET_SIZE, Message, Packet
+from .routing import RouteTable, RouteTableStats, clear_route_tables, route_table_for
 from .paths import (
     DragonflyPathProvider,
     FatTreePathProvider,
@@ -26,6 +38,18 @@ from .traffic import (
 )
 
 __all__ = [
+    "NetworkModel",
+    "AnalyticBackend",
+    "FlowBackend",
+    "PacketBackend",
+    "BACKENDS",
+    "get_backend",
+    "available_backends",
+    "register_backend",
+    "RouteTable",
+    "RouteTableStats",
+    "route_table_for",
+    "clear_route_tables",
     "EventEngine",
     "EventHandle",
     "FlowSimulator",

@@ -1,0 +1,350 @@
+"""Pluggable network-model backends behind one interface.
+
+Every experiment in the reproduction ultimately asks a network model a small
+set of questions — achievable alltoall/allreduce fractions, per-rank
+permutation bandwidth, per-flow rates of one communication phase.  The
+:class:`NetworkModel` interface answers them at three fidelities, selectable
+by name:
+
+* ``"analytic"`` — :class:`AnalyticBackend`, congestion-free alpha-beta
+  models (wrapping :mod:`repro.collectives.cost_models`): instant, exact on
+  non-blocking networks, an upper bound everywhere else;
+* ``"flow"`` — :class:`FlowBackend`, the max-min fair flow-level simulator
+  (the default fidelity behind Table II and the figures);
+* ``"packet"`` — :class:`PacketBackend`, the event-driven packet simulator:
+  slowest, adds latency/queueing effects, practical on small topologies.
+
+Backends constructed on the same topology share one memoized
+:class:`~repro.sim.routing.RouteTable` per multipath width, so switching
+fidelity (or interleaving backends, as the validation tests do) never
+re-enumerates routes.
+
+Usage::
+
+    from repro.sim import get_backend
+
+    model = get_backend("flow", topo, max_paths=8)
+    frac = model.alltoall_fraction(num_phases=24, seed=1)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type, Union
+
+import numpy as np
+
+from ..topology.base import Topology
+from .flowsim import FlowSimulator
+from .network import PacketNetwork, PacketSimConfig
+from .routing import RouteTable, route_table_for
+from .traffic import Flow, random_permutation
+
+__all__ = [
+    "NetworkModel",
+    "AnalyticBackend",
+    "FlowBackend",
+    "PacketBackend",
+    "BACKENDS",
+    "get_backend",
+    "available_backends",
+    "register_backend",
+]
+
+_EPS = 1e-9
+
+
+class NetworkModel:
+    """Common interface of the analytic / flow / packet network models.
+
+    Concrete backends implement :meth:`phase_rates` plus the three bandwidth
+    measurements the analysis layer reports (Table II conventions); all
+    quantities are in normalised port units (1.0 == one 400 Gb/s port)
+    unless stated otherwise.
+    """
+
+    #: registry name of the backend (set by :func:`register_backend`)
+    name: str = ""
+
+    def __init__(self, topo: Topology):
+        self.topo = topo
+        self.injection_capacity = float(topo.meta.get("injection_capacity", 4.0))
+
+    @property
+    def num_ranks(self) -> int:
+        return self.topo.num_accelerators
+
+    # -------------------------------------------------------------- interface
+    def phase_rates(self, flows: Sequence[Flow], *, exact: bool = False) -> np.ndarray:
+        """Achieved rate per flow (port units) for one concurrent phase."""
+        raise NotImplementedError
+
+    def alltoall_fraction(
+        self, *, num_phases: Optional[int] = None, seed: int = 0
+    ) -> float:
+        """Achievable per-accelerator alltoall bandwidth / injection bandwidth."""
+        raise NotImplementedError
+
+    def allreduce_fraction(self) -> float:
+        """Achieved large-message allreduce bandwidth / theoretical optimum.
+
+        Measurement convention of Table II: dual bidirectional rings on
+        edge-disjoint Hamiltonian cycles for grid topologies, per-plane
+        bidirectional ring on switched ones (see ``analysis.bandwidth``).
+        Implemented once on top of :meth:`phase_rates`, so every fidelity
+        measures the same convention.
+        """
+        from ..collectives.ring import dual_ring_steady_flows, ring_orders_for
+
+        orders = ring_orders_for(self.topo)
+        flows = dual_ring_steady_flows(orders)
+        rates = self.phase_rates(flows)
+        send_rate = float(rates.min()) * 2 * len(orders)
+        return min(send_rate / self.injection_capacity, 1.0)
+
+    def permutation_fractions(
+        self, *, num_permutations: int = 4, seed: int = 0
+    ) -> np.ndarray:
+        """Concatenated per-rank receive fractions over random permutations."""
+        samples = [
+            self._permutation_sample(random_permutation(self.num_ranks, seed=seed + i))
+            for i in range(num_permutations)
+        ]
+        return np.concatenate(samples)
+
+    def _permutation_sample(self, flows: Sequence[Flow]) -> np.ndarray:
+        rates = self.phase_rates(flows, exact=True)
+        by_dst = np.zeros(self.num_ranks)
+        dst = np.fromiter((f.dst for f in flows), dtype=np.int64, count=len(flows))
+        np.add.at(by_dst, dst, rates)
+        return by_dst / self.injection_capacity
+
+    # ------------------------------------------------------------ conveniences
+    def phase_duration(
+        self, flows: Sequence[Flow], *, bytes_per_unit: float = 1.0, exact: bool = False
+    ) -> float:
+        """Wall-clock seconds until the slowest flow of the phase completes.
+
+        Flow demands are interpreted as byte volumes; ``bytes_per_unit``
+        converts the backend's port units into bytes per second.
+        """
+        flows = [f for f in flows if f.demand > 0]
+        if not flows:
+            return 0.0
+        rates = self.phase_rates(flows, exact=exact)
+        demands = np.fromiter((f.demand for f in flows), dtype=np.float64, count=len(flows))
+        return float((demands / np.maximum(rates * bytes_per_unit, 1e-30)).max())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} ({self.name!r}) on {self.topo.name!r}>"
+
+
+# ---------------------------------------------------------------------- registry
+BACKENDS: Dict[str, Type[NetworkModel]] = {}
+
+
+def register_backend(name: str):
+    """Register a :class:`NetworkModel` subclass under ``name``."""
+
+    def decorator(cls: Type[NetworkModel]) -> Type[NetworkModel]:
+        if name in BACKENDS:
+            raise ValueError(f"backend {name!r} registered twice")
+        cls.name = name
+        BACKENDS[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_backends() -> List[str]:
+    """Names of the registered network-model backends."""
+    return sorted(BACKENDS)
+
+
+def get_backend(
+    backend: Union[str, NetworkModel], topo: Optional[Topology] = None, **knobs
+) -> NetworkModel:
+    """Resolve a backend by name (or pass an instance through unchanged).
+
+    ``knobs`` are fidelity parameters forwarded to the backend constructor
+    (e.g. ``max_paths`` for flow, ``config=PacketSimConfig(...)`` for
+    packet, ``alpha`` for analytic).
+    """
+    if isinstance(backend, NetworkModel):
+        if topo is not None and backend.topo is not topo:
+            raise ValueError("backend instance is bound to a different topology")
+        return backend
+    try:
+        cls = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown network backend {backend!r}; available: {available_backends()}"
+        ) from None
+    if topo is None:
+        raise ValueError("a topology is required to construct a backend by name")
+    return cls(topo, **knobs)
+
+
+# ---------------------------------------------------------------------- analytic
+@register_backend("analytic")
+class AnalyticBackend(NetworkModel):
+    """Congestion-free alpha-beta model (wraps ``collectives.cost_models``).
+
+    Flows are limited only by their endpoints' injection/ejection capacity
+    (all concurrent flows of a rank share its NICs); the network core is
+    assumed non-blocking.  This is exact for the non-blocking fat tree and
+    an optimistic bound everywhere else — useful for instant sweeps and as
+    the reference the congested fidelities are compared against.  The
+    allreduce algorithm timings of Section V-A2 are exposed directly via
+    :meth:`allreduce_time` / :meth:`allreduce_bus_bandwidth`.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        *,
+        alpha: float = 2e-6,
+        bytes_per_unit: float = 50e9,
+    ):
+        super().__init__(topo)
+        self.alpha = alpha
+        self.bytes_per_unit = bytes_per_unit
+        #: seconds per byte of a single NIC (one port)
+        self.beta = 1.0 / bytes_per_unit
+
+    def phase_rates(self, flows: Sequence[Flow], *, exact: bool = False) -> np.ndarray:
+        src = np.fromiter((f.src for f in flows), dtype=np.int64, count=len(flows))
+        dst = np.fromiter((f.dst for f in flows), dtype=np.int64, count=len(flows))
+        if (src == dst).any():
+            raise ValueError("flows must have distinct endpoints")
+        demand = np.fromiter((f.demand for f in flows), dtype=np.float64, count=len(flows))
+        out_load = np.zeros(self.num_ranks)
+        in_load = np.zeros(self.num_ranks)
+        np.add.at(out_load, src, demand)
+        np.add.at(in_load, dst, demand)
+        # Each flow progresses at its demand-proportional share of the more
+        # contended of its two endpoints.
+        endpoint_load = np.maximum(out_load[src], in_load[dst])
+        return demand * self.injection_capacity / np.maximum(endpoint_load, _EPS)
+
+    def alltoall_fraction(
+        self, *, num_phases: Optional[int] = None, seed: int = 0
+    ) -> float:
+        return 1.0
+
+    # --------------------------------------------- alpha-beta algorithm models
+    def allreduce_time(
+        self, size: float, *, algorithm: str = "rings", p: Optional[int] = None
+    ) -> float:
+        """Completion time of one Section V-A2 allreduce algorithm."""
+        from ..collectives.cost_models import allreduce_time
+
+        return allreduce_time(algorithm, p or self.num_ranks, size, self.alpha, self.beta)
+
+    def allreduce_bus_bandwidth(
+        self, size: float, *, algorithm: str = "rings", p: Optional[int] = None
+    ) -> float:
+        """Bus bandwidth ``S / T`` (bytes/s) of one allreduce algorithm."""
+        from ..collectives.cost_models import allreduce_bus_bandwidth
+
+        return allreduce_bus_bandwidth(
+            algorithm, p or self.num_ranks, size, self.alpha, self.beta
+        )
+
+
+# -------------------------------------------------------------------------- flow
+@register_backend("flow")
+class FlowBackend(NetworkModel):
+    """Max-min fair flow-level fidelity (wraps :class:`FlowSimulator`)."""
+
+    def __init__(
+        self,
+        topo: Optional[Topology] = None,
+        *,
+        max_paths: int = 8,
+        sim: Optional[FlowSimulator] = None,
+        table: Optional[RouteTable] = None,
+    ):
+        if sim is None:
+            if topo is None:
+                raise ValueError("FlowBackend needs a topology or a simulator")
+            sim = FlowSimulator(topo, max_paths=max_paths, table=table)
+        super().__init__(sim.topo)
+        self.sim = sim
+
+    @property
+    def table(self) -> RouteTable:
+        return self.sim.table
+
+    def phase_rates(self, flows: Sequence[Flow], *, exact: bool = False) -> np.ndarray:
+        if exact:
+            return self.sim.maxmin_rates(flows).flow_rates
+        return self.sim.symmetric_rate(flows).flow_rates
+
+    def alltoall_fraction(
+        self, *, num_phases: Optional[int] = None, seed: int = 0
+    ) -> float:
+        return self.sim.alltoall_bandwidth(num_phases=num_phases, seed=seed)
+
+    def _permutation_sample(self, flows: Sequence[Flow]) -> np.ndarray:
+        return self.sim.permutation_bandwidths(flows)
+
+
+# ------------------------------------------------------------------------ packet
+@register_backend("packet")
+class PacketBackend(NetworkModel):
+    """Packet-level fidelity (drives :class:`PacketNetwork` runs).
+
+    Each measurement instantiates a fresh event-driven simulation (packet
+    state is single-shot), but all of them route through the shared
+    :class:`RouteTable`.  ``message_size`` sets the bytes carried per unit
+    of flow demand — large enough that steady-state throughput dominates
+    ramp-up latency.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        *,
+        config: Optional[PacketSimConfig] = None,
+        max_paths: int = 4,
+        message_size: float = 1 << 18,
+    ):
+        super().__init__(topo)
+        self.config = config if config is not None else PacketSimConfig(max_paths=max_paths)
+        self.message_size = float(message_size)
+        self.table = route_table_for(topo, max_paths=self.config.max_paths)
+
+    def _network(self) -> PacketNetwork:
+        return PacketNetwork(self.topo, config=self.config, table=self.table)
+
+    def phase_rates(self, flows: Sequence[Flow], *, exact: bool = False) -> np.ndarray:
+        net = self._network()
+        messages = [
+            net.send(f.src, f.dst, self.message_size * f.demand) for f in flows
+        ]
+        net.run()
+        # observed bandwidth is bytes/s; normalise to port units.
+        return np.array(
+            [m.observed_bandwidth() / self.config.bytes_per_capacity_unit for m in messages]
+        )
+
+    def alltoall_fraction(
+        self, *, num_phases: Optional[int] = None, seed: int = 0
+    ) -> float:
+        from .traffic import alltoall_phases, sampled_alltoall_phases
+
+        p = self.num_ranks
+        if num_phases is None or num_phases >= p - 1:
+            phases = alltoall_phases(p)
+        else:
+            phases = sampled_alltoall_phases(p, num_phases, seed=seed)
+        net = self._network()
+        for phase in phases:
+            net.send_flows(phase, self.message_size)
+        result = net.run()
+        if result.finish_time <= 0:
+            return 0.0
+        # Aggregate per-accelerator injection rate over the makespan.
+        per_acc = result.aggregate_bandwidth() / p
+        fraction = per_acc / (self.injection_capacity * self.config.bytes_per_capacity_unit)
+        return min(fraction, 1.0)

@@ -15,18 +15,26 @@ injection capacity is 4.0 in every simulated configuration (Section III-D).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..topology.base import Topology, TopologyError
-from .paths import PathProvider, path_provider_for
+from ..topology.base import Topology
+from .paths import PathProvider
+from .routing import RouteTable, route_table_for
 from .traffic import Flow
 
 __all__ = ["FlowAssignment", "FlowSimulator", "PhaseResult"]
 
 _EPS = 1e-9
+
+#: Distinct flow patterns whose :class:`FlowAssignment` is kept per simulator.
+#: Collective schedules and the alltoall aggregate re-assign identical flow
+#: sets (same endpoints and demands) many times; 64 patterns comfortably
+#: cover the phase structure of every schedule in the repository.
+_ASSIGNMENT_CACHE_SIZE = 64
 
 
 @dataclass
@@ -66,7 +74,14 @@ class PhaseResult:
 
 
 class FlowSimulator:
-    """Max-min fair flow-level simulator over a :class:`Topology`."""
+    """Max-min fair flow-level simulator over a :class:`Topology`.
+
+    Routing state lives in a :class:`~repro.sim.routing.RouteTable` shared
+    per ``(topology, max_paths)``: constructing a second simulator on the
+    same topology reuses every path already enumerated by the first one.
+    Pass ``table`` to share an explicitly-built table, or ``provider`` to
+    route through a custom provider (which gets a private table).
+    """
 
     def __init__(
         self,
@@ -74,61 +89,78 @@ class FlowSimulator:
         *,
         provider: Optional[PathProvider] = None,
         max_paths: int = 4,
+        table: Optional[RouteTable] = None,
     ):
         self.topo = topo
-        self.provider = provider if provider is not None else path_provider_for(topo)
-        self.max_paths = max_paths
+        if table is not None:
+            self.table = table
+        elif provider is not None:
+            self.table = RouteTable(topo, max_paths=max_paths, provider=provider)
+        else:
+            self.table = route_table_for(topo, max_paths=max_paths)
+        self.provider = self.table.provider
+        self.max_paths = self.table.max_paths
         self.capacity = topo.link_capacity_array()
         self.ranks = list(topo.accelerators)
+        self._rank_nodes = np.asarray(self.ranks, dtype=np.int64)
         self.injection_capacity = float(topo.meta.get("injection_capacity", 4.0))
-        self._path_cache: Dict[Tuple[int, int], List[List[int]]] = {}
+        self._assignments: "OrderedDict[Tuple, FlowAssignment]" = OrderedDict()
 
     # ------------------------------------------------------------------ paths
     def _paths(self, src_node: int, dst_node: int) -> List[List[int]]:
-        key = (src_node, dst_node)
-        cached = self._path_cache.get(key)
-        if cached is None:
-            cached = self.provider.paths(src_node, dst_node, max_paths=self.max_paths)
-            if not cached:
-                raise TopologyError(f"no path between nodes {src_node} and {dst_node}")
-            self._path_cache[key] = cached
-        return cached
+        return self.table.paths(src_node, dst_node)
 
     def node_of_rank(self, rank: int) -> int:
         return self.ranks[rank]
 
     # -------------------------------------------------------------- assignment
     def assign(self, flows: Sequence[Flow]) -> FlowAssignment:
-        """Route ``flows`` (given in ranks) and build the incidence arrays."""
-        entry_link: List[int] = []
-        entry_subflow: List[int] = []
-        subflow_flow: List[int] = []
-        subflow_weight: List[float] = []
-        flow_demand = np.array([f.demand for f in flows], dtype=np.float64)
-        sub = 0
-        for fi, flow in enumerate(flows):
-            if flow.src == flow.dst:
-                raise ValueError("flows must have distinct endpoints")
-            src_node = self.ranks[flow.src]
-            dst_node = self.ranks[flow.dst]
-            paths = self._paths(src_node, dst_node)
-            w = 1.0 / len(paths)
-            for path in paths:
-                subflow_flow.append(fi)
-                subflow_weight.append(w)
-                for li in path:
-                    entry_link.append(li)
-                    entry_subflow.append(sub)
-                sub += 1
-        return FlowAssignment(
+        """Route ``flows`` (given in ranks) and build the incidence arrays.
+
+        The incidence arrays are gathered from the route table's CSR storage
+        with pure NumPy operations; assignments for recently-seen flow
+        patterns (identical endpoints and demands) are returned from a small
+        LRU cache, since collective schedules and the alltoall aggregate
+        re-assign the same flow sets repeatedly.
+        """
+        key = tuple((f.src, f.dst, f.demand) for f in flows)
+        cached = self._assignments.get(key)
+        if cached is not None:
+            self._assignments.move_to_end(key)
+            return cached
+        src_ranks = np.fromiter((f.src for f in flows), dtype=np.int64, count=len(flows))
+        dst_ranks = np.fromiter((f.dst for f in flows), dtype=np.int64, count=len(flows))
+        if (src_ranks == dst_ranks).any():
+            raise ValueError("flows must have distinct endpoints")
+        flow_demand = np.fromiter((f.demand for f in flows), dtype=np.float64, count=len(flows))
+        first, npaths = self.table.pair_arrays(
+            self._rank_nodes[src_ranks], self._rank_nodes[dst_ranks]
+        )
+        num_subflows = int(npaths.sum())
+        subflow_flow = np.repeat(np.arange(len(flows), dtype=np.int64), npaths)
+        subflow_weight = np.repeat(1.0 / np.maximum(npaths, 1), npaths)
+        # Per-subflow path id: each flow's subflows cover the contiguous
+        # path-id range [first, first + npaths) of its (src, dst) pair.
+        sub_ends = np.cumsum(npaths)
+        offset_within_pair = np.arange(num_subflows, dtype=np.int64) - np.repeat(
+            sub_ends - npaths, npaths
+        )
+        path_ids = np.repeat(first, npaths) + offset_within_pair
+        entry_link, path_lengths = self.table.gather_links(path_ids)
+        entry_subflow = np.repeat(np.arange(num_subflows, dtype=np.int64), path_lengths)
+        asg = FlowAssignment(
             num_flows=len(flows),
-            num_subflows=sub,
-            entry_link=np.asarray(entry_link, dtype=np.int64),
-            entry_subflow=np.asarray(entry_subflow, dtype=np.int64),
-            subflow_flow=np.asarray(subflow_flow, dtype=np.int64),
-            subflow_weight=np.asarray(subflow_weight, dtype=np.float64),
+            num_subflows=num_subflows,
+            entry_link=entry_link,
+            entry_subflow=entry_subflow,
+            subflow_flow=subflow_flow,
+            subflow_weight=subflow_weight,
             flow_demand=flow_demand,
         )
+        self._assignments[key] = asg
+        if len(self._assignments) > _ASSIGNMENT_CACHE_SIZE:
+            self._assignments.popitem(last=False)
+        return asg
 
     # -------------------------------------------------------- symmetric solver
     def symmetric_rate(self, flows: Sequence[Flow]) -> PhaseResult:
@@ -273,8 +305,8 @@ class FlowSimulator:
         """Per-rank receive bandwidth (fraction of injection) for a permutation."""
         result = self.maxmin_rates(flows)
         by_dst = np.zeros(len(self.ranks))
-        for flow, rate in zip(flows, result.flow_rates):
-            by_dst[flow.dst] += rate
+        dst = np.fromiter((f.dst for f in flows), dtype=np.int64, count=len(flows))
+        np.add.at(by_dst, dst, result.flow_rates)
         return by_dst / self.injection_capacity
 
     def phase_bandwidth(self, flows: Sequence[Flow], *, exact: bool = False) -> float:

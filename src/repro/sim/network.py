@@ -26,7 +26,8 @@ from .._hash import mix64
 from ..topology.base import CableClass, Topology
 from .engine import EventEngine
 from .packet import DEFAULT_PACKET_SIZE, Message, Packet
-from .paths import PathProvider, path_provider_for
+from .paths import PathProvider
+from .routing import RouteTable, route_table_for
 from .traffic import Flow
 
 __all__ = ["PacketSimConfig", "PacketNetwork", "PacketSimResult"]
@@ -80,10 +81,20 @@ class PacketNetwork:
         *,
         provider: Optional[PathProvider] = None,
         config: PacketSimConfig = PacketSimConfig(),
+        table: Optional[RouteTable] = None,
     ):
         self.topo = topo
         self.config = config
-        self.provider = provider if provider is not None else path_provider_for(topo)
+        # Routes come from the same memoized per-(topology, max_paths)
+        # RouteTable the flow simulator uses, so candidate path sets agree
+        # between fidelities and survive across simulator instances.
+        if table is not None:
+            self.table = table
+        elif provider is not None:
+            self.table = RouteTable(topo, max_paths=config.max_paths, provider=provider)
+        else:
+            self.table = route_table_for(topo, max_paths=config.max_paths)
+        self.provider = self.table.provider
         self.engine = EventEngine()
         self.ranks = list(topo.accelerators)
         n_links = topo.num_links
@@ -132,10 +143,12 @@ class PacketNetwork:
 
     # -------------------------------------------------------------- internals
     def _paths(self, src: int, dst: int) -> List[List[int]]:
+        # The per-instance dict only avoids re-materializing Python lists
+        # from the table's CSR arrays; the enumeration itself is shared.
         key = (src, dst)
         cached = self._path_cache.get(key)
         if cached is None:
-            cached = self.provider.paths(src, dst, max_paths=self.config.max_paths)
+            cached = self.table.paths(src, dst, max_paths=self.config.max_paths)
             self._path_cache[key] = cached
         return cached
 

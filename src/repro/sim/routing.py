@@ -1,0 +1,205 @@
+"""Shared, vectorized route tables: one routing state per topology.
+
+Both simulators (flow-level and packet-level) route over the same candidate
+minimal paths, yet historically each simulator instance rebuilt its own
+per-``(src, dst)`` path cache and every consumer that constructed a fresh
+simulator (``analysis.bandwidth``, the figure benchmarks, the cluster
+lifetime simulator's service-time model) threw that work away.  A
+:class:`RouteTable` factors the routing state out of the simulators:
+
+* paths are stored **vectorized** in CSR-style NumPy arrays (a flat array of
+  directed link indices plus per-path offsets), so the flow simulator can
+  build its subflow/link incidence arrays with pure array operations instead
+  of per-flow Python loops;
+* population is **lazy**: a pair's paths are enumerated by the topology's
+  structured :class:`~repro.sim.paths.PathProvider` the first time the pair
+  is routed, then served from the table forever after;
+* tables are **memoized per ``(topology, max_paths)``** — every simulator
+  (and every backend, see :mod:`repro.sim.backend`) asking for the same
+  topology at the same multipath width shares one table, so route state
+  survives across simulator instances.  The memo holds the topology weakly;
+  dropping the topology frees its tables.
+
+``RouteTable.stats`` counts pair-level hits/misses, which the test suite
+uses to assert cache reuse across simulator instances.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..topology.base import Topology, TopologyError
+from .paths import PathProvider, path_provider_for
+
+__all__ = ["RouteTable", "RouteTableStats", "route_table_for", "clear_route_tables"]
+
+_GROW = 4  # geometric growth factor exponent base for the flat arrays
+
+
+@dataclass
+class RouteTableStats:
+    """Pair-level cache counters of one :class:`RouteTable`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def pairs_routed(self) -> int:
+        return self.misses
+
+
+class RouteTable:
+    """Lazily-populated CSR store of multipath routes on one topology.
+
+    Layout: path ``p`` occupies ``path_links[path_offsets[p]:path_offsets[p+1]]``
+    (directed link indices); the pair ``(src, dst)`` owns the contiguous path
+    id range ``[pair_first[key], pair_first[key] + pair_npaths[key])`` where
+    ``key = src * num_nodes + dst``.  Contiguity is what makes the flow
+    simulator's incidence construction a gather instead of a loop.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        *,
+        max_paths: int = 4,
+        provider: Optional[PathProvider] = None,
+    ):
+        if max_paths < 1:
+            raise ValueError("max_paths must be at least 1")
+        self.topo = topo
+        self.max_paths = max_paths
+        self.provider = provider if provider is not None else path_provider_for(topo)
+        self.stats = RouteTableStats()
+        n = topo.num_nodes
+        # Pair key -> first path id / path count.  -1 == not yet populated.
+        self._pair_first = np.full(n * n, -1, dtype=np.int64)
+        self._pair_npaths = np.zeros(n * n, dtype=np.int64)
+        # CSR storage, grown geometrically.
+        self._path_offsets = np.zeros(1, dtype=np.int64)
+        self._path_links = np.zeros(0, dtype=np.int64)
+        self._num_paths = 0
+        self._links_used = 0
+
+    # ------------------------------------------------------------- population
+    def _append_paths(self, key: int, paths: List[List[int]]) -> None:
+        first = self._num_paths
+        need_paths = first + len(paths)
+        if need_paths + 1 > len(self._path_offsets):
+            grown = np.zeros(max(need_paths + 1, _GROW * len(self._path_offsets)), dtype=np.int64)
+            grown[: self._num_paths + 1] = self._path_offsets[: self._num_paths + 1]
+            self._path_offsets = grown
+        total_links = self._links_used + sum(len(p) for p in paths)
+        if total_links > len(self._path_links):
+            grown = np.zeros(max(total_links, _GROW * max(len(self._path_links), 16)), dtype=np.int64)
+            grown[: self._links_used] = self._path_links[: self._links_used]
+            self._path_links = grown
+        for path in paths:
+            end = self._links_used + len(path)
+            self._path_links[self._links_used : end] = path
+            self._links_used = end
+            self._num_paths += 1
+            self._path_offsets[self._num_paths] = end
+        self._pair_first[key] = first
+        self._pair_npaths[key] = len(paths)
+
+    def _populate(self, src: int, dst: int) -> int:
+        """Ensure ``(src, dst)`` is routed; return its pair key."""
+        key = src * self.topo.num_nodes + dst
+        if self._pair_first[key] >= 0:
+            self.stats.hits += 1
+            return key
+        paths = self.provider.paths(src, dst, max_paths=self.max_paths)
+        if not paths:
+            raise TopologyError(f"no path between nodes {src} and {dst}")
+        self.stats.misses += 1
+        self._append_paths(key, paths)
+        return key
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def num_pairs_routed(self) -> int:
+        return int((self._pair_first >= 0).sum())
+
+    def paths(self, src: int, dst: int, max_paths: Optional[int] = None) -> List[List[int]]:
+        """Candidate paths as lists of directed link indices.
+
+        ``max_paths`` may narrow (never widen) the table's configured width;
+        the packet simulator uses this to constrain adaptive choices without
+        a second table.
+        """
+        if src == dst:
+            return [[]]
+        key = self._populate(src, dst)
+        first = int(self._pair_first[key])
+        count = int(self._pair_npaths[key])
+        if max_paths is not None:
+            count = min(count, max_paths)
+        out: List[List[int]] = []
+        for pid in range(first, first + count):
+            s, e = self._path_offsets[pid], self._path_offsets[pid + 1]
+            out.append(self._path_links[s:e].tolist())
+        return out
+
+    def pair_arrays(self, src_nodes: np.ndarray, dst_nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """First path id and path count per ``(src, dst)`` pair, vectorized.
+
+        Populates any missing pairs (the only Python-level loop, and only on
+        first contact with a pair), then answers from the index arrays.
+        """
+        n = self.topo.num_nodes
+        keys = src_nodes * n + dst_nodes
+        missing = np.nonzero(self._pair_first[keys] < 0)[0]
+        for i in missing:
+            self._populate(int(src_nodes[i]), int(dst_nodes[i]))
+        self.stats.hits += len(keys) - len(missing)
+        return self._pair_first[keys], self._pair_npaths[keys]
+
+    def gather_links(self, path_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenated link indices and per-path lengths for ``path_ids``.
+
+        Returns ``(links, lengths)`` where ``links`` is the concatenation of
+        every path's link indices in order — the CSR gather at the heart of
+        :meth:`FlowSimulator.assign`.
+        """
+        starts = self._path_offsets[path_ids]
+        lengths = self._path_offsets[path_ids + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.int64), lengths
+        ends = np.cumsum(lengths)
+        out_starts = ends - lengths
+        idx = np.arange(total, dtype=np.int64) - np.repeat(out_starts, lengths) + np.repeat(starts, lengths)
+        return self._path_links[idx], lengths
+
+
+# ------------------------------------------------------------------ memoization
+# topology -> {max_paths: RouteTable}; weak keys so tables die with the topology.
+_TABLES: "weakref.WeakKeyDictionary[Topology, Dict[int, RouteTable]]" = weakref.WeakKeyDictionary()
+
+
+def route_table_for(topo: Topology, *, max_paths: int = 4) -> RouteTable:
+    """The shared :class:`RouteTable` of ``(topo, max_paths)``.
+
+    Repeated calls return the *same* table object, so any number of
+    simulators and backends built on one topology reuse each other's route
+    enumeration work.
+    """
+    per_topo = _TABLES.get(topo)
+    if per_topo is None:
+        per_topo = {}
+        _TABLES[topo] = per_topo
+    table = per_topo.get(max_paths)
+    if table is None:
+        table = RouteTable(topo, max_paths=max_paths)
+        per_topo[max_paths] = table
+    return table
+
+
+def clear_route_tables() -> None:
+    """Drop every memoized table (tests and memory-sensitive sweeps)."""
+    _TABLES.clear()
