@@ -1,21 +1,31 @@
 """Helpers shared by the benchmark modules.
 
-Besides running each benchmark body exactly once, :func:`run_once` can
-record the reproduced series to a machine-readable ``BENCH_<name>.json``
-artifact (benchmark name, result data, wall-clock seconds), so the
-performance and output trajectory of the reproduction is trackable across
-PRs.  Artifacts land in ``benchmarks/artifacts/`` by default; set
+Every benchmark regenerates one table or figure through the experiment
+engine (:mod:`repro.exp`): :func:`run_sweep` runs a registered sweep by
+name, :func:`run_once` times an arbitrary engine-backed body.  Results are
+recorded to machine-readable ``BENCH_<name>.json`` artifacts (benchmark
+name, result data, wall-clock seconds) via :mod:`repro.exp.recording`,
+which rounds floats and caps long series so the committed artifacts stay
+reviewable.  Artifacts land in ``benchmarks/artifacts/`` by default; set
 ``REPRO_BENCH_DIR`` to redirect (or to an empty string to disable).
+
+Benchmarks run with the result cache *disabled* (they measure real
+compute) and serially by default; set ``REPRO_BENCH_WORKERS`` to
+parallelise the sweeps across processes.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import json
 import os
 import time
 from pathlib import Path
 from typing import Any, Optional
+
+from repro.exp import Runner
+from repro.exp import run_sweep as _engine_run_sweep
+from repro.exp.recording import to_jsonable, write_artifact as _write_artifact
+
+__all__ = ["to_jsonable", "write_artifact", "run_once", "run_sweep", "bench_runner"]
 
 _DEFAULT_DIR = Path(__file__).resolve().parent / "artifacts"
 
@@ -29,24 +39,10 @@ def _artifact_dir() -> Optional[Path]:
     return Path(configured)
 
 
-def to_jsonable(value: Any) -> Any:
-    """Convert benchmark results (numpy, dataclasses, tuple keys) to JSON."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return to_jsonable(dataclasses.asdict(value))
-    if isinstance(value, dict):
-        return {
-            k if isinstance(k, str) else repr(k): to_jsonable(v)
-            for k, v in value.items()
-        }
-    if isinstance(value, (list, tuple, set)):
-        return [to_jsonable(v) for v in value]
-    if hasattr(value, "tolist"):  # numpy arrays and scalars
-        return value.tolist()
-    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
-        return value.item()
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return repr(value)
+def bench_runner() -> Runner:
+    """The benchmark runner: cache off, ``REPRO_BENCH_WORKERS`` processes."""
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1") or "1")
+    return Runner(workers=workers, cache=False)
 
 
 def write_artifact(name: str, result: Any, wall_seconds: float) -> Optional[Path]:
@@ -54,15 +50,7 @@ def write_artifact(name: str, result: Any, wall_seconds: float) -> Optional[Path
     directory = _artifact_dir()
     if directory is None:
         return None
-    directory.mkdir(parents=True, exist_ok=True)
-    path = directory / f"BENCH_{name}.json"
-    payload = {
-        "benchmark": name,
-        "wall_seconds": wall_seconds,
-        "result": to_jsonable(result),
-    }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
+    return _write_artifact(name, result, wall_seconds, directory=directory)
 
 
 def run_once(benchmark, fn, *args, record: Optional[str] = None, **kwargs):
@@ -77,3 +65,12 @@ def run_once(benchmark, fn, *args, record: Optional[str] = None, **kwargs):
     if record:
         write_artifact(record, result, wall)
     return result
+
+
+def run_sweep(benchmark, sweep: str, *, record: Optional[str] = None, **params):
+    """Run a registered experiment sweep once and record its payload."""
+
+    def body():
+        return _engine_run_sweep(sweep, runner=bench_runner(), **params).payload
+
+    return run_once(benchmark, body, record=record)

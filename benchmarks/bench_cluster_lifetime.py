@@ -3,28 +3,25 @@
 Jobs arrive, run, and complete on a 16x16 Hx2Mesh while boards fail and
 are repaired; the benchmark prints time-weighted utilization, wait time,
 and slowdown per allocator preset / scheduling policy, and a failure
-intensity sweep.
+intensity sweep.  Each simulator configuration is one engine cell, so
+``REPRO_BENCH_WORKERS=N`` parallelises across configurations.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis import (
-    format_nested_table,
-    lifetime_failure_sweep,
-    lifetime_policy_comparison,
-)
+from repro.analysis import format_nested_table
 
-from _bench_utils import run_once
+from _bench_utils import run_sweep
 
 
 @pytest.mark.benchmark(group="cluster")
 def test_cluster_lifetime_policies(benchmark, fidelity):
     num_jobs = 1000 if fidelity["include_large"] else 400
-    data = run_once(
+    data = run_sweep(
         benchmark,
-        lifetime_policy_comparison,
+        "lifetime_policies",
         record="cluster_lifetime_policies",
         presets=("greedy", "greedy+transpose", "greedy+transpose+aspect"),
         policies=("fcfs", "fcfs+backfill"),
@@ -52,9 +49,9 @@ def test_cluster_lifetime_policies(benchmark, fidelity):
 @pytest.mark.benchmark(group="cluster")
 def test_cluster_lifetime_failure_sweep(benchmark, fidelity):
     num_jobs = 600 if fidelity["include_large"] else 300
-    data = run_once(
+    data = run_sweep(
         benchmark,
-        lifetime_failure_sweep,
+        "lifetime_failures",
         record="cluster_lifetime_failure_sweep",
         mtbf_hours=(320.0, 80.0, 20.0),
         num_jobs=num_jobs,

@@ -1,0 +1,127 @@
+"""The experiment engine itself: serial vs parallel vs warm-cache timings.
+
+Runs one multi-figure sweep (allocation, permutation-bandwidth, failure,
+and cluster-lifetime cells -- dozens of cells across four sweeps) three
+ways through :mod:`repro.exp`:
+
+1. **serial**, cache off -- the pre-engine baseline execution model;
+2. **parallel** on 4 worker processes, cold cache -- cells chunked by
+   topology/cluster and fanned out;
+3. **warm**, serving every cell from the on-disk result cache.
+
+All three payloads must be bit-identical (canonical JSON).  The recorded
+``BENCH_exp_engine.json`` artifact tracks the three wall-clock times and
+speedups across PRs.  The parallel < serial assertion only applies when
+the machine actually has >= 4 usable cores (CI containers often expose 1).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.exp import Runner, canonical_json, run_sweeps
+
+from _bench_utils import run_once
+
+PARALLEL_WORKERS = 4
+
+SWEEPS = {
+    "fig8": {
+        "clusters": {
+            "Small 16x16 Hx2Mesh": (16, 16),
+            "Small 8x8 Hx4Mesh": (8, 8),
+        },
+        "num_traces": 12,
+        "seed": 3,
+    },
+    "fig10": {
+        "clusters": {
+            "Hx2Small (16x16)": ((16, 16), (0, 20, 40)),
+            "Hx4Small (8x8)": ((8, 8), (0, 20, 40)),
+        },
+        "num_trials": 4,
+        "seed": 7,
+    },
+    "fig12": {
+        "cluster": "small",
+        "num_permutations": 1,
+        "max_paths": 4,
+        "skip_keys": ("dragonfly",),
+        "seed": 11,
+    },
+    "lifetime_policies": {
+        "presets": ("greedy", "greedy+transpose+aspect"),
+        "policies": ("fcfs", "fcfs+backfill"),
+        "num_jobs": 150,
+        "seed": 7,
+    },
+}
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed_run(runner: Runner):
+    start = time.perf_counter()
+    runs, report = run_sweeps(SWEEPS, runner=runner)
+    wall = time.perf_counter() - start
+    payload = canonical_json({name: run.payload for name, run in runs.items()})
+    return payload, wall, report
+
+
+@pytest.mark.benchmark(group="exp_engine")
+def test_exp_engine_serial_parallel_warm(benchmark):
+    def run():
+        with tempfile.TemporaryDirectory() as cache_dir:
+            serial_payload, t_serial, serial_report = _timed_run(
+                Runner(workers=1, cache=False)
+            )
+            parallel_payload, t_parallel, parallel_report = _timed_run(
+                Runner(workers=PARALLEL_WORKERS, cache=cache_dir)
+            )
+            warm_payload, t_warm, warm_report = _timed_run(
+                Runner(workers=1, cache=cache_dir)
+            )
+        return {
+            "cells": len(serial_report),
+            "chunks": serial_report.chunks,
+            "usable_cores": _usable_cores(),
+            "serial_seconds": t_serial,
+            "parallel_seconds": t_parallel,
+            "warm_cache_seconds": t_warm,
+            "parallel_workers": PARALLEL_WORKERS,
+            "parallel_speedup": t_serial / max(t_parallel, 1e-12),
+            "warm_speedup": t_serial / max(t_warm, 1e-12),
+            "parallel_identical": parallel_payload == serial_payload,
+            "warm_identical": warm_payload == serial_payload,
+            "warm_cache_hits": warm_report.cache_hits,
+            "warm_cache_misses": warm_report.cache_misses,
+        }
+
+    data = run_once(benchmark, run, record="exp_engine")
+    print(
+        f"\nexp engine: {data['cells']} cells in {data['chunks']} chunks -- "
+        f"serial {data['serial_seconds']:.2f}s, "
+        f"parallel(x{data['parallel_workers']}) {data['parallel_seconds']:.2f}s "
+        f"({data['parallel_speedup']:.2f}x), "
+        f"warm cache {data['warm_cache_seconds'] * 1e3:.0f}ms "
+        f"({data['warm_speedup']:.0f}x) on {data['usable_cores']} core(s)"
+    )
+    # Correctness invariants of the engine: every execution path yields the
+    # same bits, and a warm run touches no kernel at all.
+    assert data["parallel_identical"]
+    assert data["warm_identical"]
+    assert data["warm_cache_misses"] == 0
+    assert data["warm_cache_hits"] == data["cells"]
+    assert data["warm_cache_seconds"] < data["serial_seconds"]
+    # The parallel-speedup claim needs real cores to be meaningful.
+    if data["usable_cores"] >= PARALLEL_WORKERS:
+        assert data["parallel_seconds"] < data["serial_seconds"]

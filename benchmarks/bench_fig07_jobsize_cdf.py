@@ -4,16 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import fig7_jobsize_cdf
-
-from _bench_utils import run_once
+from _bench_utils import run_sweep
 
 
 @pytest.mark.benchmark(group="fig07")
 def test_fig07_jobsize_cdf(benchmark, fidelity):
-    data = run_once(
+    data = run_sweep(
         benchmark,
-        fig7_jobsize_cdf,
+        "fig7",
         record="fig07_jobsize_cdf",
         cluster_boards=4096,
         num_mixes=fidelity["traces"],

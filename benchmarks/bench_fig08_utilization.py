@@ -5,9 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis import fig8_utilization, format_distribution_summary
+from repro.analysis import format_distribution_summary
 
-from _bench_utils import run_once
+from _bench_utils import run_sweep
 
 
 @pytest.mark.benchmark(group="fig08")
@@ -20,9 +20,9 @@ def test_fig08_utilization(benchmark, fidelity):
     if fidelity["include_large"]:
         clusters["Large 64x64 Hx2Mesh"] = (64, 64)
 
-    data = run_once(
+    data = run_sweep(
         benchmark,
-        fig8_utilization,
+        "fig8",
         record="fig08_utilization",
         clusters=clusters,
         num_traces=fidelity["traces"],

@@ -4,9 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import fig9_upper_traffic
-
-from _bench_utils import run_once
+from _bench_utils import run_sweep
 
 
 @pytest.mark.benchmark(group="fig09")
@@ -15,9 +13,9 @@ def test_fig09_upper_level_traffic(benchmark, fidelity):
     if fidelity["include_large"]:
         clusters["Large 64x64 Hx2Mesh"] = (64, 64, 16)
 
-    data = run_once(
+    data = run_sweep(
         benchmark,
-        fig9_upper_traffic,
+        "fig9",
         record="fig09_upper_traffic",
         clusters=clusters,
         num_traces=max(4, fidelity["traces"] // 4),

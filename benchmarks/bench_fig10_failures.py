@@ -4,9 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import fig10_failures
-
-from _bench_utils import run_once
+from _bench_utils import run_sweep
 
 
 @pytest.mark.benchmark(group="fig10")
@@ -19,9 +17,9 @@ def test_fig10_failure_utilization(benchmark, fidelity):
     if fidelity["include_large"]:
         clusters["Hx2Large (64x64)"] = ((64, 64), (0, 25, 50, 75, 100))
 
-    data = run_once(
+    data = run_sweep(
         benchmark,
-        fig10_failures,
+        "fig10",
         record="fig10_failures",
         clusters=clusters,
         num_trials=fidelity["trials"],

@@ -1,41 +1,32 @@
 """Figure 11: alltoall bandwidth of the small topologies vs message size.
 
 The large-message asymptote of every curve is measured with the flow-level
-simulator (the same measurement that feeds Table II); smaller message sizes
-follow the balanced-shift alpha-beta model.
+simulator (the same engine cells that feed Table II -- one
+``measure_cluster_cell`` per topology); smaller message sizes follow the
+balanced-shift alpha-beta model.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis import (
-    cluster_configs,
-    fig11_alltoall_sweep,
-    format_series,
-    measure_topology,
-    network_profiles,
-)
-from repro.workloads import NetworkProfile
+from repro.analysis import fig11_alltoall_sweep, format_series, network_profiles
 
-from _bench_utils import run_once
+from _bench_utils import bench_runner, run_once
 
 
 @pytest.mark.benchmark(group="fig11")
 def test_fig11_alltoall_bandwidth(benchmark, fidelity):
     def build():
-        measured = {}
-        for config in cluster_configs("small"):
-            topo = config.build()
-            summary = measure_topology(
-                topo, num_phases=fidelity["small_phases"], max_paths=fidelity["max_paths"]
-            )
-            measured[config.key] = {
-                "alltoall": summary.alltoall_fraction,
-                "allreduce": summary.allreduce_fraction,
-            }
-        profiles = network_profiles("small", measured=measured)
-        return fig11_alltoall_sweep("small", profiles=profiles)
+        runner = bench_runner()
+        profiles = network_profiles(
+            "small",
+            measure=True,
+            num_phases=fidelity["small_phases"],
+            max_paths=fidelity["max_paths"],
+            runner=runner,
+        )
+        return fig11_alltoall_sweep("small", profiles=profiles, runner=runner)
 
     series = run_once(benchmark, build, record="fig11_alltoall")
     print()

@@ -5,9 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis import fig12_permutation, format_distribution_summary
+from repro.analysis import format_distribution_summary
 
-from _bench_utils import run_once
+from _bench_utils import run_sweep
 
 
 @pytest.mark.benchmark(group="fig12")
@@ -16,11 +16,11 @@ def test_fig12_permutation_distribution(benchmark, fidelity):
     # is the most expensive entry; skip it in quick mode.
     skip = () if fidelity["include_large"] else ("dragonfly",)
 
-    data = run_once(
+    data = run_sweep(
         benchmark,
-        fig12_permutation,
-        "small",
+        "fig12",
         record="fig12_permutation",
+        cluster="small",
         num_permutations=fidelity["permutations"],
         max_paths=fidelity["max_paths"],
         skip_keys=skip,

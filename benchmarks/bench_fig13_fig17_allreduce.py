@@ -9,9 +9,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import fig13_allreduce_sweep, fig17_allreduce_sweep, format_series
+from repro.analysis import format_series
 
-from _bench_utils import run_once
+from _bench_utils import run_sweep
 
 
 def _flatten(series):
@@ -24,8 +24,8 @@ def _flatten(series):
 
 @pytest.mark.benchmark(group="fig13")
 def test_fig13_allreduce_large_cluster(benchmark):
-    series = run_once(
-        benchmark, fig13_allreduce_sweep, "large", record="fig13_allreduce_large"
+    series = run_sweep(
+        benchmark, "fig13", record="fig13_allreduce_large", cluster="large"
     )
     print()
     print(
@@ -52,7 +52,7 @@ def test_fig13_allreduce_large_cluster(benchmark):
 
 @pytest.mark.benchmark(group="fig17")
 def test_fig17_allreduce_small_cluster(benchmark):
-    series = run_once(benchmark, fig17_allreduce_sweep, record="fig17_allreduce_small")
+    series = run_sweep(benchmark, "fig17", record="fig17_allreduce_small")
     print()
     print(
         format_series(

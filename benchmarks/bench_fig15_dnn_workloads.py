@@ -9,20 +9,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import (
-    dnn_iteration_times,
-    fig15_cost_savings,
-    format_nested_table,
-    network_profiles,
-)
+from repro.analysis import format_nested_table
 from repro.workloads import get_workload
 
-from _bench_utils import run_once
+from _bench_utils import run_sweep
 
 
 @pytest.mark.benchmark(group="fig15")
 def test_dnn_iteration_times(benchmark):
-    times = run_once(benchmark, dnn_iteration_times, record="sectionVB_iteration_times")
+    times = run_sweep(benchmark, "sectionVB", record="sectionVB_iteration_times")
     print()
     print(
         format_nested_table(
@@ -50,7 +45,7 @@ def test_dnn_iteration_times(benchmark):
 
 @pytest.mark.benchmark(group="fig15")
 def test_fig15_relative_cost_savings(benchmark):
-    savings = run_once(benchmark, fig15_cost_savings, record="fig15_cost_savings")
+    savings = run_sweep(benchmark, "fig15", record="fig15_cost_savings")
     print()
     for hx, per_workload in savings.items():
         print(format_nested_table(f"Figure 15 - relative cost saving of {hx}", per_workload))

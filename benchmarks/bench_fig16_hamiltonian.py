@@ -9,14 +9,13 @@ from repro.collectives import (
     disjoint_hamiltonian_cycles,
     is_hamiltonian_cycle,
 )
-from repro.analysis import fig16_hamiltonian_cycles
 
-from _bench_utils import run_once
+from _bench_utils import run_once, run_sweep
 
 
 @pytest.mark.benchmark(group="fig16")
 def test_fig16_example_tori(benchmark):
-    cycles = run_once(benchmark, fig16_hamiltonian_cycles, record="fig16_hamiltonian")
+    cycles = run_sweep(benchmark, "fig16", record="fig16_hamiltonian")
     print()
     print("Figure 16 - edge-disjoint Hamiltonian cycles")
     for (rows, cols), (red, green) in cycles.items():

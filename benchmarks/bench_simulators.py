@@ -6,35 +6,45 @@ backend on a small HxMesh (same permutation traffic), the raw speed of both
 is recorded so regressions in the simulation substrate are visible, and the
 shared-RouteTable reuse is measured (a warm table must beat a cold one on
 the repeated-topology sweeps every figure benchmark performs).
+
+All bodies are engine cells (:mod:`repro.exp.cells`) run through a
+:class:`repro.exp.Runner` with the cache disabled (these are wall-clock
+measurements); the warm-vs-cold probe, whose *result* is a timing, is
+additionally marked ``cacheable=False`` so no cache configuration can
+ever serve it stale.
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
 import pytest
 
-from repro.core import build_hammingmesh
-from repro.sim import (
-    FlowSimulator,
-    PacketNetwork,
-    clear_route_tables,
-    get_backend,
-    random_permutation,
-    route_table_for,
+from repro.exp import Scenario
+from repro.exp.cells import (
+    flow_alltoall_cell,
+    packet_event_rate_cell,
+    packet_vs_flow_cell,
+    route_table_reuse_cell,
 )
+from repro.exp.scenario import kernel_ref
 
-from _bench_utils import run_once
+from _bench_utils import bench_runner, run_once
+
+
+def _run_cell(kernel, **params):
+    report = bench_runner().run(Scenario(kernel_ref(kernel), params))
+    return report.values()[0]
 
 
 @pytest.mark.benchmark(group="simulators")
 def test_flowsim_alltoall_small_hxmesh(benchmark, fidelity):
-    topo = build_hammingmesh(2, 2, 8, 8)
-
     def run():
-        model = get_backend("flow", topo, max_paths=fidelity["max_paths"])
-        return model.alltoall_fraction(num_phases=16, seed=1)
+        return _run_cell(
+            flow_alltoall_cell,
+            a=2, b=2, x=8, y=8,
+            max_paths=fidelity["max_paths"],
+            num_phases=16,
+            seed=1,
+        )
 
     bw = run_once(benchmark, run, record="simulators_flow_alltoall")
     print(f"\n8x8 Hx2Mesh alltoall fraction: {bw * 100:.1f}%")
@@ -43,20 +53,17 @@ def test_flowsim_alltoall_small_hxmesh(benchmark, fidelity):
 
 @pytest.mark.benchmark(group="simulators")
 def test_packet_vs_flow_agreement(benchmark):
-    topo = build_hammingmesh(2, 2, 4, 4)
-    flows = random_permutation(topo.num_accelerators, seed=4)
-
     def run():
-        packet = get_backend("packet", topo, max_paths=4, message_size=1 << 18)
-        flow = get_backend("flow", topo, max_paths=4)
-        packet_mean = float(packet.phase_rates(flows).mean())
-        flow_mean = float(flow.phase_rates(flows, exact=True).mean())
-        return packet_mean, flow_mean
+        return _run_cell(
+            packet_vs_flow_cell,
+            a=2, b=2, x=4, y=4,
+            max_paths=4,
+            message_size=1 << 18,
+            seed=4,
+        )
 
-    packet_mean, flow_mean = run_once(
-        benchmark, run, record="simulators_packet_vs_flow"
-    )
-    ratio = packet_mean / flow_mean
+    means = run_once(benchmark, run, record="simulators_packet_vs_flow")
+    ratio = means["packet_mean"] / means["flow_mean"]
     print(f"\npacket-level vs flow-level mean bandwidth ratio: {ratio:.2f}")
     assert 0.6 < ratio < 1.4
 
@@ -64,14 +71,11 @@ def test_packet_vs_flow_agreement(benchmark):
 @pytest.mark.benchmark(group="simulators")
 def test_packet_simulator_event_rate(benchmark):
     """Raw packet-simulator throughput (events processed for a fixed load)."""
-    topo = build_hammingmesh(2, 2, 4, 4)
-    flows = random_permutation(topo.num_accelerators, seed=9)
 
     def run():
-        net = PacketNetwork(topo)
-        net.send_flows(flows, 1 << 17)
-        net.run()
-        return net.engine.processed_events
+        return _run_cell(
+            packet_event_rate_cell, a=2, b=2, x=4, y=4, message_size=1 << 17, seed=9
+        )
 
     events = run_once(benchmark, run, record="simulators_packet_event_rate")
     print(f"\nprocessed events: {events}")
@@ -86,34 +90,15 @@ def test_route_table_warm_vs_cold(benchmark, fidelity):
     instances; the first pays the route enumeration, the second serves every
     pair from the memoized table.
     """
-    topo = build_hammingmesh(2, 2, 8, 8)
-    flows = random_permutation(topo.num_accelerators, seed=3)
-
-    def sweep():
-        sim = FlowSimulator(topo, max_paths=fidelity["max_paths"])
-        a2a = sim.alltoall_bandwidth(num_phases=12, seed=1)
-        perm = float(sim.permutation_bandwidths(flows).mean())
-        return a2a, perm
 
     def run():
-        clear_route_tables()
-        t0 = time.perf_counter()
-        cold = sweep()
-        t_cold = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        warm = sweep()
-        t_warm = time.perf_counter() - t0
-        table = route_table_for(topo, max_paths=fidelity["max_paths"])
-        return {
-            "cold_seconds": t_cold,
-            "warm_seconds": t_warm,
-            "speedup": t_cold / max(t_warm, 1e-12),
-            "alltoall_fraction": cold[0],
-            "permutation_mean": cold[1],
-            "warm_matches_cold": cold == warm,
-            "pairs_routed": table.num_pairs_routed,
-            "pair_hits": table.stats.hits,
-        }
+        return _run_cell(
+            route_table_reuse_cell,
+            a=2, b=2, x=8, y=8,
+            max_paths=fidelity["max_paths"],
+            num_phases=12,
+            seed=3,
+        )
 
     data = run_once(benchmark, run, record="simulators_route_table_reuse")
     print(

@@ -3,28 +3,29 @@
 Prints the measured table next to the paper's published values.  The small
 (~1k accelerator) cluster is always evaluated; the large (~16k) cluster is
 included with ``REPRO_FULL=1`` (it takes considerably longer because every
-topology graph has ~16k endpoints).
+topology graph has ~16k endpoints).  Both sweeps run one engine cell per
+topology, so ``REPRO_BENCH_WORKERS=N`` parallelises across topologies.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis import build_table2, format_table2
+from repro.analysis import format_table2
 
-from _bench_utils import run_once
+from _bench_utils import run_sweep
 
 
 @pytest.mark.benchmark(group="table2")
 def test_table2_small_cluster(benchmark, fidelity):
-    def build():
-        return build_table2(
-            "small",
-            num_phases=fidelity["small_phases"],
-            max_paths=fidelity["max_paths"],
-        )
-
-    rows = run_once(benchmark, build, record="table2_small")
+    rows = run_sweep(
+        benchmark,
+        "table2",
+        record="table2_small",
+        cluster="small",
+        num_phases=fidelity["small_phases"],
+        max_paths=fidelity["max_paths"],
+    )
     print()
     print("Table II - small cluster (~1,024 accelerators)")
     print(format_table2(rows))
@@ -40,14 +41,14 @@ def test_table2_large_cluster(benchmark, fidelity):
     if not fidelity["include_large"]:
         pytest.skip("large-cluster Table II needs REPRO_FULL=1")
 
-    def build():
-        return build_table2(
-            "large",
-            num_phases=fidelity["large_phases"],
-            max_paths=4,
-        )
-
-    rows = run_once(benchmark, build, record="table2_large")
+    rows = run_sweep(
+        benchmark,
+        "table2",
+        record="table2_large",
+        cluster="large",
+        num_phases=fidelity["large_phases"],
+        max_paths=4,
+    )
     print()
     print("Table II - large cluster (~16,384 accelerators)")
     print(format_table2(rows))
@@ -56,17 +57,7 @@ def test_table2_large_cluster(benchmark, fidelity):
 @pytest.mark.benchmark(group="table2")
 def test_table2_cost_column_only(benchmark):
     """The cost column alone (cheap, always runs at full scale)."""
-    from repro.analysis import cluster_configs
-
-    def build():
-        out = {}
-        for cluster in ("small", "large"):
-            out[cluster] = {
-                c.label: c.cost.total_millions for c in cluster_configs(cluster)
-            }
-        return out
-
-    costs = run_once(benchmark, build, record="table2_costs")
+    costs = run_sweep(benchmark, "table2_costs", record="table2_costs")
     print()
     for cluster, values in costs.items():
         print(f"Network cost [$M] - {cluster} cluster")

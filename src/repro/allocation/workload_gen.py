@@ -21,6 +21,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..exp.seeding import SeedLike, as_generator
 from .jobs import JobRequest, JobTrace
 
 __all__ = ["JobSizeDistribution", "alibaba_like_distribution", "sample_job_mixes"]
@@ -101,7 +102,7 @@ def sample_job_mixes(
     *,
     distribution: Optional[JobSizeDistribution] = None,
     max_job_boards: Optional[int] = None,
-    seed: int = 0,
+    seed: SeedLike = 0,
 ) -> List[JobTrace]:
     """Draw ``num_mixes`` job traces that each nominally fill the cluster.
 
@@ -113,7 +114,7 @@ def sample_job_mixes(
     """
     dist = distribution or alibaba_like_distribution()
     limit = max_job_boards if max_job_boards is not None else cluster_boards
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     mixes: List[JobTrace] = []
     carried: Optional[int] = None
     job_id = 0

@@ -31,6 +31,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..exp import cell
 from ..sim.backend import FlowBackend, NetworkModel, get_backend
 from ..sim.flowsim import FlowSimulator
 from ..topology.base import Topology
@@ -41,6 +42,7 @@ __all__ = [
     "measure_permutation_fractions",
     "BandwidthSummary",
     "measure_topology",
+    "measure_cluster_cell",
 ]
 
 BackendLike = Union[str, NetworkModel]
@@ -147,3 +149,32 @@ def measure_topology(
         alltoall_fraction=model.alltoall_fraction(num_phases=num_phases, seed=seed),
         allreduce_fraction=model.allreduce_fraction(),
     )
+
+
+@cell(version=1)
+def measure_cluster_cell(
+    *,
+    cluster: str,
+    key: str,
+    num_phases: Optional[int] = 48,
+    max_paths: int = 8,
+    seed: int = 1,
+    backend: str = "flow",
+) -> dict:
+    """Engine cell: both Table-II bandwidth columns of one named topology.
+
+    Shared by ``build_table2`` and ``network_profiles(measure=True)``, so a
+    combined table/figure sweep measures (and caches) each topology exactly
+    once per fidelity setting.
+    """
+    from .clusters import cluster_configs
+
+    config = {c.key: c for c in cluster_configs(cluster)}[key]
+    summary = measure_topology(
+        config.build(), num_phases=num_phases, max_paths=max_paths, seed=seed,
+        backend=backend,
+    )
+    return {
+        "alltoall_fraction": float(summary.alltoall_fraction),
+        "allreduce_fraction": float(summary.allreduce_fraction),
+    }

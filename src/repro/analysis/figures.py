@@ -4,6 +4,16 @@ Each ``figNN_*`` function returns plain Python/NumPy data structures (the
 series a plot of that figure would show); the benchmark harness prints them
 and EXPERIMENTS.md records the comparison against the published figures.
 
+Since the experiment-engine refactor every generator is a thin wrapper
+around :mod:`repro.exp`: a *grid declaration* (the sweep's cells as pure
+data), a run through the engine (serial by default; process-parallel with
+``workers=N``/``REPRO_EXP_WORKERS``; content-cached when a cache is
+configured), and a *post-processing* step reassembling the figure
+structure from the cell results.  The cell kernels are module-level
+functions below, addressable by import path from worker processes; each
+receives an explicit integer seed, so parallel and serial runs are
+bit-identical.
+
 Figures covered: 7 (job-size CDF), 8 (allocation utilization), 9 (upper
 fat-tree-level traffic), 10 (utilization under failures), 11 (alltoall
 bandwidth vs message size), 12 (permutation bandwidth distribution),
@@ -14,8 +24,7 @@ Hamiltonian cycles), and the Section V-B iteration-time table.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
+import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -31,11 +40,11 @@ from ..allocation import (
 )
 from ..collectives.cost_models import allreduce_bus_bandwidth
 from ..collectives.hamiltonian import disjoint_hamiltonian_cycles
-from ..cost.model import CostBreakdown
-from ..workloads import WORKLOADS, NetworkProfile, get_workload
+from ..exp import Grid, RunReport, Runner, cell, register_sweep, run_grid
+from ..workloads import NetworkProfile, get_workload
 from ..workloads.overlap import PORT_BYTES_PER_S
-from .bandwidth import measure_permutation_fractions, measure_topology
-from .clusters import ClusterTopology, cluster_configs
+from .bandwidth import measure_cluster_cell, measure_permutation_fractions
+from .clusters import cluster_configs
 
 __all__ = [
     "DEFAULT_FRACTIONS",
@@ -69,6 +78,11 @@ DEFAULT_FRACTIONS: Dict[str, Dict[str, float]] = {
 }
 
 
+def _profile_dict(profile: NetworkProfile) -> Dict[str, object]:
+    """Serialise a profile into cell parameters (rebuilt in the worker)."""
+    return dataclasses.asdict(profile)
+
+
 def network_profiles(
     cluster: str = "small",
     *,
@@ -77,43 +91,87 @@ def network_profiles(
     num_phases: Optional[int] = 48,
     max_paths: int = 8,
     backend: str = "flow",
+    seed: int = 1,
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, NetworkProfile]:
     """Network profiles for every topology of the chosen cluster.
 
     By default the stored :data:`DEFAULT_FRACTIONS` are used; with
     ``measure=True`` the selected network backend is run instead (the
-    default flow-level fidelity is slow for the large cluster).
+    default flow-level fidelity is slow for the large cluster).  The
+    measurements sweep one engine cell per topology -- the same cells
+    Table II runs, so a combined figure/table run measures each topology
+    once.
     """
     configs = cluster_configs(cluster)
     fractions = dict(DEFAULT_FRACTIONS)
     if measured:
         fractions.update(measured)
+    if measure:
+        grid = measurement_grid(
+            cluster=cluster,
+            num_phases=num_phases,
+            max_paths=max_paths,
+            seed=seed,
+            backend=backend,
+        )
+        report = run_grid(grid, runner=runner, workers=workers)
+        measured_now = {
+            c.scenario.tags["key"]: {
+                "alltoall": c.value["alltoall_fraction"],
+                "allreduce": c.value["allreduce_fraction"],
+            }
+            for c in report
+        }
+        fractions.update(measured_now)
     profiles: Dict[str, NetworkProfile] = {}
     for config in configs:
-        if measure:
-            topo = config.build()
-            summary = measure_topology(
-                topo, num_phases=num_phases, max_paths=max_paths, backend=backend
-            )
-            a2a, ar = summary.alltoall_fraction, summary.allreduce_fraction
-        else:
-            entry = fractions.get(config.key, {"alltoall": 0.5, "allreduce": 1.0})
-            a2a, ar = entry["alltoall"], entry["allreduce"]
+        entry = fractions.get(config.key, {"alltoall": 0.5, "allreduce": 1.0})
         profiles[config.key] = NetworkProfile.from_measurements(
             config.label,
             config.family,
-            alltoall_fraction=a2a,
-            allreduce_fraction=ar,
+            alltoall_fraction=entry["alltoall"],
+            allreduce_fraction=entry["allreduce"],
             diameter=config.analytic_diameter,
         )
     return profiles
 
 
+def measurement_grid(
+    *,
+    cluster: str = "small",
+    num_phases: Optional[int] = 48,
+    max_paths: int = 8,
+    seed: int = 1,
+    backend: str = "flow",
+    skip_keys: Sequence[str] = (),
+) -> Grid:
+    """One :func:`measure_cluster_cell` per topology of a cluster.
+
+    Chunked by topology: all measurements of one topology execute in one
+    worker process, where the shared route table is already warm.
+    """
+    keys = [c.key for c in cluster_configs(cluster) if c.key not in set(skip_keys)]
+    grid = Grid(
+        measure_cluster_cell,
+        common={
+            "cluster": cluster,
+            "num_phases": num_phases,
+            "max_paths": max_paths,
+            "seed": seed,
+            "backend": backend,
+        },
+        chunk=lambda p: f"{p['cluster']}/{p['key']}",
+    )
+    grid.cross("key", keys)
+    return grid
+
+
 # ------------------------------------------------------------------- Figure 7
-def fig7_jobsize_cdf(
-    cluster_boards: int = 4096, num_mixes: int = 200, seed: int = 0
-) -> Dict[str, List[Tuple[int, float]]]:
-    """Job-size CDFs: the original distribution and the sampled job mixes."""
+@cell(version=1)
+def fig7_cell(*, cluster_boards: int, num_mixes: int, seed: int):
+    """Original and sampled board-weighted job-size CDFs (one cell)."""
     dist = alibaba_like_distribution()
     original = dist.board_weighted_cdf()
     mixes = sample_job_mixes(cluster_boards, num_mixes, seed=seed)
@@ -121,15 +179,45 @@ def fig7_jobsize_cdf(
     boards = sizes.astype(float)
     order = np.argsort(sizes)
     cum = np.cumsum(boards[order]) / boards.sum()
-    sampled: List[Tuple[int, float]] = []
+    sampled: List[List[float]] = []
     last_size = None
     for s, c in zip(sizes[order], cum):
         if last_size is not None and s == last_size:
-            sampled[-1] = (int(s), float(c))
+            sampled[-1] = [int(s), float(c)]
         else:
-            sampled.append((int(s), float(c)))
+            sampled.append([int(s), float(c)])
         last_size = s
-    return {"original": original, "sampled": sampled}
+    return {
+        "original": [[int(s), float(c)] for s, c in original],
+        "sampled": sampled,
+    }
+
+
+def fig7_grid(*, cluster_boards: int = 4096, num_mixes: int = 200, seed: int = 0) -> Grid:
+    return Grid(
+        fig7_cell,
+        common={"cluster_boards": cluster_boards, "num_mixes": num_mixes, "seed": seed},
+    )
+
+
+def _fig7_post(report: RunReport) -> Dict[str, List[Tuple[int, float]]]:
+    data = report.values()[0]
+    return {
+        key: [(int(s), float(c)) for s, c in points] for key, points in data.items()
+    }
+
+
+def fig7_jobsize_cdf(
+    cluster_boards: int = 4096,
+    num_mixes: int = 200,
+    seed: int = 0,
+    *,
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Job-size CDFs: the original distribution and the sampled job mixes."""
+    grid = fig7_grid(cluster_boards=cluster_boards, num_mixes=num_mixes, seed=seed)
+    return _fig7_post(run_grid(grid, runner=runner, workers=workers))
 
 
 # ------------------------------------------------------------------- Figure 8
@@ -150,28 +238,66 @@ FIG8_CLUSTERS = {
 }
 
 
+@cell(version=1)
+def fig8_cell(*, x: int, y: int, preset: str, sort: bool, num_traces: int, seed: int):
+    """Utilization of one (cluster, preset) pair over the sampled mixes.
+
+    Every preset of a cluster draws the same mixes (same explicit seed), as
+    in the paper: presets differ only in the allocator's decisions.
+    """
+    mixes = sample_job_mixes(x * y, num_traces, seed=seed, max_job_boards=x * y)
+    utils: List[float] = []
+    for mix in mixes:
+        grid = BoardGrid(x, y)
+        allocator = GreedyAllocator(grid, AllocatorOptions.named(preset))
+        trace = mix.sorted_by_size() if sort else mix
+        utils.append(allocator.allocate_trace(trace).utilization)
+    return utils
+
+
+def fig8_grid(
+    *,
+    clusters: Optional[Dict[str, Tuple[int, int]]] = None,
+    num_traces: int = 50,
+    seed: int = 0,
+) -> Grid:
+    chosen = dict(clusters or FIG8_CLUSTERS)
+    grid = Grid(
+        fig8_cell,
+        common={"num_traces": num_traces, "seed": seed},
+        chunk="cluster",
+        drop=("cluster", "label"),
+    )
+    grid.cross("cluster", list(chosen))
+    grid.cross(("preset", "sort"), FIG8_PRESETS)
+    grid.derive(
+        lambda p: {
+            "x": chosen[p["cluster"]][0],
+            "y": chosen[p["cluster"]][1],
+            "label": p["preset"] + ("+sort" if p["sort"] else ""),
+        }
+    )
+    return grid
+
+
+def _fig8_post(report: RunReport) -> Dict[str, Dict[str, List[float]]]:
+    out: Dict[str, Dict[str, List[float]]] = {}
+    for c in report:
+        out.setdefault(c.scenario.tags["cluster"], {})[c.scenario.tags["label"]] = c.value
+    return out
+
+
 def fig8_utilization(
     *,
     clusters: Optional[Dict[str, Tuple[int, int]]] = None,
     num_traces: int = 50,
     seed: int = 0,
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, List[float]]]:
     """System utilization distributions per cluster and heuristic combination."""
-    out: Dict[str, Dict[str, List[float]]] = {}
-    for cluster_name, (x, y) in (clusters or FIG8_CLUSTERS).items():
-        per_preset: Dict[str, List[float]] = {}
-        mixes = sample_job_mixes(x * y, num_traces, seed=seed, max_job_boards=x * y)
-        for preset, sort in FIG8_PRESETS:
-            label = preset + ("+sort" if sort else "")
-            utils: List[float] = []
-            for mix in mixes:
-                grid = BoardGrid(x, y)
-                allocator = GreedyAllocator(grid, AllocatorOptions.named(preset))
-                trace = mix.sorted_by_size() if sort else mix
-                utils.append(allocator.allocate_trace(trace).utilization)
-            per_preset[label] = utils
-        out[cluster_name] = per_preset
-    return out
+    grid = fig8_grid(clusters=clusters, num_traces=num_traces, seed=seed)
+    return _fig8_post(run_grid(grid, runner=runner, workers=workers))
 
 
 # ------------------------------------------------------------------- Figure 9
@@ -181,49 +307,91 @@ FIG9_CLUSTERS = {
 }
 
 
+@cell(version=1)
+def fig9_cell(
+    *,
+    x: int,
+    y: int,
+    boards_per_leaf: int,
+    preset: str,
+    sort: bool,
+    num_traces: int,
+    seed: int,
+):
+    """Board-weighted upper-level traffic fractions of one preset."""
+    mixes = sample_job_mixes(x * y, num_traces, seed=seed, max_job_boards=x * y)
+    base = AllocatorOptions.named(preset)
+    options = AllocatorOptions(
+        transpose=base.transpose,
+        aspect_ratio=base.aspect_ratio,
+        locality=base.locality,
+        boards_per_leaf=boards_per_leaf,
+    )
+    totals = {"alltoall": 0.0, "allreduce": 0.0}
+    weight = 0.0
+    for mix in mixes:
+        grid = BoardGrid(x, y)
+        allocator = GreedyAllocator(grid, options)
+        trace = mix.sorted_by_size() if sort else mix
+        result = allocator.allocate_trace(trace)
+        for submesh in result.placed.values():
+            w = submesh.num_boards
+            weight += w
+            for pattern in ("alltoall", "allreduce"):
+                totals[pattern] += w * upper_level_fraction(
+                    submesh, boards_per_leaf=boards_per_leaf, pattern=pattern
+                )
+    return {k: (v / weight if weight else 0.0) for k, v in totals.items()}
+
+
+def fig9_grid(
+    *,
+    clusters: Optional[Dict[str, Tuple[int, int, int]]] = None,
+    num_traces: int = 20,
+    seed: int = 0,
+) -> Grid:
+    chosen = dict(clusters or FIG9_CLUSTERS)
+    grid = Grid(
+        fig9_cell,
+        common={"num_traces": num_traces, "seed": seed},
+        chunk="cluster",
+        drop=("cluster", "label"),
+    )
+    grid.cross("cluster", list(chosen))
+    grid.cross(("preset", "sort"), FIG8_PRESETS)
+    grid.derive(
+        lambda p: {
+            "x": chosen[p["cluster"]][0],
+            "y": chosen[p["cluster"]][1],
+            "boards_per_leaf": chosen[p["cluster"]][2],
+            "label": p["preset"] + ("+sort" if p["sort"] else ""),
+        }
+    )
+    return grid
+
+
+def _fig9_post(report: RunReport) -> Dict[str, Dict[str, Dict[str, float]]]:
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for c in report:
+        out.setdefault(c.scenario.tags["cluster"], {})[c.scenario.tags["label"]] = c.value
+    return out
+
+
 def fig9_upper_traffic(
     *,
     clusters: Optional[Dict[str, Tuple[int, int, int]]] = None,
     num_traces: int = 20,
     seed: int = 0,
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Mean fraction of traffic crossing the upper fat-tree levels.
 
     Returns ``{cluster: {preset: {"alltoall": f, "allreduce": f}}}``; the
     fraction is averaged over jobs weighted by their board count.
     """
-    out: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for cluster_name, (x, y, boards_per_leaf) in (clusters or FIG9_CLUSTERS).items():
-        per_preset: Dict[str, Dict[str, float]] = {}
-        mixes = sample_job_mixes(x * y, num_traces, seed=seed, max_job_boards=x * y)
-        for preset, sort in FIG8_PRESETS:
-            label = preset + ("+sort" if sort else "")
-            totals = {"alltoall": 0.0, "allreduce": 0.0}
-            weight = 0.0
-            for mix in mixes:
-                grid = BoardGrid(x, y)
-                options = AllocatorOptions.named(preset)
-                options = AllocatorOptions(
-                    transpose=options.transpose,
-                    aspect_ratio=options.aspect_ratio,
-                    locality=options.locality,
-                    boards_per_leaf=boards_per_leaf,
-                )
-                allocator = GreedyAllocator(grid, options)
-                trace = mix.sorted_by_size() if sort else mix
-                result = allocator.allocate_trace(trace)
-                for submesh in result.placed.values():
-                    w = submesh.num_boards
-                    weight += w
-                    for pattern in ("alltoall", "allreduce"):
-                        totals[pattern] += w * upper_level_fraction(
-                            submesh, boards_per_leaf=boards_per_leaf, pattern=pattern
-                        )
-            per_preset[label] = {
-                k: (v / weight if weight else 0.0) for k, v in totals.items()
-            }
-        out[cluster_name] = per_preset
-    return out
+    grid = fig9_grid(clusters=clusters, num_traces=num_traces, seed=seed)
+    return _fig9_post(run_grid(grid, runner=runner, workers=workers))
 
 
 # ------------------------------------------------------------------ Figure 10
@@ -235,27 +403,115 @@ FIG10_CLUSTERS = {
 }
 
 
+@cell(version=1)
+def fig10_cell(
+    *,
+    x: int,
+    y: int,
+    counts: Sequence[int],
+    sort_jobs: bool,
+    num_trials: int,
+    seed: int,
+):
+    """Median utilization vs failed-board count for one (cluster, mode)."""
+    results = utilization_under_failures(
+        x, y, tuple(counts), num_trials=num_trials, sort_jobs=sort_jobs, seed=seed
+    )
+    return [[r.num_failed, r.median] for r in results]
+
+
+def fig10_grid(*, clusters=None, num_trials: int = 10, seed: int = 0) -> Grid:
+    chosen = dict(clusters or FIG10_CLUSTERS)
+    grid = Grid(
+        fig10_cell,
+        common={"num_trials": num_trials, "seed": seed},
+        chunk="cluster",
+        drop=("cluster", "label"),
+    )
+    grid.cross("cluster", list(chosen))
+    grid.cross(("sort_jobs", "label"), [(False, "unsorted"), (True, "sorted")])
+    grid.derive(
+        lambda p: {
+            "x": chosen[p["cluster"]][0][0],
+            "y": chosen[p["cluster"]][0][1],
+            "counts": list(chosen[p["cluster"]][1]),
+        }
+    )
+    return grid
+
+
+def _fig10_post(report: RunReport) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+    out: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
+    for c in report:
+        series = [(int(n), float(u)) for n, u in c.value]
+        out.setdefault(c.scenario.tags["cluster"], {})[c.scenario.tags["label"]] = series
+    return out
+
+
 def fig10_failures(
     *,
     clusters=None,
     num_trials: int = 10,
     seed: int = 0,
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
     """Median utilization of working boards vs number of failed boards."""
-    out: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
-    for name, ((x, y), counts) in (clusters or FIG10_CLUSTERS).items():
-        per_mode: Dict[str, List[Tuple[int, float]]] = {}
-        for sort_jobs, label in ((False, "unsorted"), (True, "sorted")):
-            results = utilization_under_failures(
-                x, y, counts, num_trials=num_trials, sort_jobs=sort_jobs, seed=seed
-            )
-            per_mode[label] = [(r.num_failed, r.median) for r in results]
-        out[name] = per_mode
-    return out
+    grid = fig10_grid(clusters=clusters, num_trials=num_trials, seed=seed)
+    return _fig10_post(run_grid(grid, runner=runner, workers=workers))
 
 
 # ------------------------------------------------------------------ Figure 11
 DEFAULT_MESSAGE_SIZES = tuple(2 ** k for k in range(10, 25, 2))  # 1 KiB .. 16 MiB
+
+
+@cell(version=1)
+def fig11_cell(*, alpha: float, alltoall_bandwidth: float, message_sizes: Sequence[int]):
+    """Effective alltoall bandwidth fraction per message size (one topology).
+
+    The balanced-shift alltoall runs ``P - 1`` phases of one block each, so
+    the effective per-process bandwidth is
+    ``block / (alpha + block / measured_alltoall_bandwidth)`` -- the
+    measured large-message fraction is the asymptote, small blocks are
+    latency-bound.
+    """
+    series = []
+    for size in message_sizes:
+        phase_time = alpha + size / alltoall_bandwidth
+        effective = size / phase_time
+        series.append([int(size), effective / (4 * PORT_BYTES_PER_S)])
+    return series
+
+
+def fig11_grid(
+    *,
+    cluster: str = "small",
+    message_sizes: Sequence[int] = DEFAULT_MESSAGE_SIZES,
+    profiles: Optional[Dict[str, NetworkProfile]] = None,
+) -> Grid:
+    configs = {c.key: c for c in cluster_configs(cluster)}
+    chosen = profiles or network_profiles(cluster)
+    grid = Grid(
+        fig11_cell,
+        common={"message_sizes": [int(s) for s in message_sizes]},
+        drop=("key", "label"),
+    )
+    grid.cross("key", list(chosen))
+    grid.derive(
+        lambda p: {
+            "alpha": chosen[p["key"]].alpha,
+            "alltoall_bandwidth": chosen[p["key"]].alltoall_bandwidth,
+            "label": configs[p["key"]].label,
+        }
+    )
+    return grid
+
+
+def _fig11_post(report: RunReport) -> Dict[str, List[Tuple[int, float]]]:
+    return {
+        c.scenario.tags["label"]: [(int(s), float(f)) for s, f in c.value]
+        for c in report
+    }
 
 
 def fig11_alltoall_sweep(
@@ -263,61 +519,84 @@ def fig11_alltoall_sweep(
     *,
     message_sizes: Sequence[int] = DEFAULT_MESSAGE_SIZES,
     profiles: Optional[Dict[str, NetworkProfile]] = None,
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, List[Tuple[int, float]]]:
     """Alltoall effective bandwidth (fraction of injection) vs message size.
 
     ``message_sizes`` are per-peer block sizes (as in the paper's
-    microbenchmark); the balanced-shift alltoall runs ``P - 1`` phases of one
-    block each, so the effective per-process bandwidth is
-    ``block / (alpha + block / measured_alltoall_bandwidth)`` -- the measured
-    large-message fraction is the asymptote, small blocks are latency-bound.
+    microbenchmark); see :func:`fig11_cell` for the model.
     """
-    configs = {c.key: c for c in cluster_configs(cluster)}
-    profiles = profiles or network_profiles(cluster)
-    out: Dict[str, List[Tuple[int, float]]] = {}
-    for key, profile in profiles.items():
-        series = []
-        for size in message_sizes:
-            phase_time = profile.alpha + size / profile.alltoall_bandwidth
-            effective = size / phase_time
-            series.append((size, effective / (4 * PORT_BYTES_PER_S)))
-        out[configs[key].label] = series
-    return out
+    grid = fig11_grid(cluster=cluster, message_sizes=message_sizes, profiles=profiles)
+    return _fig11_post(run_grid(grid, runner=runner, workers=workers))
 
 
 # ------------------------------------------------------------------ Figure 12
-def fig12_permutation(
-    cluster: str = "small",
+@cell(version=1)
+def fig12_cell(
     *,
+    cluster: str,
+    key: str,
+    num_permutations: int,
+    max_paths: int,
+    seed: int,
+    backend: str,
+):
+    """Per-accelerator permutation bandwidth fractions of one topology."""
+    config = {c.key: c for c in cluster_configs(cluster)}[key]
+    topo = config.build()
+    dist = measure_permutation_fractions(
+        topo,
+        num_permutations=num_permutations,
+        max_paths=max_paths,
+        seed=seed,
+        backend=backend,
+    )
+    return [float(v) for v in dist]
+
+
+def fig12_grid(
+    *,
+    cluster: str = "small",
     num_permutations: int = 2,
     max_paths: int = 8,
     skip_keys: Sequence[str] = (),
     seed: int = 0,
     backend: str = "flow",
-) -> Dict[str, Dict[str, object]]:
-    """Per-accelerator bandwidth distribution under random permutation traffic.
+) -> Grid:
+    configs = {c.key: c for c in cluster_configs(cluster)}
+    keys = [k for k in configs if k not in set(skip_keys)]
+    grid = Grid(
+        fig12_cell,
+        common={
+            "cluster": cluster,
+            "num_permutations": num_permutations,
+            "max_paths": max_paths,
+            "seed": seed,
+            "backend": backend,
+        },
+        chunk=lambda p: f"{p['cluster']}/{p['key']}",
+        drop=("label",),
+    )
+    grid.cross("key", keys)
+    grid.derive(lambda p: {"label": configs[p["key"]].label})
+    return grid
 
-    Returns, per topology: the raw distribution (fractions of injection),
-    its mean, and the cost per average bandwidth relative to the nonblocking
-    fat tree.
-    """
-    configs = cluster_configs(cluster)
+
+def _fig12_post(report: RunReport) -> Dict[str, Dict[str, object]]:
     results: Dict[str, Dict[str, object]] = {}
     reference_ratio = None
-    for config in configs:
-        if config.key in skip_keys:
-            continue
-        topo = config.build()
-        dist = measure_permutation_fractions(
-            topo,
-            num_permutations=num_permutations,
-            max_paths=max_paths,
-            seed=seed,
-            backend=backend,
-        )
+    configs_by_cluster: Dict[str, Dict[str, object]] = {}
+    for c in report:
+        cluster = c.scenario.params["cluster"]
+        key = c.scenario.params["key"]
+        if cluster not in configs_by_cluster:
+            configs_by_cluster[cluster] = {cc.key: cc for cc in cluster_configs(cluster)}
+        config = configs_by_cluster[cluster][key]
+        dist = np.asarray(c.value, dtype=float)
         mean = float(dist.mean())
         cost_per_bw = config.cost.total_millions / max(mean, 1e-9)
-        if config.key == "ft_nonblocking":
+        if key == "ft_nonblocking":
             reference_ratio = cost_per_bw
         results[config.label] = {
             "distribution": dist,
@@ -332,8 +611,102 @@ def fig12_permutation(
     return results
 
 
+def fig12_permutation(
+    cluster: str = "small",
+    *,
+    num_permutations: int = 2,
+    max_paths: int = 8,
+    skip_keys: Sequence[str] = (),
+    seed: int = 0,
+    backend: str = "flow",
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Per-accelerator bandwidth distribution under random permutation traffic.
+
+    Returns, per topology: the raw distribution (fractions of injection),
+    its mean, and the cost per average bandwidth relative to the nonblocking
+    fat tree.
+    """
+    grid = fig12_grid(
+        cluster=cluster,
+        num_permutations=num_permutations,
+        max_paths=max_paths,
+        skip_keys=skip_keys,
+        seed=seed,
+        backend=backend,
+    )
+    return _fig12_post(run_grid(grid, runner=runner, workers=workers))
+
+
 # ------------------------------------------------------------- Figures 13 / 17
 ALLREDUCE_SWEEP_SIZES = tuple(2 ** k for k in range(14, 33, 2))  # 16 KiB .. 4 GiB
+
+
+@cell(version=1)
+def fig13_cell(
+    *,
+    p: int,
+    alpha: float,
+    allreduce_busbw: float,
+    algorithms: Sequence[str],
+    message_sizes: Sequence[int],
+):
+    """Allreduce bus bandwidth vs message size for one topology's algorithms."""
+    beta = 1.0 / (allreduce_busbw * 2.0)  # seconds per byte per NIC
+    return {
+        alg: [
+            [int(size), allreduce_bus_bandwidth(alg, p, size, alpha, beta)]
+            for size in message_sizes
+        ]
+        for alg in algorithms
+    }
+
+
+def fig13_grid(
+    *,
+    cluster: str = "large",
+    message_sizes: Sequence[int] = ALLREDUCE_SWEEP_SIZES,
+    algorithms: Sequence[str] = ("rings", "torus"),
+    profiles: Optional[Dict[str, NetworkProfile]] = None,
+) -> Grid:
+    configs = {c.key: c for c in cluster_configs(cluster)}
+    chosen = profiles or network_profiles(cluster)
+    grid_algorithms = list(algorithms)
+    grid = Grid(
+        fig13_cell,
+        common={"message_sizes": [int(s) for s in message_sizes]},
+        drop=("key", "label"),
+    )
+    grid.cross("key", list(chosen))
+
+    def _derive(p):
+        config = configs[p["key"]]
+        profile = chosen[p["key"]]
+        if config.family in ("hammingmesh", "torus", "hyperx"):
+            algs = grid_algorithms
+        else:
+            algs = ["bidirectional-ring"]
+        return {
+            "p": config.num_accelerators,
+            "alpha": profile.alpha,
+            "allreduce_busbw": profile.allreduce_busbw,
+            "algorithms": algs,
+            "label": config.label,
+        }
+
+    grid.derive(_derive)
+    return grid
+
+
+def _fig13_post(report: RunReport) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+    return {
+        c.scenario.tags["label"]: {
+            alg: [(int(s), float(bw)) for s, bw in points]
+            for alg, points in c.value.items()
+        }
+        for c in report
+    }
 
 
 def fig13_allreduce_sweep(
@@ -342,6 +715,8 @@ def fig13_allreduce_sweep(
     message_sizes: Sequence[int] = ALLREDUCE_SWEEP_SIZES,
     algorithms: Sequence[str] = ("rings", "torus"),
     profiles: Optional[Dict[str, NetworkProfile]] = None,
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
     """Full-system allreduce bus bandwidth vs message size (Figures 13/17).
 
@@ -349,30 +724,22 @@ def fig13_allreduce_sweep(
     ("torus") algorithms are evaluated; the switched topologies use the
     standard per-plane ring.  Bandwidths are bytes/s per accelerator.
     """
-    configs = {c.key: c for c in cluster_configs(cluster)}
-    profiles = profiles or network_profiles(cluster)
-    out: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
-    for key, profile in profiles.items():
-        config = configs[key]
-        p = config.num_accelerators
-        beta = 1.0 / (profile.allreduce_busbw * 2.0)  # seconds per byte per NIC
-        per_alg: Dict[str, List[Tuple[int, float]]] = {}
-        if config.family in ("hammingmesh", "torus", "hyperx"):
-            algs = list(algorithms)
-        else:
-            algs = ["bidirectional-ring"]
-        for alg in algs:
-            series = []
-            for size in message_sizes:
-                bw = allreduce_bus_bandwidth(alg, p, size, profile.alpha, beta)
-                series.append((size, bw))
-            per_alg[alg] = series
-        out[config.label] = per_alg
-    return out
+    grid = fig13_grid(
+        cluster=cluster,
+        message_sizes=message_sizes,
+        algorithms=algorithms,
+        profiles=profiles,
+    )
+    return _fig13_post(run_grid(grid, runner=runner, workers=workers))
 
 
 def fig17_allreduce_sweep(**kwargs):
-    """Small-cluster variant of the allreduce sweep (Figure 17)."""
+    """Small-cluster variant of the allreduce sweep (Figure 17).
+
+    Every keyword (``message_sizes``, ``algorithms``, ``profiles``,
+    ``runner``, ``workers``, ...) is passed straight through to
+    :func:`fig13_allreduce_sweep`; only the default cluster differs.
+    """
     kwargs.setdefault("cluster", "small")
     return fig13_allreduce_sweep(**kwargs)
 
@@ -389,12 +756,74 @@ FIG15_BASELINES = [
 ]
 
 
+@cell(version=1)
+def fig15_cell(*, workload: str, hx_profile: dict, hx_cost: float, baselines: list):
+    """Relative cost savings of one HxMesh for one workload.
+
+    ``baselines`` is a list of ``{"label", "cost", "profile"}`` records;
+    the saving over topology X is ``(cost_X / cost_Hx) *
+    (exposed_comm_X / exposed_comm_Hx)``.
+    """
+    wl = get_workload(workload)
+    hx_time = wl.iteration_time(NetworkProfile(**hx_profile))
+    hx_overhead = max(hx_time - wl.compute_time, 1e-9)
+    out = {}
+    for base in baselines:
+        base_time = wl.iteration_time(NetworkProfile(**base["profile"]))
+        base_overhead = max(base_time - wl.compute_time, 1e-9)
+        out[base["label"]] = (base["cost"] / hx_cost) * (base_overhead / hx_overhead)
+    return out
+
+
+def fig15_grid(
+    *,
+    cluster: str = "small",
+    profiles: Optional[Dict[str, NetworkProfile]] = None,
+    workload_names: Sequence[str] = tuple(FIG15_WORKLOADS),
+    hx_keys: Sequence[str] = ("hx2mesh", "hx4mesh"),
+) -> Grid:
+    configs = {c.key: c for c in cluster_configs(cluster)}
+    chosen = profiles or network_profiles(cluster)
+    baselines = [
+        {
+            "label": configs[key].label,
+            "cost": configs[key].cost.total_millions,
+            "profile": _profile_dict(chosen[key]),
+        }
+        for key in FIG15_BASELINES
+    ]
+    grid = Grid(fig15_cell, common={"baselines": baselines}, drop=("hx_key", "hx_label"))
+    grid.cross("hx_key", list(hx_keys))
+    grid.cross("workload", list(workload_names))
+    grid.derive(
+        lambda p: {
+            "hx_profile": _profile_dict(chosen[p["hx_key"]]),
+            "hx_cost": configs[p["hx_key"]].cost.total_millions,
+            "hx_label": configs[p["hx_key"]].label,
+        }
+    )
+    return grid
+
+
+def _fig15_post(report: RunReport) -> Dict[str, Dict[str, Dict[str, float]]]:
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for c in report:
+        hx_label = c.scenario.tags["hx_label"]
+        workload = get_workload(c.scenario.tags["workload"])
+        out.setdefault(hx_label, {})[workload.name] = {
+            label: float(v) for label, v in c.value.items()
+        }
+    return out
+
+
 def fig15_cost_savings(
     *,
     cluster: str = "small",
     profiles: Optional[Dict[str, NetworkProfile]] = None,
     workload_names: Sequence[str] = tuple(FIG15_WORKLOADS),
     hx_keys: Sequence[str] = ("hx2mesh", "hx4mesh"),
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Relative cost savings of HxMesh vs the other topologies (Figure 15).
 
@@ -403,54 +832,192 @@ def fig15_cost_savings(
     the network-cost ratio corrected by the ratio of communication overheads.
     Returns ``{hx_label: {workload: {baseline_label: saving}}}``.
     """
-    configs = {c.key: c for c in cluster_configs(cluster)}
-    profiles = profiles or network_profiles(cluster)
-    out: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for hx_key in hx_keys:
-        hx_label = configs[hx_key].label
-        hx_cost = configs[hx_key].cost.total_millions
-        out[hx_label] = {}
-        for wname in workload_names:
-            workload = get_workload(wname)
-            hx_time = workload.iteration_time(profiles[hx_key])
-            hx_overhead = max(hx_time - workload.compute_time, 1e-9)
-            per_baseline: Dict[str, float] = {}
-            for base_key in FIG15_BASELINES:
-                base = configs[base_key]
-                base_time = workload.iteration_time(profiles[base_key])
-                base_overhead = max(base_time - workload.compute_time, 1e-9)
-                saving = (base.cost.total_millions / hx_cost) * (
-                    base_overhead / hx_overhead
-                )
-                per_baseline[base.label] = saving
-            out[hx_label][workload.name] = per_baseline
-    return out
+    grid = fig15_grid(
+        cluster=cluster,
+        profiles=profiles,
+        workload_names=workload_names,
+        hx_keys=hx_keys,
+    )
+    return _fig15_post(run_grid(grid, runner=runner, workers=workers))
 
 
 # ------------------------------------------------------------------ Figure 16
+@cell(version=1)
+def fig16_cell(*, rows: int, cols: int):
+    """The edge-disjoint Hamiltonian cycle pair of one torus shape."""
+    red, green = disjoint_hamiltonian_cycles(rows, cols)
+    return [
+        [[int(r), int(c)] for r, c in red],
+        [[int(r), int(c)] for r, c in green],
+    ]
+
+
+def fig16_grid(
+    *, shapes: Sequence[Tuple[int, int]] = ((4, 4), (8, 4), (9, 3), (16, 8))
+) -> Grid:
+    grid = Grid(fig16_cell)
+    grid.cross(("rows", "cols"), [tuple(s) for s in shapes])
+    return grid
+
+
+def _fig16_post(report: RunReport):
+    out = {}
+    for c in report:
+        shape = (c.scenario.params["rows"], c.scenario.params["cols"])
+        red, green = c.value
+        out[shape] = (
+            [tuple(point) for point in red],
+            [tuple(point) for point in green],
+        )
+    return out
+
+
 def fig16_hamiltonian_cycles(
     shapes: Sequence[Tuple[int, int]] = ((4, 4), (8, 4), (9, 3), (16, 8)),
+    *,
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
 ) -> Dict[Tuple[int, int], Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]]:
     """The example edge-disjoint Hamiltonian cycle pairs of Figure 16."""
-    return {shape: disjoint_hamiltonian_cycles(*shape) for shape in shapes}
+    return _fig16_post(run_grid(fig16_grid(shapes=shapes), runner=runner, workers=workers))
 
 
 # --------------------------------------------------------- Section V-B table
+@cell(version=1)
+def iteration_time_cell(*, workload: str, profiles: dict):
+    """Per-topology iteration times (seconds) of one DNN workload."""
+    wl = get_workload(workload)
+    return {
+        label: wl.iteration_time(NetworkProfile(**profile))
+        for label, profile in profiles.items()
+    }
+
+
+def dnn_iteration_times_grid(
+    *,
+    cluster: str = "small",
+    profiles: Optional[Dict[str, NetworkProfile]] = None,
+    workload_names: Sequence[str] = tuple(FIG15_WORKLOADS),
+) -> Grid:
+    configs = cluster_configs(cluster)
+    chosen = profiles or network_profiles(cluster)
+    labelled = {
+        config.label: _profile_dict(chosen[config.key])
+        for config in configs
+        if config.key in chosen
+    }
+    grid = Grid(iteration_time_cell, common={"profiles": labelled})
+    grid.cross("workload", list(workload_names))
+    return grid
+
+
+def _dnn_iteration_times_post(report: RunReport) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for c in report:
+        workload = get_workload(c.scenario.tags["workload"])
+        out[workload.name] = {label: float(t) for label, t in c.value.items()}
+    return out
+
+
 def dnn_iteration_times(
     *,
     cluster: str = "small",
     profiles: Optional[Dict[str, NetworkProfile]] = None,
     workload_names: Sequence[str] = tuple(FIG15_WORKLOADS),
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Per-topology iteration times (seconds) of the Section V-B workloads."""
-    configs = cluster_configs(cluster)
-    profiles = profiles or network_profiles(cluster)
-    out: Dict[str, Dict[str, float]] = {}
-    for wname in workload_names:
-        workload = get_workload(wname)
-        out[workload.name] = {
-            config.label: workload.iteration_time(profiles[config.key])
-            for config in configs
-            if config.key in profiles
-        }
-    return out
+    grid = dnn_iteration_times_grid(
+        cluster=cluster, profiles=profiles, workload_names=workload_names
+    )
+    return _dnn_iteration_times_post(run_grid(grid, runner=runner, workers=workers))
+
+
+# ------------------------------------------------------------- named sweeps
+register_sweep(
+    "fig7",
+    build=fig7_grid,
+    post=_fig7_post,
+    description="Figure 7: job-size CDF of the sampled workload",
+    artifact="fig07_jobsize_cdf",
+)
+register_sweep(
+    "fig8",
+    build=fig8_grid,
+    post=_fig8_post,
+    description="Figure 8: allocator utilization per heuristic preset",
+    artifact="fig08_utilization",
+)
+register_sweep(
+    "fig9",
+    build=fig9_grid,
+    post=_fig9_post,
+    description="Figure 9: traffic crossing the upper fat-tree levels",
+    artifact="fig09_upper_traffic",
+)
+register_sweep(
+    "fig10",
+    build=fig10_grid,
+    post=_fig10_post,
+    description="Figure 10: utilization under board failures",
+    artifact="fig10_failures",
+)
+register_sweep(
+    "fig11",
+    build=fig11_grid,
+    post=_fig11_post,
+    description="Figure 11: alltoall bandwidth vs message size",
+    artifact="fig11_alltoall",
+)
+register_sweep(
+    "fig12",
+    build=fig12_grid,
+    post=_fig12_post,
+    description="Figure 12: permutation bandwidth distributions",
+    artifact="fig12_permutation",
+)
+register_sweep(
+    "fig13",
+    build=fig13_grid,
+    post=_fig13_post,
+    description="Figure 13: large-cluster allreduce bandwidth sweep",
+    artifact="fig13_allreduce_large",
+)
+register_sweep(
+    "fig17",
+    build=lambda **kw: fig13_grid(**{"cluster": "small", **kw}),
+    post=_fig13_post,
+    description="Figure 17: small-cluster allreduce bandwidth sweep",
+    artifact="fig17_allreduce_small",
+)
+register_sweep(
+    "fig15",
+    build=fig15_grid,
+    post=_fig15_post,
+    description="Figure 15: relative cost savings of HxMesh",
+    artifact="fig15_cost_savings",
+)
+register_sweep(
+    "fig16",
+    build=fig16_grid,
+    post=_fig16_post,
+    description="Figure 16: edge-disjoint Hamiltonian cycle pairs",
+    artifact="fig16_hamiltonian",
+)
+register_sweep(
+    "sectionVB",
+    build=dnn_iteration_times_grid,
+    post=_dnn_iteration_times_post,
+    description="Section V-B: DNN iteration times per topology",
+    artifact="sectionVB_iteration_times",
+)
+register_sweep(
+    "profiles",
+    build=measurement_grid,
+    post=lambda report: {
+        c.scenario.tags["key"]: c.value for c in report
+    },
+    description="Measured alltoall/allreduce fractions per topology",
+    artifact="network_profiles",
+)

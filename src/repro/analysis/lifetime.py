@@ -11,10 +11,18 @@ generators of :mod:`repro.analysis.figures`:
   dynamic counterpart of Figure 10;
 * :func:`lifetime_utilization_timeline` -- downsampled utilization /
   fragmentation step functions for plotting a single run.
+
+The comparison/sweep helpers run one engine cell per simulator
+configuration: cells describe the service-time and failure models as
+JSON specs (class name + fields) so that they can execute in worker
+processes and be content-cached.  Passing a custom
+:class:`~repro.cluster.ServiceTimeModel` subclass falls back to inline
+serial execution (live objects are not scenario data).
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cluster import (
@@ -22,9 +30,12 @@ from ..cluster import (
     ClusterSimConfig,
     ClusterSimulator,
     FailureModel,
+    FixedServiceTime,
+    FlowSimServiceTime,
     LogNormalServiceTime,
     ServiceTimeModel,
 )
+from ..exp import Grid, RunReport, Runner, cell, register_sweep, run_grid
 
 __all__ = [
     "lifetime_policy_comparison",
@@ -44,9 +55,116 @@ SUMMARY_KEYS = (
 
 _DEFAULT_SERVICE = LogNormalServiceTime(median_seconds=900.0, sigma=0.6)
 
+_SERVICE_CLASSES = {
+    cls.__name__: cls
+    for cls in (FixedServiceTime, LogNormalServiceTime, FlowSimServiceTime)
+}
 
-def _run(config: ClusterSimConfig) -> ClusterReport:
-    return ClusterSimulator(config).run()
+
+def _service_spec(model: Optional[ServiceTimeModel]) -> Optional[dict]:
+    """JSON spec of a known service-time model; ``None`` if not spec-able."""
+    model = model or _DEFAULT_SERVICE
+    if type(model).__name__ in _SERVICE_CLASSES and dataclasses.is_dataclass(model):
+        return {
+            "cls": type(model).__name__,
+            "kwargs": dataclasses.asdict(model),
+        }
+    return None
+
+
+def _service_from_spec(spec: dict) -> ServiceTimeModel:
+    cls = _SERVICE_CLASSES[spec["cls"]]
+    kwargs = dict(spec["kwargs"])
+    # JSON turns tuples into lists; restore tuple-typed dataclass fields
+    for key, value in kwargs.items():
+        if isinstance(value, list):
+            kwargs[key] = tuple(value)
+    return cls(**kwargs)
+
+
+def _failure_spec(model: Optional[FailureModel]) -> Optional[dict]:
+    return dataclasses.asdict(model) if model is not None else None
+
+
+@cell(version=1)
+def lifetime_cell(
+    *,
+    x: int,
+    y: int,
+    preset: str,
+    policy: str,
+    num_jobs: int,
+    load: float,
+    service: dict,
+    failures: Optional[dict],
+    seed: int,
+):
+    """Summary metrics of one cluster lifetime run."""
+    config = ClusterSimConfig(
+        x=x,
+        y=y,
+        allocator=preset,
+        policy=policy,
+        num_jobs=num_jobs,
+        load=load,
+        service=_service_from_spec(service),
+        failures=FailureModel(**failures) if failures else None,
+        seed=seed,
+    )
+    return _run_inline(config)
+
+
+def _run_inline(config: ClusterSimConfig) -> Dict[str, float]:
+    summary = ClusterSimulator(config).run().summary()
+    out = {k: summary[k] for k in SUMMARY_KEYS}
+    out["failures"] = summary["failures"]
+    return out
+
+
+# ------------------------------------------------------- policy comparison
+def lifetime_policies_grid(
+    *,
+    x: int = 16,
+    y: int = 16,
+    presets: Sequence[str] = (
+        "greedy",
+        "greedy+transpose",
+        "greedy+transpose+aspect",
+    ),
+    policies: Sequence[str] = ("fcfs", "fcfs+backfill"),
+    num_jobs: int = 1000,
+    load: float = 2.0,
+    service: Optional[dict] = None,
+    failures: Optional[dict] = "default",
+    seed: int = 7,
+) -> Grid:
+    if failures == "default":
+        failures = _failure_spec(FailureModel(mtbf_hours=80.0, mttr_hours=2.0))
+    grid = Grid(
+        lifetime_cell,
+        common={
+            "x": x,
+            "y": y,
+            "num_jobs": num_jobs,
+            "load": load,
+            "service": service or _service_spec(None),
+            "failures": failures,
+            "seed": seed,
+        },
+        chunk=lambda p: f"{p['x']}x{p['y']}",
+        drop=("label",),
+    )
+    grid.cross(preset=list(presets))
+    grid.cross(policy=list(policies))
+    grid.derive(lambda p: {"label": f"{p['preset']} / {p['policy']}"})
+    return grid
+
+
+def _lifetime_policies_post(report: RunReport) -> Dict[str, Dict[str, float]]:
+    return {
+        c.scenario.tags["label"]: {k: c.value[k] for k in SUMMARY_KEYS}
+        for c in report
+    }
 
 
 def lifetime_policy_comparison(
@@ -64,6 +182,8 @@ def lifetime_policy_comparison(
     service: Optional[ServiceTimeModel] = None,
     failures: Optional[FailureModel] = FailureModel(mtbf_hours=80.0, mttr_hours=2.0),
     seed: int = 7,
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Summary metrics per allocator preset x scheduling policy.
 
@@ -72,23 +192,79 @@ def lifetime_policy_comparison(
     needed).  All runs share the same seed, so they see the same arrival /
     service / failure randomness and differ only in the decision logic.
     """
-    out: Dict[str, Dict[str, float]] = {}
-    for preset in presets:
-        for policy in policies:
-            config = ClusterSimConfig(
-                x=x,
-                y=y,
-                allocator=preset,
-                policy=policy,
-                num_jobs=num_jobs,
-                load=load,
-                service=service or _DEFAULT_SERVICE,
-                failures=failures,
-                seed=seed,
-            )
-            summary = _run(config).summary()
-            out[f"{preset} / {policy}"] = {k: summary[k] for k in SUMMARY_KEYS}
-    return out
+    spec = _service_spec(service)
+    if spec is None:  # custom model object: run inline, keep legacy semantics
+        out: Dict[str, Dict[str, float]] = {}
+        for preset in presets:
+            for policy in policies:
+                summary = _run_inline(
+                    ClusterSimConfig(
+                        x=x, y=y, allocator=preset, policy=policy, num_jobs=num_jobs,
+                        load=load, service=service, failures=failures, seed=seed,
+                    )
+                )
+                out[f"{preset} / {policy}"] = {k: summary[k] for k in SUMMARY_KEYS}
+        return out
+    grid = lifetime_policies_grid(
+        x=x,
+        y=y,
+        presets=presets,
+        policies=policies,
+        num_jobs=num_jobs,
+        load=load,
+        service=spec,
+        failures=_failure_spec(failures),
+        seed=seed,
+    )
+    return _lifetime_policies_post(run_grid(grid, runner=runner, workers=workers))
+
+
+# ----------------------------------------------------------- failure sweep
+def lifetime_failures_grid(
+    *,
+    x: int = 16,
+    y: int = 16,
+    mtbf_hours: Sequence[float] = (320.0, 80.0, 20.0),
+    mttr_hours: float = 2.0,
+    eviction: str = "requeue",
+    allocator: str = "greedy+transpose+aspect",
+    policy: str = "fcfs+backfill",
+    num_jobs: int = 600,
+    load: float = 2.0,
+    service: Optional[dict] = None,
+    seed: int = 7,
+) -> Grid:
+    grid = Grid(
+        lifetime_cell,
+        common={
+            "x": x,
+            "y": y,
+            "preset": allocator,
+            "policy": policy,
+            "num_jobs": num_jobs,
+            "load": load,
+            "service": service or _service_spec(None),
+            "seed": seed,
+        },
+        chunk=lambda p: f"{p['x']}x{p['y']}",
+        drop=("mtbf", "label"),
+    )
+    grid.cross(mtbf=[float(v) for v in mtbf_hours])
+    grid.derive(
+        lambda p: {
+            "failures": _failure_spec(
+                FailureModel(
+                    mtbf_hours=p["mtbf"], mttr_hours=mttr_hours, eviction=eviction
+                )
+            ),
+            "label": f"MTBF {p['mtbf']:g}h",
+        }
+    )
+    return grid
+
+
+def _lifetime_failures_post(report: RunReport) -> Dict[str, Dict[str, float]]:
+    return {c.scenario.tags["label"]: dict(c.value) for c in report}
 
 
 def lifetime_failure_sweep(
@@ -104,6 +280,8 @@ def lifetime_failure_sweep(
     load: float = 2.0,
     service: Optional[ServiceTimeModel] = None,
     seed: int = 7,
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Summary metrics as the board MTBF shrinks (failure intensity grows).
 
@@ -112,28 +290,38 @@ def lifetime_failure_sweep(
     (or shrunk), so the metric captures eviction work loss and repair
     interplay, not just packing on a degraded grid.
     """
-    out: Dict[str, Dict[str, float]] = {}
-    for mtbf in mtbf_hours:
-        config = ClusterSimConfig(
-            x=x,
-            y=y,
-            allocator=allocator,
-            policy=policy,
-            num_jobs=num_jobs,
-            load=load,
-            service=service or _DEFAULT_SERVICE,
-            failures=FailureModel(
-                mtbf_hours=mtbf, mttr_hours=mttr_hours, eviction=eviction
-            ),
-            seed=seed,
-        )
-        summary = _run(config).summary()
-        row = {k: summary[k] for k in SUMMARY_KEYS}
-        row["failures"] = summary["failures"]
-        out[f"MTBF {mtbf:g}h"] = row
-    return out
+    spec = _service_spec(service)
+    if spec is None:
+        out: Dict[str, Dict[str, float]] = {}
+        for mtbf in mtbf_hours:
+            out[f"MTBF {mtbf:g}h"] = _run_inline(
+                ClusterSimConfig(
+                    x=x, y=y, allocator=allocator, policy=policy, num_jobs=num_jobs,
+                    load=load, service=service,
+                    failures=FailureModel(
+                        mtbf_hours=mtbf, mttr_hours=mttr_hours, eviction=eviction
+                    ),
+                    seed=seed,
+                )
+            )
+        return out
+    grid = lifetime_failures_grid(
+        x=x,
+        y=y,
+        mtbf_hours=mtbf_hours,
+        mttr_hours=mttr_hours,
+        eviction=eviction,
+        allocator=allocator,
+        policy=policy,
+        num_jobs=num_jobs,
+        load=load,
+        service=spec,
+        seed=seed,
+    )
+    return _lifetime_failures_post(run_grid(grid, runner=runner, workers=workers))
 
 
+# ---------------------------------------------------------------- timeline
 def lifetime_utilization_timeline(
     report: ClusterReport, *, max_points: int = 200
 ) -> Dict[str, List[Tuple[float, float]]]:
@@ -152,3 +340,19 @@ def lifetime_utilization_timeline(
             points = sampled
         out[name] = [(float(t), float(v)) for t, v in points]
     return out
+
+
+register_sweep(
+    "lifetime_policies",
+    build=lifetime_policies_grid,
+    post=_lifetime_policies_post,
+    description="Cluster lifetime: allocator preset x scheduling policy",
+    artifact="cluster_lifetime_policies",
+)
+register_sweep(
+    "lifetime_failures",
+    build=lifetime_failures_grid,
+    post=_lifetime_failures_post,
+    description="Cluster lifetime: failure-intensity (MTBF) sweep",
+    artifact="cluster_lifetime_failure_sweep",
+)

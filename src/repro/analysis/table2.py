@@ -11,16 +11,23 @@ For each configuration of :mod:`repro.analysis.clusters` the row contains:
 
 Savings follow the paper's definition: the ratio of *cost per unit of
 bandwidth* of the nonblocking fat tree to that of the topology at hand.
+
+The bandwidth measurements run through the experiment engine
+(:mod:`repro.exp`) as one :func:`~repro.analysis.bandwidth.measure_cluster_cell`
+per topology -- the same cells ``network_profiles(measure=True)`` sweeps,
+so combined runs share both the process-parallelism and the result cache.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from ..exp import Grid, RunReport, Runner, cell, register_sweep, run_grid
 from .bandwidth import measure_topology
 from .clusters import ClusterTopology, cluster_configs
+from .figures import measurement_grid
 
 __all__ = ["Table2Row", "build_table2", "format_table2"]
 
@@ -53,6 +60,52 @@ def _savings(
     return (reference_cost / reference_bw) / (cost / bw)
 
 
+def _rows_from(
+    measurements: List[Tuple[ClusterTopology, Dict[str, float]]]
+) -> List[Table2Row]:
+    """Assemble rows from per-topology measured bandwidth fractions."""
+    if not measurements:
+        return []
+    reference = next(
+        ((c, m) for c, m in measurements if c.key == "ft_nonblocking"),
+        measurements[0],
+    )
+    ref_cost = reference[0].cost.total_millions
+    ref_global = reference[1]["alltoall_fraction"]
+    ref_allreduce = reference[1]["allreduce_fraction"]
+
+    rows: List[Table2Row] = []
+    for config, measured in measurements:
+        cost = config.cost.total_millions
+        rows.append(
+            Table2Row(
+                key=config.key,
+                label=config.label,
+                cost_millions=cost,
+                global_bw_percent=measured["alltoall_fraction"] * 100.0,
+                global_saving=_savings(
+                    cost, measured["alltoall_fraction"], ref_cost, ref_global
+                ),
+                allreduce_bw_percent=measured["allreduce_fraction"] * 100.0,
+                allreduce_saving=_savings(
+                    cost, measured["allreduce_fraction"], ref_cost, ref_allreduce
+                ),
+                diameter=config.analytic_diameter,
+                paper=dict(config.paper),
+            )
+        )
+    return rows
+
+
+def _table2_post(report: RunReport) -> List[Table2Row]:
+    cells = list(report)
+    if not cells:
+        return []
+    cluster = cells[0].scenario.params["cluster"]
+    configs = {c.key: c for c in cluster_configs(cluster)}
+    return _rows_from([(configs[c.scenario.tags["key"]], c.value) for c in cells])
+
+
 def build_table2(
     cluster: str = "small",
     *,
@@ -61,55 +114,71 @@ def build_table2(
     seed: int = 1,
     configs: Optional[List[ClusterTopology]] = None,
     skip_keys: Optional[List[str]] = None,
+    backend: str = "flow",
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
 ) -> List[Table2Row]:
     """Build the Table II rows for the given cluster scale.
 
     ``num_phases``/``max_paths`` control the fidelity (and run time) of the
-    flow-level bandwidth measurements; the benchmark harness uses reduced
-    settings for the 16k-accelerator cluster unless a full run is requested.
+    bandwidth measurements; the benchmark harness uses reduced settings for
+    the 16k-accelerator cluster unless a full run is requested.
     ``skip_keys`` allows omitting individual topologies (e.g. the very large
     graphs) from a quick run.
+
+    The named clusters sweep one engine cell per topology; passing explicit
+    ``configs`` (ad-hoc :class:`ClusterTopology` objects carrying builder
+    callables) measures inline, since such configs are not scenario data.
     """
-    chosen = configs if configs is not None else cluster_configs(cluster)
     skip = set(skip_keys or [])
-    rows: List[Table2Row] = []
-    measurements = []
-    for config in chosen:
-        if config.key in skip:
-            continue
-        topo = config.build()
-        summary = measure_topology(
-            topo, num_phases=num_phases, max_paths=max_paths, seed=seed
-        )
-        measurements.append((config, summary))
-
-    reference = next(
-        ((c, s) for c, s in measurements if c.key == "ft_nonblocking"), measurements[0]
-    )
-    ref_cost = reference[0].cost.total_millions
-    ref_global = reference[1].alltoall_fraction
-    ref_allreduce = reference[1].allreduce_fraction
-
-    for config, summary in measurements:
-        cost = config.cost.total_millions
-        rows.append(
-            Table2Row(
-                key=config.key,
-                label=config.label,
-                cost_millions=cost,
-                global_bw_percent=summary.alltoall_fraction * 100.0,
-                global_saving=_savings(
-                    cost, summary.alltoall_fraction, ref_cost, ref_global
-                ),
-                allreduce_bw_percent=summary.allreduce_fraction * 100.0,
-                allreduce_saving=_savings(
-                    cost, summary.allreduce_fraction, ref_cost, ref_allreduce
-                ),
-                diameter=config.analytic_diameter,
-                paper=dict(config.paper),
+    if configs is not None:
+        measurements: List[Tuple[ClusterTopology, Dict[str, float]]] = []
+        for config in configs:
+            if config.key in skip:
+                continue
+            summary = measure_topology(
+                config.build(),
+                num_phases=num_phases,
+                max_paths=max_paths,
+                seed=seed,
+                backend=backend,
             )
-        )
-    return rows
+            measurements.append(
+                (
+                    config,
+                    {
+                        "alltoall_fraction": summary.alltoall_fraction,
+                        "allreduce_fraction": summary.allreduce_fraction,
+                    },
+                )
+            )
+        return _rows_from(measurements)
+
+    grid = measurement_grid(
+        cluster=cluster,
+        num_phases=num_phases,
+        max_paths=max_paths,
+        seed=seed,
+        backend=backend,
+        skip_keys=tuple(skip),
+    )
+    return _table2_post(run_grid(grid, runner=runner, workers=workers))
+
+
+@cell(version=1)
+def table2_costs_cell(*, clusters: Tuple[str, ...] = ("small", "large")):
+    """The cost column alone (cheap, always evaluable at full scale)."""
+    return {
+        cluster: {
+            config.label: config.cost.total_millions
+            for config in cluster_configs(cluster)
+        }
+        for cluster in clusters
+    }
+
+
+def table2_costs_grid(*, clusters: Tuple[str, ...] = ("small", "large")) -> Grid:
+    return Grid(table2_costs_cell, common={"clusters": list(clusters)})
 
 
 def format_table2(rows: List[Table2Row], *, include_paper: bool = True) -> str:
@@ -135,3 +204,20 @@ def format_table2(rows: List[Table2Row], *, include_paper: bool = True) -> str:
             )
         lines.append(line)
     return "\n".join(lines)
+
+
+register_sweep(
+    "table2",
+    build=measurement_grid,
+    post=_table2_post,
+    description="Table II: cost/bandwidth/diameter of every topology",
+    artifact="table2_{cluster}",
+    defaults={"cluster": "small"},
+)
+register_sweep(
+    "table2_costs",
+    build=table2_costs_grid,
+    post=lambda report: report.values()[0],
+    description="Table II cost column only (small and large clusters)",
+    artifact="table2_costs",
+)

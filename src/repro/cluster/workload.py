@@ -17,6 +17,15 @@ distribution-driven.  :class:`FlowSimServiceTime` derives each job's
 runtime from a DNN workload model: iteration time on a network profile
 (measured with the flow-level simulator, or taken from the stored
 Table-II fractions) multiplied by a sampled iteration count.
+
+Seeding
+-------
+Every model samples exclusively from the ``numpy.random.Generator`` passed
+into it -- there is no hidden global stream.  The cluster simulator derives
+its generators from the config seed alone, and the experiment engine
+(:mod:`repro.exp`) gives each sweep cell an explicit integer seed, so
+serial, parallel, and cached runs of the same configuration are
+bit-identical.
 """
 
 from __future__ import annotations

@@ -1,0 +1,60 @@
+"""Declarative experiment engine: parallel, cached scenario sweeps.
+
+Every evaluation figure and benchmark of the reproduction runs through
+this package.  The vocabulary:
+
+* :class:`Scenario` -- one experiment cell: a kernel import path plus pure
+  JSON parameters, content-hashable for caching.
+* :class:`Grid` -- cartesian/zipped sweep combinator producing scenarios.
+* :class:`Runner` -- executes scenario sets serially or on a process pool,
+  chunking cells by topology so per-process route-table memoization stays
+  hot, and serving warm cells from the on-disk :class:`ResultCache`.
+* named sweeps -- :func:`run_sweep`/:func:`run_sweeps` run registered
+  figure sweeps by name (also exposed via ``python -m repro.exp``).
+
+Environment knobs: ``REPRO_EXP_WORKERS`` (default worker count),
+``REPRO_EXP_CACHE`` (cache directory; enables caching for library calls).
+"""
+
+from .cache import CacheStats, ResultCache, resolve_cache
+from .grid import Grid, scenarios_of
+from .registry import (
+    SweepRun,
+    SweepSpec,
+    get_sweep,
+    list_sweeps,
+    register_sweep,
+    run_sweep,
+    run_sweeps,
+)
+from .runner import CellResult, RunReport, Runner, default_workers, run_grid
+from .scenario import Scenario, canonical_json, cell, jsonify, kernel_ref, resolve_kernel
+from .seeding import as_generator, cell_seed
+
+__all__ = [
+    "Scenario",
+    "Grid",
+    "Runner",
+    "RunReport",
+    "CellResult",
+    "ResultCache",
+    "CacheStats",
+    "SweepSpec",
+    "SweepRun",
+    "cell",
+    "cell_seed",
+    "as_generator",
+    "canonical_json",
+    "jsonify",
+    "kernel_ref",
+    "resolve_kernel",
+    "resolve_cache",
+    "scenarios_of",
+    "default_workers",
+    "run_grid",
+    "run_sweep",
+    "run_sweeps",
+    "register_sweep",
+    "get_sweep",
+    "list_sweeps",
+]

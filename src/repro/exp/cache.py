@@ -1,0 +1,118 @@
+"""Content-addressed on-disk result cache for experiment cells.
+
+Layout: ``<root>/<hh>/<hash>.json`` where ``hash`` is the scenario's
+content hash (see :meth:`repro.exp.scenario.Scenario.content_hash`) and
+``hh`` its first two hex digits.  Each entry stores the scenario
+description next to the result, so entries are self-describing and can be
+audited or garbage-collected by hand.
+
+The cache root resolves, in order: an explicit constructor argument, the
+``REPRO_EXP_CACHE`` environment variable, ``~/.cache/repro-exp``.  Writes
+are atomic (temp file + rename), so concurrent runs sharing a cache are
+safe: the worst case is both computing the same cell and one rename
+winning.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Tuple, Union
+
+from .scenario import Scenario, jsonify
+
+__all__ = ["ResultCache", "CacheStats", "MISS", "resolve_cache"]
+
+#: sentinel distinguishing "not cached" from a cached ``None`` result
+MISS = object()
+
+_DEFAULT_ROOT = Path.home() / ".cache" / "repro-exp"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+
+class ResultCache:
+    """On-disk JSON store keyed by scenario content hash."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        if root is None:
+            env = os.environ.get("REPRO_EXP_CACHE")
+            root = Path(env).expanduser() if env else _DEFAULT_ROOT
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path_for(self, content_hash: str) -> Path:
+        return self.root / content_hash[:2] / f"{content_hash}.json"
+
+    # ------------------------------------------------------------------- get
+    def get(self, content_hash: str) -> Any:
+        """The cached ``(result, elapsed_seconds)`` or :data:`MISS`."""
+        path = self.path_for(content_hash)
+        try:
+            payload = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            self.stats.misses += 1
+            return MISS
+        self.stats.hits += 1
+        return payload["result"], float(payload.get("elapsed_s", 0.0))
+
+    # ------------------------------------------------------------------- put
+    def put(
+        self, content_hash: str, scenario: Scenario, result: Any, elapsed_s: float
+    ) -> Path:
+        """Atomically persist one cell result; returns the entry path."""
+        path = self.path_for(content_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "hash": content_hash,
+            "scenario": scenario.describe(),
+            "elapsed_s": elapsed_s,
+            "result": jsonify(result),
+        }
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+
+def resolve_cache(cache: Any = "auto") -> Optional[ResultCache]:
+    """Resolve the Runner's ``cache`` argument.
+
+    * ``"auto"`` (default): a :class:`ResultCache` if ``REPRO_EXP_CACHE``
+      names a directory, otherwise no cache -- library calls stay hermetic
+      unless the user opts in via the environment.
+    * ``True``: the default cache root (``REPRO_EXP_CACHE`` or
+      ``~/.cache/repro-exp``).
+    * ``False``/``None``: caching off.
+    * a path or :class:`ResultCache`: that cache.
+    """
+    if cache == "auto":
+        env = os.environ.get("REPRO_EXP_CACHE")
+        return ResultCache(Path(env).expanduser()) if env else None
+    if cache is True:
+        return ResultCache()
+    if cache is False or cache is None:
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(Path(cache))

@@ -1,0 +1,143 @@
+"""Generic simulator cell kernels (not tied to one paper figure).
+
+These are the engine-facing entry points the simulator benchmarks and the
+engine's own tests sweep over: pure functions of JSON parameters, importable
+by worker processes.  Figure-specific cells live next to their figures in
+:mod:`repro.analysis.figures`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from .scenario import cell
+from .seeding import as_generator
+
+__all__ = [
+    "probe_cell",
+    "flow_alltoall_cell",
+    "packet_vs_flow_cell",
+    "packet_event_rate_cell",
+    "route_table_reuse_cell",
+]
+
+
+@cell(version=1)
+def probe_cell(*, value=None, seed: int = 0, draws: int = 0):
+    """Trivial deterministic cell used by tests and smoke runs.
+
+    Echoes ``value`` and, when ``draws > 0``, a few seeded random numbers
+    (to exercise the bit-identity guarantees across execution paths).
+    """
+    rng = as_generator(seed)
+    return {
+        "value": value,
+        "draws": [float(x) for x in rng.random(draws)] if draws else [],
+    }
+
+
+@cell(version=1)
+def flow_alltoall_cell(
+    *,
+    a: int,
+    b: int,
+    x: int,
+    y: int,
+    max_paths: int = 8,
+    num_phases: Optional[int] = 16,
+    seed: int = 1,
+    backend: str = "flow",
+) -> float:
+    """Alltoall fraction of an ``HxaMesh`` (a x b boards of x x y) via a backend."""
+    from ..core import build_hammingmesh
+    from ..sim import get_backend
+
+    topo = build_hammingmesh(a, b, x, y)
+    model = get_backend(backend, topo, max_paths=max_paths)
+    return float(model.alltoall_fraction(num_phases=num_phases, seed=seed))
+
+
+@cell(version=1)
+def packet_vs_flow_cell(
+    *,
+    a: int,
+    b: int,
+    x: int,
+    y: int,
+    max_paths: int = 4,
+    message_size: int = 1 << 18,
+    seed: int = 4,
+) -> dict:
+    """Mean permutation bandwidth of the packet vs the flow backend."""
+    from ..core import build_hammingmesh
+    from ..sim import get_backend, random_permutation
+
+    topo = build_hammingmesh(a, b, x, y)
+    flows = random_permutation(topo.num_accelerators, seed=seed)
+    packet = get_backend("packet", topo, max_paths=max_paths, message_size=message_size)
+    flow = get_backend("flow", topo, max_paths=max_paths)
+    return {
+        "packet_mean": float(packet.phase_rates(flows).mean()),
+        "flow_mean": float(flow.phase_rates(flows, exact=True).mean()),
+    }
+
+
+@cell(version=1)
+def packet_event_rate_cell(
+    *, a: int, b: int, x: int, y: int, message_size: int = 1 << 17, seed: int = 9
+) -> int:
+    """Events processed by the packet simulator for one permutation load."""
+    from ..core import build_hammingmesh
+    from ..sim import PacketNetwork, random_permutation
+
+    topo = build_hammingmesh(a, b, x, y)
+    flows = random_permutation(topo.num_accelerators, seed=seed)
+    net = PacketNetwork(topo)
+    net.send_flows(flows, message_size)
+    net.run()
+    return int(net.engine.processed_events)
+
+
+@cell(version=1, cacheable=False)
+def route_table_reuse_cell(
+    *,
+    a: int,
+    b: int,
+    x: int,
+    y: int,
+    max_paths: int = 8,
+    num_phases: int = 12,
+    seed: int = 3,
+) -> dict:
+    """Cold-vs-warm shared-RouteTable measurement (wall-clock; never cached)."""
+    from ..core import build_hammingmesh
+    from ..sim import FlowSimulator, clear_route_tables, random_permutation, route_table_for
+
+    topo = build_hammingmesh(a, b, x, y)
+    flows = random_permutation(topo.num_accelerators, seed=seed)
+
+    def sweep():
+        sim = FlowSimulator(topo, max_paths=max_paths)
+        a2a = sim.alltoall_bandwidth(num_phases=num_phases, seed=1)
+        perm = float(sim.permutation_bandwidths(flows).mean())
+        return a2a, perm
+
+    clear_route_tables()
+    t0 = time.perf_counter()
+    cold = sweep()
+    t_cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = sweep()
+    t_warm = time.perf_counter() - t0
+    table = route_table_for(topo, max_paths=max_paths)
+    return {
+        "cold_seconds": t_cold,
+        "warm_seconds": t_warm,
+        "speedup": t_cold / max(t_warm, 1e-12),
+        "alltoall_fraction": cold[0],
+        "permutation_mean": cold[1],
+        "warm_matches_cold": cold == warm,
+        "pairs_routed": table.num_pairs_routed,
+        "pair_hits": table.stats.hits,
+    }

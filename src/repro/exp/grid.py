@@ -1,0 +1,156 @@
+"""The :class:`Grid` combinator: declarative cartesian/zipped sweeps.
+
+A grid starts from a kernel and a set of common parameters, then grows
+axes:
+
+* :meth:`Grid.cross` adds an independent axis (cartesian product with all
+  existing axes).  An axis can bind several parameter names at once by
+  passing a tuple of names with tuple values -- those values move together
+  (a *zipped* group) while still crossing against the other axes.
+* :meth:`Grid.zipped` is sugar for a multi-name zipped axis built from
+  parallel keyword lists.
+* :meth:`Grid.derive` registers a function computing extra parameters from
+  the axis values of each cell (per-cell seeds, topology dimensions looked
+  up from a label, ...).
+
+``chunk`` names the parameter (or callable) whose value groups cells onto
+the same worker -- chunk by topology so per-process route-table memoization
+stays hot.  ``drop`` lists parameters that are labels only: they are kept
+as scenario tags for post-processing but removed from the kernel call.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .scenario import Scenario, kernel_ref
+
+__all__ = ["Grid", "scenarios_of"]
+
+
+class Grid:
+    """Declarative sweep over the cartesian product of parameter axes."""
+
+    def __init__(
+        self,
+        kernel: Union[str, Callable],
+        *,
+        common: Optional[Mapping[str, Any]] = None,
+        chunk: Union[str, Callable[[Mapping[str, Any]], str], None] = None,
+        drop: Sequence[str] = (),
+    ) -> None:
+        self.kernel = kernel_ref(kernel)
+        self.common: Dict[str, Any] = dict(common or {})
+        self.chunk = chunk
+        self.drop = tuple(drop)
+        #: list of (param-name tuple, list of value tuples)
+        self._axes: List[Tuple[Tuple[str, ...], List[Tuple[Any, ...]]]] = []
+        self._derivations: List[Callable[[Dict[str, Any]], Mapping[str, Any]]] = []
+
+    # ------------------------------------------------------------------ axes
+    def cross(
+        self,
+        names: Union[str, Sequence[str], None] = None,
+        values: Optional[Iterable[Any]] = None,
+        **axes: Iterable[Any],
+    ) -> "Grid":
+        """Add independent axes (cartesian product with existing axes).
+
+        ``cross(x=[1, 2], y=[3, 4])`` adds two scalar axes (4 combinations);
+        ``cross(("preset", "sort"), [("greedy", False), ...])`` adds one
+        zipped axis binding both names together.
+        """
+        if names is not None:
+            if values is None:
+                raise ValueError("cross(names, values) requires values")
+            if isinstance(names, str):
+                packed = [(v,) for v in values]
+                self._axes.append(((names,), packed))
+            else:
+                names = tuple(names)
+                packed = [tuple(v) for v in values]
+                for v in packed:
+                    if len(v) != len(names):
+                        raise ValueError(
+                            f"axis value {v!r} does not match names {names!r}"
+                        )
+                self._axes.append((names, packed))
+        for name, vals in axes.items():
+            self._axes.append(((name,), [(v,) for v in vals]))
+        return self
+
+    def zipped(self, **axes: Sequence[Any]) -> "Grid":
+        """Add one axis zipping several same-length parameter lists."""
+        if not axes:
+            return self
+        lengths = {len(list(v)) for v in axes.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"zipped axes must have equal lengths, got {lengths}")
+        names = tuple(axes)
+        values = [tuple(combo) for combo in zip(*axes.values())]
+        self._axes.append((names, values))
+        return self
+
+    def derive(self, fn: Callable[[Dict[str, Any]], Mapping[str, Any]]) -> "Grid":
+        """Compute extra parameters per cell from the axis values."""
+        self._derivations.append(fn)
+        return self
+
+    # ------------------------------------------------------------- scenarios
+    def __len__(self) -> int:
+        n = 1
+        for _, values in self._axes:
+            n *= len(values)
+        return n
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios())
+
+    def scenarios(self) -> List[Scenario]:
+        """Materialise the grid into an ordered list of scenarios.
+
+        Ordering is the nested-loop order of axis addition (first axis is
+        the outermost loop), so declarations read like the loops they
+        replace and results reassemble deterministically.
+        """
+        axis_names = [names for names, _ in self._axes]
+        axis_values = [values for _, values in self._axes]
+        out: List[Scenario] = []
+        for combo in itertools.product(*axis_values) if axis_values else [()]:
+            params: Dict[str, Any] = dict(self.common)
+            tag_keys: List[str] = []
+            for names, values in zip(axis_names, combo):
+                for name, value in zip(names, values):
+                    params[name] = value
+                    tag_keys.append(name)
+            for fn in self._derivations:
+                derived = fn(dict(params))
+                params.update(derived)
+            for name in self.drop:
+                if name in params and name not in tag_keys:
+                    tag_keys.append(name)
+            tags = {k: params[k] for k in tag_keys if k in params}
+            chunk = self._chunk_of(params)
+            kernel_params = {k: v for k, v in params.items() if k not in self.drop}
+            out.append(Scenario(self.kernel, kernel_params, chunk=chunk, tags=tags))
+        return out
+
+    def _chunk_of(self, params: Mapping[str, Any]) -> str:
+        if self.chunk is None:
+            return ""
+        if callable(self.chunk):
+            return str(self.chunk(params))
+        return str(params[self.chunk])
+
+
+def scenarios_of(spec: Any) -> List[Scenario]:
+    """Flatten a Scenario / Grid / nested iterable of either into a list."""
+    if isinstance(spec, Scenario):
+        return [spec]
+    if hasattr(spec, "scenarios"):
+        return list(spec.scenarios())
+    out: List[Scenario] = []
+    for item in spec:
+        out.extend(scenarios_of(item))
+    return out

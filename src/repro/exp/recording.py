@@ -1,0 +1,139 @@
+"""Artifact recording: compact JSON snapshots of sweep results.
+
+``BENCH_<name>.json`` artifacts are committed to track the output and
+performance trajectory of the reproduction across PRs, so they must stay
+reviewable: floats are rounded to a few significant digits and long
+numeric series are decimated to a bounded number of points (full fidelity
+lives in the result cache and in the printed benchmark output, not in
+git).  The compaction settings are recorded in the artifact itself so
+:mod:`repro.exp.cli`'s ``diff`` can apply the same compaction to a fresh
+run before comparing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = [
+    "FLOAT_DIGITS",
+    "MAX_SERIES",
+    "to_jsonable",
+    "compact",
+    "write_artifact",
+    "read_artifact",
+]
+
+#: significant digits kept for floats in committed artifacts
+FLOAT_DIGITS = int(os.environ.get("REPRO_BENCH_FLOAT_DIGITS", "6"))
+#: longest numeric series kept verbatim; longer ones are decimated
+MAX_SERIES = int(os.environ.get("REPRO_BENCH_MAX_SERIES", "256"))
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert results (numpy, dataclasses, tuple keys) to JSON types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return to_jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {
+            k if isinstance(k, str) else repr(k): to_jsonable(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy arrays and scalars
+        return value.tolist()
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _round_float(value: float, digits: int) -> float:
+    if not math.isfinite(value):
+        return value
+    return float(f"{value:.{digits}g}")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_series_point(value: Any) -> bool:
+    """A scalar or a short (<= 8) all-number tuple such as an (x, y) pair."""
+    if _is_number(value):
+        return True
+    return (
+        isinstance(value, list)
+        and 0 < len(value) <= 8
+        and all(_is_number(v) for v in value)
+    )
+
+
+def _decimate(series: list, cap: int) -> list:
+    """Evenly subsample to at most ``cap`` points, keeping first and last."""
+    stride = -(-len(series) // cap)  # ceil division
+    sampled = series[::stride]
+    if sampled[-1] != series[-1]:
+        if len(sampled) >= cap:
+            sampled[-1] = series[-1]
+        else:
+            sampled.append(series[-1])
+    return sampled
+
+
+def compact(value: Any, *, float_digits: int = FLOAT_DIGITS, max_series: int = MAX_SERIES) -> Any:
+    """Round floats and cap numeric series in an already-JSONable structure."""
+    if isinstance(value, float):
+        return _round_float(value, float_digits)
+    if isinstance(value, dict):
+        return {
+            k: compact(v, float_digits=float_digits, max_series=max_series)
+            for k, v in value.items()
+        }
+    if isinstance(value, list):
+        if len(value) > max_series and all(_is_series_point(v) for v in value):
+            value = _decimate(value, max_series)
+        return [
+            compact(v, float_digits=float_digits, max_series=max_series) for v in value
+        ]
+    return value
+
+
+def write_artifact(
+    name: str,
+    result: Any,
+    wall_seconds: float,
+    *,
+    directory: Union[str, Path],
+    float_digits: int = FLOAT_DIGITS,
+    max_series: int = MAX_SERIES,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` with the compacted result and timing."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    payload: Dict[str, Any] = {
+        "benchmark": name,
+        "wall_seconds": _round_float(float(wall_seconds), 4),
+        "compaction": {"float_digits": float_digits, "max_series": max_series},
+        "result": compact(
+            to_jsonable(result), float_digits=float_digits, max_series=max_series
+        ),
+    }
+    if extra:
+        payload.update(to_jsonable(extra))
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_artifact(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load an artifact written by :func:`write_artifact`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,162 @@
+"""Named sweep registry: every figure/table sweep, runnable by name.
+
+A :class:`SweepSpec` couples a grid *builder* (keyword parameters -> Grid)
+with a *post-processing* function (cell results -> the figure's data
+structure) and the artifact name the benchmark harness records it under.
+The analysis layer registers its sweeps at import time;
+:func:`ensure_registered` imports those modules lazily so that
+``repro.exp`` itself stays import-light and free of circular imports.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from .grid import scenarios_of
+from .runner import RunReport, Runner
+
+__all__ = [
+    "SweepSpec",
+    "SweepRun",
+    "register_sweep",
+    "get_sweep",
+    "list_sweeps",
+    "run_sweep",
+    "run_sweeps",
+]
+
+#: modules whose import registers the standard sweeps
+_SWEEP_MODULES = (
+    "repro.analysis.figures",
+    "repro.analysis.table2",
+    "repro.analysis.lifetime",
+)
+
+_SWEEPS: Dict[str, "SweepSpec"] = {}
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named, parameterised sweep: grid builder + post-processing."""
+
+    name: str
+    build: Callable[..., Any]
+    post: Callable[[RunReport], Any]
+    description: str = ""
+    artifact: str = ""
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+
+    def grid(self, **params: Any):
+        merged = {**self.defaults, **params}
+        return self.build(**merged)
+
+    def accepts(self, key: str) -> bool:
+        """Whether the grid builder takes ``key`` as a keyword parameter."""
+        sig = inspect.signature(self.build)
+        if any(p.kind is p.VAR_KEYWORD for p in sig.parameters.values()):
+            return True
+        return key in sig.parameters
+
+    def artifact_name(self, **params: Any) -> str:
+        """The artifact name, with ``{param}`` placeholders filled in."""
+        merged = {**self.defaults, **params}
+        try:
+            return self.artifact.format(**merged)
+        except (KeyError, IndexError):
+            return self.artifact
+
+
+@dataclass(frozen=True)
+class SweepRun:
+    """Result of one named sweep: the figure payload plus the run report."""
+
+    name: str
+    payload: Any
+    report: RunReport
+
+
+def register_sweep(
+    name: str,
+    *,
+    build: Callable[..., Any],
+    post: Callable[[RunReport], Any],
+    description: str = "",
+    artifact: str = "",
+    defaults: Optional[Mapping[str, Any]] = None,
+) -> SweepSpec:
+    spec = SweepSpec(
+        name=name,
+        build=build,
+        post=post,
+        description=description,
+        artifact=artifact or name,
+        defaults=dict(defaults or {}),
+    )
+    _SWEEPS[name] = spec
+    return spec
+
+
+def ensure_registered() -> None:
+    for module in _SWEEP_MODULES:
+        importlib.import_module(module)
+
+
+def get_sweep(name: str) -> SweepSpec:
+    ensure_registered()
+    try:
+        return _SWEEPS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SWEEPS))
+        raise ValueError(f"unknown sweep {name!r}; registered sweeps: {known}") from None
+
+
+def list_sweeps() -> List[SweepSpec]:
+    ensure_registered()
+    return [_SWEEPS[name] for name in sorted(_SWEEPS)]
+
+
+def run_sweep(
+    name: str,
+    *,
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
+    cache: Any = "auto",
+    **params: Any,
+) -> SweepRun:
+    """Build and run one named sweep; returns payload + report."""
+    spec = get_sweep(name)
+    if runner is None:
+        runner = Runner(workers=workers, cache=cache)
+    report = runner.run(spec.grid(**params))
+    return SweepRun(name, spec.post(report), report)
+
+
+def run_sweeps(
+    sweeps: Mapping[str, Mapping[str, Any]],
+    *,
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
+    cache: Any = "auto",
+) -> Tuple[Dict[str, SweepRun], RunReport]:
+    """Run several named sweeps as ONE scenario set (one worker pool).
+
+    Cells of all sweeps are interleaved across workers, so a multi-figure
+    run parallelises across figures, not just within one.  Returns the
+    per-sweep runs plus the combined report.
+    """
+    if runner is None:
+        runner = Runner(workers=workers, cache=cache)
+    specs = {name: get_sweep(name) for name in sweeps}
+    grids = {name: specs[name].grid(**dict(params)) for name, params in sweeps.items()}
+    sizes = {name: len(scenarios_of(grid)) for name, grid in grids.items()}
+    report = runner.run(list(grids.values()))
+    runs: Dict[str, SweepRun] = {}
+    offset = 0
+    for name, grid in grids.items():
+        part = report.slice(offset, offset + sizes[name])
+        offset += sizes[name]
+        runs[name] = SweepRun(name, specs[name].post(part), part)
+    return runs, report

@@ -1,0 +1,240 @@
+"""Execution engine: serial or process-parallel runs of scenario sets.
+
+The runner takes any mix of grids/scenarios and
+
+1. resolves each cell against the on-disk result cache (content hash);
+2. groups the remaining cells by ``chunk`` key -- cells of one chunk run
+   sequentially inside one worker task, so per-process memoization (the
+   shared :class:`~repro.sim.routing.RouteTable` above all) stays hot for
+   repeated measurements on the same topology;
+3. executes chunks inline (serial fallback) or on a
+   :class:`~concurrent.futures.ProcessPoolExecutor`;
+4. canonicalises every result through a JSON round-trip and reassembles
+   them in scenario order.
+
+Step 4 is what makes the three execution paths -- serial, parallel, and
+warm-from-cache -- **bit-identical**: every result the caller sees has
+passed through the same canonical encoding, whether it came from this
+process, a worker, or a cache file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .cache import MISS, ResultCache, resolve_cache
+from .grid import scenarios_of
+from .scenario import Scenario, canonical_json, resolve_kernel
+
+__all__ = ["CellResult", "RunReport", "Runner", "run_grid", "default_workers"]
+
+
+def default_workers() -> int:
+    """Worker count when none is given: ``REPRO_EXP_WORKERS`` or 1 (serial)."""
+    env = os.environ.get("REPRO_EXP_WORKERS", "").strip()
+    if env:
+        return max(1, int(env))
+    return 1
+
+
+def _normalize(result: Any) -> Any:
+    """Canonical JSON round-trip: the one representation of a cell result."""
+    return json.loads(canonical_json(result))
+
+
+def _run_cells(cells: Sequence[Tuple[int, str, Dict[str, Any]]]):
+    """Worker entry point: run one chunk of cells sequentially.
+
+    Module-level so it pickles under every start method; returns
+    ``(index, normalized result, elapsed seconds)`` triples.
+    """
+    out = []
+    for index, kernel, params in cells:
+        fn = resolve_kernel(kernel)
+        start = time.perf_counter()
+        raw = fn(**params)
+        elapsed = time.perf_counter() - start
+        out.append((index, _normalize(raw), elapsed))
+    return out
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One executed (or cache-served) cell."""
+
+    scenario: Scenario
+    value: Any
+    seconds: float
+    cached: bool
+
+
+class RunReport:
+    """Ordered cell results plus execution statistics."""
+
+    def __init__(
+        self,
+        cells: List[CellResult],
+        *,
+        wall_seconds: float,
+        workers: int,
+        chunks: int,
+        cache_hits: int,
+        cache_misses: int,
+    ) -> None:
+        self.cells = cells
+        self.wall_seconds = wall_seconds
+        self.workers = workers
+        self.chunks = chunks
+        self.cache_hits = cache_hits
+        self.cache_misses = cache_misses
+
+    def __iter__(self) -> Iterator[CellResult]:
+        return iter(self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def values(self) -> List[Any]:
+        return [c.value for c in self.cells]
+
+    def slice(self, start: int, stop: int) -> "RunReport":
+        """A view over a contiguous cell range (multi-sweep runs).
+
+        A slice's ``wall_seconds`` is the summed per-cell compute time of
+        the slice -- the whole run's wall clock is shared across sweeps and
+        would misattribute time to each of them.
+        """
+        part = self.cells[start:stop]
+        return RunReport(
+            part,
+            wall_seconds=sum(c.seconds for c in part),
+            workers=self.workers,
+            chunks=self.chunks,
+            cache_hits=sum(c.cached for c in part),
+            cache_misses=sum(not c.cached for c in part),
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "cells": len(self.cells),
+            "wall_seconds": self.wall_seconds,
+            "workers": self.workers,
+            "chunks": self.chunks,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "compute_seconds": sum(c.seconds for c in self.cells if not c.cached),
+        }
+
+
+class Runner:
+    """Executes scenario sets with caching, chunking, and worker processes.
+
+    ``workers=None`` reads ``REPRO_EXP_WORKERS`` (default 1: serial in
+    process); ``workers=0`` means one per CPU.  See
+    :func:`repro.exp.cache.resolve_cache` for the ``cache`` argument.
+    """
+
+    def __init__(self, *, workers: Optional[int] = None, cache: Any = "auto") -> None:
+        if workers is None:
+            workers = default_workers()
+        elif workers == 0:
+            workers = os.cpu_count() or 1
+        self.workers = max(1, int(workers))
+        self.cache: Optional[ResultCache] = resolve_cache(cache)
+
+    # ------------------------------------------------------------------- run
+    def run(self, spec: Any) -> RunReport:
+        scenarios = scenarios_of(spec)
+        t_start = time.perf_counter()
+        hashes = [s.content_hash() for s in scenarios]
+        done: Dict[int, CellResult] = {}
+        pending: List[Tuple[int, Scenario]] = []
+
+        for index, (scenario, content_hash) in enumerate(zip(scenarios, hashes)):
+            hit = MISS
+            if self.cache is not None and scenario.cacheable:
+                hit = self.cache.get(content_hash)
+            if hit is MISS:
+                pending.append((index, scenario))
+            else:
+                value, elapsed = hit
+                done[index] = CellResult(scenario, value, elapsed, cached=True)
+
+        chunks = self._chunk(pending)
+        if self.workers <= 1 or len(chunks) <= 1:
+            for chunk in chunks:
+                self._absorb(done, scenarios, _run_cells(chunk))
+        else:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = {pool.submit(_run_cells, chunk) for chunk in chunks}
+                while futures:
+                    finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        self._absorb(done, scenarios, future.result())
+
+        cells = [done[i] for i in range(len(scenarios))]
+        if self.cache is not None:
+            for content_hash, cell_result in zip(hashes, cells):
+                if not cell_result.cached and cell_result.scenario.cacheable:
+                    self.cache.put(
+                        content_hash,
+                        cell_result.scenario,
+                        cell_result.value,
+                        cell_result.seconds,
+                    )
+        return RunReport(
+            cells,
+            wall_seconds=time.perf_counter() - t_start,
+            workers=self.workers,
+            chunks=len(chunks),
+            cache_hits=sum(c.cached for c in cells),
+            cache_misses=sum(not c.cached for c in cells),
+        )
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _chunk(
+        pending: Sequence[Tuple[int, Scenario]]
+    ) -> List[List[Tuple[int, str, Dict[str, Any]]]]:
+        """Group pending cells by chunk key (unchunked cells stay singleton).
+
+        Chunk order follows first appearance and cells keep scenario order
+        within a chunk, so the serial fallback executes in declaration
+        order.
+        """
+        groups: Dict[str, List[Tuple[int, str, Dict[str, Any]]]] = {}
+        order: List[str] = []
+        for index, scenario in pending:
+            key = scenario.chunk if scenario.chunk else f"cell-{index}"
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append((index, scenario.kernel, dict(scenario.params)))
+        return [groups[key] for key in order]
+
+    @staticmethod
+    def _absorb(
+        done: Dict[int, CellResult],
+        scenarios: Sequence[Scenario],
+        triples: Sequence[Tuple[int, Any, float]],
+    ) -> None:
+        for index, value, elapsed in triples:
+            done[index] = CellResult(scenarios[index], value, elapsed, cached=False)
+
+
+def run_grid(
+    spec: Any,
+    *,
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
+    cache: Any = "auto",
+) -> RunReport:
+    """Run a grid/scenario set with an existing or ad-hoc runner."""
+    if runner is None:
+        runner = Runner(workers=workers, cache=cache)
+    return runner.run(spec)

@@ -1,0 +1,158 @@
+"""Declarative description of one experiment cell.
+
+A :class:`Scenario` names a *cell kernel* -- a module-level function
+addressed as ``"package.module:function"`` -- together with the keyword
+parameters it will be called with.  Scenarios are pure data: every
+parameter must be canonically JSON-serialisable, which is what makes them
+
+* **executable anywhere** -- a worker process resolves the kernel by import
+  path and calls it, so sweeps parallelise over processes without pickling
+  closures;
+* **content-addressable** -- the cache key is a SHA-256 over the kernel
+  path, the kernel's declared code version, and the canonical JSON of the
+  parameters, so a warm re-run of an unchanged cell never recomputes.
+
+The optional ``chunk`` key groups cells that should execute in the same
+worker process (e.g. all cells touching one topology, so the memoized
+:class:`~repro.sim.routing.RouteTable` stays hot), and ``tags`` carries
+free-form labels the post-processing step uses to reassemble figure
+structures; neither participates in the content hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Callable, Dict, Mapping
+
+__all__ = [
+    "Scenario",
+    "cell",
+    "canonical_json",
+    "jsonify",
+    "kernel_ref",
+    "resolve_kernel",
+]
+
+
+def cell(version: int = 1, *, cacheable: bool = True) -> Callable:
+    """Mark a function as an experiment cell kernel.
+
+    ``version`` participates in the content hash: bump it whenever the
+    kernel's *output* changes for identical parameters, so stale cache
+    entries are invalidated.  ``cacheable=False`` exempts the kernel from
+    the result cache entirely (timing probes, benchmarks-of-the-engine).
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        fn.exp_version = version
+        fn.exp_cacheable = cacheable
+        return fn
+
+    return decorate
+
+
+def jsonify(value: Any) -> Any:
+    """Convert a parameter/result structure to plain JSON types.
+
+    Tuples become lists, numpy scalars/arrays become Python numbers/lists;
+    anything else non-JSON raises ``TypeError`` (scenario parameters must be
+    pure data -- pass names or specs instead of live objects).
+    """
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise TypeError(f"scenario mapping keys must be strings, got {k!r}")
+            out[k] = jsonify(v)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy arrays
+        return jsonify(value.tolist())
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        return value.item()  # numpy scalars
+    raise TypeError(
+        f"value of type {type(value).__name__} is not scenario-serialisable: {value!r}"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(jsonify(value), sort_keys=True, separators=(",", ":"))
+
+
+def kernel_ref(fn: Callable) -> str:
+    """The ``"module:qualname"`` import path of a module-level kernel."""
+    if isinstance(fn, str):
+        return fn
+    ref = f"{fn.__module__}:{fn.__qualname__}"
+    if "<locals>" in ref:
+        raise ValueError(
+            f"cell kernels must be module-level functions, got {ref} "
+            "(closures cannot be resolved in worker processes)"
+        )
+    return ref
+
+
+@lru_cache(maxsize=None)
+def resolve_kernel(ref: str) -> Callable:
+    """Import the kernel function behind a ``"module:qualname"`` reference."""
+    module_name, _, qualname = ref.partition(":")
+    if not module_name or not qualname:
+        raise ValueError(f"kernel reference must look like 'module:function', got {ref!r}")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not callable(obj):
+        raise TypeError(f"kernel reference {ref!r} does not resolve to a callable")
+    return obj
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of a sweep: a kernel reference plus pure-data parameters."""
+
+    kernel: str
+    params: Mapping[str, Any]
+    #: cells sharing a chunk key run sequentially in one worker process
+    chunk: str = ""
+    #: labels for post-processing (not hashed, not passed to the kernel)
+    tags: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "tags", dict(self.tags))
+
+    # ------------------------------------------------------------------ hash
+    def content_hash(self) -> str:
+        """SHA-256 over (kernel path, kernel version, canonical params)."""
+        fn = resolve_kernel(self.kernel)
+        blob = canonical_json(
+            {
+                "kernel": self.kernel,
+                "version": getattr(fn, "exp_version", 0),
+                "params": self.params,
+            }
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    @property
+    def cacheable(self) -> bool:
+        return bool(getattr(resolve_kernel(self.kernel), "exp_cacheable", True))
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready description (used by cache payloads and the CLI)."""
+        return {
+            "kernel": self.kernel,
+            "params": jsonify(self.params),
+            "chunk": self.chunk,
+            "tags": jsonify(self.tags),
+        }

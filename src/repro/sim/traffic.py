@@ -4,6 +4,11 @@ Patterns are expressed over *ranks* ``0..P-1`` (dense accelerator indices);
 the simulators translate ranks to topology node ids.  A pattern is either a
 single list of :class:`Flow` objects (one communication phase) or a list of
 phases executed one after another (e.g. the balanced-shift alltoall).
+
+Randomised generators accept either an explicit integer seed (the
+experiment engine's convention: serialisable and independent of execution
+order, so parallel and serial sweeps are bit-identical) or a caller-managed
+``numpy.random.Generator``.
 """
 
 from __future__ import annotations
@@ -12,6 +17,8 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
+
+from ..exp.seeding import SeedLike, as_generator
 
 __all__ = [
     "Flow",
@@ -50,7 +57,7 @@ def alltoall_phases(p: int) -> List[List[Flow]]:
     return [alltoall_phase(p, s) for s in range(1, p)]
 
 
-def sampled_alltoall_phases(p: int, num_phases: int, seed: int = 0) -> List[List[Flow]]:
+def sampled_alltoall_phases(p: int, num_phases: int, seed: SeedLike = 0) -> List[List[Flow]]:
     """A stratified sample of alltoall phases for large ``p``.
 
     Shifts are drawn evenly spaced across ``[1, p/2]`` (with a seeded random
@@ -62,7 +69,7 @@ def sampled_alltoall_phases(p: int, num_phases: int, seed: int = 0) -> List[List
     """
     if num_phases >= p - 1:
         return alltoall_phases(p)
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     half = max(1, num_phases // 2)
     stride = (p // 2) / half
     offset = rng.uniform(0, stride)
@@ -76,9 +83,9 @@ def sampled_alltoall_phases(p: int, num_phases: int, seed: int = 0) -> List[List
     return [alltoall_phase(p, s) for s in sorted(shifts)]
 
 
-def random_permutation(p: int, seed: int = 0) -> List[Flow]:
+def random_permutation(p: int, seed: SeedLike = 0) -> List[Flow]:
     """Random permutation traffic: each rank sends to a unique random peer."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     perm = rng.permutation(p)
     # Avoid self-sends by re-drawing fixed points with a cyclic shift.
     fixed = np.nonzero(perm == np.arange(p))[0]
@@ -90,14 +97,14 @@ def random_permutation(p: int, seed: int = 0) -> List[Flow]:
     return [Flow(int(i), int(perm[i])) for i in range(p)]
 
 
-def uniform_pair_sample(p: int, num_samples: int, seed: int = 0) -> List[Flow]:
+def uniform_pair_sample(p: int, num_samples: int, seed: SeedLike = 0) -> List[Flow]:
     """Uniformly sampled ordered (src, dst) pairs, src != dst.
 
     Used by the flow simulator's uniform-traffic throughput estimator to
     approximate the average link load of an alltoall without enumerating all
     ``p * (p - 1)`` pairs.
     """
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     src = rng.integers(0, p, size=num_samples)
     off = rng.integers(1, p, size=num_samples)
     dst = (src + off) % p

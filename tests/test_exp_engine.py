@@ -1,0 +1,220 @@
+"""Tests for the declarative experiment engine (repro.exp)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    fig8_grid,
+    fig8_utilization,
+    fig12_grid,
+    fig13_allreduce_sweep,
+    fig17_allreduce_sweep,
+)
+from repro.exp import (
+    Grid,
+    ResultCache,
+    Runner,
+    Scenario,
+    canonical_json,
+    cell_seed,
+    kernel_ref,
+    run_grid,
+    run_sweep,
+    run_sweeps,
+)
+from repro.exp.cells import probe_cell, route_table_reuse_cell
+
+PROBE = kernel_ref(probe_cell)
+
+#: a deliberately tiny fig12 grid (two cheap topologies) for engine tests
+FIG12_SMALL = dict(
+    cluster="small",
+    num_permutations=1,
+    max_paths=2,
+    seed=5,
+    skip_keys=(
+        "ft_nonblocking",
+        "ft_tapered50",
+        "ft_tapered75",
+        "dragonfly",
+        "hyperx",
+        "hx2mesh",
+    ),
+)
+
+
+class TestGrid:
+    def test_cartesian_and_zipped_axes(self):
+        grid = Grid(PROBE, common={"value": 0})
+        grid.cross(seed=[1, 2, 3])
+        grid.cross(("draws", "value"), [(1, 10), (2, 20)])
+        scenarios = grid.scenarios()
+        assert len(grid) == len(scenarios) == 6
+        # nested-loop order: first axis outermost
+        assert [s.params["seed"] for s in scenarios] == [1, 1, 2, 2, 3, 3]
+        assert scenarios[0].params["draws"] == 1
+        assert scenarios[1].params == {"value": 20, "seed": 1, "draws": 2}
+
+    def test_zipped_requires_equal_lengths(self):
+        with pytest.raises(ValueError):
+            Grid(PROBE).zipped(a=[1, 2], b=[1])
+
+    def test_drop_tags_chunk_derive(self):
+        grid = Grid(PROBE, chunk="group", drop=("group", "label"))
+        grid.cross(seed=[1, 2])
+        grid.derive(lambda p: {"group": f"g{p['seed']}", "label": f"seed-{p['seed']}"})
+        scenarios = grid.scenarios()
+        assert all("group" not in s.params and "label" not in s.params for s in scenarios)
+        assert scenarios[0].chunk == "g1"
+        assert scenarios[0].tags == {"seed": 1, "group": "g1", "label": "seed-1"}
+
+    def test_closure_kernels_rejected(self):
+        def local(**kwargs):
+            return None
+
+        with pytest.raises(ValueError):
+            Grid(local)
+
+
+class TestScenarioHashing:
+    def test_hash_independent_of_param_order(self):
+        a = Scenario(PROBE, {"value": 1, "seed": 2})
+        b = Scenario(PROBE, {"seed": 2, "value": 1})
+        assert a.content_hash() == b.content_hash()
+
+    def test_hash_changes_on_param_change(self):
+        a = Scenario(PROBE, {"value": 1, "seed": 2})
+        b = Scenario(PROBE, {"value": 1, "seed": 3})
+        assert a.content_hash() != b.content_hash()
+
+    def test_unserialisable_params_rejected(self):
+        scenario = Scenario(PROBE, {"value": object()})
+        with pytest.raises(TypeError):
+            scenario.content_hash()
+
+    def test_cell_seed_stable_and_mixed(self):
+        assert cell_seed("fig8", 0) == cell_seed("fig8", 0)
+        assert cell_seed("fig8", 0) != cell_seed("fig8", 1)
+        assert cell_seed("fig8", 0) >= 0
+
+
+class TestCache:
+    def test_cold_then_warm(self, tmp_path):
+        grid = Grid(PROBE, common={"draws": 3}).cross(seed=[1, 2])
+        cold = run_grid(grid, workers=1, cache=tmp_path)
+        assert cold.cache_misses == 2 and cold.cache_hits == 0
+        warm = run_grid(grid, workers=1, cache=tmp_path)
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert warm.values() == cold.values()
+
+    def test_param_change_misses(self, tmp_path):
+        run_grid(Grid(PROBE, common={"draws": 3, "seed": 1}), cache=tmp_path)
+        changed = run_grid(Grid(PROBE, common={"draws": 4, "seed": 1}), cache=tmp_path)
+        assert changed.cache_misses == 1
+
+    def test_cache_entry_is_self_describing(self, tmp_path):
+        scenario = Scenario(PROBE, {"draws": 1, "seed": 9})
+        run_grid(scenario, cache=tmp_path)
+        cache = ResultCache(tmp_path)
+        path = cache.path_for(scenario.content_hash())
+        payload = json.loads(path.read_text())
+        assert payload["scenario"]["kernel"] == PROBE
+        assert payload["scenario"]["params"] == {"draws": 1, "seed": 9}
+
+    def test_noncacheable_cells_always_recompute(self, tmp_path):
+        scenario = Scenario(
+            kernel_ref(route_table_reuse_cell),
+            {"a": 2, "b": 2, "x": 4, "y": 4, "max_paths": 2, "num_phases": 4},
+        )
+        assert not scenario.cacheable
+        first = run_grid(scenario, cache=tmp_path)
+        second = run_grid(scenario, cache=tmp_path)
+        assert first.cache_misses == second.cache_misses == 1
+        assert second.cache_hits == 0
+
+
+class TestSerialParallelEquivalence:
+    def test_fig8_grid_bit_identical(self):
+        grid_params = dict(clusters={"tiny": (8, 8), "tiny2": (10, 10)}, num_traces=6, seed=3)
+        serial = run_sweep("fig8", workers=1, cache=False, **grid_params)
+        parallel = run_sweep("fig8", workers=3, cache=False, **grid_params)
+        assert parallel.report.workers == 3
+        assert canonical_json(serial.payload) == canonical_json(parallel.payload)
+
+    def test_fig12_grid_bit_identical_and_cache_round_trip(self, tmp_path):
+        serial = run_sweep("fig12", workers=1, cache=False, **FIG12_SMALL)
+        parallel = run_sweep("fig12", workers=2, cache=tmp_path, **FIG12_SMALL)
+        warm = run_sweep("fig12", workers=1, cache=tmp_path, **FIG12_SMALL)
+        assert warm.report.cache_misses == 0
+        blobs = {
+            canonical_json(run.payload) for run in (serial, parallel, warm)
+        }
+        assert len(blobs) == 1  # serial == parallel == warm, bit for bit
+        dist = serial.payload["2D torus"]["distribution"]
+        assert isinstance(dist, np.ndarray) and len(dist) == 1024
+
+    def test_run_sweeps_matches_individual_runs(self):
+        fig8_params = dict(clusters={"tiny": (8, 8)}, num_traces=4, seed=1)
+        runs, report = run_sweeps(
+            {"fig8": fig8_params, "fig16": {"shapes": ((4, 4),)}},
+            workers=1,
+            cache=False,
+        )
+        assert len(report) == len(runs["fig8"].report) + len(runs["fig16"].report)
+        single = run_sweep("fig8", workers=1, cache=False, **fig8_params)
+        assert canonical_json(runs["fig8"].payload) == canonical_json(single.payload)
+
+
+class TestFigureSemantics:
+    def test_fig8_matches_direct_loop(self):
+        """The engine-backed fig8 reproduces the original nested loops."""
+        from repro.allocation import (
+            AllocatorOptions,
+            BoardGrid,
+            GreedyAllocator,
+            sample_job_mixes,
+        )
+        from repro.analysis.figures import FIG8_PRESETS
+
+        x = y = 8
+        data = fig8_utilization(clusters={"tiny": (x, y)}, num_traces=5, seed=2)
+        mixes = sample_job_mixes(x * y, 5, seed=2, max_job_boards=x * y)
+        for preset, sort in FIG8_PRESETS:
+            label = preset + ("+sort" if sort else "")
+            expected = []
+            for mix in mixes:
+                grid = BoardGrid(x, y)
+                allocator = GreedyAllocator(grid, AllocatorOptions.named(preset))
+                trace = mix.sorted_by_size() if sort else mix
+                expected.append(allocator.allocate_trace(trace).utilization)
+            assert data["tiny"][label] == pytest.approx(expected, abs=0)
+
+    def test_fig17_kwargs_pass_through(self):
+        """Regression: fig17 must forward every kwarg to the fig13 sweep."""
+        sizes = (1 << 20, 1 << 24)
+        series = fig17_allreduce_sweep(message_sizes=sizes, algorithms=("rings",))
+        # small-cluster default: the Hx4Mesh exists (the large cluster has it
+        # too, so also anchor on the small cluster's accelerator count below)
+        assert "Hx4Mesh" in series
+        hx = series["Hx4Mesh"]
+        assert list(hx) == ["rings"]  # algorithms forwarded
+        assert [s for s, _ in hx["rings"]] == list(sizes)  # sizes forwarded
+        explicit = fig13_allreduce_sweep(
+            "small", message_sizes=sizes, algorithms=("rings",)
+        )
+        assert series == explicit  # cluster default is "small", nothing else
+
+
+class TestGridChunking:
+    def test_chunked_cells_share_a_worker_task(self):
+        grid = fig8_grid(clusters={"a": (8, 8), "b": (8, 8)}, num_traces=2, seed=0)
+        report = run_grid(grid, workers=1, cache=False)
+        assert report.chunks == 2  # one chunk per cluster, not per cell
+        assert len(report) == 12
+
+    def test_fig12_chunks_by_topology(self):
+        grid = fig12_grid(**FIG12_SMALL)
+        chunks = {s.chunk for s in grid.scenarios()}
+        assert chunks == {"small/hx4mesh", "small/torus"}
