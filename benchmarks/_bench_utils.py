@@ -16,6 +16,7 @@ parallelise the sweeps across processes.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from pathlib import Path
@@ -25,7 +26,14 @@ from repro.exp import Runner
 from repro.exp import run_sweep as _engine_run_sweep
 from repro.exp.recording import to_jsonable, write_artifact as _write_artifact
 
-__all__ = ["to_jsonable", "write_artifact", "run_once", "run_sweep", "bench_runner"]
+__all__ = [
+    "to_jsonable",
+    "write_artifact",
+    "run_once",
+    "run_sweep",
+    "bench_runner",
+    "committed_artifact",
+]
 
 _DEFAULT_DIR = Path(__file__).resolve().parent / "artifacts"
 
@@ -51,6 +59,24 @@ def write_artifact(name: str, result: Any, wall_seconds: float) -> Optional[Path
     if directory is None:
         return None
     return _write_artifact(name, result, wall_seconds, directory=directory)
+
+
+def committed_artifact(name: str) -> Optional[dict]:
+    """The committed ``BENCH_<name>.json`` (the in-repo baseline), if any.
+
+    Always reads from the repository's ``benchmarks/artifacts`` directory —
+    not from ``REPRO_BENCH_DIR`` — so perf-smoke runs can compare fresh
+    measurements against the committed baseline regardless of where they
+    write their own artifacts.  Set ``REPRO_BENCH_SKIP_BASELINE=1`` to
+    disable baseline comparisons (returns ``None``).
+    """
+    if os.environ.get("REPRO_BENCH_SKIP_BASELINE"):
+        return None
+    path = _DEFAULT_DIR / f"BENCH_{name}.json"
+    if not path.exists():
+        return None
+    with open(path) as handle:
+        return json.load(handle)
 
 
 def run_once(benchmark, fn, *args, record: Optional[str] = None, **kwargs):

@@ -2,16 +2,30 @@
 
 Not a table/figure of the paper, but the substrate every bandwidth number
 relies on: the flow-level backend is validated against the packet-level
-backend on a small HxMesh (same permutation traffic), the raw speed of both
-is recorded so regressions in the simulation substrate are visible, and the
-shared-RouteTable reuse is measured (a warm table must beat a cold one on
-the repeated-topology sweeps every figure benchmark performs).
+backend on a small HxMesh (same permutation traffic), the raw speed of the
+vectorized simulator kernels is measured **against the in-tree reference
+implementations** (:mod:`repro.sim.reference`) as machine-independent
+speedup ratios, and the shared-RouteTable reuse is measured (a warm table
+must beat a cold one on the repeated-topology sweeps every figure benchmark
+performs).
+
+Two perf-smoke contracts are asserted here and recorded in the committed
+artifacts:
+
+* packet event rate: vectorized core >= 5x the reference on the
+  fig12-scale permutation workload (``BENCH_simulators_packet_event_rate``,
+  with before/after fields);
+* fig12 max-min sweep: incremental solver >= 2x the full-rescan reference
+  (``BENCH_flowsim_maxmin``).
+
+Fresh runs are additionally compared against the committed baseline
+artifacts (within 2x, absolute wall-clock — set
+``REPRO_BENCH_SKIP_BASELINE=1`` on hardware where that is meaningless).
 
 All bodies are engine cells (:mod:`repro.exp.cells`) run through a
 :class:`repro.exp.Runner` with the cache disabled (these are wall-clock
-measurements); the warm-vs-cold probe, whose *result* is a timing, is
-additionally marked ``cacheable=False`` so no cache configuration can
-ever serve it stale.
+measurements); the timing probes are additionally marked
+``cacheable=False`` so no cache configuration can ever serve them stale.
 """
 
 from __future__ import annotations
@@ -21,13 +35,14 @@ import pytest
 from repro.exp import Scenario
 from repro.exp.cells import (
     flow_alltoall_cell,
+    flowsim_maxmin_cell,
     packet_event_rate_cell,
     packet_vs_flow_cell,
     route_table_reuse_cell,
 )
 from repro.exp.scenario import kernel_ref
 
-from _bench_utils import bench_runner, run_once
+from _bench_utils import bench_runner, committed_artifact, run_once
 
 
 def _run_cell(kernel, **params):
@@ -70,16 +85,94 @@ def test_packet_vs_flow_agreement(benchmark):
 
 @pytest.mark.benchmark(group="simulators")
 def test_packet_simulator_event_rate(benchmark):
-    """Raw packet-simulator throughput (events processed for a fixed load)."""
+    """Vectorized packet core vs the reference: event rate before/after.
+
+    The canonical workload is a fig12-scale permutation (256-accelerator
+    Hx2Mesh, 512 KiB messages); the pre-vectorization 64-accelerator
+    workload rides along for series continuity.  Asserts the tentpole
+    speedup contract (>= 5x) and, when a committed baseline exists, that
+    this machine's absolute event rate is within 2x of it.
+    """
+    fig12_scale = dict(a=2, b=2, x=8, y=8, message_size=1 << 19, seed=9)
+    # Read the committed baseline *before* run_once regenerates the artifact
+    # in place, or the within-2x guard would compare the run to itself.
+    baseline = committed_artifact("simulators_packet_event_rate")
 
     def run():
-        return _run_cell(
-            packet_event_rate_cell, a=2, b=2, x=4, y=4, message_size=1 << 17, seed=9
+        before = _run_cell(packet_event_rate_cell, impl="reference", **fig12_scale)
+        after = _run_cell(packet_event_rate_cell, impl="vectorized", **fig12_scale)
+        small = _run_cell(
+            packet_event_rate_cell,
+            a=2, b=2, x=4, y=4, message_size=1 << 17, seed=9,
+            impl="vectorized",
         )
+        return {
+            "before": before,
+            "after": after,
+            "small": small,
+            "speedup": after["events_per_second"] / before["events_per_second"],
+        }
 
-    events = run_once(benchmark, run, record="simulators_packet_event_rate")
-    print(f"\nprocessed events: {events}")
-    assert events > 1000
+    data = run_once(benchmark, run, record="simulators_packet_event_rate")
+    before, after = data["before"], data["after"]
+    print(
+        f"\npacket event rate: reference {before['events_per_second'] / 1e3:.0f}k ev/s, "
+        f"vectorized {after['events_per_second'] / 1e3:.0f}k ev/s "
+        f"({data['speedup']:.2f}x, {after['events']} events)"
+    )
+    assert after["events"] == before["events"], "impls must process identical events"
+    assert after["events"] > 10000
+    assert data["speedup"] >= 5.0, (
+        f"vectorized packet core is only {data['speedup']:.2f}x the reference"
+    )
+    if baseline and isinstance(baseline.get("result"), dict):
+        committed = baseline["result"].get("after", {}).get("events_per_second")
+        if committed:
+            assert after["events_per_second"] >= committed / 2.0, (
+                f"packet event rate {after['events_per_second']:.0f}/s fell more "
+                f"than 2x below the committed baseline {committed:.0f}/s"
+            )
+
+
+@pytest.mark.benchmark(group="simulators")
+def test_flowsim_maxmin_sweep(benchmark):
+    """Incremental max-min solver vs the reference on a fig12-style sweep.
+
+    Asserts the tentpole speedup contract (>= 2x on the fig12 'small'
+    cluster sweep), bit-level agreement of the solved rates, and, when a
+    committed baseline exists, that the absolute solve time is within 2x.
+    """
+    # Read the committed baseline before run_once regenerates the artifact.
+    baseline = committed_artifact("flowsim_maxmin")
+
+    def run():
+        before = _run_cell(flowsim_maxmin_cell, impl="reference")
+        after = _run_cell(flowsim_maxmin_cell, impl="incremental")
+        return {
+            "before": before,
+            "after": after,
+            "speedup": before["seconds"] / after["seconds"],
+        }
+
+    data = run_once(benchmark, run, record="flowsim_maxmin")
+    before, after = data["before"], data["after"]
+    print(
+        f"\nfig12 max-min sweep: reference {before['seconds'] * 1e3:.0f} ms, "
+        f"incremental {after['seconds'] * 1e3:.0f} ms ({data['speedup']:.2f}x)"
+    )
+    for key, means in before["mean_rates"].items():
+        for ref_mean, inc_mean in zip(means, after["mean_rates"][key]):
+            assert inc_mean == pytest.approx(ref_mean, rel=1e-9, abs=1e-9)
+    assert data["speedup"] >= 2.0, (
+        f"incremental max-min solver is only {data['speedup']:.2f}x the reference"
+    )
+    if baseline and isinstance(baseline.get("result"), dict):
+        committed = baseline["result"].get("after", {}).get("seconds")
+        if committed:
+            assert after["seconds"] <= committed * 2.0, (
+                f"max-min sweep took {after['seconds']:.2f}s, more than 2x the "
+                f"committed baseline {committed:.2f}s"
+            )
 
 
 @pytest.mark.benchmark(group="simulators")

@@ -19,6 +19,7 @@ __all__ = [
     "flow_alltoall_cell",
     "packet_vs_flow_cell",
     "packet_event_rate_cell",
+    "flowsim_maxmin_cell",
     "route_table_reuse_cell",
 ]
 
@@ -83,20 +84,110 @@ def packet_vs_flow_cell(
     }
 
 
-@cell(version=1)
+@cell(version=2, cacheable=False)
 def packet_event_rate_cell(
-    *, a: int, b: int, x: int, y: int, message_size: int = 1 << 17, seed: int = 9
-) -> int:
-    """Events processed by the packet simulator for one permutation load."""
+    *,
+    a: int,
+    b: int,
+    x: int,
+    y: int,
+    message_size: int = 1 << 17,
+    max_paths: int = 4,
+    seed: int = 9,
+    impl: str = "vectorized",
+    repeats: int = 3,
+) -> dict:
+    """Packet-simulator event throughput for one permutation load.
+
+    Runs either the vectorized core (``impl="vectorized"``) or the
+    pre-vectorization reference (``impl="reference"``) on an identical
+    workload and reports events processed, core wall-clock seconds
+    (best of ``repeats`` fresh runs, the standard noise guard), and the
+    event rate.  The shared route table is warmed by a tiny pre-run first,
+    so the measurement isolates the simulator core (route enumeration has
+    its own benchmark).  Never cached: the result is a timing.
+    """
     from ..core import build_hammingmesh
-    from ..sim import PacketNetwork, random_permutation
+    from ..sim import (
+        PacketNetwork,
+        PacketSimConfig,
+        ReferencePacketNetwork,
+        random_permutation,
+    )
 
     topo = build_hammingmesh(a, b, x, y)
     flows = random_permutation(topo.num_accelerators, seed=seed)
-    net = PacketNetwork(topo)
-    net.send_flows(flows, message_size)
-    net.run()
-    return int(net.engine.processed_events)
+    config = PacketSimConfig(max_paths=max_paths)
+    if impl not in ("vectorized", "reference"):
+        raise ValueError(f"unknown packet impl {impl!r}")
+    cls = ReferencePacketNetwork if impl == "reference" else PacketNetwork
+    warm = cls(topo, config=config)
+    warm.send_flows(flows, 1)
+    warm.run()
+    seconds = float("inf")
+    for _ in range(max(1, repeats)):
+        net = cls(topo, config=config)
+        net.send_flows(flows, message_size)
+        start = time.perf_counter()
+        net.run()
+        seconds = min(seconds, time.perf_counter() - start)
+    events = int(net.engine.processed_events)
+    return {
+        "impl": impl,
+        "events": events,
+        "seconds": seconds,
+        "events_per_second": events / seconds,
+    }
+
+
+@cell(version=1, cacheable=False)
+def flowsim_maxmin_cell(
+    *,
+    cluster: str = "small",
+    keys: tuple = ("ft_nonblocking", "dragonfly", "hx4mesh", "torus"),
+    num_permutations: int = 2,
+    max_paths: int = 8,
+    seed: int = 11,
+    impl: str = "incremental",
+    repeats: int = 2,
+) -> dict:
+    """Fig12-style max-min permutation sweep timing (wall-clock, never cached).
+
+    Solves ``num_permutations`` random permutations on each selected
+    fig12-cluster topology with either the incremental solver
+    (:meth:`FlowSimulator.maxmin_rates`) or the full-rescan reference
+    (:func:`repro.sim.reference.reference_maxmin_rates`).  Assignments are
+    warmed before timing, so only the progressive-filling solve is measured
+    (best of ``repeats`` passes per solve); the mean rates come along so
+    callers can assert both solvers produce the same numbers.
+    """
+    from ..analysis.clusters import cluster_configs
+    from ..sim import FlowSimulator, random_permutation, reference_maxmin_rates
+
+    if impl not in ("incremental", "reference"):
+        raise ValueError(f"unknown maxmin impl {impl!r}")
+    configs = {c.key: c for c in cluster_configs(cluster)}
+    seconds = 0.0
+    mean_rates = {}
+    for key in keys:
+        topo = configs[key].build()
+        sim = FlowSimulator(topo, max_paths=max_paths)
+        means = []
+        for p in range(num_permutations):
+            flows = random_permutation(topo.num_accelerators, seed=seed + p)
+            sim.assign(flows)  # route + build incidence outside the clock
+            best = float("inf")
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                if impl == "reference":
+                    result = reference_maxmin_rates(sim, flows)
+                else:
+                    result = sim.maxmin_rates(flows)
+                best = min(best, time.perf_counter() - start)
+            seconds += best
+            means.append(float(result.flow_rates.mean()))
+        mean_rates[key] = means
+    return {"impl": impl, "seconds": seconds, "mean_rates": mean_rates}
 
 
 @cell(version=1, cacheable=False)

@@ -15,6 +15,7 @@ from .engine import EventEngine, EventHandle
 from .flowsim import FlowAssignment, FlowSimulator, PhaseResult
 from .network import PacketNetwork, PacketSimConfig, PacketSimResult
 from .packet import DEFAULT_PACKET_SIZE, Message, Packet
+from .reference import ReferencePacketNetwork, reference_maxmin_rates
 from .routing import RouteTable, RouteTableStats, clear_route_tables, route_table_for
 from .paths import (
     DragonflyPathProvider,
@@ -61,6 +62,8 @@ __all__ = [
     "Message",
     "Packet",
     "DEFAULT_PACKET_SIZE",
+    "ReferencePacketNetwork",
+    "reference_maxmin_rates",
     "PathProvider",
     "GenericPathProvider",
     "FatTreePathProvider",

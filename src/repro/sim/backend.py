@@ -308,13 +308,21 @@ class PacketBackend(NetworkModel):
         config: Optional[PacketSimConfig] = None,
         max_paths: int = 4,
         message_size: float = 1 << 18,
+        impl: str = "vectorized",
     ):
         super().__init__(topo)
         self.config = config if config is not None else PacketSimConfig(max_paths=max_paths)
         self.message_size = float(message_size)
         self.table = route_table_for(topo, max_paths=self.config.max_paths)
+        if impl not in ("vectorized", "reference"):
+            raise ValueError(f"unknown packet impl {impl!r}")
+        self.impl = impl
 
     def _network(self) -> PacketNetwork:
+        if self.impl == "reference":
+            from .reference import ReferencePacketNetwork
+
+            return ReferencePacketNetwork(self.topo, config=self.config, table=self.table)
         return PacketNetwork(self.topo, config=self.config, table=self.table)
 
     def phase_rates(self, flows: Sequence[Flow], *, exact: bool = False) -> np.ndarray:

@@ -1,4 +1,4 @@
-"""Packet-level network simulator.
+"""Packet-level network simulator (vectorized core).
 
 This is the small-scale counterpart of the paper's SST simulations: messages
 are split into packets, each packet picks one of its flow's candidate
@@ -13,24 +13,71 @@ it measures throughput and (un)congested latency rather than loss/credit
 behaviour.  The test suite validates its steady-state throughput against the
 flow-level simulator on small configurations (DESIGN.md, substitution
 table).
+
+Performance architecture (see DESIGN.md, "performance architecture"):
+
+* **No per-packet objects, no per-hop closures.**  Packet state is
+  struct-of-arrays: message id, payload size, and a CSR view (start/length
+  into one flat link array) of each packet's chosen path, exposed as NumPy
+  arrays via :meth:`PacketNetwork.packet_state`.  An in-flight hop is a
+  typed ``(time, seq, tag, packet, cursor, serialisation)`` record on the
+  engine's record heap (:meth:`EventEngine.schedule_record`) whose *cursor*
+  indexes the flat path array directly — scheduling a hop allocates one
+  plain tuple (no lambda, no :class:`EventHandle`), and every element is a
+  native Python scalar so heap sift comparisons never touch NumPy scalar
+  dispatch.
+* **Wave-based forwarding.**  The engine batch-pops every record sharing a
+  timestamp; a large wave of simultaneous packets (ubiquitous under
+  symmetric traffic, where equal serialisation times align whole packet
+  trains) advances in one array pass — a stable sort by link, per-link
+  segmented serialisation, and vectorized arrival/next-hop computation.
+  Small waves take a scalar fast path over pure-Python link state, since
+  array-call overhead dominates tiny batches.
+* **Shared adaptive-scoring state.**  Candidate paths come from the
+  memoized :class:`RouteTable` as shared Python lists
+  (:meth:`RouteTable.pair_path_lists`), and per-train path scores are
+  maintained incrementally: choosing a path only changes the queueing term
+  of candidates crossing its first link, so only those are re-scored.
+
+Every arithmetic expression on the hot path reproduces the reference
+implementation (:class:`repro.sim.reference.ReferencePacketNetwork`)
+operation-for-operation in IEEE order — Python float and NumPy float64 ops
+round identically, and the wave pass keeps the reference's left-to-right
+associations — so packet schedules (departure, arrival, and message
+completion times) are **bit-identical** to the pre-vectorization simulator;
+the parity tests assert exactly that.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .._hash import mix64
+from .._hash import mix64  # noqa: F401  (inlined below; kept as the reference)
 from ..topology.base import CableClass, Topology
 from .engine import EventEngine
-from .packet import DEFAULT_PACKET_SIZE, Message, Packet
+from .packet import DEFAULT_PACKET_SIZE, Message
 from .paths import PathProvider
 from .routing import RouteTable, route_table_for
 from .traffic import Flow
 
 __all__ = ["PacketSimConfig", "PacketNetwork", "PacketSimResult"]
+
+# Typed-record tags on the event engine's record heap.
+_INJECT, _FORWARD, _DELIVER = 0, 1, 2
+
+_MASK64 = (1 << 64) - 1  # for the inlined SplitMix64 path-rotation hash
+
+#: Forward waves at least this large take the vectorized NumPy path.  The
+#: calendar queue already hands the scalar kernel whole waves, and profiling
+#: shows the Python<->array conversion at the pass boundaries only amortizes
+#: for very large waves, so the crossover sits high.
+_WAVE_THRESHOLD = 4096
+
+_GROW = 4  # geometric growth factor for the SoA arrays
 
 
 @dataclass(frozen=True)
@@ -66,7 +113,13 @@ class PacketSimResult:
         total = sum(m.size for m in self.messages)
         return total / self.finish_time if self.finish_time > 0 else 0.0
 
-    def link_utilization(self, capacity: np.ndarray, bytes_per_unit: float) -> np.ndarray:
+    def link_utilization(self) -> np.ndarray:
+        """Fraction of the makespan each directed link spent serialising.
+
+        Busy time already accounts for each link's own bandwidth (a byte on
+        a slow link keeps it busy longer), so no further normalisation by
+        capacity is needed or accepted.
+        """
         if self.finish_time <= 0:
             return np.zeros_like(self.link_busy_time)
         return self.link_busy_time / self.finish_time
@@ -96,12 +149,17 @@ class PacketNetwork:
             self.table = route_table_for(topo, max_paths=config.max_paths)
         self.provider = self.table.provider
         self.engine = EventEngine()
+        self.engine.set_record_handler(self._on_records)
         self.ranks = list(topo.accelerators)
+        # Per-directed-link state.  The mutable hot fields (release time,
+        # busy time) are Python float lists: the scalar event path and the
+        # adaptive scoring loop index them element-wise millions of times,
+        # where native floats beat NumPy scalar dispatch ~10x.  The constant
+        # per-link timing tables are kept in both forms (list for scalar
+        # code, array for the wave pass).
         n_links = topo.num_links
-        # Per-directed-link bookkeeping: time the link becomes free, total
-        # busy (serialisation) time, serialisation time per packet.
-        self._link_free = np.zeros(n_links)
-        self._link_busy = np.zeros(n_links)
+        self._link_free: List[float] = [0.0] * n_links
+        self._link_busy: List[float] = [0.0] * n_links
         self._serialization = np.empty(n_links)
         self._latency = np.empty(n_links)
         for idx, link in enumerate(topo.links):
@@ -110,10 +168,45 @@ class PacketNetwork:
             self._latency[idx] = (
                 config.board_latency if link.cable is CableClass.PCB else config.cable_latency
             )
+        self._ser_list: List[float] = self._serialization.tolist()
+        self._lat_list: List[float] = self._latency.tolist()
+        self._buffer = float(config.buffer_latency)
         self._messages: List[Message] = []
-        self._next_message_id = 0
-        self._next_packet_id = 0
-        self._path_cache: Dict[Tuple[int, int], List[List[int]]] = {}
+        # Per-message counters (touched once per delivery).
+        self._msg_total: List[int] = []
+        self._msg_arrived: List[int] = []
+        self._msg_completion: List[Optional[float]] = []
+        # Struct-of-arrays packet state.  The append-only Python lists are
+        # canonical (the scalar path reads them element-wise); `_flush_soa`
+        # mirrors new packets into the NumPy arrays the wave pass gathers
+        # from.  A packet's chosen path is the flat slice
+        # `path_links[path_start[p] : path_end[p]]`; hop records address it
+        # by absolute cursor, so the hot loop never recomputes offsets.
+        self._pkt_msg: List[int] = []
+        self._pkt_size: List[float] = []
+        self._pkt_factor: List[float] = []          # size / packet_size
+        self._pkt_path_start: List[int] = []
+        self._pkt_path_end: List[int] = []
+        self._pkt_links: List[int] = []
+        self._num_flushed = 0
+        self._links_flushed = 0
+        self._np_msg = np.zeros(0, dtype=np.int64)
+        self._np_factor = np.zeros(0, dtype=np.float64)
+        self._np_path_end = np.zeros(0, dtype=np.int64)
+        self._np_links = np.zeros(0, dtype=np.int64)
+        # Friend access to the engine's record calendar queue: while a batch
+        # is processed, follow-up hops are pushed directly with a locally
+        # threaded sequence counter, and the engine's counters are
+        # reconciled once per batch (both containers are mutated in place
+        # only, so the references survive `reset`).
+        self._rtimes = self.engine._record_times
+        self._rbuckets = self.engine._record_buckets
+        # Per-pair adaptive-scoring state: candidate paths (shared lists from
+        # the route table) plus, per first-hop link, the indices of the
+        # candidates starting with it — the incremental re-scoring set of a
+        # packet choosing that link (see `_inject` for why only first-hop
+        # terms can change during a packet train).
+        self._pair_scoring: Dict[tuple, tuple] = {}
 
     # ---------------------------------------------------------------- sending
     def send(
@@ -123,17 +216,20 @@ class PacketNetwork:
         """Register a message between two accelerator ranks."""
         if src_rank == dst_rank:
             raise ValueError("messages need distinct endpoints")
+        midx = len(self._messages)
         message = Message(
-            message_id=self._next_message_id,
+            message_id=midx,
             src=self.ranks[src_rank],
             dst=self.ranks[dst_rank],
             size=size,
             start_time=start_time,
             tag=tag,
         )
-        self._next_message_id += 1
         self._messages.append(message)
-        self.engine.schedule_at(start_time, lambda m=message: self._inject(m))
+        self._msg_total.append(0)
+        self._msg_arrived.append(0)
+        self._msg_completion.append(None)
+        self.engine.schedule_record(start_time, _INJECT, midx)
         return message
 
     def send_flows(self, flows: Sequence[Flow], size: float, *, start_time: float = 0.0) -> None:
@@ -141,77 +237,517 @@ class PacketNetwork:
         for flow in flows:
             self.send(flow.src, flow.dst, size * flow.demand, start_time=start_time)
 
-    # -------------------------------------------------------------- internals
-    def _paths(self, src: int, dst: int) -> List[List[int]]:
-        # The per-instance dict only avoids re-materializing Python lists
-        # from the table's CSR arrays; the enumeration itself is shared.
-        key = (src, dst)
-        cached = self._path_cache.get(key)
-        if cached is None:
-            cached = self.table.paths(src, dst, max_paths=self.config.max_paths)
-            self._path_cache[key] = cached
-        return cached
+    # ------------------------------------------------------- record dispatch
+    def _on_records(self, time, records) -> None:
+        """Engine record-handler: process one batch, reconcile counters.
 
-    def _choose_path(self, src: int, dst: int, salt: int) -> List[int]:
-        """Adaptive path choice: minimise queueing delay along the candidates."""
-        paths = self._paths(src, dst)
-        if len(paths) == 1:
-            return paths[0]
-        now = self.engine.now
-        best_path = paths[0]
-        best_cost = float("inf")
-        order = mix64(salt) % len(paths)
-        rotated = paths[order:] + paths[:order]
-        for path in rotated:
-            cost = 0.0
-            for li in path:
-                cost += max(0.0, self._link_free[li] - now) + self._serialization[li]
-            if cost < best_cost:
-                best_cost = cost
-                best_path = path
-        return best_path
+        This is the generic entry point used when :meth:`EventEngine.run`
+        drives the simulation (e.g. with closure events mixed in);
+        :meth:`run` normally uses the inlined drive loop below instead.
+        """
+        engine = self.engine
+        seq = seq0 = engine._sequence
+        seq = self._process_batch(time, records, seq)
+        engine._live += seq - seq0
+        engine._sequence = seq
 
-    def _inject(self, message: Message) -> None:
-        size_left = message.size
-        num_packets = max(1, int(np.ceil(message.size / self.config.packet_size)))
+    def _process_batch(self, time, records, seq: int) -> int:
+        """Process one batch of simultaneous records in sequence order.
+
+        The batch is split into maximal same-tag runs; each run completes
+        its state updates before the next starts, which is exactly the
+        sequential semantics (simultaneous events run in schedule order).
+        Follow-up records are pushed with the locally threaded sequence
+        counter ``seq``; the caller reconciles the engine's counters.
+        """
+        k = len(records)
+        i = 0
+        while i < k:
+            tag = records[i][2]
+            j = i + 1
+            while j < k and records[j][2] == tag:
+                j += 1
+            run = records if j - i == k else records[i:j]
+            if tag == _FORWARD:
+                if j - i < _WAVE_THRESHOLD:
+                    seq = self._forward_scalar(time, run, seq)
+                else:
+                    seq = self._forward_wave(time, run, seq)
+            elif tag == _DELIVER:
+                self._deliver_run(time, run)
+            else:
+                for rec in run:
+                    seq = self._inject(rec[3], time, seq)
+                # Mirror the injected packets into the NumPy SoA arrays.
+                self._flush_soa()
+            i = j
+        return seq
+
+    # -------------------------------------------------------------- injection
+    def _inject(self, midx: int, now: float, seq: int) -> int:
+        """Inject one message: adaptive path choice + first-hop serialisation.
+
+        Packets of a train are placed sequentially (each choice sees the
+        queues its predecessors created, as in the reference), but the
+        candidate scores are maintained incrementally.  Within one injection
+        event only the *first-hop* links of the pair's candidates gain queue
+        (a source's injection links cannot reappear mid-path, and nothing
+        else runs at this timestamp), so every candidate's hop-1..end score
+        terms are frozen for the whole train: they are computed once, and a
+        re-score after placing a packet on ``l0`` is ``t0(l0)`` plus the
+        frozen suffix — added left-to-right exactly as the reference sums
+        them, which keeps scores (and adaptive choices) bit-identical.
+        """
+        message = self._messages[midx]
+        config = self.config
+        ps = config.packet_size
+        size = message.size
+        num_packets = max(1, int(np.ceil(size / ps)))
+        # The last packet carries the exact remainder — fractional message
+        # sizes (e.g. from fractional flow demands) lose nothing.
+        last_payload = size - ps * (num_packets - 1)
+        assert ps * (num_packets - 1) + last_payload == size, (
+            f"payload split loses bytes for message size {size!r}"
+        )
         message.packets_total = num_packets
-        for i in range(num_packets):
-            payload = int(min(self.config.packet_size, size_left))
-            size_left -= payload
-            path = self._choose_path(message.src, message.dst, message.message_id * 131 + i)
-            packet = Packet(
-                packet_id=self._next_packet_id, message=message, size=payload, path=path
+        self._msg_total[midx] = num_packets
+        pair = (message.src, message.dst)
+        entry = self._pair_scoring.get(pair)
+        if entry is None:
+            paths = self.table.pair_path_lists(
+                message.src, message.dst, max_paths=config.max_paths
             )
-            self._next_packet_id += 1
-            self._forward(packet)
+            by_first: Dict[int, List[int]] = {}
+            for q, p in enumerate(paths):
+                by_first.setdefault(p[0], []).append(q)
+            n_paths = len(paths)
+            rotations = tuple(
+                tuple((o + k) % n_paths for k in range(n_paths))
+                for o in range(n_paths)
+            )
+            entry = (paths, by_first, rotations)
+            self._pair_scoring[pair] = entry
+        paths, by_first, rotations = entry
+        n = len(paths)
+        link_free = self._link_free
+        link_busy = self._link_busy
+        ser_list = self._ser_list
+        lat_list = self._lat_list
+        buffer = self._buffer
+        rtimes = self._rtimes
+        rbuckets = self._rbuckets
+        bucket_get = rbuckets.get
+        pkt_links = self._pkt_links
+        msg_append = self._pkt_msg.append
+        size_append = self._pkt_size.append
+        factor_append = self._pkt_factor.append
+        start_append = self._pkt_path_start.append
+        end_append = self._pkt_path_end.append
+        links_extend = pkt_links.extend
+        pid = len(self._pkt_msg)
+        salt_base = midx * 131
+        inf = float("inf")
+        if n > 1:
+            # Initial candidate scores, keeping each path's hop-1..end terms
+            # (frozen for the train) for the incremental re-scores below.
+            costs: List[float] = []
+            suffixes: List[List[float]] = []
+            for p in paths:
+                l0 = p[0]
+                queue = link_free[l0] - now
+                if queue < 0.0:
+                    queue = 0.0
+                c = queue + ser_list[l0]
+                suffix: List[float] = []
+                for li in p[1:]:
+                    queue = link_free[li] - now
+                    if queue < 0.0:
+                        queue = 0.0
+                    term = queue + ser_list[li]
+                    c += term
+                    suffix.append(term)
+                costs.append(c)
+                suffixes.append(suffix)
+        last_i = num_packets - 1
+        last_factor = last_payload / ps
+        payload = ps
+        factor = 1.0
+        for i in range(num_packets):
+            if i == last_i:
+                payload = last_payload
+                factor = last_factor
+            if n == 1:
+                path = paths[0]
+            else:
+                # Inlined mix64 (SplitMix64 finaliser) — the function call is
+                # measurable at packet rate; constants match `repro._hash`.
+                z = (salt_base + i + 0x9E3779B97F4A7C15) & _MASK64
+                z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+                z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+                best = -1
+                best_cost = inf
+                for idx in rotations[((z ^ (z >> 31)) & _MASK64) % n]:
+                    c = costs[idx]
+                    if c < best_cost:
+                        best_cost = c
+                        best = idx
+                path = paths[best]
+            l0 = path[0]
+            # x * 1.0 is an exact identity, so skipping the multiply for
+            # full-size packets is bit-safe.
+            ser = ser_list[l0] if factor == 1.0 else ser_list[l0] * factor
+            free = link_free[l0]
+            depart = free if free > now else now
+            end = depart + ser
+            link_free[l0] = end
+            link_busy[l0] += ser
+            arrival = end + lat_list[l0] + buffer
+            if n > 1:
+                # Re-score the candidates starting on the perturbed link:
+                # the new first-hop term plus their frozen suffixes, summed
+                # left-to-right exactly as the reference recomputes them.
+                t0 = (end - now) + ser_list[l0]
+                for q in by_first[l0]:
+                    c = t0
+                    for term in suffixes[q]:
+                        c += term
+                    costs[q] = c
+            start = len(pkt_links)
+            links_extend(path)
+            plen = len(path)
+            msg_append(midx)
+            size_append(payload)
+            factor_append(factor)
+            start_append(start)
+            end_append(start + plen)
+            if plen > 1:
+                ser1 = ser_list[path[1]]
+                if factor != 1.0:
+                    ser1 = ser1 * factor
+                rec = (arrival, seq, _FORWARD, pid, start + 1, ser1)
+            else:
+                rec = (arrival, seq, _DELIVER, pid, midx, 0.0)
+            bucket = bucket_get(arrival)
+            if bucket is None:
+                rbuckets[arrival] = [rec]
+                heappush(rtimes, arrival)
+            else:
+                bucket.append(rec)
+            seq += 1
+            pid += 1
+        return seq
 
-    def _forward(self, packet: Packet) -> None:
-        """Advance a packet by one hop (serialise on the next link)."""
-        if packet.at_last_hop:
-            self._deliver(packet)
+    def _flush_soa(self) -> None:
+        """Mirror newly injected packets into the NumPy SoA arrays."""
+        total = len(self._pkt_msg)
+        add = total - self._num_flushed
+        if not add:
             return
-        li = packet.path[packet.hop]
-        now = self.engine.now
-        ser = self._serialization[li] * (packet.size / self.config.packet_size)
-        depart = max(now, self._link_free[li])
-        self._link_free[li] = depart + ser
-        self._link_busy[li] += ser
-        arrival = depart + ser + self._latency[li] + self.config.buffer_latency
-        packet.hop += 1
-        self.engine.schedule_at(arrival, lambda p=packet: self._forward(p))
+        if total > len(self._np_msg):
+            cap = max(total, _GROW * max(len(self._np_msg), 16))
+            for name, dtype in (
+                ("_np_msg", np.int64),
+                ("_np_factor", np.float64),
+                ("_np_path_end", np.int64),
+            ):
+                old = getattr(self, name)
+                grown = np.zeros(cap, dtype=dtype)
+                grown[: self._num_flushed] = old[: self._num_flushed]
+                setattr(self, name, grown)
+        sl = slice(self._num_flushed, total)
+        self._np_msg[sl] = self._pkt_msg[sl]
+        self._np_factor[sl] = self._pkt_factor[sl]
+        self._np_path_end[sl] = self._pkt_path_end[sl]
+        total_links = len(self._pkt_links)
+        if total_links > len(self._np_links):
+            cap = max(total_links, _GROW * max(len(self._np_links), 64))
+            grown = np.zeros(cap, dtype=np.int64)
+            grown[: self._links_flushed] = self._np_links[: self._links_flushed]
+            self._np_links = grown
+        self._np_links[self._links_flushed : total_links] = self._pkt_links[
+            self._links_flushed :
+        ]
+        self._num_flushed = total
+        self._links_flushed = total_links
 
-    def _deliver(self, packet: Packet) -> None:
-        message = packet.message
-        message.packets_arrived += 1
-        if message.packets_arrived >= message.packets_total:
-            message.completion_time = self.engine.now
+    # ------------------------------------------------------------- forwarding
+    def _forward_scalar(self, time, records, seq: int) -> int:
+        """Advance a small run of packets one at a time (sequence order)."""
+        link_free = self._link_free
+        link_busy = self._link_busy
+        ser_list = self._ser_list
+        lat_list = self._lat_list
+        buffer = self._buffer
+        pkt_links = self._pkt_links
+        path_end = self._pkt_path_end
+        factor = self._pkt_factor
+        msg = self._pkt_msg
+        rtimes = self._rtimes
+        rbuckets = self._rbuckets
+        bucket_get = rbuckets.get
+        for rec in records:
+            pid = rec[3]
+            cursor = rec[4]
+            ser = rec[5]
+            li = pkt_links[cursor]
+            free = link_free[li]
+            depart = free if free > time else time
+            end = depart + ser
+            link_free[li] = end
+            link_busy[li] += ser
+            arrival = end + lat_list[li] + buffer
+            cursor += 1
+            if cursor < path_end[pid]:
+                nxt = (arrival, seq, _FORWARD, pid, cursor,
+                       ser_list[pkt_links[cursor]] * factor[pid])
+            else:
+                nxt = (arrival, seq, _DELIVER, pid, msg[pid], 0.0)
+            bucket = bucket_get(arrival)
+            if bucket is None:
+                rbuckets[arrival] = [nxt]
+                heappush(rtimes, arrival)
+            else:
+                bucket.append(nxt)
+            seq += 1
+        return seq
+
+    def _forward_wave(self, time, records, seq: int) -> int:
+        """Advance a large wave of simultaneous packets in one array pass.
+
+        Packets are stably sorted by link; per link the wave serialises
+        back-to-back in sequence order.  Links hit by a single packet of the
+        wave (the overwhelmingly common case) are fully vectorized; the few
+        multi-packet segments run a short sequential loop so that every
+        float op keeps the reference implementation's exact IEEE ordering.
+        """
+        _, _, _, pids, cursors, sers = zip(*records)
+        k = len(pids)
+        pid = np.array(pids, dtype=np.int64)
+        cursor = np.array(cursors, dtype=np.int64)
+        ser = np.array(sers, dtype=np.float64)
+        li = self._np_links[cursor]
+        link_free = self._link_free
+        link_busy = self._link_busy
+        order = np.argsort(li, kind="stable")
+        sli = li[order]
+        sser = ser[order]
+        seg_start = np.empty(k, dtype=bool)
+        seg_start[0] = True
+        np.not_equal(sli[1:], sli[:-1], out=seg_start[1:])
+        starts = np.nonzero(seg_start)[0]
+        start_links = sli[starts].tolist()
+        base = np.array([link_free[l] for l in start_links])
+        np.maximum(time, base, out=base)
+        ends = np.empty(k)
+        counts = np.diff(np.append(starts, k))
+        if len(starts) == k:
+            # Every link serialises exactly one packet of this wave.
+            np.add(base, sser, out=ends)
+            ends_l = ends.tolist()
+            sser_l = sser.tolist()
+            for t, l in enumerate(start_links):
+                link_free[l] = ends_l[t]
+                link_busy[l] += sser_l[t]
+        else:
+            sser_l = sser.tolist()
+            starts_l = starts.tolist()
+            counts_l = counts.tolist()
+            base_l = base.tolist()
+            for s_idx, s in enumerate(starts_l):
+                l = start_links[s_idx]
+                end = base_l[s_idx]
+                for t in range(s, s + counts_l[s_idx]):
+                    end = end + sser_l[t]
+                    ends[t] = end
+                    link_busy[l] += sser_l[t]
+                link_free[l] = end
+        arrival_sorted = ends + self._latency[sli] + self._buffer
+        arrival = np.empty(k)
+        arrival[order] = arrival_sorted
+        # Advance cursors and look up every packet's next link vectorized.
+        next_cursor = cursor + 1
+        alive = next_cursor < self._np_path_end[pid]
+        nli = self._np_links[np.where(alive, next_cursor, 0)]
+        nser = self._serialization[nli] * self._np_factor[pid]
+        mids = self._np_msg[pid]
+        # Push follow-up records in pop (sequence) order, as the reference
+        # implementation would have while processing events one by one.
+        rtimes = self._rtimes
+        rbuckets = self._rbuckets
+        bucket_get = rbuckets.get
+        arrival_l = arrival.tolist()
+        alive_l = alive.tolist()
+        cursor_l = next_cursor.tolist()
+        nser_l = nser.tolist()
+        mids_l = mids.tolist()
+        for t in range(k):
+            at = arrival_l[t]
+            if alive_l[t]:
+                nxt = (at, seq, _FORWARD, pids[t], cursor_l[t], nser_l[t])
+            else:
+                nxt = (at, seq, _DELIVER, pids[t], mids_l[t], 0.0)
+            bucket = bucket_get(at)
+            if bucket is None:
+                rbuckets[at] = [nxt]
+                heappush(rtimes, at)
+            else:
+                bucket.append(nxt)
+            seq += 1
+        return seq
+
+    def _deliver_run(self, time, records) -> None:
+        arrived = self._msg_arrived
+        total = self._msg_total
+        completion = self._msg_completion
+        for rec in records:
+            m = rec[4]
+            count = arrived[m] + 1
+            arrived[m] = count
+            if count >= total[m]:
+                completion[m] = time
+
+    # ---------------------------------------------------------- introspection
+    def packet_state(self) -> Dict[str, np.ndarray]:
+        """Struct-of-arrays view of every packet injected so far.
+
+        The hop column is reconstructed from the pending hop records (the
+        hot loops do not maintain it): a packet with an in-flight record
+        sits at that record's cursor; every other packet has been delivered
+        and sits past its last hop.
+        """
+        start = np.asarray(self._pkt_path_start, dtype=np.int64)
+        end = np.asarray(self._pkt_path_end, dtype=np.int64)
+        hop = (end - start).copy()
+        for bucket in self._rbuckets.values():
+            for rec in bucket:
+                tag = rec[2]
+                if tag == _FORWARD:
+                    hop[rec[3]] = rec[4] - start[rec[3]]
+        return {
+            "message": np.asarray(self._pkt_msg, dtype=np.int64),
+            "size": np.asarray(self._pkt_size, dtype=np.float64),
+            "hop": hop,
+            "path_start": start,
+            "path_end": end,
+            "path_links": np.asarray(self._pkt_links, dtype=np.int64),
+        }
+
+    @property
+    def link_busy_time(self) -> np.ndarray:
+        return np.asarray(self._link_busy, dtype=np.float64)
 
     # ------------------------------------------------------------------- run
+    def _drive(self, until: Optional[float], max_events: Optional[int]) -> float:
+        """Inlined record drive loop (the common case: records only).
+
+        Equivalent to :meth:`EventEngine.run` but with the singleton-forward
+        hop — the dominant event in steady state — fully inlined: pop,
+        serialise, push, with no batch list, handler call, or dispatch in
+        between.  Simultaneous events (a timestamp tie at the heap head) fall
+        back to batch processing, preserving the exact sequential semantics.
+        The engine's clock and counters are reconciled on exit.
+        """
+        engine = self.engine
+        rtimes = self._rtimes
+        rbuckets = self._rbuckets
+        bucket_get = rbuckets.get
+        now = engine._now
+        seq = seq0 = engine._sequence
+        processed = 0
+        link_free = self._link_free
+        link_busy = self._link_busy
+        ser_list = self._ser_list
+        lat_list = self._lat_list
+        buffer = self._buffer
+        pkt_links = self._pkt_links
+        path_end = self._pkt_path_end
+        factor = self._pkt_factor
+        msg = self._pkt_msg
+        arrived = self._msg_arrived
+        total = self._msg_total
+        completion = self._msg_completion
+        bounded = until is not None or max_events is not None
+        while rtimes:
+            if bounded:
+                t = rtimes[0]
+                if until is not None and t > until:
+                    now = until
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+            t = heappop(rtimes)
+            records = rbuckets.pop(t)
+            now = t
+            if len(records) == 1:
+                rec = records[0]
+                tag = rec[2]
+            else:
+                tag = -1
+            if tag == _FORWARD:
+                # Lone forward hop: serialise on the link and push the next
+                # hop (or the delivery) — the entire steady-state fast path.
+                pid = rec[3]
+                cursor = rec[4]
+                ser = rec[5]
+                li = pkt_links[cursor]
+                free = link_free[li]
+                depart = free if free > t else t
+                end = depart + ser
+                link_free[li] = end
+                link_busy[li] += ser
+                arrival = end + lat_list[li] + buffer
+                cursor += 1
+                if cursor < path_end[pid]:
+                    nxt = (arrival, seq, _FORWARD, pid, cursor,
+                           ser_list[pkt_links[cursor]] * factor[pid])
+                else:
+                    nxt = (arrival, seq, _DELIVER, pid, msg[pid], 0.0)
+                bucket = bucket_get(arrival)
+                if bucket is None:
+                    rbuckets[arrival] = [nxt]
+                    heappush(rtimes, arrival)
+                else:
+                    bucket.append(nxt)
+                seq += 1
+                processed += 1
+                continue
+            if tag == _DELIVER:
+                m = rec[4]
+                count = arrived[m] + 1
+                arrived[m] = count
+                if count >= total[m]:
+                    completion[m] = t
+                processed += 1
+                continue
+            # A wave of simultaneous records (or an injection).
+            if max_events is not None and len(records) > max_events - processed:
+                cut = max_events - processed
+                rbuckets[t] = records[cut:]
+                heappush(rtimes, t)
+                records = records[:cut]
+            processed += len(records)
+            seq = self._process_batch(t, records, seq)
+        engine._now = now
+        engine._processed += processed
+        engine._live += (seq - seq0) - processed
+        engine._sequence = seq
+        return now
+
     def run(self, *, until: Optional[float] = None, max_events: Optional[int] = None) -> PacketSimResult:
         """Run the simulation and return the aggregate result."""
-        finish = self.engine.run(until=until, max_events=max_events)
+        if self.engine._queue:
+            # Closure events are mixed in (user extensions): let the engine
+            # interleave both kinds through the generic handler path.
+            finish = self.engine.run(until=until, max_events=max_events)
+        else:
+            finish = self._drive(until, max_events)
+        arrived = self._msg_arrived
+        completion = self._msg_completion
+        for midx, message in enumerate(self._messages):
+            message.packets_arrived = arrived[midx]
+            message.completion_time = completion[midx]
         return PacketSimResult(
             messages=list(self._messages),
             finish_time=finish,
-            link_busy_time=self._link_busy.copy(),
+            link_busy_time=self.link_busy_time,
         )

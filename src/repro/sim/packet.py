@@ -1,4 +1,12 @@
-"""Packet and message records of the packet-level simulator."""
+"""Packet and message records of the packet-level simulator.
+
+:class:`Message` is the public per-transfer record both packet-simulator
+implementations return.  :class:`Packet` is the object-per-packet record of
+the *reference* implementation
+(:class:`repro.sim.reference.ReferencePacketNetwork`); the vectorized core
+keeps packet state in struct-of-arrays form instead (see
+:meth:`repro.sim.network.PacketNetwork.packet_state`).
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,235 @@
+"""Reference (pre-vectorization) simulator kernels.
+
+These are the original object-per-packet / full-rescan implementations that
+the vectorized kernels in :mod:`repro.sim.network` and
+:mod:`repro.sim.flowsim` replaced.  They are kept for two reasons:
+
+* **Oracle** — the vectorized kernels are required to reproduce these
+  results exactly (bit-identical packet schedules, max-min rates within
+  1e-9); the parity tests in ``tests/test_sim_kernels.py`` and the
+  cross-validation benchmarks run both sides on every topology family.
+* **Baseline** — the before/after speedup artifacts
+  (``BENCH_simulators_packet_event_rate.json``,
+  ``BENCH_flowsim_maxmin.json``) time these implementations as the
+  "before" measurement on the same machine as the vectorized "after", so
+  the recorded speedups are hardware-independent ratios.
+
+The only intentional deviation from the seed code is the shared
+fractional-payload fix: the last packet of a message carries the exact
+remainder ``size - packet_size * (n - 1)`` instead of silently truncating
+it to an integer, so delivered bytes always equal the message size (both
+implementations assert this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .._hash import mix64
+from ..topology.base import CableClass, Topology
+from .engine import EventEngine
+from .flowsim import _EPS, FlowSimulator, PhaseResult
+from .packet import Message, Packet
+from .paths import PathProvider
+from .routing import RouteTable, route_table_for
+
+__all__ = ["ReferencePacketNetwork", "reference_maxmin_rates"]
+
+
+class ReferencePacketNetwork:
+    """Seed event-driven packet simulator: one closure per packet-hop.
+
+    Mirrors the public surface of :class:`~repro.sim.network.PacketNetwork`
+    (``send`` / ``send_flows`` / ``run``) so tests and benchmarks can drive
+    either implementation interchangeably.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        *,
+        provider: Optional[PathProvider] = None,
+        config=None,
+        table: Optional[RouteTable] = None,
+    ):
+        from .network import PacketSimConfig, PacketSimResult
+
+        self._result_cls = PacketSimResult
+        self.topo = topo
+        self.config = config if config is not None else PacketSimConfig()
+        config = self.config
+        if table is not None:
+            self.table = table
+        elif provider is not None:
+            self.table = RouteTable(topo, max_paths=config.max_paths, provider=provider)
+        else:
+            self.table = route_table_for(topo, max_paths=config.max_paths)
+        self.provider = self.table.provider
+        self.engine = EventEngine()
+        self.ranks = list(topo.accelerators)
+        n_links = topo.num_links
+        self._link_free = np.zeros(n_links)
+        self._link_busy = np.zeros(n_links)
+        self._serialization = np.empty(n_links)
+        self._latency = np.empty(n_links)
+        for idx, link in enumerate(topo.links):
+            rate = link.capacity * config.bytes_per_capacity_unit
+            self._serialization[idx] = config.packet_size / rate
+            self._latency[idx] = (
+                config.board_latency if link.cable is CableClass.PCB else config.cable_latency
+            )
+        self._messages: List[Message] = []
+        self._next_message_id = 0
+        self._next_packet_id = 0
+        self._path_cache: Dict[Tuple[int, int], List[List[int]]] = {}
+
+    # ---------------------------------------------------------------- sending
+    def send(
+        self, src_rank: int, dst_rank: int, size: float, *, start_time: float = 0.0,
+        tag: Optional[str] = None,
+    ) -> Message:
+        if src_rank == dst_rank:
+            raise ValueError("messages need distinct endpoints")
+        message = Message(
+            message_id=self._next_message_id,
+            src=self.ranks[src_rank],
+            dst=self.ranks[dst_rank],
+            size=size,
+            start_time=start_time,
+            tag=tag,
+        )
+        self._next_message_id += 1
+        self._messages.append(message)
+        self.engine.schedule_at(start_time, lambda m=message: self._inject(m))
+        return message
+
+    def send_flows(self, flows, size: float, *, start_time: float = 0.0) -> None:
+        for flow in flows:
+            self.send(flow.src, flow.dst, size * flow.demand, start_time=start_time)
+
+    # -------------------------------------------------------------- internals
+    def _paths(self, src: int, dst: int) -> List[List[int]]:
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            cached = self.table.paths(src, dst, max_paths=self.config.max_paths)
+            self._path_cache[key] = cached
+        return cached
+
+    def _choose_path(self, src: int, dst: int, salt: int) -> List[int]:
+        paths = self._paths(src, dst)
+        if len(paths) == 1:
+            return paths[0]
+        now = self.engine.now
+        best_path = paths[0]
+        best_cost = float("inf")
+        order = mix64(salt) % len(paths)
+        rotated = paths[order:] + paths[:order]
+        for path in rotated:
+            cost = 0.0
+            for li in path:
+                cost += max(0.0, self._link_free[li] - now) + self._serialization[li]
+            if cost < best_cost:
+                best_cost = cost
+                best_path = path
+        return best_path
+
+    def _inject(self, message: Message) -> None:
+        ps = self.config.packet_size
+        num_packets = max(1, int(np.ceil(message.size / ps)))
+        last_payload = message.size - ps * (num_packets - 1)
+        assert ps * (num_packets - 1) + last_payload == message.size
+        message.packets_total = num_packets
+        for i in range(num_packets):
+            payload = ps if i < num_packets - 1 else last_payload
+            path = self._choose_path(message.src, message.dst, message.message_id * 131 + i)
+            packet = Packet(
+                packet_id=self._next_packet_id, message=message, size=payload, path=path
+            )
+            self._next_packet_id += 1
+            self._forward(packet)
+
+    def _forward(self, packet: Packet) -> None:
+        if packet.at_last_hop:
+            self._deliver(packet)
+            return
+        li = packet.path[packet.hop]
+        now = self.engine.now
+        ser = self._serialization[li] * (packet.size / self.config.packet_size)
+        depart = max(now, self._link_free[li])
+        self._link_free[li] = depart + ser
+        self._link_busy[li] += ser
+        arrival = depart + ser + self._latency[li] + self.config.buffer_latency
+        packet.hop += 1
+        self.engine.schedule_at(arrival, lambda p=packet: self._forward(p))
+
+    def _deliver(self, packet: Packet) -> None:
+        message = packet.message
+        message.packets_arrived += 1
+        if message.packets_arrived >= message.packets_total:
+            message.completion_time = self.engine.now
+
+    # ------------------------------------------------------------------- run
+    def run(self, *, until: Optional[float] = None, max_events: Optional[int] = None):
+        finish = self.engine.run(until=until, max_events=max_events)
+        return self._result_cls(
+            messages=list(self._messages),
+            finish_time=finish,
+            link_busy_time=self._link_busy.copy(),
+        )
+
+
+def reference_maxmin_rates(
+    sim: FlowSimulator, flows, *, max_iterations: int = 100000
+) -> PhaseResult:
+    """Seed progressive-filling solver: full ``bincount`` rescan per round.
+
+    Every bottleneck round recomputes the per-link load over *all* active
+    (subflow, link) entries — O(entries) per round — where the incremental
+    solver in :meth:`FlowSimulator.maxmin_rates` subtracts only the entries
+    of freshly-frozen subflows.  Semantics are identical.
+    """
+    asg = sim.assign(flows)
+    L = len(sim.capacity)
+    remaining = sim.capacity.copy()
+    sub_rate = np.zeros(asg.num_subflows)
+    active = np.ones(asg.num_subflows, dtype=bool)
+    entry_weight = (
+        asg.subflow_weight[asg.entry_subflow]
+        * asg.flow_demand[asg.subflow_flow[asg.entry_subflow]]
+    )
+    iterations = 0
+    while active.any():
+        iterations += 1
+        if iterations > max_iterations:  # pragma: no cover - defensive
+            raise RuntimeError("max-min filling did not converge")
+        entry_active = active[asg.entry_subflow]
+        load = np.bincount(
+            asg.entry_link[entry_active],
+            weights=entry_weight[entry_active],
+            minlength=L,
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            headroom = np.where(load > _EPS, remaining / np.maximum(load, _EPS), np.inf)
+        inc = float(headroom.min())
+        if not np.isfinite(inc):
+            break
+        sub_weights = asg.subflow_weight * asg.flow_demand[asg.subflow_flow]
+        sub_rate[active] += inc * sub_weights[active]
+        remaining = remaining - load * inc
+        saturated = remaining <= _EPS * (1.0 + sim.capacity)
+        if saturated.any():
+            entry_saturated = saturated[asg.entry_link] & entry_active
+            frozen_subflows = np.unique(asg.entry_subflow[entry_saturated])
+            active[frozen_subflows] = False
+        else:  # pragma: no cover - numerical safety
+            break
+    flow_rates = np.bincount(asg.subflow_flow, weights=sub_rate, minlength=asg.num_flows)
+    used = sim.capacity - remaining
+    link_util = np.where(sim.capacity > 0, used / sim.capacity, 0.0)
+    bottleneck = int(np.argmax(link_util)) if L else -1
+    return PhaseResult(
+        flow_rates=flow_rates, link_utilization=link_util, bottleneck_link=bottleneck
+    )

@@ -35,9 +35,38 @@ import numpy as np
 from ..topology.base import Topology, TopologyError
 from .paths import PathProvider, path_provider_for
 
-__all__ = ["RouteTable", "RouteTableStats", "route_table_for", "clear_route_tables"]
+__all__ = [
+    "RouteTable",
+    "RouteTableStats",
+    "route_table_for",
+    "clear_route_tables",
+    "csr_range_indices",
+]
 
 _GROW = 4  # geometric growth factor exponent base for the flat arrays
+
+
+def csr_range_indices(offsets: np.ndarray, ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Indices covering ``arange(offsets[i], offsets[i+1])`` for every id.
+
+    The CSR multi-range gather shared by :meth:`RouteTable.gather_links`
+    and the flow simulator's incremental max-min solver: returns
+    ``(indices, lengths)`` where ``indices`` concatenates each id's range
+    in order.
+    """
+    starts = offsets[ids]
+    lengths = offsets[ids + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64), lengths
+    ends = np.cumsum(lengths)
+    out_starts = ends - lengths
+    indices = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(out_starts, lengths)
+        + np.repeat(starts, lengths)
+    )
+    return indices, lengths
 
 
 @dataclass
@@ -84,6 +113,8 @@ class RouteTable:
         self._path_links = np.zeros(0, dtype=np.int64)
         self._num_paths = 0
         self._links_used = 0
+        # (key, count) -> materialized Python path lists (shared, immutable)
+        self._pylists: Dict[Tuple[int, int], List[List[int]]] = {}
 
     # ------------------------------------------------------------- population
     def _append_paths(self, key: int, paths: List[List[int]]) -> None:
@@ -145,6 +176,44 @@ class RouteTable:
             out.append(self._path_links[s:e].tolist())
         return out
 
+    def pair_slice(self, src: int, dst: int) -> Tuple[int, int]:
+        """CSR slice of one pair: ``(first_path_id, num_paths)``.
+
+        Populates the pair on first contact.  Path ``p`` of the pair
+        (``first <= p < first + count``) occupies
+        ``path_links[path_offsets[p]:path_offsets[p+1]]``.
+        """
+        key = self._populate(src, dst)
+        return int(self._pair_first[key]), int(self._pair_npaths[key])
+
+    def pair_path_lists(
+        self, src: int, dst: int, max_paths: Optional[int] = None
+    ) -> List[List[int]]:
+        """Candidate paths of a pair as **memoized** Python link-index lists.
+
+        Unlike :meth:`paths`, the returned lists are cached on the table and
+        shared by every caller — the packet simulator's per-packet adaptive
+        scoring iterates these lists millions of times, and because the table
+        itself is memoized per ``(topology, max_paths)``, the materialization
+        cost is paid once per pair across *all* simulator instances.  Treat
+        the result as immutable.
+        """
+        if src == dst:
+            return [[]]
+        first, count = self.pair_slice(src, dst)
+        if max_paths is not None:
+            count = min(count, max_paths)
+        cache_key = (src * self.topo.num_nodes + dst, count)
+        cached = self._pylists.get(cache_key)
+        if cached is None:
+            offsets, links = self._path_offsets, self._path_links
+            cached = [
+                links[offsets[pid] : offsets[pid + 1]].tolist()
+                for pid in range(first, first + count)
+            ]
+            self._pylists[cache_key] = cached
+        return cached
+
     def pair_arrays(self, src_nodes: np.ndarray, dst_nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """First path id and path count per ``(src, dst)`` pair, vectorized.
 
@@ -166,14 +235,9 @@ class RouteTable:
         every path's link indices in order — the CSR gather at the heart of
         :meth:`FlowSimulator.assign`.
         """
-        starts = self._path_offsets[path_ids]
-        lengths = self._path_offsets[path_ids + 1] - starts
-        total = int(lengths.sum())
-        if total == 0:
+        idx, lengths = csr_range_indices(self._path_offsets, path_ids)
+        if len(idx) == 0:
             return np.zeros(0, dtype=np.int64), lengths
-        ends = np.cumsum(lengths)
-        out_starts = ends - lengths
-        idx = np.arange(total, dtype=np.int64) - np.repeat(out_starts, lengths) + np.repeat(starts, lengths)
         return self._path_links[idx], lengths
 
 

@@ -140,10 +140,10 @@ class TestPacketNetwork:
         net.send(0, 9, 1 << 20)
         result = net.run()
         assert result.link_busy_time.sum() > 0
-        util = result.link_utilization(
-            fat_tree_64.link_capacity_array(), 200e9
-        )
+        util = result.link_utilization()
         assert util.max() <= 1.0 + 1e-9
+        # a lone message keeps its bottleneck link busy almost continuously
+        assert util.max() > 0.5
 
     def test_aggregate_bandwidth_positive(self, hx2mesh_4x4):
         net = PacketNetwork(hx2mesh_4x4)
