@@ -1,0 +1,121 @@
+"""Routing-policy study: adversarial vs random permutation throughput.
+
+Reproduces the Section IV-C minimal-vs-non-minimal discussion as a sweep
+over ``(topology family, routing policy)``: each family's structural
+worst-case permutation (:func:`repro.sim.traffic.adversarial_permutation`)
+is measured under ``minimal`` / ``ecmp`` / ``valiant`` / ``ugal`` routing.
+The expected picture, asserted below and recorded in
+``BENCH_routing_policies.json``:
+
+* ``ugal`` recovers the bandwidth minimal routing loses on the adversarial
+  patterns (>= 1.5x on the tapered HxMesh hot-row tornado) while matching
+  minimal routing on benign random permutations — and on the untapered
+  Hx2Mesh, whose single-switch row networks the tornado cannot congest,
+  it correctly refuses to misroute at all;
+* oblivious ``valiant`` beats minimal on the classic worst cases of the
+  torus / Dragonfly / HyperX, but *not* on the HammingMesh, where
+  misrouting every flow wastes the scarce tapered board-escape bandwidth —
+  only congestion-aware (adaptive) non-minimal routing helps there, which
+  is exactly the paper's argument for adaptive routing;
+* ``minimal`` numbers are bit-identical to the committed baseline (the
+  policy layer must not perturb the default routing).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_nested_table
+
+from _bench_utils import committed_artifact, run_sweep
+
+#: committed-baseline comparisons use the artifact's float rounding
+_POLICIES = ("minimal", "ecmp", "valiant", "ugal")
+
+
+@pytest.mark.benchmark(group="routing-policies")
+def test_routing_policy_adversarial_study(benchmark):
+    data = run_sweep(benchmark, "routing_policy_sweep", record="routing_policies")
+
+    print()
+    print(
+        format_nested_table(
+            "Adversarial worst-case receive fraction per routing policy",
+            {
+                topo: {pol: entry[pol]["adversarial_worst"] for pol in _POLICIES}
+                for topo, entry in data.items()
+            },
+            value_format="{:.4f}",
+        )
+    )
+    print(
+        format_nested_table(
+            "Random-permutation mean receive fraction per routing policy",
+            {
+                topo: {pol: entry[pol]["random_mean"] for pol in _POLICIES}
+                for topo, entry in data.items()
+            },
+            value_format="{:.4f}",
+        )
+    )
+
+    # --- the headline claim: adaptive non-minimal routing rescues the
+    # tapered HxMesh's adversarial worst case...
+    hx = data["hx4mesh_tapered"]
+    assert hx["ugal"]["adversarial_worst"] >= 1.5 * hx["minimal"]["adversarial_worst"]
+    # ...whereas the untapered Hx2Mesh's single-switch row networks are
+    # non-blocking, so its tornado congests nothing and UGAL must *not*
+    # misroute (equality, not improvement, is the correct answer there).
+    hx2 = data["hx2mesh"]
+    assert hx2["ugal"]["adversarial_worst"] == pytest.approx(
+        hx2["minimal"]["adversarial_worst"], rel=1e-9
+    )
+    # ...without giving up benign-traffic bandwidth.
+    for topo, entry in data.items():
+        assert entry["ugal"]["random_mean"] >= 0.93 * entry["minimal"]["random_mean"], topo
+
+    # Oblivious Valiant wins the classic worst cases of the switch/ring
+    # families, and every family's UGAL is at least as good as minimal.
+    for topo in ("torus", "dragonfly", "hyperx"):
+        assert data[topo]["valiant"]["adversarial_worst"] > data[topo]["minimal"]["adversarial_worst"]
+    for topo, entry in data.items():
+        assert entry["ugal"]["adversarial_worst"] >= entry["minimal"]["adversarial_worst"] - 1e-12
+
+    # ECMP (single static path) never beats the adaptive minimal baseline.
+    for topo, entry in data.items():
+        assert entry["ecmp"]["random_mean"] <= entry["minimal"]["random_mean"] + 1e-9
+
+    # --- minimal-policy numbers must be bit-identical to the committed
+    # pre-refactor baseline (same rounding as the artifact writer).
+    baseline = committed_artifact("routing_policies")
+    if baseline is not None:
+        from repro.exp.recording import compact, to_jsonable
+
+        compaction = baseline.get("compaction", {})
+        fresh = compact(
+            to_jsonable(data),
+            float_digits=int(compaction.get("float_digits", 6)),
+            max_series=int(compaction.get("max_series", 256)),
+        )
+        for topo, entry in baseline["result"].items():
+            assert fresh[topo]["minimal"] == entry["minimal"], (
+                f"minimal-policy numbers drifted from the committed baseline on {topo}"
+            )
+
+
+@pytest.mark.benchmark(group="routing-policies")
+def test_minimal_policy_is_bit_identical_to_default_routing(benchmark):
+    """The policy layer must not perturb default routing: a simulator built
+    without any policy argument and one built with ``policy="minimal"``
+    produce bit-identical permutation bandwidths on the study's HxMesh."""
+    from repro.analysis.figures import _routing_policy_topo
+    from repro.sim import FlowSimulator, random_permutation
+
+    def body():
+        topo = _routing_policy_topo("hx4mesh_tapered")
+        flows = random_permutation(topo.num_accelerators, seed=7)
+        legacy = FlowSimulator(topo, max_paths=8).permutation_bandwidths(flows)
+        policy = FlowSimulator(topo, max_paths=8, policy="minimal").permutation_bandwidths(flows)
+        return bool((legacy == policy).all())
+
+    assert benchmark.pedantic(body, rounds=1, iterations=1)

@@ -22,6 +22,7 @@ from .figures import (
     fig16_hamiltonian_cycles,
     fig17_allreduce_sweep,
     network_profiles,
+    routing_policy_sweep,
 )
 from .lifetime import (
     lifetime_failure_sweep,
@@ -52,6 +53,7 @@ __all__ = [
     "fig10_failures",
     "fig11_alltoall_sweep",
     "fig12_permutation",
+    "routing_policy_sweep",
     "fig13_allreduce_sweep",
     "fig17_allreduce_sweep",
     "fig15_cost_savings",

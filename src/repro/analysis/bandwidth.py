@@ -53,16 +53,23 @@ def _resolve(
     backend: BackendLike,
     sim: Optional[FlowSimulator],
     max_paths: int,
+    policy: Optional[str] = None,
 ) -> NetworkModel:
     """Build/pass through the backend; ``sim`` keeps the legacy signature."""
     if sim is not None:
         if sim.topo is not topo:
             raise ValueError("simulator is bound to a different topology")
-        return FlowBackend(sim=sim)
-    if isinstance(backend, NetworkModel) or backend == "analytic":
+        # FlowBackend raises if the requested policy conflicts with the
+        # simulator's own (a prebuilt sim carries its policy with it).
+        return FlowBackend(sim=sim, policy=policy)
+    if isinstance(backend, NetworkModel):
         return get_backend(backend, topo)
-    # both simulation fidelities honour the caller's multipath width
-    return get_backend(backend, topo, max_paths=max_paths)
+    if backend == "analytic":
+        # the congestion-free model ignores the policy but still validates it
+        return get_backend(backend, topo, policy=policy)
+    # both simulation fidelities honour the caller's multipath width and
+    # routing policy (minimal / ecmp / valiant / ugal)
+    return get_backend(backend, topo, max_paths=max_paths, policy=policy)
 
 
 def measure_alltoall_fraction(
@@ -73,9 +80,10 @@ def measure_alltoall_fraction(
     seed: int = 1,
     sim: Optional[FlowSimulator] = None,
     backend: BackendLike = "flow",
+    policy: Optional[str] = None,
 ) -> float:
     """Global (alltoall) bandwidth as a fraction of injection bandwidth."""
-    model = _resolve(topo, backend, sim, max_paths)
+    model = _resolve(topo, backend, sim, max_paths, policy)
     return model.alltoall_fraction(num_phases=num_phases, seed=seed)
 
 
@@ -85,6 +93,7 @@ def measure_allreduce_fraction(
     max_paths: int = 8,
     sim: Optional[FlowSimulator] = None,
     backend: BackendLike = "flow",
+    policy: Optional[str] = None,
 ) -> float:
     """Allreduce bandwidth as a fraction of the theoretical optimum.
 
@@ -96,7 +105,7 @@ def measure_allreduce_fraction(
     a bandwidth-optimal ring, and the optimum is injection/2, so the two
     factors of two cancel).
     """
-    model = _resolve(topo, backend, sim, max_paths)
+    model = _resolve(topo, backend, sim, max_paths, policy)
     return model.allreduce_fraction()
 
 
@@ -108,13 +117,14 @@ def measure_permutation_fractions(
     seed: int = 0,
     sim: Optional[FlowSimulator] = None,
     backend: BackendLike = "flow",
+    policy: Optional[str] = None,
 ) -> np.ndarray:
     """Per-accelerator receive bandwidth fractions under permutation traffic.
 
     Concatenates the per-accelerator results of ``num_permutations``
     independent random permutations (Figure 12 plots the distribution).
     """
-    model = _resolve(topo, backend, sim, max_paths)
+    model = _resolve(topo, backend, sim, max_paths, policy)
     return model.permutation_fractions(num_permutations=num_permutations, seed=seed)
 
 
@@ -141,9 +151,10 @@ def measure_topology(
     max_paths: int = 8,
     seed: int = 1,
     backend: BackendLike = "flow",
+    policy: Optional[str] = None,
 ) -> BandwidthSummary:
     """Measure both Table-II bandwidth columns for one topology."""
-    model = _resolve(topo, backend, None, max_paths)
+    model = _resolve(topo, backend, None, max_paths, policy)
     return BandwidthSummary(
         name=topo.name,
         alltoall_fraction=model.alltoall_fraction(num_phases=num_phases, seed=seed),
@@ -160,6 +171,7 @@ def measure_cluster_cell(
     max_paths: int = 8,
     seed: int = 1,
     backend: str = "flow",
+    policy: str = "minimal",
 ) -> dict:
     """Engine cell: both Table-II bandwidth columns of one named topology.
 
@@ -172,7 +184,7 @@ def measure_cluster_cell(
     config = {c.key: c for c in cluster_configs(cluster)}[key]
     summary = measure_topology(
         config.build(), num_phases=num_phases, max_paths=max_paths, seed=seed,
-        backend=backend,
+        backend=backend, policy=policy,
     )
     return {
         "alltoall_fraction": float(summary.alltoall_fraction),

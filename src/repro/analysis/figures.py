@@ -59,6 +59,9 @@ __all__ = [
     "fig15_cost_savings",
     "fig16_hamiltonian_cycles",
     "dnn_iteration_times",
+    "ROUTING_POLICY_TOPOS",
+    "ROUTING_POLICIES",
+    "routing_policy_sweep",
 ]
 
 
@@ -541,6 +544,7 @@ def fig12_cell(
     max_paths: int,
     seed: int,
     backend: str,
+    policy: str = "minimal",
 ):
     """Per-accelerator permutation bandwidth fractions of one topology."""
     config = {c.key: c for c in cluster_configs(cluster)}[key]
@@ -551,6 +555,7 @@ def fig12_cell(
         max_paths=max_paths,
         seed=seed,
         backend=backend,
+        policy=policy,
     )
     return [float(v) for v in dist]
 
@@ -563,6 +568,7 @@ def fig12_grid(
     skip_keys: Sequence[str] = (),
     seed: int = 0,
     backend: str = "flow",
+    policy: str = "minimal",
 ) -> Grid:
     configs = {c.key: c for c in cluster_configs(cluster)}
     keys = [k for k in configs if k not in set(skip_keys)]
@@ -574,6 +580,7 @@ def fig12_grid(
             "max_paths": max_paths,
             "seed": seed,
             "backend": backend,
+            "policy": policy,
         },
         chunk=lambda p: f"{p['cluster']}/{p['key']}",
         drop=("label",),
@@ -619,6 +626,7 @@ def fig12_permutation(
     skip_keys: Sequence[str] = (),
     seed: int = 0,
     backend: str = "flow",
+    policy: str = "minimal",
     runner: Optional[Runner] = None,
     workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, object]]:
@@ -635,6 +643,7 @@ def fig12_permutation(
         skip_keys=skip_keys,
         seed=seed,
         backend=backend,
+        policy=policy,
     )
     return _fig12_post(run_grid(grid, runner=runner, workers=workers))
 
@@ -934,6 +943,152 @@ def dnn_iteration_times(
     return _dnn_iteration_times_post(run_grid(grid, runner=runner, workers=workers))
 
 
+# ------------------------------------------------- routing-policy study
+#: Small per-family instances for the routing-policy study.  The HxMesh is
+#: *tapered* (radix-4 trees at 2:1) so its global networks are the scarce
+#: resource the Section IV-C minimal-vs-non-minimal discussion is about.
+ROUTING_POLICY_TOPOS: Dict[str, str] = {
+    "hx4mesh_tapered": "4x4 boards of 4x4, radix-4 trees, 50% tapered",
+    "hx2mesh": "4x4 boards of 2x2",
+    "torus": "16x16 accelerators",
+    "dragonfly": "8 groups x 8 routers x 4 accelerators",
+    "hyperx": "8x8 switches x 2 accelerators",
+    "fattree_tapered": "256 accelerators, 75% tapered",
+}
+
+ROUTING_POLICIES: Tuple[str, ...] = ("minimal", "ecmp", "valiant", "ugal")
+
+
+#: Built study topologies, memoized per key: the grid chunks its cells by
+#: topo_key so all four policy cells of one topology run in one worker, and
+#: sharing the topology *object* is what lets `route_table_for`'s weak-keyed
+#: memo (and the generic provider's BFS state) carry over between them.
+_POLICY_TOPO_MEMO: Dict[str, object] = {}
+
+
+def _routing_policy_topo(topo_key: str):
+    from ..core import build_hammingmesh
+    from ..topology import build_dragonfly, build_fat_tree, build_hyperx2d, build_torus2d
+
+    builders = {
+        "hx4mesh_tapered": lambda: build_hammingmesh(4, 4, 4, 4, radix=4, global_taper=0.5),
+        "hx2mesh": lambda: build_hammingmesh(2, 2, 4, 4),
+        "torus": lambda: build_torus2d(8, 8),
+        "dragonfly": lambda: build_dragonfly(
+            8, routers_per_group=8, endpoints_per_router=4, global_links_per_router=4
+        ),
+        "hyperx": lambda: build_hyperx2d(8, 8, terminals=2),
+        "fattree_tapered": lambda: build_fat_tree(256, taper=0.25),
+    }
+    try:
+        builder = builders[topo_key]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing-policy study topology {topo_key!r}; "
+            f"available: {sorted(builders)}"
+        ) from None
+    topo = _POLICY_TOPO_MEMO.get(topo_key)
+    if topo is None:
+        topo = _POLICY_TOPO_MEMO[topo_key] = builder()
+    return topo
+
+
+@cell(version=1)
+def routing_policy_cell(
+    *,
+    topo_key: str,
+    policy: str,
+    max_paths: int = 8,
+    num_random: int = 2,
+    seed: int = 0,
+) -> dict:
+    """Worst-case adversarial and random permutation throughput of one
+    ``(topology, policy)`` point.
+
+    ``adversarial_*`` is measured on the family's structural worst case
+    (:func:`repro.sim.traffic.adversarial_permutation`; fractions over the
+    participating destinations, since the HammingMesh adversary is a
+    hot-region job that leaves the rest of the machine idle).
+    ``random_mean`` is the usual Figure-12-style average over ``num_random``
+    random permutations.  The policy name is an ordinary cell parameter, so
+    it enters the scenario content hash like any other axis.
+    """
+    import numpy as np
+
+    from ..sim import adversarial_permutation, get_backend
+
+    topo = _routing_policy_topo(topo_key)
+    model = get_backend("flow", topo, max_paths=max_paths, policy=policy)
+    adv = adversarial_permutation(topo)
+    dsts = np.fromiter((f.dst for f in adv), dtype=np.int64, count=len(adv))
+    adv_fractions = model.permutation_sample(adv)[dsts]
+    random_fractions = model.permutation_fractions(
+        num_permutations=num_random, seed=seed
+    )
+    return {
+        "adversarial_worst": float(adv_fractions.min()),
+        "adversarial_mean": float(adv_fractions.mean()),
+        "random_mean": float(random_fractions.mean()),
+        "adversarial_flows": int(len(adv)),
+    }
+
+
+def routing_policy_grid(
+    *,
+    topo_keys: Sequence[str] = tuple(ROUTING_POLICY_TOPOS),
+    policies: Sequence[str] = ROUTING_POLICIES,
+    max_paths: int = 8,
+    num_random: int = 2,
+    seed: int = 0,
+) -> Grid:
+    grid = Grid(
+        routing_policy_cell,
+        common={"max_paths": max_paths, "num_random": num_random, "seed": seed},
+        # Chunk by topology so one worker reuses the memoized route tables
+        # of all four policies on the same instance.
+        chunk=lambda p: p["topo_key"],
+    )
+    grid.cross("topo_key", list(topo_keys))
+    grid.cross("policy", list(policies))
+    return grid
+
+
+def _routing_policy_post(report: RunReport) -> Dict[str, Dict[str, Dict[str, float]]]:
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for c in report:
+        params = c.scenario.params
+        results.setdefault(params["topo_key"], {})[params["policy"]] = c.value
+    return results
+
+
+def routing_policy_sweep(
+    *,
+    topo_keys: Sequence[str] = tuple(ROUTING_POLICY_TOPOS),
+    policies: Sequence[str] = ROUTING_POLICIES,
+    max_paths: int = 8,
+    num_random: int = 2,
+    seed: int = 0,
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Worst-case permutation throughput per routing policy per family.
+
+    Returns ``{topo_key: {policy: {adversarial_worst, adversarial_mean,
+    random_mean, adversarial_flows}}}`` — the paper-style study behind the
+    Section IV-C minimal-vs-non-minimal discussion: UGAL restores the
+    bandwidth minimal routing loses on the structural worst cases
+    (recorded in ``BENCH_routing_policies.json``).
+    """
+    grid = routing_policy_grid(
+        topo_keys=topo_keys,
+        policies=policies,
+        max_paths=max_paths,
+        num_random=num_random,
+        seed=seed,
+    )
+    return _routing_policy_post(run_grid(grid, runner=runner, workers=workers))
+
+
 # ------------------------------------------------------------- named sweeps
 register_sweep(
     "fig7",
@@ -1011,6 +1166,13 @@ register_sweep(
     post=_dnn_iteration_times_post,
     description="Section V-B: DNN iteration times per topology",
     artifact="sectionVB_iteration_times",
+)
+register_sweep(
+    "routing_policy_sweep",
+    build=routing_policy_grid,
+    post=_routing_policy_post,
+    description="Section IV-C study: adversarial/random permutation throughput per routing policy",
+    artifact="routing_policies",
 )
 register_sweep(
     "profiles",

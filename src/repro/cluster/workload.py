@@ -215,21 +215,25 @@ class FlowSimServiceTime(ServiceTimeModel):
         num_phases: Optional[int] = 16,
         max_paths: int = 4,
         backend: str = "flow",
+        policy: Optional[str] = None,
         **kwargs,
     ):
         """Measure the topology with a network backend, then build profiles.
 
         ``backend`` selects the fidelity by name (``"analytic"``, ``"flow"``,
-        ``"packet"``).  The measurement routes through the shared
-        :class:`~repro.sim.routing.RouteTable` of ``(topo, max_paths)``, so
-        a cluster simulation that also runs flow simulations on the same
-        topology pays the route enumeration once.
+        ``"packet"``) and ``policy`` the routing policy (``"minimal"``,
+        ``"ecmp"``, ``"valiant"``, ``"ugal"``).  The measurement routes
+        through the shared :class:`~repro.sim.routing.RouteTable` of
+        ``(topo, policy, max_paths)``, so a cluster simulation that also
+        runs flow simulations on the same topology pays the route
+        enumeration once.
         """
         from ..analysis.bandwidth import measure_topology
         from ..workloads.overlap import NetworkProfile
 
         summary = measure_topology(
-            topo, num_phases=num_phases, max_paths=max_paths, backend=backend
+            topo, num_phases=num_phases, max_paths=max_paths, backend=backend,
+            policy=policy,
         )
         profile = NetworkProfile.from_measurements(
             topo.name,

@@ -107,8 +107,10 @@ class CommSchedule:
 
         ``backend`` is a :class:`~repro.sim.backend.NetworkModel` instance
         or a registered backend name (``"analytic"``, ``"flow"``,
-        ``"packet"``); a name requires ``topo`` (fidelity ``knobs`` are
-        forwarded to the constructor).  ``bytes_per_unit`` converts the
+        ``"packet"``); a name requires ``topo`` (fidelity ``knobs`` such as
+        ``max_paths`` or a routing ``policy`` name — ``"minimal"``,
+        ``"ecmp"``, ``"valiant"``, ``"ugal"`` — are forwarded to the
+        constructor).  ``bytes_per_unit`` converts the
         backend's normalised bandwidth units (1.0 == one 400 Gb/s port ==
         50 GB/s) into bytes per second.  With ``exact`` the max-min solver
         is used per phase; the default uses the fast symmetric-rate bound,

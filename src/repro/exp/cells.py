@@ -49,13 +49,14 @@ def flow_alltoall_cell(
     num_phases: Optional[int] = 16,
     seed: int = 1,
     backend: str = "flow",
+    policy: str = "minimal",
 ) -> float:
     """Alltoall fraction of an ``HxaMesh`` (a x b boards of x x y) via a backend."""
     from ..core import build_hammingmesh
     from ..sim import get_backend
 
     topo = build_hammingmesh(a, b, x, y)
-    model = get_backend(backend, topo, max_paths=max_paths)
+    model = get_backend(backend, topo, max_paths=max_paths, policy=policy)
     return float(model.alltoall_fraction(num_phases=num_phases, seed=seed))
 
 

@@ -36,6 +36,8 @@ import numpy as np
 from ..topology.base import Topology
 from .flowsim import FlowSimulator
 from .network import PacketNetwork, PacketSimConfig
+from .paths import DEFAULT_MAX_PATHS
+from .policy import RoutingPolicy, get_policy
 from .routing import RouteTable, route_table_for
 from .traffic import Flow, random_permutation
 
@@ -111,6 +113,15 @@ class NetworkModel:
         ]
         return np.concatenate(samples)
 
+    def permutation_sample(self, flows: Sequence[Flow]) -> np.ndarray:
+        """Per-rank receive fractions of one explicit permutation phase.
+
+        Like :meth:`permutation_fractions` but for a caller-supplied
+        permutation (e.g. an adversarial pattern from
+        :func:`~repro.sim.traffic.adversarial_permutation`).
+        """
+        return self._permutation_sample(flows)
+
     def _permutation_sample(self, flows: Sequence[Flow]) -> np.ndarray:
         rates = self.phase_rates(flows, exact=True)
         by_dst = np.zeros(self.num_ranks)
@@ -167,7 +178,11 @@ def get_backend(
 
     ``knobs`` are fidelity parameters forwarded to the backend constructor
     (e.g. ``max_paths`` for flow, ``config=PacketSimConfig(...)`` for
-    packet, ``alpha`` for analytic).
+    packet, ``alpha`` for analytic).  Every backend accepts ``policy`` — a
+    registered routing-policy name (``"minimal"``, ``"ecmp"``, ``"valiant"``,
+    ``"ugal"``) or a :class:`~repro.sim.policy.RoutingPolicy` instance; the
+    congestion-free analytic backend validates and records it but its
+    numbers are policy-independent by construction.
     """
     if isinstance(backend, NetworkModel):
         if topo is not None and backend.topo is not topo:
@@ -204,12 +219,16 @@ class AnalyticBackend(NetworkModel):
         *,
         alpha: float = 2e-6,
         bytes_per_unit: float = 50e9,
+        policy: Union[str, RoutingPolicy, None] = None,
     ):
         super().__init__(topo)
         self.alpha = alpha
         self.bytes_per_unit = bytes_per_unit
         #: seconds per byte of a single NIC (one port)
         self.beta = 1.0 / bytes_per_unit
+        # Validated for interface uniformity; a congestion-free model gives
+        # the same numbers under every routing policy.
+        self.policy = get_policy(policy)
 
     def phase_rates(self, flows: Sequence[Flow], *, exact: bool = False) -> np.ndarray:
         src = np.fromiter((f.src for f in flows), dtype=np.int64, count=len(flows))
@@ -263,13 +282,20 @@ class FlowBackend(NetworkModel):
         max_paths: int = 8,
         sim: Optional[FlowSimulator] = None,
         table: Optional[RouteTable] = None,
+        policy: Union[str, RoutingPolicy, None] = None,
     ):
         if sim is None:
             if topo is None:
                 raise ValueError("FlowBackend needs a topology or a simulator")
-            sim = FlowSimulator(topo, max_paths=max_paths, table=table)
+            sim = FlowSimulator(topo, max_paths=max_paths, table=table, policy=policy)
+        elif policy is not None and get_policy(policy).cache_key() != sim.policy.cache_key():
+            raise ValueError(
+                f"policy {get_policy(policy).name!r} conflicts with the "
+                f"simulator's routing policy {sim.policy.name!r}"
+            )
         super().__init__(sim.topo)
         self.sim = sim
+        self.policy = sim.policy
 
     @property
     def table(self) -> RouteTable:
@@ -306,14 +332,29 @@ class PacketBackend(NetworkModel):
         topo: Topology,
         *,
         config: Optional[PacketSimConfig] = None,
-        max_paths: int = 4,
+        max_paths: int = DEFAULT_MAX_PATHS,
         message_size: float = 1 << 18,
         impl: str = "vectorized",
+        policy: Union[str, RoutingPolicy, None] = None,
     ):
         super().__init__(topo)
-        self.config = config if config is not None else PacketSimConfig(max_paths=max_paths)
+        resolved = get_policy(policy if policy is not None else (config.policy if config else None))
+        if config is None:
+            config = PacketSimConfig(max_paths=max_paths, policy=resolved.name)
+        elif policy is not None and resolved.name != config.policy:
+            raise ValueError(
+                f"policy {resolved.name!r} conflicts with config.policy "
+                f"{config.policy!r}; set the policy in one place"
+            )
+        self.config = config
+        self.policy = resolved
         self.message_size = float(message_size)
-        self.table = route_table_for(topo, max_paths=self.config.max_paths)
+        # Built here (and passed to every network instance) so parameterized
+        # policy *instances* are honoured even though the frozen config only
+        # records the policy name.
+        self.table = route_table_for(
+            topo, max_paths=self.config.max_paths, policy=resolved
+        )
         if impl not in ("vectorized", "reference"):
             raise ValueError(f"unknown packet impl {impl!r}")
         self.impl = impl

@@ -17,13 +17,19 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..topology.base import Topology
-from .paths import PathProvider
-from .routing import RouteTable, csr_range_indices, route_table_for
+from .paths import DEFAULT_MAX_PATHS, PathProvider
+from .policy import RoutingPolicy, get_policy
+from .routing import (
+    RouteTable,
+    csr_range_indices,
+    register_route_cache_client,
+    route_table_for,
+)
 from .traffic import Flow
 
 __all__ = ["FlowAssignment", "FlowSimulator", "PhaseResult"]
@@ -101,6 +107,14 @@ def _gather_ranges(offsets: np.ndarray, ids: np.ndarray) -> np.ndarray:
     return csr_range_indices(offsets, ids)[0]
 
 
+def _pair_range_path_ids(first: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated path ids ``[first[i], first[i] + counts[i])`` per pair."""
+    total = int(counts.sum())
+    ends = np.cumsum(counts)
+    offset_within = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    return np.repeat(first, counts) + offset_within
+
+
 @dataclass
 class PhaseResult:
     """Result of simulating one traffic phase."""
@@ -122,10 +136,13 @@ class FlowSimulator:
     """Max-min fair flow-level simulator over a :class:`Topology`.
 
     Routing state lives in a :class:`~repro.sim.routing.RouteTable` shared
-    per ``(topology, max_paths)``: constructing a second simulator on the
-    same topology reuses every path already enumerated by the first one.
-    Pass ``table`` to share an explicitly-built table, or ``provider`` to
-    route through a custom provider (which gets a private table).
+    per ``(topology, policy, max_paths)``: constructing a second simulator on
+    the same topology reuses every path already enumerated by the first one.
+    Pass ``table`` to share an explicitly-built table, ``provider`` to
+    route through a custom provider (which gets a private table), or
+    ``policy`` to select a routing policy by name or instance
+    (:mod:`repro.sim.policy`; the default reproduces minimal multipath
+    routing bit-identically).
     """
 
     def __init__(
@@ -133,23 +150,34 @@ class FlowSimulator:
         topo: Topology,
         *,
         provider: Optional[PathProvider] = None,
-        max_paths: int = 4,
+        max_paths: int = DEFAULT_MAX_PATHS,
         table: Optional[RouteTable] = None,
+        policy: Union[str, RoutingPolicy, None] = None,
     ):
         self.topo = topo
         if table is not None:
+            if policy is not None and get_policy(policy).cache_key() != table.policy.cache_key():
+                raise ValueError(
+                    "explicit table was built for a different routing policy"
+                )
             self.table = table
         elif provider is not None:
-            self.table = RouteTable(topo, max_paths=max_paths, provider=provider)
+            self.table = RouteTable(topo, max_paths=max_paths, provider=provider, policy=policy)
         else:
-            self.table = route_table_for(topo, max_paths=max_paths)
+            self.table = route_table_for(topo, max_paths=max_paths, policy=policy)
         self.provider = self.table.provider
         self.max_paths = self.table.max_paths
+        self.policy = self.table.policy
         self.capacity = topo.link_capacity_array()
         self.ranks = list(topo.accelerators)
         self._rank_nodes = np.asarray(self.ranks, dtype=np.int64)
         self.injection_capacity = float(topo.meta.get("injection_capacity", 4.0))
         self._assignments: "OrderedDict[Tuple, FlowAssignment]" = OrderedDict()
+        register_route_cache_client(self)
+
+    def clear_route_caches(self) -> None:
+        """Drop cached :class:`FlowAssignment` objects (route-state reset)."""
+        self._assignments.clear()
 
     # ------------------------------------------------------------------ paths
     def _paths(self, src_node: int, dst_node: int) -> List[List[int]]:
@@ -167,6 +195,14 @@ class FlowSimulator:
         patterns (identical endpoints and demands) are returned from a small
         LRU cache, since collective schedules and the alltoall aggregate
         re-assign the same flow sets repeatedly.
+
+        Subflow weights come from the routing policy's per-path table
+        weights (an even ``1/k`` for minimal routing, a single unit weight
+        for ECMP, an even split over the Valiant detours).  Under the
+        ``ugal`` policy each flow is first tentatively routed minimally;
+        the resulting link utilisation estimate then decides, per flow,
+        whether its minimal or its Valiant candidate group carries the
+        traffic (see :meth:`_ugal_paths`).
         """
         key = tuple((f.src, f.dst, f.demand) for f in flows)
         cached = self._assignments.get(key)
@@ -181,16 +217,21 @@ class FlowSimulator:
         first, npaths = self.table.pair_arrays(
             self._rank_nodes[src_ranks], self._rank_nodes[dst_ranks]
         )
+        if self.policy.selects_group:
+            nmin = self.table.pair_minimal_counts(
+                self._rank_nodes[src_ranks], self._rank_nodes[dst_ranks]
+            )
+            path_ids, npaths = self._ugal_paths(flow_demand, first, npaths, nmin)
+            # The chosen candidates split evenly (table weights describe the
+            # static minimal-first layout, not the per-flow choice).
+            subflow_weight = np.repeat(1.0 / np.maximum(npaths, 1), npaths)
+        else:
+            # Per-subflow path id: each flow's subflows cover the contiguous
+            # path-id range [first, first + npaths) of its (src, dst) pair.
+            path_ids = _pair_range_path_ids(first, npaths)
+            subflow_weight = self.table.gather_path_weights(path_ids)
         num_subflows = int(npaths.sum())
         subflow_flow = np.repeat(np.arange(len(flows), dtype=np.int64), npaths)
-        subflow_weight = np.repeat(1.0 / np.maximum(npaths, 1), npaths)
-        # Per-subflow path id: each flow's subflows cover the contiguous
-        # path-id range [first, first + npaths) of its (src, dst) pair.
-        sub_ends = np.cumsum(npaths)
-        offset_within_pair = np.arange(num_subflows, dtype=np.int64) - np.repeat(
-            sub_ends - npaths, npaths
-        )
-        path_ids = np.repeat(first, npaths) + offset_within_pair
         entry_link, path_lengths = self.table.gather_links(path_ids)
         entry_subflow = np.repeat(np.arange(num_subflows, dtype=np.int64), path_lengths)
         asg = FlowAssignment(
@@ -206,6 +247,90 @@ class FlowSimulator:
         if len(self._assignments) > _ASSIGNMENT_CACHE_SIZE:
             self._assignments.popitem(last=False)
         return asg
+
+    def _ugal_paths(
+        self,
+        flow_demand: np.ndarray,
+        first: np.ndarray,
+        npaths: np.ndarray,
+        nmin: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """UGAL's per-flow choice between minimal and Valiant candidates.
+
+        Estimates link utilisation as if every flow routed minimally (the
+        UGAL null hypothesis) and scores each candidate path as ``hop count
+        x bottleneck utilisation`` (the flow-level analogue of UGAL's
+        ``queue length x path length`` comparison).  When scoring a flow's
+        own candidates, its own minimal-route contribution is subtracted
+        from the load — a queue a packet samples never contains the packet
+        itself, and without the exclusion a lone flow in an empty network
+        would read its own load as congestion and misroute.  A flow whose
+        cheapest
+        Valiant candidate beats its cheapest minimal one spreads over its
+        minimal group *plus* all strictly-cheaper Valiant candidates — the
+        fluid-steady-state picture of UGAL, whose per-packet queue feedback
+        keeps sending minimally while the detours are no worse, equalising
+        load across both groups (an either/or choice would just move the
+        congestion to whichever group was picked).  Otherwise the flow
+        keeps the even split over its minimal group; ties — in particular
+        the fully uncongested case, where every score is zero — keep the
+        shorter minimal routes.  Deterministic for a given flow set and
+        independent of flow order.
+
+        Returns ``(path_ids, counts)``: the selected path ids of all flows
+        concatenated, and how many each flow owns.
+        """
+        L = len(self.capacity)
+        # Pass 1: link load if everyone routed minimally (even 1/k split).
+        min_ids = _pair_range_path_ids(first, nmin)
+        links, lengths = self.table.gather_links(min_ids)
+        per_path_w = np.repeat(flow_demand / np.maximum(nmin, 1), nmin)
+        load = np.bincount(
+            links, weights=np.repeat(per_path_w, lengths), minlength=L
+        )
+        inv_capacity = np.where(self.capacity > 0, 1.0 / self.capacity, 0.0)
+        # Pass 2: per-candidate congestion score, excluding the flow's own
+        # minimal-route contribution from the load it samples.
+        all_ids = _pair_range_path_ids(first, npaths)
+        links_all, lengths_all = self.table.gather_links(all_ids)
+        entry_starts = np.concatenate(([0], np.cumsum(lengths_all)))
+        path_starts = np.cumsum(npaths) - npaths
+        # Per-flow slices of the minimal-entry arrays (pass 1's layout).
+        min_entry_ends = np.cumsum(
+            np.add.reduceat(lengths, np.cumsum(nmin) - nmin)
+        ) if len(lengths) else np.zeros(len(npaths), dtype=np.int64)
+        own = np.zeros(L)
+        ids: List[int] = []
+        counts = np.empty(len(npaths), dtype=np.int64)
+        for i in range(len(npaths)):
+            m, k = int(nmin[i]), int(npaths[i])
+            f0, s = int(first[i]), int(path_starts[i])
+            # This flow's own minimal load (what pass 1 charged for it).
+            o_start = int(min_entry_ends[i - 1]) if i > 0 else 0
+            o_end = int(min_entry_ends[i])
+            own_links = links[o_start:o_end]
+            # Pass 1 charged demand/m per link occurrence of each of this
+            # flow's m minimal paths; undo exactly that (occurrences stack).
+            np.add.at(own, own_links, flow_demand[i] / max(m, 1))
+            cheaper: List[int] = []
+            if 0 < m < k:
+                e0, e1 = int(entry_starts[s]), int(entry_starts[s + k])
+                seg_links = links_all[e0:e1]
+                exclusive = np.maximum(load[seg_links] - own[seg_links], 0.0)
+                util = exclusive * inv_capacity[seg_links]
+                # Every candidate has >= 1 link (self-pairs are rejected
+                # upstream), so the segmented max never sees an empty segment.
+                seg_bounds = (entry_starts[s : s + k] - e0).astype(np.int64)
+                bottleneck = np.maximum.reduceat(util, seg_bounds)
+                cost = lengths_all[s : s + k] * bottleneck
+                best_minimal = cost[:m].min()
+                cheaper = [f0 + m + j for j in range(k - m) if cost[m + j] < best_minimal]
+            own[own_links] = 0.0
+            end = m if 0 < m <= k else k
+            chosen = list(range(f0, f0 + end)) + cheaper
+            ids.extend(chosen)
+            counts[i] = len(chosen)
+        return np.asarray(ids, dtype=np.int64), counts
 
     # -------------------------------------------------------- symmetric solver
     def symmetric_rate(self, flows: Sequence[Flow]) -> PhaseResult:

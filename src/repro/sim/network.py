@@ -60,8 +60,8 @@ from .._hash import mix64  # noqa: F401  (inlined below; kept as the reference)
 from ..topology.base import CableClass, Topology
 from .engine import EventEngine
 from .packet import DEFAULT_PACKET_SIZE, Message
-from .paths import PathProvider
-from .routing import RouteTable, route_table_for
+from .paths import DEFAULT_MAX_PATHS, PathProvider
+from .routing import RouteTable, register_route_cache_client, route_table_for
 from .traffic import Flow
 
 __all__ = ["PacketSimConfig", "PacketNetwork", "PacketSimResult"]
@@ -82,15 +82,24 @@ _GROW = 4  # geometric growth factor for the SoA arrays
 
 @dataclass(frozen=True)
 class PacketSimConfig:
-    """Timing parameters of the packet simulator (Appendix F defaults)."""
+    """Timing parameters of the packet simulator (Appendix F defaults).
+
+    ``policy`` names the routing policy whose candidate sets constrain the
+    per-packet adaptive next-hop choice (:mod:`repro.sim.policy`): under
+    ``"minimal"`` packets adapt over minimal paths as before, ``"ecmp"``
+    pins each pair to one path, ``"valiant"`` adapts over the non-minimal
+    detours, and ``"ugal"`` scores minimal and Valiant candidates against
+    each other by queueing delay at injection time.
+    """
 
     packet_size: int = DEFAULT_PACKET_SIZE
     bytes_per_capacity_unit: float = 50e9      # one 400 Gb/s port
     cable_latency: float = 20e-9
     board_latency: float = 1e-9
     buffer_latency: float = 40e-9
-    max_paths: int = 4
+    max_paths: int = DEFAULT_MAX_PATHS
     seed: int = 0
+    policy: str = "minimal"
 
 
 @dataclass
@@ -138,15 +147,20 @@ class PacketNetwork:
     ):
         self.topo = topo
         self.config = config
-        # Routes come from the same memoized per-(topology, max_paths)
-        # RouteTable the flow simulator uses, so candidate path sets agree
-        # between fidelities and survive across simulator instances.
+        # Routes come from the same memoized per-(topology, policy,
+        # max_paths) RouteTable the flow simulator uses, so candidate path
+        # sets agree between fidelities and survive across simulator
+        # instances.
         if table is not None:
             self.table = table
         elif provider is not None:
-            self.table = RouteTable(topo, max_paths=config.max_paths, provider=provider)
+            self.table = RouteTable(
+                topo, max_paths=config.max_paths, provider=provider, policy=config.policy
+            )
         else:
-            self.table = route_table_for(topo, max_paths=config.max_paths)
+            self.table = route_table_for(
+                topo, max_paths=config.max_paths, policy=config.policy
+            )
         self.provider = self.table.provider
         self.engine = EventEngine()
         self.engine.set_record_handler(self._on_records)
@@ -207,6 +221,11 @@ class PacketNetwork:
         # packet choosing that link (see `_inject` for why only first-hop
         # terms can change during a packet train).
         self._pair_scoring: Dict[tuple, tuple] = {}
+        register_route_cache_client(self)
+
+    def clear_route_caches(self) -> None:
+        """Drop per-pair adaptive-scoring state (route-state reset)."""
+        self._pair_scoring.clear()
 
     # ---------------------------------------------------------------- sending
     def send(

@@ -7,6 +7,14 @@ choices.  This module provides a uniform ``PathProvider`` interface and a
 structured (i.e. non-search-based) implementation per topology family, plus
 a generic BFS fallback used for tests and custom topologies.
 
+Besides the minimal candidate sets, :func:`valiant_paths` enumerates
+*non-minimal* two-phase candidates (minimal to a randomized intermediate,
+then minimal to the destination) used by the ``valiant`` and ``ugal``
+routing policies (:mod:`repro.sim.policy`).  Intermediates are chosen per
+topology family — a different board on a HammingMesh, a different group on a
+Dragonfly, a different switch on a HyperX — so the detour actually crosses
+the resources the minimal route would avoid.
+
 All providers return paths as lists of **directed link indices** of the
 underlying :class:`~repro.topology.base.Topology`.
 """
@@ -15,13 +23,14 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 from .._hash import mix64
 from ..core.routing import HxMeshRouter
 from ..topology.base import Topology, TopologyError
 
 __all__ = [
+    "DEFAULT_MAX_PATHS",
     "PathProvider",
     "GenericPathProvider",
     "FatTreePathProvider",
@@ -30,7 +39,14 @@ __all__ = [
     "HyperXPathProvider",
     "HxMeshPathProvider",
     "path_provider_for",
+    "valiant_intermediates",
+    "valiant_paths",
 ]
+
+#: Default multipath width shared by every provider, :class:`RouteTable`,
+#: and :func:`route_table_for` — the single source of truth for the
+#: "how many candidate paths per pair" default.
+DEFAULT_MAX_PATHS = 4
 
 
 class PathProvider(Protocol):
@@ -38,7 +54,7 @@ class PathProvider(Protocol):
 
     topo: Topology
 
-    def paths(self, src: int, dst: int, max_paths: int = 4) -> List[List[int]]:
+    def paths(self, src: int, dst: int, max_paths: int = DEFAULT_MAX_PATHS) -> List[List[int]]:
         """Minimal candidate paths from accelerator ``src`` to ``dst``."""
         ...
 
@@ -75,7 +91,7 @@ class GenericPathProvider:
         self._dist_cache[dst] = dist
         return dist
 
-    def paths(self, src: int, dst: int, max_paths: int = 4) -> List[List[int]]:
+    def paths(self, src: int, dst: int, max_paths: int = DEFAULT_MAX_PATHS) -> List[List[int]]:
         if src == dst:
             return [[]]
         dist = self._distances_to(dst)
@@ -113,7 +129,7 @@ class FatTreePathProvider:
         self.network = topo.meta["network"]
         self._fallback = GenericPathProvider(topo)
 
-    def paths(self, src: int, dst: int, max_paths: int = 4) -> List[List[int]]:
+    def paths(self, src: int, dst: int, max_paths: int = DEFAULT_MAX_PATHS) -> List[List[int]]:
         if src == dst:
             return [[]]
         out = self.network.paths(src, dst, max_paths=max_paths)
@@ -142,7 +158,7 @@ class DragonflyPathProvider:
             return []
         return [self.local_links[(r1, r2)][0]]
 
-    def paths(self, src: int, dst: int, max_paths: int = 4) -> List[List[int]]:
+    def paths(self, src: int, dst: int, max_paths: int = DEFAULT_MAX_PATHS) -> List[List[int]]:
         if src == dst:
             return [[]]
         up = self.access_links[src][0]
@@ -217,7 +233,7 @@ class TorusPathProvider:
                 r = (r - 1) % self.rows
         return links, r, c
 
-    def paths(self, src: int, dst: int, max_paths: int = 4) -> List[List[int]]:
+    def paths(self, src: int, dst: int, max_paths: int = DEFAULT_MAX_PATHS) -> List[List[int]]:
         if src == dst:
             return [[]]
         (r1, c1), (r2, c2) = self.coord_of[src], self.coord_of[dst]
@@ -262,7 +278,7 @@ class HyperXPathProvider:
         self.switch_links: Dict[Tuple[int, int], int] = m["switch_links"]
         self.access_links: Dict[int, Tuple[int, int]] = m["access_links"]
 
-    def paths(self, src: int, dst: int, max_paths: int = 4) -> List[List[int]]:
+    def paths(self, src: int, dst: int, max_paths: int = DEFAULT_MAX_PATHS) -> List[List[int]]:
         if src == dst:
             return [[]]
         up = self.access_links[src][0]
@@ -291,13 +307,170 @@ class HxMeshPathProvider:
         self.router = HxMeshRouter(topo)
         self._fallback: Optional[GenericPathProvider] = None
 
-    def paths(self, src: int, dst: int, max_paths: int = 4) -> List[List[int]]:
+    def paths(self, src: int, dst: int, max_paths: int = DEFAULT_MAX_PATHS) -> List[List[int]]:
         try:
             return self.router.paths(src, dst, max_paths=max_paths)
         except TopologyError:
             if self._fallback is None:
                 self._fallback = GenericPathProvider(self.topo)
             return self._fallback.paths(src, dst, max_paths=max_paths)
+
+
+# ---------------------------------------------------------------------------
+#  Non-minimal (Valiant) candidate enumeration
+# ---------------------------------------------------------------------------
+def valiant_intermediates(
+    topo: Topology, src: int, dst: int, count: int, *, seed: int = 0
+) -> List[int]:
+    """Deterministic randomized intermediate accelerators for Valiant routing.
+
+    The intermediate is chosen per topology family so the detour actually
+    leaves the congested region of the minimal route:
+
+    * **HammingMesh** — an accelerator on a board different from both the
+      source's and the destination's board (reusing the intermediate-board
+      idea of :class:`~repro.core.routing.HxMeshRouter`);
+    * **Dragonfly** — an accelerator in a third group (classic Valiant
+      group-level misrouting);
+    * **HyperX** — an accelerator on a third switch;
+    * **fat tree / torus / generic** — any third accelerator.
+
+    The sequence is a pure function of ``(src, dst, seed)`` (SplitMix64
+    probing over the accelerator list), so candidate sets are reproducible
+    across processes and cache layers.  Falls back to the relaxed "any third
+    accelerator" rule when the family-specific filter leaves no candidates
+    (e.g. a two-board HxMesh).
+    """
+    accs = topo.accelerators
+    if len(accs) <= 2 or count <= 0:
+        return []
+    family = topo.meta.get("family")
+    if family == "hammingmesh":
+        coord_of = topo.meta["coord_of"]
+        sgr, sgc = coord_of[src][:2]
+        dgr, dgc = coord_of[dst][:2]
+
+        def accept(mid: int) -> bool:
+            # A true diagonal detour: the intermediate board shares neither
+            # a global row nor a global column with either endpoint, so both
+            # detour phases can cross networks the minimal route never uses.
+            gr, gc = coord_of[mid][:2]
+            return gr not in (sgr, dgr) and gc not in (sgc, dgc)
+
+    elif family == "dragonfly":
+        acc_router = topo.meta["acc_router"]
+        router_group = topo.meta["router_group"]
+        gs = router_group[acc_router[src]]
+        gd = router_group[acc_router[dst]]
+
+        def accept(mid: int) -> bool:
+            g = router_group[acc_router[mid]]
+            return g != gs and g != gd
+
+    elif family == "hyperx":
+        acc_switch = topo.meta["acc_switch"]
+        ss, sd = acc_switch[src], acc_switch[dst]
+
+        def accept(mid: int) -> bool:
+            sw = acc_switch[mid]
+            return sw != ss and sw != sd
+
+    else:
+
+        def accept(mid: int) -> bool:
+            return True
+
+    base = mix64(src * 1_000_003 + dst) ^ mix64(0x51A7 + seed)
+    attempts = 4 * count + 16
+
+    def probe(filter_fn) -> List[int]:
+        out: List[int] = []
+        seen = set()
+        for k in range(attempts):
+            if len(out) >= count:
+                break
+            mid = accs[mix64(base + k) % len(accs)]
+            if mid == src or mid == dst or mid in seen:
+                continue
+            seen.add(mid)
+            if filter_fn(mid):
+                out.append(mid)
+        return out
+
+    out = probe(accept)
+    if not out and family == "hammingmesh":
+        # No fully-diagonal board (e.g. a single global row): relax to any
+        # board distinct from both endpoints' boards.
+        coord_of = topo.meta["coord_of"]
+        boards = (coord_of[src][:2], coord_of[dst][:2])
+        out = probe(lambda mid: coord_of[mid][:2] not in boards)
+    if not out:
+        out = probe(lambda mid: True)
+    return out
+
+
+def valiant_paths(
+    provider: PathProvider,
+    src: int,
+    dst: int,
+    *,
+    max_paths: int = DEFAULT_MAX_PATHS,
+    seed: int = 0,
+    exclude: Iterable[Sequence[int]] = (),
+) -> List[List[int]]:
+    """Non-minimal two-phase (Valiant) candidate paths from ``src`` to ``dst``.
+
+    Each candidate routes minimally to a randomized intermediate accelerator
+    (see :func:`valiant_intermediates`) and minimally onwards to the
+    destination.  Within each phase the segment is chosen to **minimise
+    link overlap with the pair's own minimal routes** (hash-rotated
+    tie-break): a detour that funnels straight back through the links
+    minimal routing congests (e.g. a HammingMesh phase class re-crossing
+    the source's own global-row network) defeats its purpose — and leaves
+    UGAL's congestion filter without a usable alternate.  ``exclude``
+    suppresses duplicates of already-enumerated (e.g. minimal) paths.
+    Deterministic per ``(src, dst, seed)``.
+    """
+    if src == dst:
+        return [[]]
+    banned = {tuple(p) for p in exclude}
+    try:
+        minimal_links = {
+            li for p in provider.paths(src, dst, max_paths=max(2, max_paths)) for li in p
+        }
+    except TopologyError:
+        minimal_links = set()
+    out: List[List[int]] = []
+    mids = valiant_intermediates(provider.topo, src, dst, 2 * max_paths, seed=seed)
+    pair_key = mix64(src * 1_000_003 + dst)
+
+    def pick(segments: List[List[int]], salt: int) -> List[int]:
+        return min(
+            segments,
+            key=lambda q: (
+                sum(li in minimal_links for li in q),
+                mix64(salt ^ (q[0] if q else 0)),
+            ),
+        )
+
+    for j, mid in enumerate(mids):
+        if len(out) >= max_paths:
+            break
+        try:
+            heads = provider.paths(src, mid, max_paths=DEFAULT_MAX_PATHS)
+            tails = provider.paths(mid, dst, max_paths=DEFAULT_MAX_PATHS)
+        except TopologyError:
+            continue
+        if not heads or not tails:
+            continue
+        h = mix64(pair_key ^ mix64(seed * 0x9E37 + j))
+        path = pick(heads, h) + pick(tails, h >> 16)
+        key = tuple(path)
+        if not path or key in banned:
+            continue
+        banned.add(key)
+        out.append(path)
+    return out
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,247 @@
+"""Routing policies: how candidate paths and split weights are chosen.
+
+Section IV-C of the paper argues that HammingMesh's bandwidth claims rest on
+*adaptive* routing; the reproduction historically hard-coded one implicit
+policy (split evenly over minimal paths).  This module makes the policy a
+first-class, name-registered object consumed by the shared
+:class:`~repro.sim.routing.RouteTable` — and therefore by both simulators
+and every backend:
+
+* ``"minimal"`` — today's behaviour, bit-identical: the provider's minimal
+  candidates with an even ``1/k`` split.
+* ``"ecmp"`` — a static flow hash pins each pair onto exactly one of its
+  minimal paths (no multipath spreading; models ECMP without adaptivity).
+* ``"valiant"`` — randomized two-phase non-minimal routing: minimal to a
+  per-pair-deterministic intermediate (a different board / group / switch,
+  see :func:`~repro.sim.paths.valiant_intermediates`), then minimal to the
+  destination.  Trades hop count for worst-case load balance.
+* ``"ugal"`` — per-flow choice between the minimal and the Valiant candidate
+  sets by estimated congestion.  The table stores both groups (the leading
+  ``num_minimal`` paths are the minimal group); the flow simulator picks a
+  group per flow from the link load its flow set would put on the minimal
+  routes (see :meth:`FlowSimulator.assign`), while the packet simulator's
+  injection-time queue scoring chooses among all candidates directly —
+  which *is* UGAL's "adaptively pick minimal unless its queues are longer".
+
+A policy is stateless and cheap to construct; equality of
+:meth:`RoutingPolicy.cache_key` defines route-table memoization identity
+(``route_table_for`` is keyed per ``(topology, policy, max_paths)``), and
+the policy *name* is what enters experiment-engine content hashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+
+from .._hash import mix64
+from .paths import DEFAULT_MAX_PATHS, PathProvider, valiant_paths
+
+__all__ = [
+    "RouteSet",
+    "RoutingPolicy",
+    "MinimalPolicy",
+    "EcmpPolicy",
+    "ValiantPolicy",
+    "UgalPolicy",
+    "POLICIES",
+    "register_policy",
+    "get_policy",
+    "available_policies",
+]
+
+
+@dataclass(frozen=True)
+class RouteSet:
+    """Candidate paths of one ``(src, dst)`` pair under a policy.
+
+    ``paths`` are lists of directed link indices; ``weights`` (one per path,
+    summing to 1 over the pair) are the static demand split the flow
+    simulator applies; the leading ``num_minimal`` paths form the minimal
+    group (the rest are non-minimal alternates — only UGAL stores both).
+    """
+
+    paths: List[List[int]]
+    weights: List[float]
+    num_minimal: int
+
+
+class RoutingPolicy:
+    """Base class of the name-registered routing policies."""
+
+    #: registry name (set by :func:`register_policy`)
+    name: str = ""
+    #: True when the flow simulator should choose between the minimal and the
+    #: non-minimal group per flow by estimated congestion (UGAL)
+    selects_group: bool = False
+
+    def cache_key(self) -> Tuple:
+        """Memoization identity of the policy (shared-table key component)."""
+        return (self.name,)
+
+    def routes(
+        self, provider: PathProvider, src: int, dst: int, max_paths: int
+    ) -> RouteSet:
+        """Candidate paths + split weights for one pair."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} ({self.name!r})>"
+
+
+# ---------------------------------------------------------------------- registry
+POLICIES: Dict[str, Type[RoutingPolicy]] = {}
+
+
+def register_policy(name: str):
+    """Register a :class:`RoutingPolicy` subclass under ``name``."""
+
+    def decorator(cls: Type[RoutingPolicy]) -> Type[RoutingPolicy]:
+        if name in POLICIES:
+            raise ValueError(f"routing policy {name!r} registered twice")
+        cls.name = name
+        POLICIES[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_policies() -> List[str]:
+    """Names of the registered routing policies."""
+    return sorted(POLICIES)
+
+
+def get_policy(policy: Union[str, RoutingPolicy, None]) -> RoutingPolicy:
+    """Resolve a policy by name (``None`` means ``"minimal"``).
+
+    Instances pass through unchanged, so parameterized policies (e.g.
+    ``ValiantPolicy(seed=7)``) can be used wherever a name is accepted.
+    """
+    if policy is None:
+        return _MINIMAL
+    if isinstance(policy, RoutingPolicy):
+        return policy
+    try:
+        cls = POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {policy!r}; available: {available_policies()}"
+        ) from None
+    return cls()
+
+
+# ------------------------------------------------------------------- minimal
+@register_policy("minimal")
+class MinimalPolicy(RoutingPolicy):
+    """Even split over the provider's minimal candidates (the historical
+    behaviour; routes and weights are bit-identical to the pre-policy code)."""
+
+    def routes(
+        self, provider: PathProvider, src: int, dst: int, max_paths: int
+    ) -> RouteSet:
+        paths = provider.paths(src, dst, max_paths=max_paths)
+        if not paths:
+            return RouteSet([], [], 0)
+        w = 1.0 / len(paths)
+        return RouteSet(paths, [w] * len(paths), len(paths))
+
+
+_MINIMAL = MinimalPolicy()
+
+
+# ---------------------------------------------------------------------- ecmp
+@register_policy("ecmp")
+class EcmpPolicy(RoutingPolicy):
+    """Static hash onto exactly one minimal path (ECMP without adaptivity).
+
+    The chosen path is a pure function of ``(src, dst, seed)``; all traffic
+    of the pair serialises onto it.  This models the oblivious single-path
+    baseline of the paper's minimal-vs-adaptive discussion.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def cache_key(self) -> Tuple:
+        return (self.name, self.seed)
+
+    def routes(
+        self, provider: PathProvider, src: int, dst: int, max_paths: int
+    ) -> RouteSet:
+        minimal = provider.paths(src, dst, max_paths=max_paths)
+        if not minimal:
+            return RouteSet([], [], 0)
+        idx = mix64(mix64(src * 1_000_003 + dst) ^ mix64(0xEC3F + self.seed)) % len(minimal)
+        return RouteSet([minimal[idx]], [1.0], 1)
+
+
+# -------------------------------------------------------------------- valiant
+@register_policy("valiant")
+class ValiantPolicy(RoutingPolicy):
+    """Randomized two-phase non-minimal routing (Valiant load balancing).
+
+    Every candidate detours through a per-pair-deterministic intermediate;
+    traffic splits evenly over the candidates.  Falls back to the minimal
+    candidates on degenerate topologies with no usable intermediate.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def cache_key(self) -> Tuple:
+        return (self.name, self.seed)
+
+    def routes(
+        self, provider: PathProvider, src: int, dst: int, max_paths: int
+    ) -> RouteSet:
+        paths = valiant_paths(provider, src, dst, max_paths=max_paths, seed=self.seed)
+        if not paths:
+            return _MINIMAL.routes(provider, src, dst, max_paths)
+        w = 1.0 / len(paths)
+        return RouteSet(paths, [w] * len(paths), 0)
+
+
+# ----------------------------------------------------------------------- ugal
+@register_policy("ugal")
+class UgalPolicy(RoutingPolicy):
+    """Universal globally-adaptive routing: minimal *or* Valiant per flow.
+
+    The candidate budget is split between the two groups (minimal first), so
+    every pair stores at most ``max_paths`` paths like any other policy.
+    The static table weights split evenly over the minimal group — the
+    congestion-dependent group choice happens where congestion is known:
+    per flow set in :meth:`FlowSimulator.assign` (``selects_group``), and
+    per packet in the packet simulator's injection-time queue scoring.
+    With ``max_paths=1`` there is no room for a Valiant alternate and the
+    policy degenerates to minimal routing.
+    """
+
+    selects_group = True
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def cache_key(self) -> Tuple:
+        return (self.name, self.seed)
+
+    def routes(
+        self, provider: PathProvider, src: int, dst: int, max_paths: int
+    ) -> RouteSet:
+        minimal_budget = max(1, (max_paths + 1) // 2)
+        minimal = provider.paths(src, dst, max_paths=minimal_budget)
+        if not minimal:
+            return RouteSet([], [], 0)
+        budget = max_paths - len(minimal)
+        alternates = (
+            valiant_paths(
+                provider, src, dst, max_paths=budget, seed=self.seed, exclude=minimal
+            )
+            if budget > 0
+            else []
+        )
+        w = 1.0 / len(minimal)
+        return RouteSet(
+            minimal + alternates,
+            [w] * len(minimal) + [0.0] * len(alternates),
+            len(minimal),
+        )

@@ -63,9 +63,13 @@ class ReferencePacketNetwork:
         if table is not None:
             self.table = table
         elif provider is not None:
-            self.table = RouteTable(topo, max_paths=config.max_paths, provider=provider)
+            self.table = RouteTable(
+                topo, max_paths=config.max_paths, provider=provider, policy=config.policy
+            )
         else:
-            self.table = route_table_for(topo, max_paths=config.max_paths)
+            self.table = route_table_for(
+                topo, max_paths=config.max_paths, policy=config.policy
+            )
         self.provider = self.table.provider
         self.engine = EventEngine()
         self.ranks = list(topo.accelerators)

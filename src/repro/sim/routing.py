@@ -14,32 +14,44 @@ lifetime simulator's service-time model) threw that work away.  A
 * population is **lazy**: a pair's paths are enumerated by the topology's
   structured :class:`~repro.sim.paths.PathProvider` the first time the pair
   is routed, then served from the table forever after;
-* tables are **memoized per ``(topology, max_paths)``** — every simulator
-  (and every backend, see :mod:`repro.sim.backend`) asking for the same
-  topology at the same multipath width shares one table, so route state
-  survives across simulator instances.  The memo holds the topology weakly;
-  dropping the topology frees its tables.
+* paths and per-path **split weights** are produced by a pluggable
+  :class:`~repro.sim.policy.RoutingPolicy` (``minimal`` / ``ecmp`` /
+  ``valiant`` / ``ugal``); the default ``minimal`` policy reproduces the
+  historical behaviour bit-identically;
+* tables are **memoized per ``(topology, policy, max_paths)``** — every
+  simulator (and every backend, see :mod:`repro.sim.backend`) asking for the
+  same topology at the same policy and multipath width shares one table, so
+  route state survives across simulator instances.  The memo holds the
+  topology weakly; dropping the topology frees its tables.
 
 ``RouteTable.stats`` counts pair-level hits/misses, which the test suite
 uses to assert cache reuse across simulator instances.
+
+:func:`clear_route_tables` drops the memo **and** clears every derived
+route cache registered via :func:`register_route_cache_client` (the flow
+simulator's :class:`FlowAssignment` LRUs, the tables' materialized
+``pair_path_lists``, the packet simulator's per-pair scoring state), so a
+full reset can never serve stale routes out of a derived cache.
 """
 
 from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..topology.base import Topology, TopologyError
-from .paths import PathProvider, path_provider_for
+from .paths import DEFAULT_MAX_PATHS, PathProvider, path_provider_for
+from .policy import RoutingPolicy, get_policy
 
 __all__ = [
     "RouteTable",
     "RouteTableStats",
     "route_table_for",
     "clear_route_tables",
+    "register_route_cache_client",
     "csr_range_indices",
 ]
 
@@ -95,40 +107,57 @@ class RouteTable:
         self,
         topo: Topology,
         *,
-        max_paths: int = 4,
+        max_paths: int = DEFAULT_MAX_PATHS,
         provider: Optional[PathProvider] = None,
+        policy: Union[str, RoutingPolicy, None] = None,
     ):
         if max_paths < 1:
             raise ValueError("max_paths must be at least 1")
         self.topo = topo
         self.max_paths = max_paths
         self.provider = provider if provider is not None else path_provider_for(topo)
+        self.policy = get_policy(policy)
         self.stats = RouteTableStats()
         n = topo.num_nodes
         # Pair key -> first path id / path count.  -1 == not yet populated.
         self._pair_first = np.full(n * n, -1, dtype=np.int64)
         self._pair_npaths = np.zeros(n * n, dtype=np.int64)
+        # Leading paths of the pair that are minimal (== npaths except UGAL).
+        self._pair_nmin = np.zeros(n * n, dtype=np.int64)
         # CSR storage, grown geometrically.
         self._path_offsets = np.zeros(1, dtype=np.int64)
         self._path_links = np.zeros(0, dtype=np.int64)
+        self._path_weights = np.zeros(0, dtype=np.float64)
         self._num_paths = 0
         self._links_used = 0
         # (key, count) -> materialized Python path lists (shared, immutable)
         self._pylists: Dict[Tuple[int, int], List[List[int]]] = {}
+        register_route_cache_client(self)
+
+    def clear_route_caches(self) -> None:
+        """Drop derived route caches (the materialized Python path lists)."""
+        self._pylists.clear()
 
     # ------------------------------------------------------------- population
-    def _append_paths(self, key: int, paths: List[List[int]]) -> None:
+    def _append_paths(
+        self, key: int, paths: List[List[int]], weights: List[float], num_minimal: int
+    ) -> None:
         first = self._num_paths
         need_paths = first + len(paths)
         if need_paths + 1 > len(self._path_offsets):
             grown = np.zeros(max(need_paths + 1, _GROW * len(self._path_offsets)), dtype=np.int64)
             grown[: self._num_paths + 1] = self._path_offsets[: self._num_paths + 1]
             self._path_offsets = grown
+        if need_paths > len(self._path_weights):
+            grown_w = np.zeros(max(need_paths, _GROW * max(len(self._path_weights), 16)))
+            grown_w[: self._num_paths] = self._path_weights[: self._num_paths]
+            self._path_weights = grown_w
         total_links = self._links_used + sum(len(p) for p in paths)
         if total_links > len(self._path_links):
             grown = np.zeros(max(total_links, _GROW * max(len(self._path_links), 16)), dtype=np.int64)
             grown[: self._links_used] = self._path_links[: self._links_used]
             self._path_links = grown
+        self._path_weights[first : first + len(paths)] = weights
         for path in paths:
             end = self._links_used + len(path)
             self._path_links[self._links_used : end] = path
@@ -137,6 +166,7 @@ class RouteTable:
             self._path_offsets[self._num_paths] = end
         self._pair_first[key] = first
         self._pair_npaths[key] = len(paths)
+        self._pair_nmin[key] = num_minimal
 
     def _populate(self, src: int, dst: int) -> int:
         """Ensure ``(src, dst)`` is routed; return its pair key."""
@@ -144,11 +174,11 @@ class RouteTable:
         if self._pair_first[key] >= 0:
             self.stats.hits += 1
             return key
-        paths = self.provider.paths(src, dst, max_paths=self.max_paths)
-        if not paths:
+        routes = self.policy.routes(self.provider, src, dst, self.max_paths)
+        if not routes.paths:
             raise TopologyError(f"no path between nodes {src} and {dst}")
         self.stats.misses += 1
-        self._append_paths(key, paths)
+        self._append_paths(key, routes.paths, routes.weights, routes.num_minimal)
         return key
 
     # ---------------------------------------------------------------- queries
@@ -240,30 +270,84 @@ class RouteTable:
             return np.zeros(0, dtype=np.int64), lengths
         return self._path_links[idx], lengths
 
+    def gather_path_weights(self, path_ids: np.ndarray) -> np.ndarray:
+        """Policy split weight of every path in ``path_ids`` (vectorized)."""
+        return self._path_weights[path_ids]
+
+    def pair_weights(self, src: int, dst: int) -> List[float]:
+        """Split weights of one pair's candidate paths (populates the pair)."""
+        if src == dst:
+            return [1.0]
+        first, count = self.pair_slice(src, dst)
+        return self._path_weights[first : first + count].tolist()
+
+    def pair_minimal_counts(self, src_nodes: np.ndarray, dst_nodes: np.ndarray) -> np.ndarray:
+        """Number of leading minimal paths per pair, vectorized.
+
+        Pairs must already be populated (call :meth:`pair_arrays` first).
+        Equals the pair's path count under ``minimal``/``ecmp``, the
+        minimal-group size under ``ugal`` (whose trailing paths are the
+        Valiant alternates), and 0 under ``valiant`` (every stored path is
+        a detour).
+        """
+        keys = src_nodes * self.topo.num_nodes + dst_nodes
+        return self._pair_nmin[keys]
+
 
 # ------------------------------------------------------------------ memoization
-# topology -> {max_paths: RouteTable}; weak keys so tables die with the topology.
-_TABLES: "weakref.WeakKeyDictionary[Topology, Dict[int, RouteTable]]" = weakref.WeakKeyDictionary()
+# topology -> {(policy key, max_paths): RouteTable}; weak keys so tables die
+# with the topology.
+_TABLES: "weakref.WeakKeyDictionary[Topology, Dict[Tuple, RouteTable]]" = weakref.WeakKeyDictionary()
+
+# Objects holding caches derived from route tables (simulator assignment
+# LRUs, materialized path lists, packet scoring state).  Weak so registering
+# never extends a lifetime; each client exposes ``clear_route_caches()``.
+_CACHE_CLIENTS: "weakref.WeakSet" = weakref.WeakSet()
 
 
-def route_table_for(topo: Topology, *, max_paths: int = 4) -> RouteTable:
-    """The shared :class:`RouteTable` of ``(topo, max_paths)``.
+def register_route_cache_client(client) -> None:
+    """Register an object whose ``clear_route_caches()`` must run when
+    :func:`clear_route_tables` resets the routing state."""
+    _CACHE_CLIENTS.add(client)
+
+
+def route_table_for(
+    topo: Topology,
+    *,
+    max_paths: int = DEFAULT_MAX_PATHS,
+    policy: Union[str, RoutingPolicy, None] = None,
+) -> RouteTable:
+    """The shared :class:`RouteTable` of ``(topo, policy, max_paths)``.
 
     Repeated calls return the *same* table object, so any number of
     simulators and backends built on one topology reuse each other's route
-    enumeration work.
+    enumeration work.  ``policy`` is a registered policy name or a
+    :class:`~repro.sim.policy.RoutingPolicy` instance (``None`` ==
+    ``"minimal"``); policies with equal :meth:`cache_key` share a table.
     """
+    resolved = get_policy(policy)
     per_topo = _TABLES.get(topo)
     if per_topo is None:
         per_topo = {}
         _TABLES[topo] = per_topo
-    table = per_topo.get(max_paths)
+    key = (resolved.cache_key(), max_paths)
+    table = per_topo.get(key)
     if table is None:
-        table = RouteTable(topo, max_paths=max_paths)
-        per_topo[max_paths] = table
+        table = RouteTable(topo, max_paths=max_paths, policy=resolved)
+        per_topo[key] = table
     return table
 
 
 def clear_route_tables() -> None:
-    """Drop every memoized table (tests and memory-sensitive sweeps)."""
+    """Drop every memoized table *and* every derived route cache.
+
+    Besides the table memo itself, this clears the registered cache
+    clients — live :class:`FlowSimulator` assignment LRUs, the tables'
+    materialized ``pair_path_lists``, and packet-simulator scoring state.
+    Simulators constructed before the reset keep their (immutable, still
+    valid) table object, but their derived caches are rebuilt on next use
+    and every simulator constructed afterwards gets a fresh table.
+    """
     _TABLES.clear()
+    for client in list(_CACHE_CLIENTS):
+        client.clear_route_caches()

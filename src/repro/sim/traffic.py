@@ -26,6 +26,7 @@ __all__ = [
     "alltoall_phases",
     "sampled_alltoall_phases",
     "random_permutation",
+    "adversarial_permutation",
     "uniform_pair_sample",
     "ring_neighbor_flows",
     "nearest_neighbor_2d_flows",
@@ -95,6 +96,119 @@ def random_permutation(p: int, seed: SeedLike = 0) -> List[Flow]:
     elif len(fixed) > 1:
         perm[fixed] = np.roll(perm[fixed], 1)
     return [Flow(int(i), int(perm[i])) for i in range(p)]
+
+
+def adversarial_permutation(topo) -> List[Flow]:
+    """Worst-case permutation traffic for ``topo``'s family: the classic
+    adversary of minimal routing, which concentrates traffic onto a *few* of
+    the parallel global resources while the rest of the network idles —
+    exactly the situation non-minimal (Valiant/UGAL) routing exists to fix
+    (Section IV-C's minimal-vs-non-minimal discussion).
+
+    The result is a permutation over the *participating* ranks and may be
+    **partial**: for HammingMesh the adversary is a job allocated on the
+    boards of one global row (the fragmented-allocation scenario of
+    Section IV) running a tornado shift among themselves while the rest of
+    the machine is silent — minimal routing funnels everything through that
+    row's few tapered row networks and cannot touch the idle rows' trees,
+    whereas non-minimal detours can.  Per family:
+
+    * **HammingMesh** — hot-row tornado: only the boards of global row 0
+      participate, each sending half-way along the row.
+    * **torus** — the tornado pattern: a ring shift *strictly* below half
+      the ring, so every minimal route takes the same direction and the
+      opposite direction idles (all ranks participate).
+    * **Dragonfly** — shift by half the groups: each group pair saturates
+      its few direct global channels while all other channels idle.
+    * **HyperX** — shift the switch column by half the row length: all
+      traffic serialises on the single direct row link per switch pair.
+    * **fat tree / generic** — shift ranks by ``P/2`` (all traffic crosses
+      the tapered upper levels; with only one path class, no policy helps).
+
+    Deterministic (no randomness): this is a structural worst case, not a
+    sample.
+    """
+    p = topo.num_accelerators
+    if p < 2:
+        raise ValueError("adversarial permutation needs at least two accelerators")
+    rank_of = topo.accelerator_index()
+    family = topo.meta.get("family")
+    perm: Optional[List[int]] = None
+    if family == "hammingmesh":
+        coord_of = topo.meta["coord_of"]
+        params = topo.meta["params"]
+        x, y = params.x, params.y
+        node_at = {coords: node for node, coords in coord_of.items()}
+        hot_row = x > 1  # hot dimension: the global row if there is one
+        if hot_row or y > 1:
+            flows = []
+            for node in topo.accelerators:
+                gr, gc, br, bc = coord_of[node]
+                if hot_row and gr == 0:
+                    target = (0, (gc + max(1, x // 2)) % x, br, bc)
+                elif not hot_row and gc == 0:
+                    target = ((gr + max(1, y // 2)) % y, 0, br, bc)
+                else:
+                    continue  # idle rank: the adversary's job is elsewhere
+                flows.append(Flow(rank_of[node], rank_of[node_at[target]]))
+            return flows
+    elif family == "torus":
+        rows, cols = topo.meta["rows"], topo.meta["cols"]
+        coord_of = topo.meta["coord_of"]
+        grid = topo.meta["grid"]
+        if cols > 2 or rows > 2:
+            perm = []
+            for node in topo.accelerators:
+                r, c = coord_of[node]
+                if cols > 2:
+                    # strictly below cols/2, so minimal goes one way only
+                    target = grid[r][(c + (cols - 1) // 2) % cols]
+                else:
+                    target = grid[(r + (rows - 1) // 2) % rows][c]
+                perm.append(rank_of[target])
+    elif family == "dragonfly":
+        acc_router = topo.meta["acc_router"]
+        router_group = topo.meta["router_group"]
+        by_group: dict = {}
+        for node in topo.accelerators:
+            by_group.setdefault(router_group[acc_router[node]], []).append(node)
+        groups = sorted(by_group)
+        if len(groups) > 1 and len({len(v) for v in by_group.values()}) == 1:
+            shift = max(1, len(groups) // 2)
+            perm = [0] * p
+            for gi, g in enumerate(groups):
+                peers = by_group[groups[(gi + shift) % len(groups)]]
+                for i, node in enumerate(by_group[g]):
+                    perm[rank_of[node]] = rank_of[peers[i]]
+    elif family == "hyperx":
+        acc_switch = topo.meta["acc_switch"]
+        switch_coord = topo.meta["switch_coord"]
+        switch_grid = topo.meta["switch_grid"]
+        cols = len(switch_grid[0])
+        by_switch: dict = {}
+        for node in topo.accelerators:
+            by_switch.setdefault(acc_switch[node], []).append(node)
+        if cols > 1 and len({len(v) for v in by_switch.values()}) == 1:
+            perm = [0] * p
+            for sw, nodes in by_switch.items():
+                r, c = switch_coord[sw]
+                peers = by_switch[switch_grid[r][(c + max(1, cols // 2)) % cols]]
+                for i, node in enumerate(nodes):
+                    perm[rank_of[node]] = rank_of[peers[i]]
+    if perm is None:
+        # fat tree / unknown family / degenerate shapes: half-shift in ranks.
+        perm = [(r + max(1, p // 2)) % p for r in range(p)]
+    # Degenerate shifts can produce fixed points (e.g. a 2-wide dimension
+    # where half-way is the identity after wrap); rotate them away.
+    fixed = [r for r in range(p) if perm[r] == r]
+    if fixed:
+        vals = [perm[r] for r in fixed]
+        vals = vals[1:] + vals[:1]
+        for r, v in zip(fixed, vals):
+            perm[r] = v
+    if any(perm[r] == r for r in range(p)):
+        raise ValueError("could not build a fixed-point-free adversarial permutation")
+    return [Flow(r, perm[r]) for r in range(p)]
 
 
 def uniform_pair_sample(p: int, num_samples: int, seed: SeedLike = 0) -> List[Flow]:

@@ -90,6 +90,65 @@ class TestPathProviders:
         with pytest.raises(TopologyError):
             provider.paths(a, c)
 
+    def test_generic_provider_on_custom_topology(self):
+        """BFS fallback on a non-family topology: a diamond with two equal
+        shortest paths through different switches."""
+        from repro.topology import Topology
+
+        topo = Topology("diamond")
+        a = topo.add_accelerator("a")
+        b = topo.add_accelerator("b")
+        s1 = topo.add_switch("s1")
+        s2 = topo.add_switch("s2")
+        for sw in (s1, s2):
+            topo.add_link(a, sw)
+            topo.add_link(sw, b)
+        assert topo.meta.get("family") is None
+        provider = path_provider_for(topo)
+        assert isinstance(provider, GenericPathProvider)
+        paths = provider.paths(a, b, max_paths=4)
+        assert len(paths) == 2
+        assert all(len(p) == 2 for p in paths)
+        for path in paths:
+            check_path(topo, a, b, path)
+        # max_paths caps the enumeration
+        assert len(provider.paths(a, b, max_paths=1)) == 1
+
+    def test_generic_provider_single_node_topology(self):
+        """The degenerate single-node case: only the trivial self path."""
+        from repro.topology import Topology
+
+        topo = Topology("lonely")
+        a = topo.add_accelerator("a")
+        provider = GenericPathProvider(topo)
+        assert provider.paths(a, a) == [[]]
+        # distance cache handles a single-node BFS without links
+        assert provider._distances_to(a) == [0]
+
+    def test_generic_provider_disconnected_pair_raises(self):
+        """Two islands: routing across them reports 'no path', both ways."""
+        from repro.topology import Topology
+
+        topo = Topology("islands")
+        a1 = topo.add_accelerator("a1")
+        a2 = topo.add_accelerator("a2")
+        b1 = topo.add_accelerator("b1")
+        b2 = topo.add_accelerator("b2")
+        topo.add_link(a1, a2)
+        topo.add_link(b1, b2)
+        provider = GenericPathProvider(topo)
+        assert provider.paths(a1, a2) == [[0]]
+        with pytest.raises(TopologyError, match="no path"):
+            provider.paths(a1, b1)
+        with pytest.raises(TopologyError, match="no path"):
+            provider.paths(b2, a2)
+        # a RouteTable over the same topology surfaces the same error
+        from repro.sim import RouteTable
+
+        table = RouteTable(topo, max_paths=2)
+        with pytest.raises(TopologyError):
+            table.paths(a1, b1)
+
     def test_torus_paths_use_minimal_wrap(self, torus_4x4_boards):
         provider = path_provider_for(torus_4x4_boards)
         meta = torus_4x4_boards.meta
