@@ -22,6 +22,7 @@ import time
 from pathlib import Path
 from typing import Any, Optional
 
+import repro.obs as obs
 from repro.exp import Runner
 from repro.exp import run_sweep as _engine_run_sweep
 from repro.exp.recording import to_jsonable, write_artifact as _write_artifact
@@ -54,11 +55,22 @@ def bench_runner() -> Runner:
 
 
 def write_artifact(name: str, result: Any, wall_seconds: float) -> Optional[Path]:
-    """Write ``BENCH_<name>.json`` with the result and timing; return its path."""
+    """Write ``BENCH_<name>.json`` with the result and timing; return its path.
+
+    When observability is enabled (``REPRO_OBS=1`` or ``repro.obs.enable()``)
+    the artifact also embeds the compact non-zero metrics summary under an
+    ``"obs"`` key, so a benchmark run leaves its counter/histogram evidence
+    next to the numbers it produced.
+    """
     directory = _artifact_dir()
     if directory is None:
         return None
-    return _write_artifact(name, result, wall_seconds, directory=directory)
+    extra = None
+    if obs.is_enabled():
+        summary = obs.metrics_summary()
+        if summary:
+            extra = {"obs": summary}
+    return _write_artifact(name, result, wall_seconds, directory=directory, extra=extra)
 
 
 def committed_artifact(name: str) -> Optional[dict]:

@@ -17,7 +17,10 @@ Deep Learning* (Hoefler et al., SC'22) as a self-contained Python library:
 * :mod:`repro.workloads` -- DNN communication workload models (ResNet-152,
   CosmoFlow, GPT-3, GPT-3 MoE, DLRM);
 * :mod:`repro.analysis` -- the experiment harness regenerating Table II and
-  every evaluation figure.
+  every evaluation figure;
+* :mod:`repro.obs` -- unified metrics/tracing layer across the simulators,
+  the experiment engine, and the cluster twin (off by default; enable with
+  ``repro.obs.enable()`` or ``REPRO_OBS=1``).
 
 Quick start::
 
@@ -29,7 +32,7 @@ Quick start::
     print(sim.alltoall_bandwidth(num_phases=32))  # fraction of injection bandwidth
 """
 
-from . import allocation, analysis, cluster, collectives, core, cost, sim, topology, workloads
+from . import allocation, analysis, cluster, collectives, core, cost, obs, sim, topology, workloads
 from .core import HxMeshParams, HxMeshRouter, build_hammingmesh, hx2mesh, hx4mesh
 from .sim import FlowSimulator, NetworkModel, PacketNetwork, get_backend
 from .topology import Topology, build_topology
@@ -47,6 +50,7 @@ __all__ = [
     "cluster",
     "workloads",
     "analysis",
+    "obs",
     "HxMeshParams",
     "HxMeshRouter",
     "build_hammingmesh",

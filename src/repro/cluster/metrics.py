@@ -19,9 +19,15 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import registry as _obs
 from .jobs import ClusterJob, JobState
 
 __all__ = ["MetricSample", "ClusterMetrics"]
+
+#: bounded time series of (time, allocated, working, queued_jobs,
+#: queued_boards) — a decimated mirror of the step-function samples, so a
+#: trace shows how contention evolved without shipping the full history
+_STATE_PROBE = _obs.probe("cluster.state")
 
 
 @dataclass(frozen=True)
@@ -74,6 +80,10 @@ class ClusterMetrics:
             self.samples[-1] = sample  # collapse simultaneous events
         else:
             self.samples.append(sample)
+        _STATE_PROBE.record(
+            time, float(allocated_boards), float(working_boards),
+            float(queued_jobs), float(queued_boards),
+        )
 
     def record_completion(self, job: ClusterJob) -> None:
         self.completed.append(job)

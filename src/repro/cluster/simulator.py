@@ -35,6 +35,8 @@ import numpy as np
 
 from .._hash import mix64
 from ..allocation.greedy import AllocatorOptions
+from ..obs import registry as _obs
+from ..obs import tracing as _tracing
 from ..allocation.grid import BoardGrid
 from ..sim.engine import EventEngine, EventHandle
 from .failures import FailureModel
@@ -50,6 +52,42 @@ from .workload import (
 )
 
 __all__ = ["ClusterSimConfig", "ClusterReport", "ClusterSimulator"]
+
+# cluster.* counters (always live, mirroring the per-run ClusterMetrics
+# tallies as process-wide aggregates across every simulated campaign)
+_JOBS_COMPLETED = _obs.counter("cluster.jobs_completed")
+_FAILURES = _obs.counter("cluster.failures")
+_REPAIRS = _obs.counter("cluster.repairs")
+_EVICTIONS = _obs.counter("cluster.evictions")
+
+
+def _emit_job_spans(jobs: List[ClusterJob]) -> None:
+    """Job-lifecycle spans on the simulation clock, emitted after the run.
+
+    One ``cluster.job`` span per completed job (arrival to finish) with
+    ``queued`` / ``running`` children splitting it at the first start.
+    Restart and shrink counts ride along as attributes — an evicted job's
+    contention shows up as ``restarts > 0`` and a ``running`` child that
+    includes its requeued gaps.  Emission happens post-run from the job
+    records, so the spans are a pure function of the seeded config.
+    """
+    for job in jobs:
+        if job.finish_time is None:
+            continue
+        _tracing.add_span(
+            "cluster.job", job.arrival_time, job.finish_time, clock="sim",
+            job_id=job.job_id, boards=job.requested_boards,
+            restarts=job.restarts, shrinks=job.shrinks,
+        )
+        if job.start_time is not None:
+            _tracing.add_span(
+                "queued", job.arrival_time, job.start_time,
+                clock="sim", parent="cluster.job",
+            )
+            _tracing.add_span(
+                "running", job.start_time, job.finish_time,
+                clock="sim", parent="cluster.job",
+            )
 
 
 @dataclass(frozen=True)
@@ -234,6 +272,7 @@ class ClusterSimulator:
                 grid.release(job.job_id)
                 job.complete(engine.now)
                 metrics.record_completion(job)
+                _JOBS_COMPLETED.inc()
                 dispatch()
                 record()
                 check_finished()
@@ -261,6 +300,7 @@ class ClusterSimulator:
                 return
             board = working[int(failure_rng.integers(len(working)))]
             metrics.num_failures += 1
+            _FAILURES.inc()
             victim_id = grid.job_at(board)
             if victim_id is not None:
                 job, handle = running.pop(victim_id)
@@ -268,6 +308,7 @@ class ClusterSimulator:
                 job.interrupt(engine.now, checkpoint=model.checkpoint)
                 grid.release(victim_id)
                 metrics.num_evictions += 1
+                _EVICTIONS.inc()
                 if model.eviction == "shrink" and job.num_boards > model.min_boards:
                     job.shrink(model.shrink_target(job.num_boards))
                 scheduler.submit(job, front=True)
@@ -283,6 +324,7 @@ class ClusterSimulator:
                 repair_handles.pop(board, None)
                 grid.repair_boards([board])
                 metrics.num_repairs += 1
+                _REPAIRS.inc()
                 dispatch()
                 record()
                 reschedule_failure()
@@ -311,4 +353,6 @@ class ClusterSimulator:
             )
         duration = engine.now
         metrics.finalize(duration)
+        if _obs.is_enabled():
+            _emit_job_spans(jobs)
         return ClusterReport(config=cfg, duration=duration, jobs=jobs, metrics=metrics)

@@ -19,6 +19,7 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+from .. import obs
 from .cache import MISS, ResultCache
 from .grid import scenarios_of
 from .recording import compact, read_artifact, to_jsonable, write_artifact
@@ -104,6 +105,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------- run
 def _cmd_run(args: argparse.Namespace) -> int:
     per_sweep = _params_for(args.sweep, _parse_set(args.set or []))
+    if args.trace:
+        obs.enable()
     runner = Runner(workers=args.workers, cache=_resolve_cache(args))
     runs, report = run_sweeps(per_sweep, runner=runner)
     stats = report.stats()
@@ -131,10 +134,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
     print(
         f"total: {stats['cells']} cells in {stats['wall_seconds']:.2f}s wall "
-        f"({stats['compute_seconds']:.2f}s compute) on {stats['workers']} worker(s), "
+        f"({stats['compute_seconds']:.2f}s live compute, "
+        f"{stats['replayed_seconds']:.2f}s replayed from cache) on "
+        f"{stats['workers']} worker(s), "
         f"{stats['chunks']} chunk(s), cache {stats['cache_hits']} hit / "
         f"{stats['cache_misses']} miss"
     )
+    if args.trace:
+        path = obs.write_trace(args.trace)
+        print(f"trace: {path} (inspect with: python -m repro.obs.report {path})")
     if args.require_warm and stats["cache_misses"] > 0:
         print(
             f"error: --require-warm but {stats['cache_misses']} cell(s) "
@@ -237,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_flags(run)
     run.add_argument("--out", metavar="DIR", default=None, help="write BENCH_<artifact>.json artifacts to DIR")
     run.add_argument("--json", metavar="FILE", default=None, help="write the raw payload as JSON")
+    run.add_argument("--trace", metavar="FILE", default=None, help="enable repro.obs and write the metrics/span trace as JSON")
     run.add_argument("--require-warm", action="store_true", help="fail unless every cell was served from cache")
     run.set_defaults(fn=_cmd_run)
 

@@ -27,11 +27,15 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from .. import obs
 from .cache import MISS, ResultCache, resolve_cache
 from .grid import scenarios_of
 from .scenario import Scenario, canonical_json, resolve_kernel
 
 __all__ = ["CellResult", "RunReport", "Runner", "run_grid", "default_workers"]
+
+_CELLS_LIVE = obs.counter("exp.cells_live")
+_CELLS_CACHED = obs.counter("exp.cells_cached")
 
 
 def default_workers() -> int:
@@ -47,30 +51,57 @@ def _normalize(result: Any) -> Any:
     return json.loads(canonical_json(result))
 
 
-def _run_cells(cells: Sequence[Tuple[int, str, Dict[str, Any]]]):
+def _run_cells(cells: Sequence[Tuple[int, str, Dict[str, Any]]], collect_obs: bool = False):
     """Worker entry point: run one chunk of cells sequentially.
 
     Module-level so it pickles under every start method; returns
-    ``(index, normalized result, elapsed seconds)`` triples.
+    ``((index, normalized result, elapsed seconds) triples, obs payload)``.
+
+    ``collect_obs`` implements the worker side of the observability merge
+    protocol: the worker enables collection locally (a spawned process does
+    not inherit the parent's programmatic ``obs.enable()``), marks the
+    registry before the chunk, and ships back only the delta — so it also
+    behaves correctly under ``fork``, where the worker *does* inherit the
+    parent's accumulated state.  The parent folds the payload back with
+    :func:`repro.obs.merge_state`.  When the chunk runs inline (serial
+    path), spans and counters land in the parent's registry directly and no
+    payload is produced.
     """
+    marker = None
+    if collect_obs:
+        obs.enable()
+        marker = obs.capture()
     out = []
+    worker = os.getpid()
     for index, kernel, params in cells:
         fn = resolve_kernel(kernel)
-        start = time.perf_counter()
-        raw = fn(**params)
-        elapsed = time.perf_counter() - start
+        with obs.span("exp.cell", kernel=kernel, index=index, cached=False, worker=worker):
+            start = time.perf_counter()
+            raw = fn(**params)
+            elapsed = time.perf_counter() - start
+        _CELLS_LIVE.inc()
         out.append((index, _normalize(raw), elapsed))
-    return out
+    payload = obs.export_delta(marker) if marker is not None else None
+    return out, payload
 
 
 @dataclass(frozen=True)
 class CellResult:
-    """One executed (or cache-served) cell."""
+    """One executed (or cache-served) cell.
+
+    ``seconds`` is the cell's **compute attribution**: the kernel's measured
+    run time, replayed from the cache entry for a warm cell.  ``wall_seconds``
+    is what *this* run actually spent on the cell: the same measurement for a
+    live cell, but only the cache-lookup time for a warm one.  The two were
+    historically conflated, which made warm runs look as expensive as cold
+    ones.
+    """
 
     scenario: Scenario
     value: Any
     seconds: float
     cached: bool
+    wall_seconds: float = 0.0
 
 
 class RunReport:
@@ -105,14 +136,15 @@ class RunReport:
     def slice(self, start: int, stop: int) -> "RunReport":
         """A view over a contiguous cell range (multi-sweep runs).
 
-        A slice's ``wall_seconds`` is the summed per-cell compute time of
-        the slice -- the whole run's wall clock is shared across sweeps and
-        would misattribute time to each of them.
+        A slice's ``wall_seconds`` is the summed per-cell **spent** time of
+        the slice (live compute plus cache lookups) -- the whole run's wall
+        clock is shared across sweeps and would misattribute time to each of
+        them, and a warm cell's replayed compute time was not spent here.
         """
         part = self.cells[start:stop]
         return RunReport(
             part,
-            wall_seconds=sum(c.seconds for c in part),
+            wall_seconds=sum(c.wall_seconds for c in part),
             workers=self.workers,
             chunks=self.chunks,
             cache_hits=sum(c.cached for c in part),
@@ -120,6 +152,12 @@ class RunReport:
         )
 
     def stats(self) -> Dict[str, Any]:
+        """Execution statistics.
+
+        ``compute_seconds`` is time spent computing live cells in this run;
+        ``replayed_seconds`` is the compute time warm cells originally cost
+        (replayed from their cache entries, not spent now).
+        """
         return {
             "cells": len(self.cells),
             "wall_seconds": self.wall_seconds,
@@ -128,6 +166,7 @@ class RunReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "compute_seconds": sum(c.seconds for c in self.cells if not c.cached),
+            "replayed_seconds": sum(c.seconds for c in self.cells if c.cached),
         }
 
 
@@ -157,25 +196,40 @@ class Runner:
 
         for index, (scenario, content_hash) in enumerate(zip(scenarios, hashes)):
             hit = MISS
+            t_lookup = time.perf_counter()
             if self.cache is not None and scenario.cacheable:
                 hit = self.cache.get(content_hash)
             if hit is MISS:
                 pending.append((index, scenario))
             else:
                 value, elapsed = hit
-                done[index] = CellResult(scenario, value, elapsed, cached=True)
+                lookup_end = time.perf_counter()
+                done[index] = CellResult(
+                    scenario, value, elapsed, cached=True,
+                    wall_seconds=lookup_end - t_lookup,
+                )
+                _CELLS_CACHED.inc()
+                obs.add_span(
+                    "exp.cell", t_lookup, lookup_end, clock="wall",
+                    kernel=scenario.kernel, index=index, cached=True,
+                    worker=os.getpid(),
+                )
 
         chunks = self._chunk(pending)
         if self.workers <= 1 or len(chunks) <= 1:
             for chunk in chunks:
-                self._absorb(done, scenarios, _run_cells(chunk))
+                triples, _ = _run_cells(chunk)
+                self._absorb(done, scenarios, triples)
         else:
+            collect_obs = obs.is_enabled()
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                futures = {pool.submit(_run_cells, chunk) for chunk in chunks}
+                futures = {pool.submit(_run_cells, chunk, collect_obs) for chunk in chunks}
                 while futures:
                     finished, futures = wait(futures, return_when=FIRST_COMPLETED)
                     for future in finished:
-                        self._absorb(done, scenarios, future.result())
+                        triples, payload = future.result()
+                        obs.merge_state(payload)
+                        self._absorb(done, scenarios, triples)
 
         cells = [done[i] for i in range(len(scenarios))]
         if self.cache is not None:
@@ -224,7 +278,9 @@ class Runner:
         triples: Sequence[Tuple[int, Any, float]],
     ) -> None:
         for index, value, elapsed in triples:
-            done[index] = CellResult(scenarios[index], value, elapsed, cached=False)
+            done[index] = CellResult(
+                scenarios[index], value, elapsed, cached=False, wall_seconds=elapsed
+            )
 
 
 def run_grid(

@@ -1,0 +1,149 @@
+"""Pretty-printer for ``repro.obs`` traces.
+
+Renders a trace produced by :func:`repro.obs.write_trace` (for instance
+via ``python -m repro.exp run <sweep> --trace trace.json``) as a compact
+text report: non-zero metrics grouped by subsystem family, then a
+flamegraph-style span tree -- span paths indented by nesting depth with
+per-path call counts, total time, and a proportional bar.
+
+Usage::
+
+    python -m repro.obs.report trace.json
+    python -m repro.obs.report trace.json --top 40
+
+or programmatically through :func:`format_trace`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .tracing import span_summary
+
+__all__ = ["format_metrics", "format_spans", "format_trace", "main"]
+
+_BAR_WIDTH = 24
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value and abs(value) >= 1e6:
+        return f"{value:,.0f}"
+    return f"{value:g}"
+
+
+def format_metrics(metrics: Dict[str, Any]) -> str:
+    """Non-zero counters/gauges/histograms/probes grouped by family."""
+    lines: List[str] = []
+    rows: List[tuple] = []
+    for name, value in metrics.get("counters", {}).items():
+        if value:
+            rows.append((name, f"{value:,}", "counter"))
+    for name, value in metrics.get("gauges", {}).items():
+        if value:
+            rows.append((name, _fmt_value(value), "gauge"))
+    for name, hist in metrics.get("histograms", {}).items():
+        if hist.get("count"):
+            rows.append(
+                (
+                    name,
+                    f"n={hist['count']:,} mean={hist['mean']:.1f} max={_fmt_value(hist['max'])}",
+                    "histogram",
+                )
+            )
+    for name, probe in metrics.get("probes", {}).items():
+        samples = probe.get("samples", [])
+        if samples:
+            rows.append(
+                (
+                    name,
+                    f"{len(samples)} samples, stride {probe.get('stride', 1)}",
+                    "probe",
+                )
+            )
+    if not rows:
+        return "metrics: (none recorded)"
+    rows.sort()
+    width = max(len(r[0]) for r in rows)
+    family = None
+    for name, text, kind in rows:
+        head = name.split(".", 1)[0]
+        if head != family:
+            family = head
+            lines.append(f"[{family}]")
+        lines.append(f"  {name:<{width}}  {text}  ({kind})")
+    return "\n".join(lines)
+
+
+def format_spans(spans: List[Dict[str, Any]], *, top: Optional[int] = None) -> str:
+    """Flamegraph-style text tree: paths indented, bars proportional.
+
+    Aggregates spans by path, orders children under their parents, and
+    scales the bar to the largest root-path total of the same clock.
+    """
+    summary = span_summary(spans)
+    if not summary:
+        return "spans: (none recorded)"
+    # Scale bars per clock domain; roots of each clock share one scale.
+    scale: Dict[str, float] = {}
+    for path, agg in summary.items():
+        if "/" not in path:
+            clock = agg["clock"]
+            scale[clock] = max(scale.get(clock, 0.0), agg["total_seconds"])
+    lines: List[str] = []
+    paths = sorted(summary)  # lexicographic order keeps children under parents
+    if top is not None:
+        ranked = sorted(summary, key=lambda p: -summary[p]["total_seconds"])[:top]
+        keep = set(ranked)
+        for path in ranked:  # keep ancestors so indentation stays meaningful
+            while "/" in path:
+                path = path.rsplit("/", 1)[0]
+                keep.add(path)
+        paths = [p for p in paths if p in keep]
+    width = max(len(p) + 2 * p.count("/") for p in paths)
+    for path in paths:
+        agg = summary[path]
+        depth = path.count("/")
+        label = "  " * depth + path.rsplit("/", 1)[-1]
+        total = agg["total_seconds"]
+        full = scale.get(agg["clock"], 0.0) or 1.0
+        bar = "#" * max(1, round(_BAR_WIDTH * min(total / full, 1.0))) if total > 0 else ""
+        unit = "s" if agg["clock"] == "wall" else "s(sim)"
+        lines.append(
+            f"{label:<{width}}  {agg['count']:>6}x  {total:>10.4f} {unit:<6}  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def format_trace(trace: Dict[str, Any], *, top: Optional[int] = None) -> str:
+    """Full text report of one exported trace."""
+    parts = [
+        f"repro.obs trace (version {trace.get('version', '?')}, "
+        f"collection {'enabled' if trace.get('enabled') else 'disabled'})",
+        "",
+        format_metrics(trace.get("metrics", {})),
+        "",
+        format_spans(trace.get("spans", []), top=top),
+    ]
+    return "\n".join(parts)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Pretty-print a repro.obs trace JSON file.",
+    )
+    parser.add_argument("trace", help="trace file written by --trace / repro.obs.write_trace")
+    parser.add_argument("--top", type=int, default=None, help="only the N slowest span paths")
+    args = parser.parse_args(argv)
+    trace = json.loads(Path(args.trace).read_text())
+    print(format_trace(trace, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    raise SystemExit(main())

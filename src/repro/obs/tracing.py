@@ -1,0 +1,185 @@
+"""Span-based tracing with nested spans and deterministic JSON export.
+
+A *span* is a named, timed region of work with free-form attributes:
+experiment cells, cluster job lifetimes, benchmark bodies.  Two clocks
+coexist in one trace:
+
+* ``clock="wall"`` spans are opened/closed around real work through
+  :meth:`Tracer.span` (a context manager timing with ``perf_counter``);
+* ``clock="sim"`` spans carry **simulation timestamps** and are emitted
+  after the fact through :meth:`Tracer.add` (the cluster twin's
+  queued/running job phases), which makes them fully deterministic.
+
+Nesting is tracked through a span stack: a span opened inside another
+records the enclosing span's path, so exports reconstruct the hierarchy as
+``"exp.cell/flow.solve"``-style slash paths without object graphs.  The
+whole tracer is a no-op while observability is disabled --
+:meth:`Tracer.span` hands out a shared inert context manager, so a
+disabled call site costs one flag check and no allocation.
+
+Export order is completion order for locally recorded spans; spans merged
+from worker deltas (:meth:`Tracer.merge`) are appended in merge order.
+:func:`span_summary` aggregates either form into the deterministic
+per-path totals the tests and the report tool consume.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from . import registry as _registry
+
+__all__ = ["Tracer", "TRACER", "span", "add_span", "span_summary"]
+
+
+class _NoopSpan:
+    """Shared inert context manager handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+    def annotate(self, **attrs: Any) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """One live wall-clock span (created by :meth:`Tracer.span`)."""
+
+    __slots__ = ("tracer", "name", "attrs", "path", "begin")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.path = ""
+        self.begin = 0.0
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (e.g. a result size)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        stack = self.tracer._stack
+        parent = stack[-1].path if stack else ""
+        self.path = f"{parent}/{self.name}" if parent else self.name
+        stack.append(self)
+        self.begin = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        end = time.perf_counter()
+        self.tracer._stack.pop()
+        self.tracer.finished.append(
+            {
+                "name": self.name,
+                "path": self.path,
+                "clock": "wall",
+                "begin": self.begin,
+                "end": end,
+                "duration": end - self.begin,
+                "attrs": self.attrs,
+            }
+        )
+
+
+class Tracer:
+    """Process-local span recorder."""
+
+    def __init__(self) -> None:
+        self.finished: List[Dict[str, Any]] = []
+        self._stack: List[_Span] = []
+
+    def span(self, name: str, **attrs: Any):
+        """Context manager timing a wall-clock span (inert when disabled)."""
+        if not _registry.is_enabled():
+            return _NOOP
+        return _Span(self, name, attrs)
+
+    def add(
+        self,
+        name: str,
+        begin: float,
+        end: float,
+        *,
+        clock: str = "sim",
+        parent: str = "",
+        **attrs: Any,
+    ) -> None:
+        """Record a completed span with explicit timestamps.
+
+        ``clock="sim"`` marks simulation-time spans (deterministic);
+        ``parent`` is the enclosing span's path for nested emission.
+        """
+        if not _registry.is_enabled():
+            return
+        path = f"{parent}/{name}" if parent else name
+        self.finished.append(
+            {
+                "name": name,
+                "path": path,
+                "clock": clock,
+                "begin": begin,
+                "end": end,
+                "duration": end - begin,
+                "attrs": attrs,
+            }
+        )
+
+    def export(self) -> List[Dict[str, Any]]:
+        """All finished spans (completion/merge order)."""
+        return list(self.finished)
+
+    def merge(self, spans: Optional[List[Dict[str, Any]]]) -> None:
+        """Append spans exported by another process."""
+        if spans:
+            self.finished.extend(spans)
+
+    def reset(self) -> None:
+        self.finished.clear()
+        self._stack.clear()
+
+
+#: the process-global tracer (module-level helpers below delegate to it)
+TRACER = Tracer()
+
+
+def span(name: str, **attrs: Any):
+    return TRACER.span(name, **attrs)
+
+
+def add_span(
+    name: str, begin: float, end: float, *, clock: str = "sim", parent: str = "", **attrs: Any
+) -> None:
+    TRACER.add(name, begin, end, clock=clock, parent=parent, **attrs)
+
+
+def span_summary(spans: Optional[List[Dict[str, Any]]] = None) -> Dict[str, Dict[str, Any]]:
+    """Aggregate spans by path: count and total duration per path.
+
+    The summary keys are sorted paths, so two traces covering the same work
+    (e.g. a serial and a parallel run of one grid) produce identical
+    summaries modulo the float duration fields.
+    """
+    if spans is None:
+        spans = TRACER.finished
+    out: Dict[str, Dict[str, Any]] = {}
+    for rec in spans:
+        agg = out.get(rec["path"])
+        if agg is None:
+            agg = out[rec["path"]] = {
+                "count": 0,
+                "total_seconds": 0.0,
+                "clock": rec["clock"],
+            }
+        agg["count"] += 1
+        agg["total_seconds"] += rec["duration"]
+    return {path: out[path] for path in sorted(out)}

@@ -37,6 +37,8 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs import registry as _obs
+
 __all__ = ["EventEngine", "EventHandle", "RecordBatch"]
 
 #: Batch of typed records popped from the heap: ``(time, records)`` where
@@ -44,6 +46,9 @@ __all__ = ["EventEngine", "EventHandle", "RecordBatch"]
 #: sequence order.  Raw tuples keep the pop loop allocation-free; handlers
 #: unpack them directly (or ``zip(*records)`` to columnarize a big wave).
 RecordBatch = Tuple[float, List[Tuple]]
+
+#: wave-size histogram of the generic run loop (no-op while obs is disabled)
+_WAVE_SIZE = _obs.histogram("engine.wave_size")
 
 
 class EventHandle:
@@ -301,6 +306,7 @@ class EventEngine:
                     )
                 limit = None if max_events is None else max_events - processed
                 time, records = self.pop_record_batch(limit)
+                _WAVE_SIZE.observe(len(records))
                 handler(time, records)
                 processed += len(records)
             else:

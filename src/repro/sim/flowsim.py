@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..obs import registry as _obs
 from ..topology.base import Topology
 from .paths import DEFAULT_MAX_PATHS, PathProvider
 from .policy import RoutingPolicy, get_policy
@@ -35,6 +36,13 @@ from .traffic import Flow
 __all__ = ["FlowAssignment", "FlowSimulator", "PhaseResult"]
 
 _EPS = 1e-9
+
+# flowsim.* instruments (module-bound; the registry resets them in place).
+_MAXMIN_SOLVES = _obs.counter("flowsim.maxmin_solves")
+_MAXMIN_ROUNDS = _obs.histogram("flowsim.maxmin_rounds")
+_FROZEN_PER_ROUND = _obs.histogram("flowsim.frozen_per_round")
+_ASSIGNMENTS_BUILT = _obs.counter("flowsim.assignments_built")
+_ASSIGNMENT_HITS = _obs.counter("flowsim.assignment_cache_hits")
 
 #: Distinct flow patterns whose :class:`FlowAssignment` is kept per simulator.
 #: Collective schedules and the alltoall aggregate re-assign identical flow
@@ -208,7 +216,9 @@ class FlowSimulator:
         cached = self._assignments.get(key)
         if cached is not None:
             self._assignments.move_to_end(key)
+            _ASSIGNMENT_HITS.inc()
             return cached
+        _ASSIGNMENTS_BUILT.inc()
         src_ranks = np.fromiter((f.src for f in flows), dtype=np.int64, count=len(flows))
         dst_ranks = np.fromiter((f.dst for f in flows), dtype=np.int64, count=len(flows))
         if (src_ranks == dst_ranks).any():
@@ -423,6 +433,7 @@ class FlowSimulator:
                 frozen = frozen[active[frozen]]
                 if len(frozen):
                     frozen = np.unique(frozen)
+                    _FROZEN_PER_ROUND.observe(len(frozen))
                     active[frozen] = False
                     num_active -= len(frozen)
                     fill_at_freeze[frozen] = fill
@@ -437,6 +448,8 @@ class FlowSimulator:
         # against) receive the full accumulated fill, as in the reference.
         if num_active:
             fill_at_freeze[active] = fill
+        _MAXMIN_SOLVES.inc()
+        _MAXMIN_ROUNDS.observe(iterations)
         sub_rate = sub_weights * fill_at_freeze
         flow_rates = np.bincount(asg.subflow_flow, weights=sub_rate, minlength=asg.num_flows)
         used = self.capacity - remaining

@@ -57,6 +57,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from .._hash import mix64  # noqa: F401  (inlined below; kept as the reference)
+from ..obs import registry as _obs
 from ..topology.base import CableClass, Topology
 from .engine import EventEngine
 from .packet import DEFAULT_PACKET_SIZE, Message
@@ -76,6 +77,17 @@ _MASK64 = (1 << 64) - 1  # for the inlined SplitMix64 path-rotation hash
 #: shows the Python<->array conversion at the pass boundaries only amortizes
 #: for very large waves, so the crossover sits high.
 _WAVE_THRESHOLD = 4096
+
+# packet.* instruments.  Counters are always live; the wave-size histogram
+# and the sampled probes only record while observability is enabled, and the
+# inlined ``_drive`` fast path is left untouched either way.
+_MESSAGES = _obs.counter("packet.messages")
+_PACKETS = _obs.counter("packet.packets")
+_EVENTS = _obs.counter("packet.events")
+_WAVE_SIZE = _obs.histogram("packet.wave_size")
+
+#: events per slice when ``run`` drives in sampled mode (obs enabled)
+_SAMPLE_CHUNK = 32768
 
 _GROW = 4  # geometric growth factor for the SoA arrays
 
@@ -249,6 +261,7 @@ class PacketNetwork:
         self._msg_arrived.append(0)
         self._msg_completion.append(None)
         self.engine.schedule_record(start_time, _INJECT, midx)
+        _MESSAGES.inc()
         return message
 
     def send_flows(self, flows: Sequence[Flow], size: float, *, start_time: float = 0.0) -> None:
@@ -288,6 +301,7 @@ class PacketNetwork:
                 j += 1
             run = records if j - i == k else records[i:j]
             if tag == _FORWARD:
+                _WAVE_SIZE.observe(j - i)
                 if j - i < _WAVE_THRESHOLD:
                     seq = self._forward_scalar(time, run, seq)
                 else:
@@ -330,6 +344,7 @@ class PacketNetwork:
         )
         message.packets_total = num_packets
         self._msg_total[midx] = num_packets
+        _PACKETS.inc(num_packets)
         pair = (message.src, message.dst)
         entry = self._pair_scoring.get(pair)
         if entry is None:
@@ -752,14 +767,61 @@ class PacketNetwork:
         engine._sequence = seq
         return now
 
+    def _drive_sampled(self, until: Optional[float], max_events: Optional[int]) -> float:
+        """Drive in bounded slices, sampling link state between slices.
+
+        Used instead of the plain :meth:`_drive` while observability is
+        enabled: every ``_SAMPLE_CHUNK`` events the per-link backlog and
+        cumulative utilization are recorded into the ``packet.queue_depth``
+        and ``packet.link_utilization`` probes.  Event ordering — and thus
+        every simulation result — is identical to the unsampled drive; only
+        measurement data is collected between slices.
+        """
+        engine = self.engine
+        depth_probe = _obs.probe("packet.queue_depth")
+        util_probe = _obs.probe("packet.link_utilization")
+        done = 0
+        finish = engine._now
+        while True:
+            budget = _SAMPLE_CHUNK if max_events is None else min(_SAMPLE_CHUNK, max_events - done)
+            before = engine._processed
+            finish = self._drive(until, budget)
+            done += engine._processed - before
+            self._sample_link_state(depth_probe, util_probe)
+            if not self._rtimes:
+                break
+            if until is not None and self._rtimes[0] > until:
+                break
+            if max_events is not None and done >= max_events:
+                break
+        return finish
+
+    def _sample_link_state(self, depth_probe: "_obs.Probe", util_probe: "_obs.Probe") -> None:
+        """Record one time-series sample of per-link backlog and utilization."""
+        now = self.engine._now
+        free = np.asarray(self._link_free, dtype=np.float64)
+        if not len(free):
+            return
+        backlog = np.maximum(free - now, 0.0)
+        depth_probe.record(
+            now, float(backlog.mean()), float(backlog.max()), float((backlog > 0.0).sum())
+        )
+        if now > 0.0:
+            util = np.asarray(self._link_busy, dtype=np.float64) / now
+            util_probe.record(now, float(util.mean()), float(util.max()))
+
     def run(self, *, until: Optional[float] = None, max_events: Optional[int] = None) -> PacketSimResult:
         """Run the simulation and return the aggregate result."""
+        events_before = self.engine._processed
         if self.engine._queue:
             # Closure events are mixed in (user extensions): let the engine
             # interleave both kinds through the generic handler path.
             finish = self.engine.run(until=until, max_events=max_events)
+        elif _obs.is_enabled():
+            finish = self._drive_sampled(until, max_events)
         else:
             finish = self._drive(until, max_events)
+        _EVENTS.inc(self.engine._processed - events_before)
         arrived = self._msg_arrived
         completion = self._msg_completion
         for midx, message in enumerate(self._messages):

@@ -37,11 +37,11 @@ full reset can never serve stale routes out of a derived cache.
 from __future__ import annotations
 
 import weakref
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..obs import registry as _obs
 from ..topology.base import Topology, TopologyError
 from .paths import DEFAULT_MAX_PATHS, PathProvider, path_provider_for
 from .policy import RoutingPolicy, get_policy
@@ -56,6 +56,11 @@ __all__ = [
 ]
 
 _GROW = 4  # geometric growth factor exponent base for the flat arrays
+
+
+def _release_csr_bytes(reported: List[int]) -> None:
+    """Finalizer: subtract a dead table's last-reported CSR bytes."""
+    _obs.gauge("routing.csr_mem_bytes").add(-reported[0])
 
 
 def csr_range_indices(offsets: np.ndarray, ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -81,16 +86,43 @@ def csr_range_indices(offsets: np.ndarray, ids: np.ndarray) -> Tuple[np.ndarray,
     return indices, lengths
 
 
-@dataclass
 class RouteTableStats:
-    """Pair-level cache counters of one :class:`RouteTable`."""
+    """Pair-level cache counters of one :class:`RouteTable`.
 
-    hits: int = 0
-    misses: int = 0
+    A thin view over two table-local :class:`repro.obs.registry.Counter`
+    instruments whose parents are the registry's ``routing.pair_hits`` /
+    ``routing.pair_misses`` aggregates: bumping a table's stats also rolls
+    up into the process-wide routing family, with no extra bookkeeping at
+    the call sites.  The ``hits`` / ``misses`` / ``pairs_routed`` read API
+    predates ``repro.obs`` and is pinned by the routing backend tests.
+    """
+
+    __slots__ = ("_hits", "_misses")
+
+    def __init__(self) -> None:
+        self._hits = _obs.Counter("hits", parent=_obs.counter("routing.pair_hits"))
+        self._misses = _obs.Counter("misses", parent=_obs.counter("routing.pair_misses"))
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
 
     @property
     def pairs_routed(self) -> int:
         return self.misses
+
+    def record_hits(self, n: int = 1) -> None:
+        self._hits.inc(n)
+
+    def record_misses(self, n: int = 1) -> None:
+        self._misses.inc(n)
+
+    def __repr__(self) -> str:  # keeps the old dataclass repr shape
+        return f"RouteTableStats(hits={self.hits}, misses={self.misses})"
 
 
 class RouteTable:
@@ -132,7 +164,36 @@ class RouteTable:
         self._links_used = 0
         # (key, count) -> materialized Python path lists (shared, immutable)
         self._pylists: Dict[Tuple[int, int], List[List[int]]] = {}
+        _obs.counter("routing.tables_built").inc()
+        # routing.csr_mem_bytes tracks the estimated bytes of *live* tables:
+        # growth is reported as gauge deltas, and a finalizer releases the
+        # table's last-reported contribution when it is garbage collected.
+        self._reported_bytes = [0]
+        weakref.finalize(self, _release_csr_bytes, self._reported_bytes)
+        self._report_csr_bytes()
         register_route_cache_client(self)
+
+    def estimated_csr_bytes(self) -> int:
+        """Estimated bytes held by the table's index + CSR arrays.
+
+        Dominated by the three ``O(num_nodes**2)`` pair-index arrays; the
+        number ROADMAP item 1 (10k+ endpoint scaling) is judged against.
+        """
+        return int(
+            self._pair_first.nbytes
+            + self._pair_npaths.nbytes
+            + self._pair_nmin.nbytes
+            + self._path_offsets.nbytes
+            + self._path_links.nbytes
+            + self._path_weights.nbytes
+        )
+
+    def _report_csr_bytes(self) -> None:
+        now = self.estimated_csr_bytes()
+        delta = now - self._reported_bytes[0]
+        if delta:
+            self._reported_bytes[0] = now
+            _obs.gauge("routing.csr_mem_bytes").add(delta)
 
     def clear_route_caches(self) -> None:
         """Drop derived route caches (the materialized Python path lists)."""
@@ -167,17 +228,18 @@ class RouteTable:
         self._pair_first[key] = first
         self._pair_npaths[key] = len(paths)
         self._pair_nmin[key] = num_minimal
+        self._report_csr_bytes()
 
     def _populate(self, src: int, dst: int) -> int:
         """Ensure ``(src, dst)`` is routed; return its pair key."""
         key = src * self.topo.num_nodes + dst
         if self._pair_first[key] >= 0:
-            self.stats.hits += 1
+            self.stats.record_hits()
             return key
         routes = self.policy.routes(self.provider, src, dst, self.max_paths)
         if not routes.paths:
             raise TopologyError(f"no path between nodes {src} and {dst}")
-        self.stats.misses += 1
+        self.stats.record_misses()
         self._append_paths(key, routes.paths, routes.weights, routes.num_minimal)
         return key
 
@@ -255,7 +317,7 @@ class RouteTable:
         missing = np.nonzero(self._pair_first[keys] < 0)[0]
         for i in missing:
             self._populate(int(src_nodes[i]), int(dst_nodes[i]))
-        self.stats.hits += len(keys) - len(missing)
+        self.stats.record_hits(len(keys) - len(missing))
         return self._pair_first[keys], self._pair_npaths[keys]
 
     def gather_links(self, path_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
