@@ -25,7 +25,11 @@ from typing import Any, Optional
 import repro.obs as obs
 from repro.exp import Runner
 from repro.exp import run_sweep as _engine_run_sweep
-from repro.exp.recording import to_jsonable, write_artifact as _write_artifact
+from repro.exp.recording import (
+    MemoryProbe,
+    to_jsonable,
+    write_artifact as _write_artifact,
+)
 
 __all__ = [
     "to_jsonable",
@@ -54,23 +58,35 @@ def bench_runner() -> Runner:
     return Runner(workers=workers, cache=False)
 
 
-def write_artifact(name: str, result: Any, wall_seconds: float) -> Optional[Path]:
+def write_artifact(
+    name: str,
+    result: Any,
+    wall_seconds: float,
+    *,
+    memory: Optional[dict] = None,
+) -> Optional[Path]:
     """Write ``BENCH_<name>.json`` with the result and timing; return its path.
 
     When observability is enabled (``REPRO_OBS=1`` or ``repro.obs.enable()``)
     the artifact also embeds the compact non-zero metrics summary under an
     ``"obs"`` key, so a benchmark run leaves its counter/histogram evidence
-    next to the numbers it produced.
+    next to the numbers it produced.  ``memory`` (a
+    :meth:`~repro.exp.recording.MemoryProbe.as_dict` snapshot) lands under a
+    ``"memory"`` key — the artifact's memory axis next to its seconds.
     """
     directory = _artifact_dir()
     if directory is None:
         return None
-    extra = None
+    extra: dict = {}
     if obs.is_enabled():
         summary = obs.metrics_summary()
         if summary:
-            extra = {"obs": summary}
-    return _write_artifact(name, result, wall_seconds, directory=directory, extra=extra)
+            extra["obs"] = summary
+    if memory is not None:
+        extra["memory"] = memory
+    return _write_artifact(
+        name, result, wall_seconds, directory=directory, extra=extra or None
+    )
 
 
 def committed_artifact(name: str) -> Optional[dict]:
@@ -94,14 +110,19 @@ def committed_artifact(name: str) -> Optional[dict]:
 def run_once(benchmark, fn, *args, record: Optional[str] = None, **kwargs):
     """Run a benchmark body exactly once (these are experiments, not kernels).
 
-    With ``record`` the returned series and the wall-clock time are written
-    to ``BENCH_<record>.json`` (see :func:`write_artifact`).
+    With ``record`` the returned series, the wall-clock time, and the
+    memory axis (peak RSS always; tracemalloc peak when
+    ``REPRO_BENCH_TRACE_MEMORY`` is set — it slows Python allocation, so
+    only memory-focused benchmarks should opt in) are written to
+    ``BENCH_<record>.json`` (see :func:`write_artifact`).
     """
+    trace = os.environ.get("REPRO_BENCH_TRACE_MEMORY", "") not in ("", "0")
     start = time.perf_counter()
-    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    with MemoryProbe(trace=trace) as probe:
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
     wall = time.perf_counter() - start
     if record:
-        write_artifact(record, result, wall)
+        write_artifact(record, result, wall, memory=probe.as_dict())
     return result
 
 

@@ -1,0 +1,172 @@
+"""Scale-out simulation path: memory-budgeted routing + batched max-min.
+
+The large-N contract of the simulator substrate, asserted and recorded in
+``BENCH_scaleout.json``:
+
+* **Memory budget**: a 4,096-accelerator ``Hx2Mesh(2,2,32,32)`` permutation
+  sweep runs end-to-end through the experiment engine (the registered
+  ``scaleout_permutation`` sweep) with the route table under a hard byte
+  budget — the sharded table's resident bytes stay at or below the budget
+  and the whole run's peak RSS stays below a hard process cap.  The
+  committed artifact carries the dense-pair-index projection next to the
+  measured resident bytes as the before/after evidence.
+* **Batched solver**: stacking a fig12-style permutation sweep into one
+  :meth:`~repro.sim.flowsim.FlowSimulator.maxmin_rates_batch` call is at
+  least 2x faster than per-scenario solves, with bit-identical rates.
+* **Headline scale**: the 16,384-accelerator ``Hx2Mesh(2,2,64,64)`` sweep
+  (whose dense pair index alone would need ~7.7 GB) runs under a 4 GB
+  route-table budget.  It costs tens of seconds, so it only re-runs when
+  ``REPRO_BENCH_SCALEOUT_FULL=1`` is set (the baseline-regeneration mode);
+  ordinary perf-smoke runs carry the committed baseline's headline
+  evidence forward unchanged.
+
+Fresh runs are compared against the committed baseline (within 2x,
+absolute wall-clock — set ``REPRO_BENCH_SKIP_BASELINE=1`` on hardware
+where that is meaningless).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exp import Runner, Scenario, run_sweep
+from repro.exp.cells import flowsim_batch_cell
+from repro.exp.scenario import kernel_ref
+from repro.sim import clear_route_tables, live_route_tables, parse_mem_budget
+
+from _bench_utils import bench_runner, committed_artifact, run_once
+
+#: CI-scale budgeted sweep: 4,096 accelerators under a deliberately tight
+#: route-table budget (the eager pair index would take ~429 MB).
+CI_TOPO = dict(a=2, b=2, x=32, y=32)
+CI_BUDGET = "256M"
+#: Hard cap on the whole process' peak RSS during the budgeted sweep.
+CI_RSS_CAP = 2 << 30
+#: Headline scale (run with REPRO_BENCH_SCALEOUT_FULL=1): 16,384
+#: accelerators under the 4 GB budget of the acceptance criterion.
+FULL_TOPO = dict(a=2, b=2, x=64, y=64)
+FULL_BUDGET = "4G"
+
+
+def _eager_pair_index_bytes(a: int, b: int, x: int, y: int) -> int:
+    """Projected bytes of the dense O(nodes^2) pair index (the "before")."""
+    from repro.core import build_hammingmesh
+
+    n = build_hammingmesh(a, b, x, y).num_nodes
+    return 3 * 8 * n * n
+
+
+def _budgeted_sweep(topo: dict, budget: str, num_permutations: int) -> dict:
+    """Run the registered scale-out sweep under ``budget``; gather evidence."""
+    clear_route_tables()
+    # In-process on purpose (not bench_runner): the route table the sweep
+    # builds must stay inspectable via live_route_tables() afterwards.
+    run = run_sweep(
+        "scaleout_permutation",
+        runner=Runner(workers=1, cache=False),
+        mem_budget=budget,
+        num_permutations=num_permutations,
+        **topo,
+    )
+    stats = run.report.stats()
+    tables = [t for t in live_route_tables() if t.is_sharded]
+    resident = max((t.estimated_csr_bytes() for t in tables), default=0)
+    evidence = {
+        "topology": dict(topo),
+        "accelerators": topo["a"] * topo["b"] * topo["x"] * topo["y"],
+        "mem_budget": budget,
+        "mem_budget_bytes": parse_mem_budget(budget),
+        "eager_pair_index_bytes": _eager_pair_index_bytes(**topo),
+        "sharded": bool(tables),
+        "resident_bytes": int(resident),
+        "peak_rss_bytes": stats["peak_rss_bytes"],
+        "wall_seconds": stats["wall_seconds"],
+        "num_permutations": num_permutations,
+        "mean_fraction": run.payload["mean_fraction"],
+        "min_fraction": run.payload["min_fraction"],
+    }
+    clear_route_tables()
+    return evidence
+
+
+def _run_cell(kernel, **params):
+    report = bench_runner().run(Scenario(kernel_ref(kernel), params))
+    return report.values()[0]
+
+
+@pytest.mark.benchmark(group="scaleout")
+def test_scaleout_path(benchmark):
+    """Budget + batch + headline contracts, recorded as one artifact."""
+    # Read the committed baseline before run_once regenerates the artifact.
+    baseline = committed_artifact("scaleout")
+
+    def run():
+        budgeted = _budgeted_sweep(CI_TOPO, CI_BUDGET, num_permutations=4)
+        serial = _run_cell(flowsim_batch_cell, impl="serial")
+        batched = _run_cell(flowsim_batch_cell, impl="batched")
+        batch = {
+            "before": serial,
+            "after": batched,
+            "speedup": serial["seconds"] / batched["seconds"],
+        }
+        headline = None
+        if os.environ.get("REPRO_BENCH_SCALEOUT_FULL"):
+            headline = _budgeted_sweep(FULL_TOPO, FULL_BUDGET, num_permutations=2)
+        elif baseline and isinstance(baseline.get("result"), dict):
+            headline = baseline["result"].get("headline")
+        return {"budgeted": budgeted, "batch": batch, "headline": headline}
+
+    data = run_once(benchmark, run, record="scaleout")
+    budgeted, batch = data["budgeted"], data["batch"]
+    print(
+        f"\nbudgeted sweep ({budgeted['accelerators']} accels @ {CI_BUDGET}): "
+        f"resident {budgeted['resident_bytes'] / 1e6:.1f} MB "
+        f"(eager projection {budgeted['eager_pair_index_bytes'] / 1e6:.0f} MB), "
+        f"peak RSS {budgeted['peak_rss_bytes'] / 1e6:.0f} MB, "
+        f"{budgeted['wall_seconds']:.1f}s"
+    )
+    print(
+        f"batched max-min: serial {batch['before']['seconds'] * 1e3:.0f} ms, "
+        f"batched {batch['after']['seconds'] * 1e3:.0f} ms "
+        f"({batch['speedup']:.2f}x)"
+    )
+
+    # -- memory-budget contract ------------------------------------------
+    assert budgeted["sharded"], "budget below the eager footprint must shard"
+    assert budgeted["resident_bytes"] <= budgeted["mem_budget_bytes"], (
+        f"resident {budgeted['resident_bytes']} exceeds the "
+        f"{budgeted['mem_budget_bytes']}-byte budget"
+    )
+    assert budgeted["peak_rss_bytes"] is not None
+    assert budgeted["peak_rss_bytes"] < CI_RSS_CAP, (
+        f"peak RSS {budgeted['peak_rss_bytes'] / 1e9:.2f} GB breached the "
+        f"{CI_RSS_CAP / 1e9:.0f} GB cap"
+    )
+    assert 0.0 < budgeted["min_fraction"] <= budgeted["mean_fraction"] <= 1.0
+
+    # -- batched-solver contract -----------------------------------------
+    # The batch solver is bit-identical to the serial one, so the means
+    # must agree exactly, not approximately.
+    assert batch["after"]["mean_rates"] == batch["before"]["mean_rates"]
+    assert batch["speedup"] >= 2.0, (
+        f"batched max-min is only {batch['speedup']:.2f}x the serial solver"
+    )
+
+    # -- headline evidence ------------------------------------------------
+    headline = data["headline"]
+    if headline is not None:
+        assert headline["sharded"]
+        assert headline["resident_bytes"] <= headline["mem_budget_bytes"]
+        assert headline["eager_pair_index_bytes"] > headline["mem_budget_bytes"], (
+            "headline config must be infeasible without the budget"
+        )
+
+    if baseline and isinstance(baseline.get("result"), dict):
+        committed = baseline["result"].get("budgeted", {}).get("wall_seconds")
+        if committed:
+            assert budgeted["wall_seconds"] <= committed * 2.0, (
+                f"budgeted sweep took {budgeted['wall_seconds']:.1f}s, more "
+                f"than 2x the committed baseline {committed:.1f}s"
+            )

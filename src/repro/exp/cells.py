@@ -20,6 +20,9 @@ __all__ = [
     "packet_vs_flow_cell",
     "packet_event_rate_cell",
     "flowsim_maxmin_cell",
+    "flowsim_batch_cell",
+    "maxmin_permutation_cell",
+    "maxmin_permutation_batch",
     "route_table_reuse_cell",
     "obs_overhead_cell",
 ]
@@ -190,6 +193,158 @@ def flowsim_maxmin_cell(
             means.append(float(result.flow_rates.mean()))
         mean_rates[key] = means
     return {"impl": impl, "seconds": seconds, "mean_rates": mean_rates}
+
+
+@cell(version=1, cacheable=False)
+def flowsim_batch_cell(
+    *,
+    cluster: str = "small",
+    keys: tuple = ("ft_nonblocking", "dragonfly", "hx4mesh", "torus"),
+    num_permutations: int = 8,
+    max_paths: int = 8,
+    seed: int = 21,
+    impl: str = "batched",
+    repeats: int = 4,
+) -> dict:
+    """Serial vs batched max-min solve timing (wall-clock, never cached).
+
+    The batched-solver contract probe: solves ``num_permutations`` random
+    permutations on each selected fig12-cluster topology either one at a
+    time (``impl="serial"``, repeated :meth:`FlowSimulator.maxmin_rates`
+    calls) or stacked into one vectorized
+    :meth:`FlowSimulator.maxmin_rates_batch` call (``impl="batched"``).
+    Assignments are warmed outside the clock, so only the solves are
+    measured (best of ``repeats``); the mean rates come along so callers
+    can assert both paths produce bit-identical numbers.
+    """
+    from ..analysis.clusters import cluster_configs
+    from ..sim import FlowSimulator, random_permutation
+
+    if impl not in ("serial", "batched"):
+        raise ValueError(f"unknown batch impl {impl!r}")
+    configs = {c.key: c for c in cluster_configs(cluster)}
+    seconds = 0.0
+    mean_rates = {}
+    for key in keys:
+        topo = configs[key].build()
+        sim = FlowSimulator(topo, max_paths=max_paths)
+        flow_sets = [
+            random_permutation(topo.num_accelerators, seed=seed + p)
+            for p in range(num_permutations)
+        ]
+        for flows in flow_sets:
+            sim.assign(flows)  # route + build incidence outside the clock
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            if impl == "serial":
+                results = [sim.maxmin_rates(flows) for flows in flow_sets]
+            else:
+                results = sim.maxmin_rates_batch(flow_sets)
+            best = min(best, time.perf_counter() - start)
+        seconds += best
+        mean_rates[key] = [float(r.flow_rates.mean()) for r in results]
+    return {"impl": impl, "seconds": seconds, "mean_rates": mean_rates}
+
+
+#: Keyword defaults shared by :func:`maxmin_permutation_cell` and its batch
+#: companion.  The runner hands the companion raw scenario parameter dicts,
+#: which omit parameters left at their defaults -- both paths must fill the
+#: same values or batched and per-cell results could diverge.
+_MAXMIN_PERM_DEFAULTS = {
+    "seed": 0,
+    "max_paths": 8,
+    "policy": "minimal",
+    "mem_budget": None,
+}
+
+
+def _permutation_summary(sim, flows, result) -> dict:
+    """Per-rank receive fractions of one solved permutation, summarised.
+
+    Replicates the :meth:`FlowSimulator.permutation_bandwidths` post-step on
+    an already-solved :class:`PhaseResult`, so the solo cell and the batch
+    companion share one code path from solver output to JSON result.
+    """
+    import numpy as np
+
+    by_dst = np.zeros(len(sim.ranks))
+    dst = np.fromiter((f.dst for f in flows), dtype=np.int64, count=len(flows))
+    np.add.at(by_dst, dst, result.flow_rates)
+    fractions = by_dst / sim.injection_capacity
+    return {
+        "mean_fraction": float(fractions.mean()),
+        "min_fraction": float(fractions.min()),
+        "p5_fraction": float(np.percentile(fractions, 5.0)),
+        "bottleneck_link": int(result.bottleneck_link),
+        "num_flows": len(flows),
+    }
+
+
+@cell(version=1, batch="repro.exp.cells:maxmin_permutation_batch")
+def maxmin_permutation_cell(
+    *,
+    a: int,
+    b: int,
+    x: int,
+    y: int,
+    seed: int = 0,
+    max_paths: int = 8,
+    policy: str = "minimal",
+    mem_budget=None,
+) -> dict:
+    """Receive-bandwidth summary of one random permutation on an HxaMesh.
+
+    The scale-out sweep cell: builds an ``a x b`` boards of ``x x y``
+    HammingMesh, routes under an optional route-table ``mem_budget``
+    (bytes, or ``"4G"``-style strings; see
+    :func:`repro.sim.routing.parse_mem_budget`), and solves one seeded
+    permutation with the incremental max-min solver.  Declares
+    :func:`maxmin_permutation_batch` as its batch companion, so a chunk of
+    same-topology cells is solved in one vectorized
+    :meth:`~repro.sim.flowsim.FlowSimulator.maxmin_rates_batch` call —
+    bit-identically, because the batch solver is bit-identical to the
+    serial one.
+    """
+    from ..core import build_hammingmesh
+    from ..sim import FlowSimulator, random_permutation
+
+    topo = build_hammingmesh(a, b, x, y)
+    sim = FlowSimulator(topo, max_paths=max_paths, policy=policy, mem_budget=mem_budget)
+    flows = random_permutation(topo.num_accelerators, seed=seed)
+    result = sim.maxmin_rates(flows)
+    return _permutation_summary(sim, flows, result)
+
+
+def maxmin_permutation_batch(param_list) -> list:
+    """Batch companion of :func:`maxmin_permutation_cell`.
+
+    Groups the parameter dicts by everything except ``seed`` (scenarios on
+    different topologies or routing knobs cannot share a solve), builds one
+    :class:`FlowSimulator` per group, and solves each group's permutations
+    in a single :meth:`maxmin_rates_batch` call.  Results come back in
+    input order and match per-cell calls bit-for-bit.
+    """
+    from ..core import build_hammingmesh
+    from ..sim import FlowSimulator, random_permutation
+
+    filled = [{**_MAXMIN_PERM_DEFAULTS, **p} for p in param_list]
+    groups: dict = {}
+    for i, p in enumerate(filled):
+        key = (p["a"], p["b"], p["x"], p["y"], p["max_paths"], p["policy"], p["mem_budget"])
+        groups.setdefault(key, []).append(i)
+    out: list = [None] * len(filled)
+    for (a, b, x, y, max_paths, policy, mem_budget), members in groups.items():
+        topo = build_hammingmesh(a, b, x, y)
+        sim = FlowSimulator(topo, max_paths=max_paths, policy=policy, mem_budget=mem_budget)
+        flow_sets = [
+            random_permutation(topo.num_accelerators, seed=filled[i]["seed"])
+            for i in members
+        ]
+        results = sim.maxmin_rates_batch(flow_sets)
+        for i, flows, result in zip(members, flow_sets, results):
+            out[i] = _permutation_summary(sim, flows, result)
+    return out
 
 
 @cell(version=1, cacheable=False)

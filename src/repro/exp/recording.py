@@ -16,13 +16,18 @@ import dataclasses
 import json
 import math
 import os
+import resource
+import sys
 import time
+import tracemalloc
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 __all__ = [
     "FLOAT_DIGITS",
     "MAX_SERIES",
+    "MemoryProbe",
+    "peak_rss_bytes",
     "to_jsonable",
     "compact",
     "write_artifact",
@@ -104,6 +109,68 @@ def compact(value: Any, *, float_digits: int = FLOAT_DIGITS, max_series: int = M
             compact(v, float_digits=float_digits, max_series=max_series) for v in value
         ]
     return value
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size, in bytes.
+
+    ``ru_maxrss`` is a monotonic high-water mark: kibibytes on Linux, bytes
+    on macOS.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak) * (1 if sys.platform == "darwin" else 1024)
+
+
+class MemoryProbe:
+    """Capture a block's memory footprint (the BENCH memory axis).
+
+    Records two complementary signals:
+
+    * ``peak_rss_bytes`` — the OS-level high-water mark at block exit, plus
+      ``rss_growth_bytes`` (exit minus entry).  Essentially free, but
+      monotonic across the process lifetime: a block after a bigger block
+      reports the bigger peak.
+    * ``tracemalloc_peak_bytes`` — the peak of *Python* allocations inside
+      the block, which resets per block and so isolates the block's own
+      footprint.  Only measured when tracing is active: pass ``trace=True``
+      to own a :mod:`tracemalloc` session for the block (2-4x slowdown — use
+      for memory-focused benchmarks, not hot sweeps), or start tracemalloc
+      yourself; when tracing is off the field is ``None``.
+    """
+
+    def __init__(self, *, trace: bool = False) -> None:
+        self._trace = trace
+        self._owns_trace = False
+        self.entry_rss_bytes = 0
+        self.peak_rss_bytes = 0
+        self.rss_growth_bytes = 0
+        self.tracemalloc_peak_bytes: Optional[int] = None
+
+    def __enter__(self) -> "MemoryProbe":
+        self.entry_rss_bytes = peak_rss_bytes()
+        if self._trace and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_trace = True
+        if tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        if tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            self.tracemalloc_peak_bytes = int(peak)
+            if self._owns_trace:
+                tracemalloc.stop()
+        self.peak_rss_bytes = peak_rss_bytes()
+        self.rss_growth_bytes = self.peak_rss_bytes - self.entry_rss_bytes
+
+    def as_dict(self) -> Dict[str, Optional[int]]:
+        """JSON-ready snapshot (artifact/``CellResult`` payload shape)."""
+        return {
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "rss_growth_bytes": self.rss_growth_bytes,
+            "tracemalloc_peak_bytes": self.tracemalloc_peak_bytes,
+        }
 
 
 def write_artifact(

@@ -33,6 +33,7 @@ _SWEEP_MODULES = (
     "repro.analysis.figures",
     "repro.analysis.table2",
     "repro.analysis.lifetime",
+    "repro.analysis.scaleout",
 )
 
 _SWEEPS: Dict[str, "SweepSpec"] = {}

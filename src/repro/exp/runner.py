@@ -30,12 +30,14 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from .. import obs
 from .cache import MISS, ResultCache, resolve_cache
 from .grid import scenarios_of
+from .recording import MemoryProbe
 from .scenario import Scenario, canonical_json, resolve_kernel
 
 __all__ = ["CellResult", "RunReport", "Runner", "run_grid", "default_workers"]
 
 _CELLS_LIVE = obs.counter("exp.cells_live")
 _CELLS_CACHED = obs.counter("exp.cells_cached")
+_CELLS_BATCHED = obs.counter("exp.cells_batched")
 
 
 def default_workers() -> int:
@@ -55,7 +57,19 @@ def _run_cells(cells: Sequence[Tuple[int, str, Dict[str, Any]]], collect_obs: bo
     """Worker entry point: run one chunk of cells sequentially.
 
     Module-level so it pickles under every start method; returns
-    ``((index, normalized result, elapsed seconds) triples, obs payload)``.
+    ``((index, normalized result, elapsed seconds, memory) tuples, obs
+    payload)``.  Each cell carries a :class:`~repro.exp.recording.MemoryProbe`
+    snapshot (peak RSS always; tracemalloc peak when
+    ``REPRO_EXP_TRACE_MEMORY`` is set or tracing is already on).
+
+    **Batching**: consecutive cells of a kernel that declares a batch
+    companion (``@cell(batch=...)``) are handed to the companion in one
+    call — one ``params`` list in, one result list out — so a chunk of
+    same-topology cells can share vectorized work (e.g. the batched
+    max-min solver).  The companion's results are bit-identical to per-cell
+    calls by contract, so cached, serial, parallel, and batched runs of a
+    cell all agree; the measured batch time is attributed evenly across the
+    cells it covered.
 
     ``collect_obs`` implements the worker side of the observability merge
     protocol: the worker enables collection locally (a spawned process does
@@ -73,14 +87,49 @@ def _run_cells(cells: Sequence[Tuple[int, str, Dict[str, Any]]], collect_obs: bo
         marker = obs.capture()
     out = []
     worker = os.getpid()
-    for index, kernel, params in cells:
+    trace_memory = os.environ.get("REPRO_EXP_TRACE_MEMORY", "") not in ("", "0")
+    n = len(cells)
+    pos = 0
+    while pos < n:
+        index, kernel, params = cells[pos]
         fn = resolve_kernel(kernel)
-        with obs.span("exp.cell", kernel=kernel, index=index, cached=False, worker=worker):
-            start = time.perf_counter()
-            raw = fn(**params)
-            elapsed = time.perf_counter() - start
-        _CELLS_LIVE.inc()
-        out.append((index, _normalize(raw), elapsed))
+        batch_ref = getattr(fn, "exp_batch", None)
+        end = pos + 1
+        if batch_ref is not None:
+            while end < n and cells[end][1] == kernel:
+                end += 1
+        if end - pos > 1:
+            group = cells[pos:end]
+            batch_fn = resolve_kernel(batch_ref)
+            with obs.span(
+                "exp.cell_batch", kernel=kernel, size=len(group), worker=worker
+            ):
+                with MemoryProbe(trace=trace_memory) as probe:
+                    start = time.perf_counter()
+                    raws = batch_fn([dict(p) for _, _, p in group])
+                    elapsed = time.perf_counter() - start
+            if len(raws) != len(group):  # pragma: no cover - contract guard
+                raise RuntimeError(
+                    f"batch kernel {batch_ref} returned {len(raws)} results "
+                    f"for {len(group)} cells"
+                )
+            share = elapsed / len(group)
+            memory = probe.as_dict()
+            _CELLS_BATCHED.inc(len(group))
+            for (cell_index, _, _), raw in zip(group, raws):
+                _CELLS_LIVE.inc()
+                out.append((cell_index, _normalize(raw), share, memory))
+        else:
+            with obs.span(
+                "exp.cell", kernel=kernel, index=index, cached=False, worker=worker
+            ):
+                with MemoryProbe(trace=trace_memory) as probe:
+                    start = time.perf_counter()
+                    raw = fn(**params)
+                    elapsed = time.perf_counter() - start
+            _CELLS_LIVE.inc()
+            out.append((index, _normalize(raw), elapsed, probe.as_dict()))
+        pos = end
     payload = obs.export_delta(marker) if marker is not None else None
     return out, payload
 
@@ -102,6 +151,9 @@ class CellResult:
     seconds: float
     cached: bool
     wall_seconds: float = 0.0
+    #: memory probe snapshot for a live cell (peak RSS, RSS growth,
+    #: tracemalloc peak when traced); ``None`` for cache-served cells
+    memory: Optional[Dict[str, Any]] = None
 
 
 class RunReport:
@@ -158,6 +210,11 @@ class RunReport:
         ``replayed_seconds`` is the compute time warm cells originally cost
         (replayed from their cache entries, not spent now).
         """
+        peaks = [
+            c.memory["peak_rss_bytes"]
+            for c in self.cells
+            if c.memory and c.memory.get("peak_rss_bytes")
+        ]
         return {
             "cells": len(self.cells),
             "wall_seconds": self.wall_seconds,
@@ -167,6 +224,9 @@ class RunReport:
             "cache_misses": self.cache_misses,
             "compute_seconds": sum(c.seconds for c in self.cells if not c.cached),
             "replayed_seconds": sum(c.seconds for c in self.cells if c.cached),
+            # Highest per-cell worker peak RSS seen this run (live cells
+            # only; None on a fully warm run).
+            "peak_rss_bytes": max(peaks) if peaks else None,
         }
 
 
@@ -275,11 +335,12 @@ class Runner:
     def _absorb(
         done: Dict[int, CellResult],
         scenarios: Sequence[Scenario],
-        triples: Sequence[Tuple[int, Any, float]],
+        rows: Sequence[Tuple[int, Any, float, Optional[Dict[str, Any]]]],
     ) -> None:
-        for index, value, elapsed in triples:
+        for index, value, elapsed, memory in rows:
             done[index] = CellResult(
-                scenarios[index], value, elapsed, cached=False, wall_seconds=elapsed
+                scenarios[index], value, elapsed, cached=False,
+                wall_seconds=elapsed, memory=memory,
             )
 
 

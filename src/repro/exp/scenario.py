@@ -38,18 +38,33 @@ __all__ = [
 ]
 
 
-def cell(version: int = 1, *, cacheable: bool = True) -> Callable:
+def cell(
+    version: int = 1, *, cacheable: bool = True, batch: Any = None
+) -> Callable:
     """Mark a function as an experiment cell kernel.
 
     ``version`` participates in the content hash: bump it whenever the
     kernel's *output* changes for identical parameters, so stale cache
     entries are invalidated.  ``cacheable=False`` exempts the kernel from
     the result cache entirely (timing probes, benchmarks-of-the-engine).
+
+    ``batch`` declares a **batch companion kernel** — a module-level
+    function (or its ``"module:function"`` reference) that takes a *list*
+    of this kernel's parameter dicts and returns the matching list of
+    results.  When a chunk contains consecutive cells of a batchable
+    kernel, the runner hands the whole run to the companion in one call
+    (e.g. :meth:`~repro.sim.flowsim.FlowSimulator.maxmin_rates_batch`
+    solving a chunk's scenarios together).  The companion must return
+    results identical to per-cell calls — cached and batched runs of the
+    same cell must agree — and it does not participate in the content
+    hash, so declaring one never invalidates cached results.
     """
 
     def decorate(fn: Callable) -> Callable:
         fn.exp_version = version
         fn.exp_cacheable = cacheable
+        if batch is not None:
+            fn.exp_batch = kernel_ref(batch)
         return fn
 
     return decorate

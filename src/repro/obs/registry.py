@@ -198,7 +198,11 @@ _DEFAULT_SCHEMA: Tuple[Tuple[str, str], ...] = (
     ("counter", "routing.pair_misses"),
     ("counter", "routing.tables_built"),
     ("gauge", "routing.csr_mem_bytes"),
+    ("counter", "routing.shards_built"),
+    ("counter", "routing.shards_evicted"),
+    ("gauge", "routing.spill_bytes"),
     ("counter", "flowsim.maxmin_solves"),
+    ("histogram", "flowsim.batch_size"),
     ("counter", "flowsim.assignments_built"),
     ("counter", "flowsim.assignment_cache_hits"),
     ("histogram", "flowsim.maxmin_rounds"),

@@ -283,11 +283,15 @@ class FlowBackend(NetworkModel):
         sim: Optional[FlowSimulator] = None,
         table: Optional[RouteTable] = None,
         policy: Union[str, RoutingPolicy, None] = None,
+        mem_budget: Union[str, int, float, None] = None,
     ):
         if sim is None:
             if topo is None:
                 raise ValueError("FlowBackend needs a topology or a simulator")
-            sim = FlowSimulator(topo, max_paths=max_paths, table=table, policy=policy)
+            sim = FlowSimulator(
+                topo, max_paths=max_paths, table=table, policy=policy,
+                mem_budget=mem_budget,
+            )
         elif policy is not None and get_policy(policy).cache_key() != sim.policy.cache_key():
             raise ValueError(
                 f"policy {get_policy(policy).name!r} conflicts with the "

@@ -43,6 +43,7 @@ _MAXMIN_ROUNDS = _obs.histogram("flowsim.maxmin_rounds")
 _FROZEN_PER_ROUND = _obs.histogram("flowsim.frozen_per_round")
 _ASSIGNMENTS_BUILT = _obs.counter("flowsim.assignments_built")
 _ASSIGNMENT_HITS = _obs.counter("flowsim.assignment_cache_hits")
+_BATCH_SIZE = _obs.histogram("flowsim.batch_size")
 
 #: Distinct flow patterns whose :class:`FlowAssignment` is kept per simulator.
 #: Collective schedules and the alltoall aggregate re-assign identical flow
@@ -150,7 +151,10 @@ class FlowSimulator:
     route through a custom provider (which gets a private table), or
     ``policy`` to select a routing policy by name or instance
     (:mod:`repro.sim.policy`; the default reproduces minimal multipath
-    routing bit-identically).
+    routing bit-identically).  ``mem_budget`` (bytes or a ``"4G"``-style
+    string; default: ``REPRO_ROUTE_MEM_BUDGET``) bounds the route table's
+    resident memory — large topologies switch to sharded route storage,
+    with identical results (see :mod:`repro.sim.routing`).
     """
 
     def __init__(
@@ -161,6 +165,7 @@ class FlowSimulator:
         max_paths: int = DEFAULT_MAX_PATHS,
         table: Optional[RouteTable] = None,
         policy: Union[str, RoutingPolicy, None] = None,
+        mem_budget: Union[str, int, float, None] = None,
     ):
         self.topo = topo
         if table is not None:
@@ -171,6 +176,10 @@ class FlowSimulator:
             self.table = table
         elif provider is not None:
             self.table = RouteTable(topo, max_paths=max_paths, provider=provider, policy=policy)
+        elif mem_budget is not None:
+            self.table = route_table_for(
+                topo, max_paths=max_paths, policy=policy, mem_budget=mem_budget
+            )
         else:
             self.table = route_table_for(topo, max_paths=max_paths, policy=policy)
         self.provider = self.table.provider
@@ -458,6 +467,241 @@ class FlowSimulator:
         return PhaseResult(
             flow_rates=flow_rates, link_utilization=link_util, bottleneck_link=bottleneck
         )
+
+    def maxmin_rates_batch(
+        self,
+        flow_sets: Sequence[Sequence[Flow]],
+        *,
+        max_iterations: int = 100000,
+    ) -> List[PhaseResult]:
+        """Max-min fair rates of **many scenarios at once**, vectorized.
+
+        Scenarios on one topology are independent, so their per-link loads
+        stack into one ``(scenarios, links)`` array and the progressive
+        filling rounds run across the whole batch: each round takes the
+        per-scenario headroom minimum over the rows, advances every live
+        scenario's fill level by its own increment (finished rows advance by
+        exactly 0.0, leaving their state untouched bit-for-bit), and freezes
+        the union of freshly saturated (scenario, link) cells through one
+        combined link-to-subflows CSR index in *virtual* link space
+        (``scenario * num_links + link``).
+
+        Every float operation a scenario sees — headroom, increment, load
+        subtraction, freeze level — is elementwise identical to what its solo
+        :meth:`maxmin_rates` solve performs, so the returned
+        :class:`PhaseResult` list is **bit-identical** to solving each
+        scenario separately; what the batch amortizes is the per-round
+        Python/NumPy dispatch overhead, the dominant cost at fig12 scale
+        (many scenarios x small link counts).  The number of rounds is the
+        *maximum* over the batch instead of the sum.
+        """
+        flow_sets = list(flow_sets)
+        S = len(flow_sets)
+        _BATCH_SIZE.observe(S)
+        if S == 0:
+            return []
+        asgs = [self.assign(flows) for flows in flow_sets]
+        L = len(self.capacity)
+        sub_counts = np.fromiter((a.num_subflows for a in asgs), dtype=np.int64, count=S)
+        sub_base = np.concatenate(([0], np.cumsum(sub_counts)))
+        total_subs = int(sub_base[-1])
+        entry_counts = np.fromiter((len(a.entry_link) for a in asgs), dtype=np.int64, count=S)
+        entry_base = np.concatenate(([0], np.cumsum(entry_counts)))
+        # Combined entry arrays in virtual link space; per-scenario slices
+        # keep their solo ordering, so every bincount below reproduces the
+        # solo summation order exactly.
+        entry_scen = np.repeat(np.arange(S, dtype=np.int64), entry_counts)
+        if total_subs:
+            entry_link = np.concatenate([a.entry_link for a in asgs])
+            entry_sub = np.concatenate(
+                [a.entry_subflow + sub_base[s] for s, a in enumerate(asgs)]
+            )
+            sub_weights = np.concatenate(
+                [a.subflow_weight * a.flow_demand[a.subflow_flow] for a in asgs]
+            )
+        else:  # pragma: no cover - all-empty batch
+            entry_link = np.zeros(0, dtype=np.int64)
+            entry_sub = np.zeros(0, dtype=np.int64)
+            sub_weights = np.zeros(0)
+        entry_vlink = entry_scen * L + entry_link
+        sub_scen = np.repeat(np.arange(S, dtype=np.int64), sub_counts)
+        entry_weight = sub_weights[entry_sub]
+        load_full = np.bincount(entry_vlink, weights=entry_weight, minlength=S * L).reshape(S, L)
+        # Combined subflow -> entries CSR (per-scenario offsets shifted by the
+        # scenario's entry base; the trailing total closes the last range).
+        sub_offsets = np.concatenate(
+            [a.subflow_offsets()[:-1] + entry_base[s] for s, a in enumerate(asgs)]
+            + [np.array([entry_base[-1]], dtype=np.int64)]
+        )
+        # Combined virtual-link -> crossing-subflows CSR.
+        order = np.argsort(entry_vlink, kind="stable").astype(np.int64)
+        vlink_counts = np.bincount(entry_vlink, minlength=S * L)
+        link_offsets = np.concatenate(([0], np.cumsum(vlink_counts))).astype(np.int64)
+        link_offsets_list = link_offsets.tolist()
+        link_subflows = entry_sub[order]
+
+        # Fixed-shape working set with preallocated scratch buffers.  The
+        # per-scenario round counts at fig12 scale differ by only a few
+        # percent, so a finished row padded with a 0.0 increment (which
+        # leaves its state untouched bit-for-bit: ``x - 0.0 * load == x``)
+        # wastes far less than live-set compaction bookkeeping would cost,
+        # and fixed shapes let every per-round elementwise pass write into a
+        # reusable ``out=`` buffer instead of allocating a fresh (S, L)
+        # temporary — at fig12 scale the allocator, not the FPU, dominates.
+        loadc = load_full                              # (S, L) active load
+        remc = np.tile(self.capacity, (S, 1))          # (S, L) remaining
+        satc = np.broadcast_to(_EPS * (1.0 + self.capacity), (S, L))
+        fillc = np.zeros(S)                            # fill level per scenario
+        live = sub_counts > 0
+        active = np.ones(total_subs, dtype=bool)
+        num_active = sub_counts.copy()                 # per scenario
+        fill_at_freeze = np.zeros(total_subs)
+        # Saturation-time remaining is flushed here and the live cell is then
+        # pinned: ``remc`` to +inf (so the threshold scan cannot re-fire) and
+        # its load to 0.0 (so the cell's headroom is masked to inf, exactly
+        # like the solo loop after ``load[new_idx] = 0.0``).  The solo loop
+        # never updates a saturated link's remaining again either — its load
+        # is zero — so the flushed value *is* the solo final remaining.
+        remaining_final = np.tile(self.capacity, (S, 1))
+        hm = np.empty((S, L))                          # headroom scratch
+        mload = np.empty((S, L))                       # cached masked |load|
+        bmask = np.empty((S, L), dtype=bool)           # comparison scratch
+        loadc_flat = loadc.reshape(-1)
+        remc_flat = remc.reshape(-1)
+        mload_flat = mload.reshape(-1)
+        remaining_final_flat = remaining_final.reshape(-1)
+        # headroom = where(load > eps, remaining / max(load, eps), inf)
+        # — the solo formula, with the masked divisor |load * (load > eps)|
+        # *cached*: the bool multiply zeroes masked lanes and the abs pass
+        # turns the -0.0 of masked *negative* lanes (tiny residues left by
+        # the freeze subtraction) into +0.0 while passing unmasked lanes
+        # through bitwise (load > eps > 0 there), so remaining / +0.0 lands
+        # +inf in masked lanes on its own, exactly the value the solo
+        # formula assigns.  Load only ever changes at the cells a freeze
+        # touches, so the cache is refreshed there incrementally and the
+        # steady-state headroom is a single full-width divide.
+        np.greater(loadc, _EPS, out=bmask)
+        np.multiply(loadc, bmask, out=mload)
+        np.abs(mload, out=mload)
+        iterations = 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            while live.any():
+                iterations += 1
+                if iterations > max_iterations:  # pragma: no cover - defensive
+                    raise RuntimeError("batched max-min filling did not converge")
+                np.divide(remc, mload, out=hm)
+                if iterations == 1:
+                    # Only 0.0 / 0.0 cells produce NaN, and they can only
+                    # exist in round one: a zero remaining always trips the
+                    # threshold scan (0 <= eps * (1 + capacity)), so any
+                    # such cell is pinned to remaining = +inf before the
+                    # next round's divide ever sees it.
+                    np.isnan(hm, out=bmask)
+                    np.copyto(hm, np.inf, where=bmask)
+                inc = hm.min(axis=1)
+                # A row whose headroom went to +inf is finished (solo breaks
+                # there); it keeps advancing by exactly 0.0 from now on.
+                live &= np.isfinite(inc)
+                if not live.any():
+                    break
+                inc[~live] = 0.0
+                np.add(fillc, inc, out=fillc)
+                # The *raw* load drives the remaining update (as in solo),
+                # including sub-eps residue lanes; hm is free scratch here.
+                np.multiply(loadc, inc[:, None], out=hm)
+                np.subtract(remc, hm, out=remc)
+                np.less_equal(remc, satc, out=bmask)
+                # Flat indices are ``scenario * L + link``: ascending order ==
+                # scenario-major, link-ascending == solo per-scenario order.
+                vcells = np.flatnonzero(bmask)
+                if not len(vcells):  # pragma: no cover - numerical safety
+                    break
+                remaining_final_flat[vcells] = remc_flat[vcells]
+                remc_flat[vcells] = np.inf
+                # Most rounds saturate a handful of cells; direct slice
+                # concatenation beats the vectorized multi-range gather
+                # there (both produce the ranges in the same order).  The
+                # plain-int offsets list sidesteps the NumPy scalar-slicing
+                # overhead the hot path would otherwise pay per cell.
+                if len(vcells) <= 48:
+                    frozen = np.concatenate(
+                        [
+                            link_subflows[link_offsets_list[v] : link_offsets_list[v + 1]]
+                            for v in vcells.tolist()
+                        ]
+                    )
+                else:
+                    frozen = link_subflows[_gather_ranges(link_offsets, vcells)]
+                frozen = frozen[active[frozen]]
+                if len(frozen):
+                    # Sorted dedup == np.unique, minus its dispatch overhead.
+                    frozen.sort()
+                    dmask = np.empty(len(frozen), dtype=bool)
+                    dmask[0] = True
+                    np.not_equal(frozen[1:], frozen[:-1], out=dmask[1:])
+                    frozen = frozen[dmask]
+                    _FROZEN_PER_ROUND.observe(len(frozen))
+                    active[frozen] = False
+                    num_active -= np.bincount(sub_scen[frozen], minlength=S)
+                    fill_at_freeze[frozen] = fillc[sub_scen[frozen]]
+                    gone = _gather_ranges(sub_offsets, frozen)
+                    # Group the gone entries by virtual link and subtract the
+                    # per-link weight sums at the touched cells only.  This
+                    # matches solo's full-width ``load = load - bincount(...)``
+                    # bit for bit: the *stable* argsort keeps every link's
+                    # weights in their original entry order, bincount over
+                    # the group ids adds strictly sequentially per bucket
+                    # (unlike a segmented ufunc reduce, which reassociates
+                    # into pairwise sums), and the cells not touched see a
+                    # 0.0 delta in solo (``x - 0.0 == x`` bitwise).
+                    gv = entry_vlink[gone]
+                    sidx = np.argsort(gv, kind="stable")
+                    gv = gv[sidx]
+                    gw = entry_weight[gone][sidx]
+                    smask = np.empty(len(gv), dtype=bool)
+                    smask[0] = True
+                    np.not_equal(gv[1:], gv[:-1], out=smask[1:])
+                    gid = np.cumsum(smask)
+                    gid -= 1
+                    touched = gv[smask]
+                    loadc_flat[touched] -= np.bincount(gid, weights=gw)
+                    # Refresh the masked-|load| headroom cache at the cells
+                    # the subtraction changed (same mask-multiply-abs passes
+                    # as the full-width initialisation, on the slice).
+                    msub = loadc_flat[touched]
+                    np.multiply(msub, np.greater(msub, _EPS), out=msub)
+                    np.abs(msub, out=msub)
+                    mload_flat[touched] = msub
+                loadc_flat[vcells] = 0.0
+                mload_flat[vcells] = 0.0
+                # A scenario whose last subflow froze exits at the top of the
+                # solo loop; here it just goes (and stays) dead.
+                live &= num_active > 0
+        # Unsaturated links keep their final remaining (the solo loop simply
+        # stops updating them on exit); saturated cells were flushed when
+        # pinned.  Subflows never frozen (inf headroom on exit) get their
+        # scenario's final fill, as in the solo solver.
+        np.copyto(remaining_final, remc, where=np.isfinite(remc))
+        if active.any():
+            fill_at_freeze[active] = fillc[sub_scen[active]]
+        _MAXMIN_SOLVES.inc(S)
+        _MAXMIN_ROUNDS.observe(iterations)
+        sub_rate = sub_weights * fill_at_freeze
+        results: List[PhaseResult] = []
+        for s, asg in enumerate(asgs):
+            rates_s = sub_rate[sub_base[s] : sub_base[s + 1]]
+            flow_rates = np.bincount(asg.subflow_flow, weights=rates_s, minlength=asg.num_flows)
+            used = self.capacity - remaining_final[s]
+            link_util = np.where(self.capacity > 0, used / self.capacity, 0.0)
+            bottleneck = int(np.argmax(link_util)) if L else -1
+            results.append(
+                PhaseResult(
+                    flow_rates=flow_rates,
+                    link_utilization=link_util,
+                    bottleneck_link=bottleneck,
+                )
+            )
+        return results
 
     # -------------------------------------------------------- derived analyses
     def alltoall_bandwidth(

@@ -64,6 +64,7 @@ from .packet import DEFAULT_PACKET_SIZE, Message
 from .paths import DEFAULT_MAX_PATHS, PathProvider
 from .routing import RouteTable, register_route_cache_client, route_table_for
 from .traffic import Flow
+from .wavekernel import resolve_wave_kernel
 
 __all__ = ["PacketSimConfig", "PacketNetwork", "PacketSimResult"]
 
@@ -112,6 +113,10 @@ class PacketSimConfig:
     max_paths: int = DEFAULT_MAX_PATHS
     seed: int = 0
     policy: str = "minimal"
+    #: Wave-pass kernel backend ("numpy", "python", or "numba"); empty
+    #: string defers to ``REPRO_PACKET_KERNEL`` and then the default.  All
+    #: kernels are bit-identical (see :mod:`repro.sim.wavekernel`).
+    wave_kernel: str = ""
 
 
 @dataclass
@@ -159,6 +164,8 @@ class PacketNetwork:
     ):
         self.topo = topo
         self.config = config
+        # Wave-pass serialization kernel (resolved once; see wavekernel.py).
+        self._wave_kernel = resolve_wave_kernel(config.wave_kernel)
         # Routes come from the same memoized per-(topology, policy,
         # max_paths) RouteTable the flow simulator uses, so candidate path
         # sets agree between fidelities and survive across simulator
@@ -549,10 +556,13 @@ class PacketNetwork:
         """Advance a large wave of simultaneous packets in one array pass.
 
         Packets are stably sorted by link; per link the wave serialises
-        back-to-back in sequence order.  Links hit by a single packet of the
-        wave (the overwhelmingly common case) are fully vectorized; the few
-        multi-packet segments run a short sequential loop so that every
-        float op keeps the reference implementation's exact IEEE ordering.
+        back-to-back in sequence order.  The per-segment serialization scan
+        is delegated to the configured wave kernel (``numpy`` by default;
+        see :mod:`repro.sim.wavekernel`) — every kernel performs the same
+        left-to-right float adds, so the pass is bit-identical to the
+        reference implementation no matter which backend computes it.  Link
+        bookkeeping (release time, busy time) stays here, per-entry, in the
+        reference's exact IEEE accumulation order.
         """
         _, _, _, pids, cursors, sers = zip(*records)
         k = len(pids)
@@ -572,29 +582,25 @@ class PacketNetwork:
         start_links = sli[starts].tolist()
         base = np.array([link_free[l] for l in start_links])
         np.maximum(time, base, out=base)
-        ends = np.empty(k)
         counts = np.diff(np.append(starts, k))
+        ends = self._wave_kernel(base, sser, starts, counts)
+        sser_l = sser.tolist()
         if len(starts) == k:
             # Every link serialises exactly one packet of this wave.
-            np.add(base, sser, out=ends)
             ends_l = ends.tolist()
-            sser_l = sser.tolist()
             for t, l in enumerate(start_links):
                 link_free[l] = ends_l[t]
                 link_busy[l] += sser_l[t]
         else:
-            sser_l = sser.tolist()
             starts_l = starts.tolist()
             counts_l = counts.tolist()
-            base_l = base.tolist()
+            ends_l = ends.tolist()
             for s_idx, s in enumerate(starts_l):
                 l = start_links[s_idx]
-                end = base_l[s_idx]
-                for t in range(s, s + counts_l[s_idx]):
-                    end = end + sser_l[t]
-                    ends[t] = end
+                c = counts_l[s_idx]
+                for t in range(s, s + c):
                     link_busy[l] += sser_l[t]
-                link_free[l] = end
+                link_free[l] = ends_l[s + c - 1]
         arrival_sorted = ends + self._latency[sli] + self._buffer
         arrival = np.empty(k)
         arrival[order] = arrival_sorted

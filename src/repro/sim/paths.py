@@ -22,7 +22,8 @@ underlying :class:`~repro.topology.base.Topology`.
 from __future__ import annotations
 
 import itertools
-from collections import deque
+import os
+from collections import OrderedDict, deque
 from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 from .._hash import mix64
@@ -70,13 +71,23 @@ class GenericPathProvider:
     produce a path.
     """
 
-    def __init__(self, topo: Topology):
+    #: default cap on cached per-destination distance maps (each map is
+    #: O(num_nodes), so an unbounded cache is an all-pairs memory hazard at
+    #: scale); override per instance or via ``REPRO_PATHS_DIST_CACHE``
+    DEFAULT_DIST_CACHE_ENTRIES = 1024
+
+    def __init__(self, topo: Topology, *, dist_cache_entries: Optional[int] = None):
         self.topo = topo
-        self._dist_cache: Dict[int, List[int]] = {}
+        if dist_cache_entries is None:
+            env = os.environ.get("REPRO_PATHS_DIST_CACHE", "").strip()
+            dist_cache_entries = int(env) if env else self.DEFAULT_DIST_CACHE_ENTRIES
+        self._dist_cache_entries = max(1, int(dist_cache_entries))
+        self._dist_cache: "OrderedDict[int, List[int]]" = OrderedDict()
 
     def _distances_to(self, dst: int) -> List[int]:
         cached = self._dist_cache.get(dst)
         if cached is not None:
+            self._dist_cache.move_to_end(dst)
             return cached
         dist = [-1] * self.topo.num_nodes
         dist[dst] = 0
@@ -89,6 +100,8 @@ class GenericPathProvider:
                     dist[v] = dist[u] + 1
                     q.append(v)
         self._dist_cache[dst] = dist
+        if len(self._dist_cache) > self._dist_cache_entries:
+            self._dist_cache.popitem(last=False)
         return dist
 
     def paths(self, src: int, dst: int, max_paths: int = DEFAULT_MAX_PATHS) -> List[List[int]]:

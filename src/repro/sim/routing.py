@@ -27,16 +27,36 @@ lifetime simulator's service-time model) threw that work away.  A
 ``RouteTable.stats`` counts pair-level hits/misses, which the test suite
 uses to assert cache reuse across simulator instances.
 
+**Scale-out storage.**  The historical (eager) layout preallocates three
+``O(num_nodes**2)`` pair-index arrays, which is what made 10k+ endpoint
+topologies unbuildable (a 16,384-endpoint Hx2Mesh needs ~7.7 GB of index
+alone).  Under a **memory budget** (``RouteTable(mem_budget=...)`` or the
+``REPRO_ROUTE_MEM_BUDGET`` environment variable, e.g. ``"4G"``) a table
+whose dense index would not fit switches to **sharded** storage: routes are
+kept in per-source-block shards (dict index + block-local CSR arrays),
+built lazily on first contact, LRU-evicted when the resident bytes exceed
+the budget, and optionally spilled to disk (``spill=True``, the default in
+sharded mode) so evicted shards reload instead of re-enumerating.  Both
+layouts produce **bit-identical** routes and gather results — the policy's
+route enumeration is a pure function of the pair — and the eager build
+remains the fast path whenever it fits.
+
 :func:`clear_route_tables` drops the memo **and** clears every derived
 route cache registered via :func:`register_route_cache_client` (the flow
 simulator's :class:`FlowAssignment` LRUs, the tables' materialized
-``pair_path_lists``, the packet simulator's per-pair scoring state), so a
-full reset can never serve stale routes out of a derived cache.
+``pair_path_lists``, the packet simulator's per-pair scoring state, and
+sharded tables' resident shards, spill files, and budget accounting), so a
+full reset can never serve stale routes out of a derived cache or leave
+spill files behind.
 """
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import weakref
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -50,17 +70,95 @@ __all__ = [
     "RouteTable",
     "RouteTableStats",
     "route_table_for",
+    "live_route_tables",
     "clear_route_tables",
     "register_route_cache_client",
     "csr_range_indices",
+    "parse_mem_budget",
+    "default_mem_budget",
+    "DEFAULT_SHARD_SOURCES",
 ]
 
 _GROW = 4  # geometric growth factor exponent base for the flat arrays
+
+#: source nodes per shard in sharded storage mode
+DEFAULT_SHARD_SOURCES = 64
+
+#: global path id = shard_index * stride + shard-local path id; pairs own a
+#: contiguous local id range, so the contiguity invariant the flow
+#: simulator's gathers rely on survives the encoding.
+_SHARD_STRIDE = 1 << 40
+
+_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+
+
+def parse_mem_budget(value: Union[str, int, float, None]) -> Optional[int]:
+    """Parse a memory budget: bytes, or a string like ``"4G"`` / ``"512M"``.
+
+    ``None``, ``""``, and ``"0"`` mean *no budget* (eager storage always).
+    """
+    if value is None:
+        return None
+    if isinstance(value, (int, float)):
+        budget = int(value)
+        return budget if budget > 0 else None
+    text = value.strip().lower()
+    if not text:
+        return None
+    scale = 1
+    if text[-1] == "b":
+        text = text[:-1]
+    if text and text[-1] in _SUFFIXES:
+        scale = _SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        budget = int(float(text) * scale)
+    except ValueError:
+        raise ValueError(f"unparseable memory budget {value!r}") from None
+    return budget if budget > 0 else None
+
+
+def default_mem_budget() -> Optional[int]:
+    """The process-wide route-table budget from ``REPRO_ROUTE_MEM_BUDGET``."""
+    return parse_mem_budget(os.environ.get("REPRO_ROUTE_MEM_BUDGET"))
 
 
 def _release_csr_bytes(reported: List[int]) -> None:
     """Finalizer: subtract a dead table's last-reported CSR bytes."""
     _obs.gauge("routing.csr_mem_bytes").add(-reported[0])
+
+
+def _cleanup_spill(spill_state: Dict[str, object]) -> None:
+    """Finalizer: remove a dead table's spill files (and owned directory)."""
+    files = spill_state.get("files", {})
+    bytes_spilled = 0
+    for path, nbytes in list(files.values()):  # type: ignore[union-attr]
+        bytes_spilled += nbytes
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    files.clear()  # type: ignore[union-attr]
+    if bytes_spilled:
+        _obs.gauge("routing.spill_bytes").add(-bytes_spilled)
+    owned = spill_state.get("owned_dir")
+    if owned:
+        shutil.rmtree(owned, ignore_errors=True)
+        spill_state["owned_dir"] = None
+
+
+def _scatter_targets(target_starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(t, t + l)`` for parallel starts/lengths arrays."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    out_starts = ends - lengths
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(out_starts, lengths)
+        + np.repeat(target_starts, lengths)
+    )
 
 
 def csr_range_indices(offsets: np.ndarray, ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -84,6 +182,79 @@ def csr_range_indices(offsets: np.ndarray, ids: np.ndarray) -> Tuple[np.ndarray,
         + np.repeat(starts, lengths)
     )
     return indices, lengths
+
+
+#: module sentinel: "parameter not given, fall back to the environment"
+_UNSET = object()
+
+
+class _RouteShard:
+    """One source-block's routes: a dict pair index + block-local CSR arrays.
+
+    Local path ids are ``id_base + row``; ``id_base`` advances across
+    drop-without-spill generations so a stale global id can never silently
+    alias a freshly re-enumerated path — gathers detect out-of-range rows
+    and fail loudly instead.
+    """
+
+    __slots__ = (
+        "index",
+        "offsets",
+        "links",
+        "weights",
+        "num_paths",
+        "links_used",
+        "id_base",
+        "dirty",
+    )
+
+    # rough per-entry cost of the dict index (key int, 3-tuple of ints,
+    # hash-table slot) counted against the memory budget
+    INDEX_ENTRY_BYTES = 120
+
+    def __init__(self, id_base: int = 0):
+        # pair key -> (local_first_path_id, num_paths, num_minimal)
+        self.index: Dict[int, Tuple[int, int, int]] = {}
+        self.offsets = np.zeros(1, dtype=np.int64)
+        self.links = np.zeros(0, dtype=np.int64)
+        self.weights = np.zeros(0, dtype=np.float64)
+        self.num_paths = 0
+        self.links_used = 0
+        self.id_base = id_base
+        self.dirty = True  # fresh shards always need spilling on evict
+
+    def nbytes(self) -> int:
+        return int(
+            self.offsets.nbytes + self.links.nbytes + self.weights.nbytes
+        ) + self.INDEX_ENTRY_BYTES * len(self.index)
+
+    def append(
+        self, key: int, paths: List[List[int]], weights: List[float], num_minimal: int
+    ) -> None:
+        first = self.num_paths
+        need_paths = first + len(paths)
+        if need_paths + 1 > len(self.offsets):
+            grown = np.zeros(max(need_paths + 1, _GROW * len(self.offsets)), dtype=np.int64)
+            grown[: self.num_paths + 1] = self.offsets[: self.num_paths + 1]
+            self.offsets = grown
+        if need_paths > len(self.weights):
+            grown_w = np.zeros(max(need_paths, _GROW * max(len(self.weights), 16)))
+            grown_w[: self.num_paths] = self.weights[: self.num_paths]
+            self.weights = grown_w
+        total_links = self.links_used + sum(len(p) for p in paths)
+        if total_links > len(self.links):
+            grown = np.zeros(max(total_links, _GROW * max(len(self.links), 16)), dtype=np.int64)
+            grown[: self.links_used] = self.links[: self.links_used]
+            self.links = grown
+        self.weights[first : first + len(paths)] = weights
+        for path in paths:
+            end = self.links_used + len(path)
+            self.links[self.links_used : end] = path
+            self.links_used = end
+            self.num_paths += 1
+            self.offsets[self.num_paths] = end
+        self.index[key] = (self.id_base + first, len(paths), num_minimal)
+        self.dirty = True
 
 
 class RouteTableStats:
@@ -128,11 +299,18 @@ class RouteTableStats:
 class RouteTable:
     """Lazily-populated CSR store of multipath routes on one topology.
 
-    Layout: path ``p`` occupies ``path_links[path_offsets[p]:path_offsets[p+1]]``
-    (directed link indices); the pair ``(src, dst)`` owns the contiguous path
-    id range ``[pair_first[key], pair_first[key] + pair_npaths[key])`` where
+    Layout (eager mode): path ``p`` occupies
+    ``path_links[path_offsets[p]:path_offsets[p+1]]`` (directed link
+    indices); the pair ``(src, dst)`` owns the contiguous path id range
+    ``[pair_first[key], pair_first[key] + pair_npaths[key])`` where
     ``key = src * num_nodes + dst``.  Contiguity is what makes the flow
     simulator's incidence construction a gather instead of a loop.
+
+    Sharded mode (chosen automatically when the dense pair index would not
+    fit ``mem_budget``, or forced with ``sharded=True``) keeps the same
+    contiguity invariant *within* each per-source-block shard and encodes
+    path ids as ``shard_index * 2**40 + local_id``; every public query is
+    shard-aware and bit-identical to the eager build.
     """
 
     def __init__(
@@ -142,6 +320,11 @@ class RouteTable:
         max_paths: int = DEFAULT_MAX_PATHS,
         provider: Optional[PathProvider] = None,
         policy: Union[str, RoutingPolicy, None] = None,
+        mem_budget: Union[str, int, float, None] = _UNSET,
+        sharded: Optional[bool] = None,
+        shard_sources: Optional[int] = None,
+        spill: Optional[bool] = None,
+        spill_dir: Optional[str] = None,
     ):
         if max_paths < 1:
             raise ValueError("max_paths must be at least 1")
@@ -151,17 +334,49 @@ class RouteTable:
         self.policy = get_policy(policy)
         self.stats = RouteTableStats()
         n = topo.num_nodes
-        # Pair key -> first path id / path count.  -1 == not yet populated.
-        self._pair_first = np.full(n * n, -1, dtype=np.int64)
-        self._pair_npaths = np.zeros(n * n, dtype=np.int64)
-        # Leading paths of the pair that are minimal (== npaths except UGAL).
-        self._pair_nmin = np.zeros(n * n, dtype=np.int64)
-        # CSR storage, grown geometrically.
-        self._path_offsets = np.zeros(1, dtype=np.int64)
-        self._path_links = np.zeros(0, dtype=np.int64)
-        self._path_weights = np.zeros(0, dtype=np.float64)
-        self._num_paths = 0
-        self._links_used = 0
+        if mem_budget is _UNSET:
+            budget = default_mem_budget()
+        else:
+            budget = parse_mem_budget(mem_budget)
+        self.mem_budget = budget
+        dense_index_bytes = 3 * 8 * n * n
+        if sharded is None:
+            sharded = budget is not None and dense_index_bytes > budget
+        self._sharded = bool(sharded)
+        if self._sharded:
+            self._shard_sources = int(shard_sources or DEFAULT_SHARD_SOURCES)
+            if self._shard_sources < 1:
+                raise ValueError("shard_sources must be at least 1")
+            self._spill_enabled = True if spill is None else bool(spill)
+            # shard index -> resident shard, insertion order == LRU order
+            self._shards: "OrderedDict[int, _RouteShard]" = OrderedDict()
+            # shard index -> id_base of the *next* generation after a
+            # drop-without-spill eviction
+            self._dropped_bases: Dict[int, int] = {}
+            self._resident_bytes = 0
+            self._pairs_routed = 0
+            self.shards_built = 0
+            self.shards_evicted = 0
+            # spill bookkeeping lives in a plain dict so a weakref finalizer
+            # can delete the files without resurrecting the table
+            self._spill_state: Dict[str, object] = {
+                "files": {},  # shard index -> (path, size_bytes)
+                "owned_dir": None,
+                "base_dir": spill_dir or os.environ.get("REPRO_ROUTE_SPILL_DIR"),
+            }
+            weakref.finalize(self, _cleanup_spill, self._spill_state)
+        else:
+            # Pair key -> first path id / path count.  -1 == not yet populated.
+            self._pair_first = np.full(n * n, -1, dtype=np.int64)
+            self._pair_npaths = np.zeros(n * n, dtype=np.int64)
+            # Leading paths of the pair that are minimal (== npaths except UGAL).
+            self._pair_nmin = np.zeros(n * n, dtype=np.int64)
+            # CSR storage, grown geometrically.
+            self._path_offsets = np.zeros(1, dtype=np.int64)
+            self._path_links = np.zeros(0, dtype=np.int64)
+            self._path_weights = np.zeros(0, dtype=np.float64)
+            self._num_paths = 0
+            self._links_used = 0
         # (key, count) -> materialized Python path lists (shared, immutable)
         self._pylists: Dict[Tuple[int, int], List[List[int]]] = {}
         _obs.counter("routing.tables_built").inc()
@@ -173,12 +388,22 @@ class RouteTable:
         self._report_csr_bytes()
         register_route_cache_client(self)
 
+    @property
+    def is_sharded(self) -> bool:
+        """Whether the table uses sharded (budgeted) storage."""
+        return self._sharded
+
     def estimated_csr_bytes(self) -> int:
         """Estimated bytes held by the table's index + CSR arrays.
 
-        Dominated by the three ``O(num_nodes**2)`` pair-index arrays; the
-        number ROADMAP item 1 (10k+ endpoint scaling) is judged against.
+        Dominated by the three ``O(num_nodes**2)`` pair-index arrays in
+        eager mode; the number ROADMAP item 1 (10k+ endpoint scaling) is
+        judged against.  In sharded mode this is the *resident* byte count
+        (the quantity the memory budget bounds); spilled shards are on disk
+        and tracked by the ``routing.spill_bytes`` gauge instead.
         """
+        if self._sharded:
+            return int(self._resident_bytes)
         return int(
             self._pair_first.nbytes
             + self._pair_npaths.nbytes
@@ -196,8 +421,159 @@ class RouteTable:
             _obs.gauge("routing.csr_mem_bytes").add(delta)
 
     def clear_route_caches(self) -> None:
-        """Drop derived route caches (the materialized Python path lists)."""
+        """Drop derived route caches (the materialized Python path lists).
+
+        On a sharded table this additionally drops every resident shard,
+        deletes the spill files, and resets the memory-budget accounting —
+        routes re-enumerate deterministically on next contact, so a cleared
+        table can never serve stale shards or leak spill space.
+        """
         self._pylists.clear()
+        if self._sharded:
+            self._shards.clear()
+            self._dropped_bases.clear()
+            self._resident_bytes = 0
+            self._pairs_routed = 0
+            _cleanup_spill(self._spill_state)
+            self._report_csr_bytes()
+
+    # ------------------------------------------------- sharded storage internals
+    def _spill_dir(self) -> str:
+        state = self._spill_state
+        directory = state.get("owned_dir")
+        if directory is None:
+            base = state.get("base_dir")
+            if base:
+                os.makedirs(base, exist_ok=True)  # type: ignore[arg-type]
+                directory = tempfile.mkdtemp(prefix="repro-routes-", dir=base)  # type: ignore[arg-type]
+            else:
+                directory = tempfile.mkdtemp(prefix="repro-routes-")
+            state["owned_dir"] = directory
+        return directory  # type: ignore[return-value]
+
+    def _spill_shard(self, si: int, shard: _RouteShard) -> None:
+        path = os.path.join(self._spill_dir(), f"shard{si}.npz")
+        count = len(shard.index)
+        keys = np.fromiter(shard.index.keys(), dtype=np.int64, count=count)
+        vals = np.array(list(shard.index.values()), dtype=np.int64).reshape(count, 3)
+        with open(path, "wb") as handle:
+            np.savez(
+                handle,
+                keys=keys,
+                vals=vals,
+                offsets=shard.offsets[: shard.num_paths + 1],
+                links=shard.links[: shard.links_used],
+                weights=shard.weights[: shard.num_paths],
+                id_base=np.int64(shard.id_base),
+            )
+        nbytes = os.path.getsize(path)
+        files: Dict[int, Tuple[str, int]] = self._spill_state["files"]  # type: ignore[assignment]
+        previous = files.get(si)
+        files[si] = (path, nbytes)
+        _obs.gauge("routing.spill_bytes").add(nbytes - (previous[1] if previous else 0))
+
+    def _load_shard(self, si: int) -> _RouteShard:
+        path = self._spill_state["files"][si][0]  # type: ignore[index]
+        with np.load(path) as data:
+            shard = _RouteShard(id_base=int(data["id_base"]))
+            vals = data["vals"].tolist()
+            shard.index = {
+                int(k): (v[0], v[1], v[2]) for k, v in zip(data["keys"].tolist(), vals)
+            }
+            shard.offsets = data["offsets"]
+            shard.links = data["links"]
+            shard.weights = data["weights"]
+        shard.num_paths = len(shard.weights)
+        shard.links_used = len(shard.links)
+        shard.dirty = False
+        return shard
+
+    def _evict_shard(self, si: int) -> None:
+        shard = self._shards.pop(si)
+        self._resident_bytes -= shard.nbytes()
+        self.shards_evicted += 1
+        _obs.counter("routing.shards_evicted").inc()
+        if self._spill_enabled:
+            if shard.dirty:
+                self._spill_shard(si, shard)
+        else:
+            # Routes re-enumerate (deterministically) on next contact; the id
+            # space advances so stale global path ids fail loudly instead of
+            # silently aliasing the re-enumerated paths.
+            self._dropped_bases[si] = shard.id_base + shard.num_paths
+            self._pairs_routed -= len(shard.index)
+
+    def _enforce_budget(self, keep: int) -> None:
+        if self.mem_budget is None:
+            return
+        while self._resident_bytes > self.mem_budget and len(self._shards) > 1:
+            victim = next((si for si in self._shards if si != keep), None)
+            if victim is None:
+                break
+            self._evict_shard(victim)
+        self._report_csr_bytes()
+
+    def _resident_shard(self, si: int, *, create: bool = False) -> Optional[_RouteShard]:
+        """The shard, made resident (reloaded from spill / freshly created)."""
+        shard = self._shards.get(si)
+        if shard is not None:
+            self._shards.move_to_end(si)
+            return shard
+        if si in self._spill_state["files"]:  # type: ignore[operator]
+            shard = self._load_shard(si)
+        elif create:
+            shard = _RouteShard(id_base=self._dropped_bases.get(si, 0))
+            self.shards_built += 1
+            _obs.counter("routing.shards_built").inc()
+        else:
+            return None
+        self._shards[si] = shard
+        self._resident_bytes += shard.nbytes()
+        self._enforce_budget(keep=si)
+        return shard
+
+    def _require_shard(self, si: int) -> _RouteShard:
+        shard = self._resident_shard(si)
+        if shard is None:
+            raise RuntimeError(
+                f"route shard {si} was evicted with spill disabled; its path ids "
+                "can no longer be resolved (enable spill or raise the memory budget)"
+            )
+        return shard
+
+    def _shard_rows(self, shard: _RouteShard, si: int, local_ids: np.ndarray) -> np.ndarray:
+        rows = local_ids - shard.id_base
+        if len(rows) and (int(rows.min()) < 0 or int(rows.max()) >= shard.num_paths):
+            raise RuntimeError(
+                f"stale path ids into route shard {si}: the shard was rebuilt after "
+                "a spill-disabled eviction (enable spill or raise the memory budget)"
+            )
+        return rows
+
+    def _shard_lookup(
+        self, src: int, dst: int, shard: Optional[_RouteShard] = None
+    ) -> Tuple[int, int, int, _RouteShard]:
+        """(first_global_path_id, npaths, nmin, shard) of a pair; populates on miss."""
+        si = src // self._shard_sources
+        if shard is None:
+            shard = self._resident_shard(si, create=True)
+        key = src * self.topo.num_nodes + dst
+        entry = shard.index.get(key)
+        if entry is not None:
+            self.stats.record_hits()
+        else:
+            routes = self.policy.routes(self.provider, src, dst, self.max_paths)
+            if not routes.paths:
+                raise TopologyError(f"no path between nodes {src} and {dst}")
+            self.stats.record_misses()
+            before = shard.nbytes()
+            shard.append(key, routes.paths, routes.weights, routes.num_minimal)
+            self._resident_bytes += shard.nbytes() - before
+            self._pairs_routed += 1
+            entry = shard.index[key]
+            self._enforce_budget(keep=si)
+        first_local, npaths, nmin = entry
+        return si * _SHARD_STRIDE + first_local, npaths, nmin, shard
 
     # ------------------------------------------------------------- population
     def _append_paths(
@@ -246,6 +622,8 @@ class RouteTable:
     # ---------------------------------------------------------------- queries
     @property
     def num_pairs_routed(self) -> int:
+        if self._sharded:
+            return int(self._pairs_routed)
         return int((self._pair_first >= 0).sum())
 
     def paths(self, src: int, dst: int, max_paths: Optional[int] = None) -> List[List[int]]:
@@ -257,6 +635,15 @@ class RouteTable:
         """
         if src == dst:
             return [[]]
+        if self._sharded:
+            gid, count, _nmin, shard = self._shard_lookup(src, dst)
+            if max_paths is not None:
+                count = min(count, max_paths)
+            row = (gid % _SHARD_STRIDE) - shard.id_base
+            return [
+                shard.links[shard.offsets[r] : shard.offsets[r + 1]].tolist()
+                for r in range(row, row + count)
+            ]
         key = self._populate(src, dst)
         first = int(self._pair_first[key])
         count = int(self._pair_npaths[key])
@@ -273,8 +660,13 @@ class RouteTable:
 
         Populates the pair on first contact.  Path ``p`` of the pair
         (``first <= p < first + count``) occupies
-        ``path_links[path_offsets[p]:path_offsets[p+1]]``.
+        ``path_links[path_offsets[p]:path_offsets[p+1]]`` in eager mode; in
+        sharded mode the ids are global (shard-encoded) and resolved by the
+        table's own gathers.
         """
+        if self._sharded:
+            gid, count, _nmin, _shard = self._shard_lookup(src, dst)
+            return int(gid), int(count)
         key = self._populate(src, dst)
         return int(self._pair_first[key]), int(self._pair_npaths[key])
 
@@ -292,6 +684,20 @@ class RouteTable:
         """
         if src == dst:
             return [[]]
+        if self._sharded:
+            gid, count, _nmin, shard = self._shard_lookup(src, dst)
+            if max_paths is not None:
+                count = min(count, max_paths)
+            cache_key = (src * self.topo.num_nodes + dst, count)
+            cached = self._pylists.get(cache_key)
+            if cached is None:
+                row = (gid % _SHARD_STRIDE) - shard.id_base
+                cached = [
+                    shard.links[shard.offsets[r] : shard.offsets[r + 1]].tolist()
+                    for r in range(row, row + count)
+                ]
+                self._pylists[cache_key] = cached
+            return cached
         first, count = self.pair_slice(src, dst)
         if max_paths is not None:
             count = min(count, max_paths)
@@ -310,8 +716,12 @@ class RouteTable:
         """First path id and path count per ``(src, dst)`` pair, vectorized.
 
         Populates any missing pairs (the only Python-level loop, and only on
-        first contact with a pair), then answers from the index arrays.
+        first contact with a pair), then answers from the index arrays.  In
+        sharded mode the lookups are grouped by shard so each shard is made
+        resident exactly once per call.
         """
+        if self._sharded:
+            return self._sharded_pair_arrays(src_nodes, dst_nodes)
         n = self.topo.num_nodes
         keys = src_nodes * n + dst_nodes
         missing = np.nonzero(self._pair_first[keys] < 0)[0]
@@ -320,6 +730,28 @@ class RouteTable:
         self.stats.record_hits(len(keys) - len(missing))
         return self._pair_first[keys], self._pair_npaths[keys]
 
+    def _sharded_pair_arrays(
+        self, src_nodes: np.ndarray, dst_nodes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        k = len(src_nodes)
+        first = np.empty(k, dtype=np.int64)
+        npaths = np.empty(k, dtype=np.int64)
+        shard_ids = np.asarray(src_nodes, dtype=np.int64) // self._shard_sources
+        order = np.argsort(shard_ids, kind="stable")
+        current_si = -1
+        shard: Optional[_RouteShard] = None
+        for i in order.tolist():
+            si = int(shard_ids[i])
+            if si != current_si:
+                shard = self._resident_shard(si, create=True)
+                current_si = si
+            gid, count, _nmin, shard = self._shard_lookup(
+                int(src_nodes[i]), int(dst_nodes[i]), shard
+            )
+            first[i] = gid
+            npaths[i] = count
+        return first, npaths
+
     def gather_links(self, path_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Concatenated link indices and per-path lengths for ``path_ids``.
 
@@ -327,31 +759,90 @@ class RouteTable:
         every path's link indices in order — the CSR gather at the heart of
         :meth:`FlowSimulator.assign`.
         """
+        if self._sharded:
+            return self._sharded_gather_links(np.asarray(path_ids, dtype=np.int64))
         idx, lengths = csr_range_indices(self._path_offsets, path_ids)
         if len(idx) == 0:
             return np.zeros(0, dtype=np.int64), lengths
         return self._path_links[idx], lengths
 
+    def _sharded_gather_links(self, path_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        k = len(path_ids)
+        lengths = np.empty(k, dtype=np.int64)
+        shard_ids = path_ids // _SHARD_STRIDE
+        local_ids = path_ids - shard_ids * _SHARD_STRIDE
+        gathered = []
+        for si in np.unique(shard_ids).tolist():
+            si = int(si)
+            shard = self._require_shard(si)
+            positions = np.nonzero(shard_ids == si)[0]
+            rows = self._shard_rows(shard, si, local_ids[positions])
+            idx, lens = csr_range_indices(shard.offsets, rows)
+            lengths[positions] = lens
+            # copy now (fancy indexing already copies): the shard may be
+            # evicted while a later shard is made resident
+            gathered.append((positions, lens, shard.links[idx]))
+        total = int(lengths.sum())
+        out = np.empty(total, dtype=np.int64)
+        ends = np.cumsum(lengths)
+        starts = ends - lengths
+        for positions, lens, links in gathered:
+            out[_scatter_targets(starts[positions], lens)] = links
+        return out, lengths
+
     def gather_path_weights(self, path_ids: np.ndarray) -> np.ndarray:
         """Policy split weight of every path in ``path_ids`` (vectorized)."""
+        if self._sharded:
+            path_ids = np.asarray(path_ids, dtype=np.int64)
+            out = np.empty(len(path_ids), dtype=np.float64)
+            shard_ids = path_ids // _SHARD_STRIDE
+            local_ids = path_ids - shard_ids * _SHARD_STRIDE
+            for si in np.unique(shard_ids).tolist():
+                si = int(si)
+                shard = self._require_shard(si)
+                positions = np.nonzero(shard_ids == si)[0]
+                rows = self._shard_rows(shard, si, local_ids[positions])
+                out[positions] = shard.weights[rows]
+            return out
         return self._path_weights[path_ids]
 
     def pair_weights(self, src: int, dst: int) -> List[float]:
         """Split weights of one pair's candidate paths (populates the pair)."""
         if src == dst:
             return [1.0]
+        if self._sharded:
+            gid, count, _nmin, shard = self._shard_lookup(src, dst)
+            row = (gid % _SHARD_STRIDE) - shard.id_base
+            return shard.weights[row : row + count].tolist()
         first, count = self.pair_slice(src, dst)
         return self._path_weights[first : first + count].tolist()
 
     def pair_minimal_counts(self, src_nodes: np.ndarray, dst_nodes: np.ndarray) -> np.ndarray:
         """Number of leading minimal paths per pair, vectorized.
 
-        Pairs must already be populated (call :meth:`pair_arrays` first).
-        Equals the pair's path count under ``minimal``/``ecmp``, the
+        Pairs must already be populated (call :meth:`pair_arrays` first;
+        a sharded table re-populates evicted pairs transparently).  Equals
+        the pair's path count under ``minimal``/``ecmp``, the
         minimal-group size under ``ugal`` (whose trailing paths are the
         Valiant alternates), and 0 under ``valiant`` (every stored path is
         a detour).
         """
+        if self._sharded:
+            out = np.empty(len(src_nodes), dtype=np.int64)
+            shard_ids = np.asarray(src_nodes, dtype=np.int64) // self._shard_sources
+            order = np.argsort(shard_ids, kind="stable")
+            current_si = -1
+            shard: Optional[_RouteShard] = None
+            for i in order.tolist():
+                si = int(shard_ids[i])
+                if si != current_si:
+                    shard = self._resident_shard(si, create=True)
+                    current_si = si
+                _gid, _count, nmin, shard = self._shard_lookup(
+                    int(src_nodes[i]), int(dst_nodes[i]), shard
+                )
+                out[i] = nmin
+            return out
         keys = src_nodes * self.topo.num_nodes + dst_nodes
         return self._pair_nmin[keys]
 
@@ -378,26 +869,47 @@ def route_table_for(
     *,
     max_paths: int = DEFAULT_MAX_PATHS,
     policy: Union[str, RoutingPolicy, None] = None,
+    mem_budget: Union[str, int, float, None] = _UNSET,
 ) -> RouteTable:
-    """The shared :class:`RouteTable` of ``(topo, policy, max_paths)``.
+    """The shared :class:`RouteTable` of ``(topo, policy, max_paths, budget)``.
 
     Repeated calls return the *same* table object, so any number of
     simulators and backends built on one topology reuse each other's route
     enumeration work.  ``policy`` is a registered policy name or a
     :class:`~repro.sim.policy.RoutingPolicy` instance (``None`` ==
     ``"minimal"``); policies with equal :meth:`cache_key` share a table.
+    ``mem_budget`` (bytes or ``"4G"``-style string; default: the
+    ``REPRO_ROUTE_MEM_BUDGET`` environment variable) selects sharded
+    storage when the dense pair index would not fit — callers asking for
+    the same resolved budget share one table.
     """
     resolved = get_policy(policy)
+    if mem_budget is _UNSET:
+        budget = default_mem_budget()
+    else:
+        budget = parse_mem_budget(mem_budget)
     per_topo = _TABLES.get(topo)
     if per_topo is None:
         per_topo = {}
         _TABLES[topo] = per_topo
-    key = (resolved.cache_key(), max_paths)
+    key = (resolved.cache_key(), max_paths, budget)
     table = per_topo.get(key)
     if table is None:
-        table = RouteTable(topo, max_paths=max_paths, policy=resolved)
+        table = RouteTable(topo, max_paths=max_paths, policy=resolved, mem_budget=budget)
         per_topo[key] = table
     return table
+
+
+def live_route_tables() -> List[RouteTable]:
+    """Every currently memoized :class:`RouteTable`, across all topologies.
+
+    Introspection for benchmarks and tests asserting memory-budget
+    behaviour: after an in-process run, the tables it built are exactly the
+    memoized ones (each table holds a strong reference to its topology, so
+    entries outlive the simulators that created them until
+    :func:`clear_route_tables`).
+    """
+    return [table for per_topo in _TABLES.values() for table in per_topo.values()]
 
 
 def clear_route_tables() -> None:
@@ -405,7 +917,8 @@ def clear_route_tables() -> None:
 
     Besides the table memo itself, this clears the registered cache
     clients — live :class:`FlowSimulator` assignment LRUs, the tables'
-    materialized ``pair_path_lists``, and packet-simulator scoring state.
+    materialized ``pair_path_lists``, packet-simulator scoring state, and
+    sharded tables' resident shards, spill files, and budget accounting.
     Simulators constructed before the reset keep their (immutable, still
     valid) table object, but their derived caches are rebuilt on next use
     and every simulator constructed afterwards gets a fresh table.

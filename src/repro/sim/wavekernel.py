@@ -1,0 +1,178 @@
+"""Pluggable kernels for the packet simulator's forward-wave pass.
+
+The hot inner step of :meth:`repro.sim.network.PacketNetwork._forward_wave`
+is a segmented serialization scan: packets of one wave, stably sorted by
+link, serialise back-to-back per link, so each packet's serialization *end*
+time is the segment's base release time plus a left-to-right running sum of
+the packet serialization times.  Everything else about the wave pass (link
+bookkeeping, follow-up event pushes) stays in ``network.py`` — the kernels
+here compute only the ``ends`` array, which makes them trivially swappable
+and trivially comparable.
+
+Three kernels are provided:
+
+``numpy``
+    The default.  Fully vectorized when every link serialises exactly one
+    packet of the wave (the overwhelmingly common case); the few
+    multi-packet segments run a short Python loop.
+``python``
+    A pure-Python reference loop.  Always available, used by CI to pin the
+    contract, and the shape a compiled backend must reproduce.
+``numba``
+    An optional compiled kernel, registered only when :mod:`numba` is
+    importable (the container does not ship it; nothing is installed on
+    demand).  The jitted loop performs the same left-to-right float adds,
+    so its output is bit-identical to the other kernels.
+
+Every kernel performs the per-segment accumulation as the same sequence of
+IEEE double additions (``end = end + ser``), so all kernels return
+bit-identical ``ends`` for identical inputs and the ``sim.reference``
+parity oracle is preserved no matter which kernel is selected.
+
+Selection: :func:`resolve_wave_kernel` takes an explicit name (from
+:class:`~repro.sim.network.PacketSimConfig.wave_kernel`), falling back to
+the ``REPRO_PACKET_KERNEL`` environment variable, falling back to
+``numpy``.  Requesting ``numba`` when numba is not importable raises a
+``RuntimeError`` rather than silently degrading.
+"""
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_WAVE_KERNEL",
+    "WaveKernel",
+    "available_wave_kernels",
+    "resolve_wave_kernel",
+    "wave_ends_numpy",
+    "wave_ends_python",
+]
+
+#: ``kernel(base, sser, starts, counts) -> ends``.  ``sser`` is the wave's
+#: per-packet serialization time sorted by link; ``starts``/``counts``
+#: delimit the per-link segments; ``base[i]`` is segment ``i``'s release
+#: time (already clamped to the wave timestamp).  Returns the per-packet
+#: serialization end times, aligned with ``sser``.
+WaveKernel = Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+
+DEFAULT_WAVE_KERNEL = "numpy"
+
+_ENV_VAR = "REPRO_PACKET_KERNEL"
+
+
+def _segment_scan(
+    ends: np.ndarray,
+    base: List[float],
+    sser: List[float],
+    starts: List[int],
+    counts: List[int],
+) -> None:
+    """Left-to-right running sum per segment — the contract all kernels pin.
+
+    Works on Python lists: element-wise float adds on native floats beat
+    NumPy scalar dispatch ~10x, and Python float addition is the same IEEE
+    double addition the compiled kernels perform.
+    """
+    for i, s in enumerate(starts):
+        end = base[i]
+        for t in range(s, s + counts[i]):
+            end = end + sser[t]
+            ends[t] = end
+
+
+def wave_ends_numpy(
+    base: np.ndarray, sser: np.ndarray, starts: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Vectorized singleton-segment fast path, scalar loop for the rest."""
+    k = sser.shape[0]
+    ends = np.empty(k)
+    if starts.shape[0] == k:
+        # Every link serialises exactly one packet of this wave.
+        np.add(base, sser, out=ends)
+        return ends
+    _segment_scan(ends, base.tolist(), sser.tolist(), starts.tolist(), counts.tolist())
+    return ends
+
+
+def wave_ends_python(
+    base: np.ndarray, sser: np.ndarray, starts: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Pure-Python reference kernel (no vectorized branch)."""
+    ends = np.empty(sser.shape[0])
+    _segment_scan(ends, base.tolist(), sser.tolist(), starts.tolist(), counts.tolist())
+    return ends
+
+
+def _build_numba_kernel() -> "WaveKernel | None":
+    """Compile the jitted kernel, or return None when numba is missing."""
+    try:  # pragma: no cover - exercised only where numba is installed
+        import numba
+    except ImportError:
+        return None
+
+    @numba.njit(cache=False)  # pragma: no cover - compiled, not traced
+    def _nb_ends(base, sser, starts, counts):
+        ends = np.empty(sser.shape[0])
+        for i in range(starts.shape[0]):
+            end = base[i]
+            s = starts[i]
+            for t in range(s, s + counts[i]):
+                end = end + sser[t]
+                ends[t] = end
+        return ends
+
+    def wave_ends_numba(base, sser, starts, counts):  # pragma: no cover
+        return _nb_ends(base, sser, starts, counts)
+
+    return wave_ends_numba
+
+
+_numba_kernel: "WaveKernel | None | bool" = False  # False = not yet probed
+
+
+def _numba() -> "WaveKernel | None":
+    global _numba_kernel
+    if _numba_kernel is False:
+        _numba_kernel = _build_numba_kernel()
+    return _numba_kernel
+
+
+def available_wave_kernels() -> Dict[str, WaveKernel]:
+    """Name -> kernel for every backend importable right now."""
+    kernels: Dict[str, WaveKernel] = {
+        "numpy": wave_ends_numpy,
+        "python": wave_ends_python,
+    }
+    nb = _numba()
+    if nb is not None:  # pragma: no cover - numba not shipped in CI
+        kernels["numba"] = nb
+    return kernels
+
+
+def resolve_wave_kernel(name: str = "") -> WaveKernel:
+    """Resolve a kernel by explicit name, env var, or the default.
+
+    ``name`` (typically ``PacketSimConfig.wave_kernel``) wins when
+    non-empty; otherwise ``REPRO_PACKET_KERNEL``; otherwise ``numpy``.
+    Unknown names raise ``ValueError``; ``numba`` without an importable
+    numba raises ``RuntimeError`` (no silent degradation).
+    """
+    chosen = name or os.environ.get(_ENV_VAR, "") or DEFAULT_WAVE_KERNEL
+    if chosen == "numba":
+        nb = _numba()
+        if nb is None:
+            raise RuntimeError(
+                "REPRO_PACKET_KERNEL/wave_kernel requested 'numba' but numba "
+                "is not importable; use 'numpy' or 'python'"
+            )
+        return nb  # pragma: no cover - numba not shipped in CI
+    kernels = {"numpy": wave_ends_numpy, "python": wave_ends_python}
+    if chosen not in kernels:
+        raise ValueError(
+            f"unknown wave kernel {chosen!r}; expected one of "
+            f"'numpy', 'python', 'numba'"
+        )
+    return kernels[chosen]

@@ -1,0 +1,283 @@
+"""Scale-out path tests: sharded route tables, batched max-min, wave kernels.
+
+The three legs of the scale-out contract (ISSUE 7):
+
+* sharded/budgeted route tables are **bit-identical** to the eager build on
+  every topology family, spill to disk under pressure, and clean up fully;
+* :meth:`FlowSimulator.maxmin_rates_batch` returns bit-identical results to
+  per-scenario solves, both called directly and through the experiment
+  engine's batch grouping;
+* the packet wave kernel registry resolves numpy/python (and numba only
+  when importable), with exact cross-kernel parity.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.core import build_hammingmesh
+from repro.exp import Runner, run_sweep
+from repro.exp.cells import maxmin_permutation_cell
+from repro.exp.recording import MemoryProbe
+from repro.sim import (
+    FlowSimulator,
+    RouteTable,
+    available_wave_kernels,
+    clear_route_tables,
+    live_route_tables,
+    parse_mem_budget,
+    random_permutation,
+    resolve_wave_kernel,
+    route_table_for,
+)
+from repro.sim.wavekernel import wave_ends_numpy, wave_ends_python
+
+
+def _has_numba() -> bool:
+    try:
+        import numba  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+# --------------------------------------------------------------------------
+# Sharded route tables
+# --------------------------------------------------------------------------
+class TestShardedRouteTables:
+    def test_paths_bit_identical_all_families(self, all_small_topologies):
+        for name, topo in all_small_topologies.items():
+            eager = RouteTable(topo, max_paths=4)
+            sharded = RouteTable(topo, max_paths=4, sharded=True, shard_sources=8)
+            assert not eager.is_sharded
+            assert sharded.is_sharded
+            accels = list(topo.accelerators)[:6]
+            for src in accels:
+                for dst in accels:
+                    if src == dst:
+                        continue
+                    assert eager.paths(src, dst) == sharded.paths(src, dst), (
+                        f"{name}: paths differ for pair ({src}, {dst})"
+                    )
+
+    def test_flow_rates_bit_identical_all_families(self, all_small_topologies):
+        for name, topo in all_small_topologies.items():
+            sim_eager = FlowSimulator(topo, max_paths=4, table=RouteTable(topo, max_paths=4))
+            sim_sharded = FlowSimulator(
+                topo,
+                max_paths=4,
+                table=RouteTable(topo, max_paths=4, sharded=True, shard_sources=8),
+            )
+            flows = random_permutation(topo.num_accelerators, seed=3)
+            a = sim_eager.maxmin_rates(flows)
+            b = sim_sharded.maxmin_rates(flows)
+            assert np.array_equal(a.flow_rates, b.flow_rates), name
+            assert np.array_equal(a.link_utilization, b.link_utilization), name
+            assert a.bottleneck_link == b.bottleneck_link, name
+
+    def test_budget_selects_sharded_and_bounds_residency(self, tmp_path):
+        topo = build_hammingmesh(2, 2, 4, 4)
+        budget = 16 << 10
+        table = RouteTable(
+            topo, max_paths=4, mem_budget=budget, shard_sources=8, spill_dir=str(tmp_path)
+        )
+        assert table.is_sharded  # dense index would not fit the budget
+        flows = random_permutation(topo.num_accelerators, seed=0)
+        FlowSimulator(topo, table=table).maxmin_rates(flows)
+        assert table.estimated_csr_bytes() <= budget
+        assert table.shards_built > 0
+
+    def test_spill_files_dropped_on_clear(self, tmp_path):
+        before_spill = obs.gauge("routing.spill_bytes").value
+        topo = build_hammingmesh(2, 2, 4, 4)
+        # A budget this tight forces evictions, which spill shards to disk.
+        table = RouteTable(
+            topo, max_paths=4, mem_budget=4096, shard_sources=4, spill_dir=str(tmp_path)
+        )
+        flows = random_permutation(topo.num_accelerators, seed=0)
+        FlowSimulator(topo, table=table).maxmin_rates(flows)
+        spilled = glob.glob(os.path.join(str(tmp_path), "repro-routes-*", "*.npz"))
+        assert table.shards_evicted > 0
+        assert spilled, "evictions under a tight budget must spill shards"
+        assert obs.gauge("routing.spill_bytes").value > before_spill
+        table.clear_route_caches()
+        assert table.estimated_csr_bytes() == 0
+        assert not glob.glob(os.path.join(str(tmp_path), "repro-routes-*", "*.npz"))
+        assert obs.gauge("routing.spill_bytes").value == before_spill
+        # Routes re-enumerate deterministically after the wipe.
+        assert table.paths(0, 5) == RouteTable(topo, max_paths=4).paths(0, 5)
+
+    def test_clear_route_tables_resets_live_tables(self, tmp_path):
+        clear_route_tables()
+        topo = build_hammingmesh(2, 2, 4, 4)
+        os.environ["REPRO_ROUTE_SPILL_DIR"] = str(tmp_path)
+        try:
+            sim = FlowSimulator(topo, max_paths=4, mem_budget=4096)
+            sim.maxmin_rates(random_permutation(topo.num_accelerators, seed=1))
+            tables = [t for t in live_route_tables() if t.is_sharded]
+            assert tables and any(t.estimated_csr_bytes() > 0 for t in tables)
+            clear_route_tables()
+            assert all(t.estimated_csr_bytes() == 0 for t in tables)
+            assert not glob.glob(os.path.join(str(tmp_path), "repro-routes-*", "*.npz"))
+        finally:
+            del os.environ["REPRO_ROUTE_SPILL_DIR"]
+
+    def test_parse_mem_budget(self):
+        assert parse_mem_budget(None) is None
+        assert parse_mem_budget("") is None
+        assert parse_mem_budget(4096) == 4096
+        assert parse_mem_budget("256M") == 256 << 20
+        assert parse_mem_budget("4G") == 4 << 30
+        with pytest.raises(ValueError):
+            parse_mem_budget("4Q")
+
+
+# --------------------------------------------------------------------------
+# Batched max-min
+# --------------------------------------------------------------------------
+class TestMaxminBatch:
+    def test_batch_bit_identical_fig12_grid(self, all_small_topologies):
+        for name, topo in all_small_topologies.items():
+            sim = FlowSimulator(topo, max_paths=4)
+            flow_sets = [
+                random_permutation(topo.num_accelerators, seed=7 + p) for p in range(4)
+            ]
+            solo = [sim.maxmin_rates(flows) for flows in flow_sets]
+            batch = sim.maxmin_rates_batch(flow_sets)
+            assert len(batch) == len(solo)
+            for a, b in zip(solo, batch):
+                assert np.array_equal(a.flow_rates, b.flow_rates), name
+                assert np.array_equal(a.link_utilization, b.link_utilization), name
+                assert a.bottleneck_link == b.bottleneck_link, name
+
+    def test_batch_handles_empty_and_mixed_scenarios(self, hx2mesh_4x4):
+        sim = FlowSimulator(hx2mesh_4x4, max_paths=4)
+        perm = random_permutation(hx2mesh_4x4.num_accelerators, seed=11)
+        flow_sets = [perm, [], perm[: len(perm) // 2]]
+        solo = [sim.maxmin_rates(flows) for flows in flow_sets]
+        batch = sim.maxmin_rates_batch(flow_sets)
+        for a, b in zip(solo, batch):
+            assert np.array_equal(a.flow_rates, b.flow_rates)
+            assert np.array_equal(a.link_utilization, b.link_utilization)
+        assert sim.maxmin_rates_batch([]) == []
+
+    def test_batch_observes_instruments(self, hx2mesh_4x4):
+        sim = FlowSimulator(hx2mesh_4x4, max_paths=4)
+        flow_sets = [
+            random_permutation(hx2mesh_4x4.num_accelerators, seed=p) for p in range(3)
+        ]
+        solves_before = obs.counter("flowsim.maxmin_solves").value
+        hist = obs.histogram("flowsim.batch_size")
+        count_before = hist.count
+        was_enabled = obs.is_enabled()
+        obs.enable()
+        try:
+            sim.maxmin_rates_batch(flow_sets)
+        finally:
+            if not was_enabled:
+                obs.disable()
+        assert obs.counter("flowsim.maxmin_solves").value == solves_before + 3
+        assert hist.count == count_before + 1
+        assert hist.max >= 3
+
+
+# --------------------------------------------------------------------------
+# Experiment-engine batching (the scale-out sweep path)
+# --------------------------------------------------------------------------
+class TestEngineBatching:
+    def test_runner_batches_chunk_and_matches_solo(self):
+        clear_route_tables()
+        params = dict(a=2, b=2, x=2, y=2, max_paths=4)
+        batched_before = obs.counter("exp.cells_batched").value
+        run = run_sweep(
+            "scaleout_permutation",
+            runner=Runner(workers=1, cache=False),
+            num_permutations=3,
+            mem_budget=None,
+            **params,
+        )
+        assert obs.counter("exp.cells_batched").value == batched_before + 3
+        solo = [maxmin_permutation_cell(seed=s, **params) for s in range(3)]
+        assert run.payload["permutations"] == solo
+        assert run.payload["num_permutations"] == 3
+        fractions = [p["mean_fraction"] for p in solo]
+        assert run.payload["mean_fraction"] == pytest.approx(np.mean(fractions))
+        # Process-parallel execution produces the same bits as the batched
+        # in-process chunk and the solo calls.
+        parallel = run_sweep(
+            "scaleout_permutation",
+            runner=Runner(workers=2, cache=False),
+            num_permutations=3,
+            mem_budget=None,
+            **params,
+        )
+        assert parallel.payload["permutations"] == solo
+        clear_route_tables()
+
+    def test_sweep_reports_peak_memory(self):
+        run = run_sweep(
+            "scaleout_permutation",
+            runner=Runner(workers=1, cache=False),
+            a=2,
+            b=2,
+            x=2,
+            y=2,
+            max_paths=4,
+            num_permutations=2,
+            mem_budget=None,
+        )
+        stats = run.report.stats()
+        assert stats["peak_rss_bytes"] is not None
+        assert stats["peak_rss_bytes"] > 0
+        clear_route_tables()
+
+    def test_memory_probe_tracks_rss(self):
+        with MemoryProbe() as probe:
+            ballast = np.ones(1 << 16)
+        assert probe.peak_rss_bytes > 0
+        assert probe.rss_growth_bytes >= 0
+        assert ballast.shape == (1 << 16,)
+
+
+# --------------------------------------------------------------------------
+# Wave kernels
+# --------------------------------------------------------------------------
+class TestWaveKernels:
+    def test_registry_always_has_portable_kernels(self):
+        kernels = available_wave_kernels()
+        assert kernels["numpy"] is wave_ends_numpy
+        assert kernels["python"] is wave_ends_python
+        assert ("numba" in kernels) == _has_numba()
+
+    def test_resolution_order(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PACKET_KERNEL", raising=False)
+        assert resolve_wave_kernel() is wave_ends_numpy
+        monkeypatch.setenv("REPRO_PACKET_KERNEL", "python")
+        assert resolve_wave_kernel() is wave_ends_python
+        # An explicit name wins over the environment.
+        assert resolve_wave_kernel("numpy") is wave_ends_numpy
+        with pytest.raises(ValueError):
+            resolve_wave_kernel("fortran")
+
+    @pytest.mark.skipif(_has_numba(), reason="numba importable: request succeeds")
+    def test_numba_request_fails_loudly_when_missing(self):
+        with pytest.raises(RuntimeError, match="numba"):
+            resolve_wave_kernel("numba")
+
+    def test_kernel_parity_exact(self):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            k = int(rng.integers(1, 60))
+            counts = rng.integers(1, 5, size=int(rng.integers(1, 12)))
+            counts = counts[: np.searchsorted(np.cumsum(counts), k) + 1]
+            total = int(counts.sum())
+            starts = np.concatenate(([0], np.cumsum(counts[:-1]))).astype(np.int64)
+            base = rng.random(total)
+            sser = rng.random(total)
+            out_np = wave_ends_numpy(base, sser, starts, counts.astype(np.int64))
+            out_py = wave_ends_python(base, sser, starts, counts.astype(np.int64))
+            assert np.array_equal(out_np, out_py)
