@@ -7,6 +7,7 @@ from .bandwidth import (
     measure_permutation_fractions,
     measure_topology,
 )
+from .adversary import adversary_search_sweep
 from .clusters import ClusterTopology, cluster_configs, large_cluster_configs, small_cluster_configs
 from .figures import (
     DEFAULT_FRACTIONS,
@@ -54,6 +55,7 @@ __all__ = [
     "fig11_alltoall_sweep",
     "fig12_permutation",
     "routing_policy_sweep",
+    "adversary_search_sweep",
     "fig13_allreduce_sweep",
     "fig17_allreduce_sweep",
     "fig15_cost_savings",

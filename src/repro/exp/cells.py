@@ -21,6 +21,7 @@ __all__ = [
     "packet_event_rate_cell",
     "flowsim_maxmin_cell",
     "flowsim_batch_cell",
+    "flowsim_delta_cell",
     "maxmin_permutation_cell",
     "maxmin_permutation_batch",
     "route_table_reuse_cell",
@@ -245,6 +246,94 @@ def flowsim_batch_cell(
         seconds += best
         mean_rates[key] = [float(r.flow_rates.mean()) for r in results]
     return {"impl": impl, "seconds": seconds, "mean_rates": mean_rates}
+
+
+@cell(version=1, cacheable=False)
+def flowsim_delta_cell(
+    *,
+    topo_key: str = "fattree_tapered",
+    policy: str = "minimal",
+    num_moves: int = 32,
+    batch: int = 16,
+    max_paths: int = 8,
+    seed: int = 13,
+    repeats: int = 3,
+) -> dict:
+    """Per-neighbour-evaluation cost of the delta engine vs cold solves.
+
+    Builds one routing-policy-study topology, solves its hand-built
+    adversarial permutation into a warm state, and evaluates ``num_moves``
+    random swap-two-destinations candidates two ways: speculatively
+    batched through :meth:`FlowSimulator.maxmin_rates_delta_batch` (the
+    adversary search's inner loop) and one cold
+    :meth:`FlowSimulator.maxmin_rates` per candidate.  Both paths run once
+    outside the clock first — whichever engine sees a (src, dst) pair
+    first pays its route enumeration, which would otherwise bias the
+    comparison — then are timed interleaved, best of ``repeats``, so slow
+    multiplicative machine noise hits both sides alike.  The assignment
+    LRU is disabled: a real search never revisits a candidate, so cached
+    assignments would flatter the cold baseline.  Reports per-evaluation
+    times, the speedup, warm/fallback counts, and the worst rate
+    disagreement (the ``<= 1e-12`` parity evidence).  Never cached: the
+    result is a timing.
+    """
+    import numpy as np
+
+    from ..analysis.figures import _routing_policy_topo
+    from ..sim import FlowSimulator, adversarial_permutation, swap_destinations
+
+    topo = _routing_policy_topo(topo_key)
+    sim = FlowSimulator(topo, policy=policy, max_paths=max_paths, assign_cache=0)
+    flows = adversarial_permutation(topo)
+    n = len(flows)
+    rng = as_generator(seed)
+    state = sim.maxmin_warm_state(flows)
+    moves: list = []
+    cands: list = []
+    while len(cands) < num_moves:
+        i, j = (int(v) for v in rng.choice(n, size=2, replace=False))
+        cand = swap_destinations(flows, i, j)
+        if cand[i].src != cand[i].dst and cand[j].src != cand[j].dst:
+            moves.append((i, j))
+            cands.append(cand)
+
+    def eval_delta():
+        out = []
+        for k in range(0, num_moves, batch):
+            out.extend(
+                sim.maxmin_rates_delta_batch(
+                    state, cands[k : k + batch], changed=moves[k : k + batch]
+                )
+            )
+        return out
+
+    def eval_cold():
+        return [sim.maxmin_rates(cand) for cand in cands]
+
+    delta_results = eval_delta()  # clock-free pass: warm the route caches
+    cold_results = eval_cold()
+    max_abs_diff = max(
+        float(np.abs(d.result.flow_rates - c.flow_rates).max())
+        for d, c in zip(delta_results, cold_results)
+    )
+    delta_seconds = cold_seconds = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        eval_delta()
+        delta_seconds = min(delta_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        eval_cold()
+        cold_seconds = min(cold_seconds, time.perf_counter() - start)
+    return {
+        "topo_key": topo_key,
+        "policy": policy,
+        "num_moves": num_moves,
+        "warm_evals": sum(1 for d in delta_results if d.warm),
+        "delta_ms_per_eval": 1e3 * delta_seconds / num_moves,
+        "cold_ms_per_eval": 1e3 * cold_seconds / num_moves,
+        "speedup": cold_seconds / max(delta_seconds, 1e-12),
+        "max_abs_diff": max_abs_diff,
+    }
 
 
 #: Keyword defaults shared by :func:`maxmin_permutation_cell` and its batch

@@ -34,6 +34,7 @@ _SWEEP_MODULES = (
     "repro.analysis.table2",
     "repro.analysis.lifetime",
     "repro.analysis.scaleout",
+    "repro.analysis.adversary",
 )
 
 _SWEEPS: Dict[str, "SweepSpec"] = {}

@@ -207,6 +207,16 @@ _DEFAULT_SCHEMA: Tuple[Tuple[str, str], ...] = (
     ("counter", "flowsim.assignment_cache_hits"),
     ("histogram", "flowsim.maxmin_rounds"),
     ("histogram", "flowsim.frozen_per_round"),
+    ("counter", "flowsim.delta_solves"),
+    ("counter", "flowsim.delta_warm_hits"),
+    ("counter", "flowsim.delta_fallbacks"),
+    ("counter", "flowsim.delta_assignments"),
+    ("histogram", "flowsim.delta_changed_flows"),
+    ("histogram", "flowsim.delta_active_subflows"),
+    ("histogram", "flowsim.delta_batch_size"),
+    ("counter", "search.steps"),
+    ("counter", "search.accepts"),
+    ("counter", "search.best_updates"),
     ("counter", "packet.messages"),
     ("counter", "packet.packets"),
     ("counter", "packet.events"),

@@ -15,6 +15,7 @@ injection capacity is 4.0 in every simulated configuration (Section III-D).
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
@@ -27,15 +28,23 @@ from .paths import DEFAULT_MAX_PATHS, PathProvider
 from .policy import RoutingPolicy, get_policy
 from .routing import (
     RouteTable,
-    csr_range_indices,
     register_route_cache_client,
     route_table_for,
 )
 from .traffic import Flow
 
-__all__ = ["FlowAssignment", "FlowSimulator", "PhaseResult"]
+__all__ = [
+    "DeltaSolve",
+    "FlowAssignment",
+    "FlowSimulator",
+    "PhaseResult",
+    "WarmState",
+]
 
 _EPS = 1e-9
+
+#: Sentinel water level for links that are not saturated (no constraint).
+_NO_LAM = 1e30
 
 # flowsim.* instruments (module-bound; the registry resets them in place).
 _MAXMIN_SOLVES = _obs.counter("flowsim.maxmin_solves")
@@ -44,12 +53,39 @@ _FROZEN_PER_ROUND = _obs.histogram("flowsim.frozen_per_round")
 _ASSIGNMENTS_BUILT = _obs.counter("flowsim.assignments_built")
 _ASSIGNMENT_HITS = _obs.counter("flowsim.assignment_cache_hits")
 _BATCH_SIZE = _obs.histogram("flowsim.batch_size")
+# delta-solve attribution: how many perturbation solves were served warm,
+# how many fell back to the cold solver, and how local each one was.
+_DELTA_SOLVES = _obs.counter("flowsim.delta_solves")
+_DELTA_WARM = _obs.counter("flowsim.delta_warm_hits")
+_DELTA_FALLBACKS = _obs.counter("flowsim.delta_fallbacks")
+_DELTA_ASSIGNS = _obs.counter("flowsim.delta_assignments")
+_DELTA_CHANGED = _obs.histogram("flowsim.delta_changed_flows")
+_DELTA_ACTIVE = _obs.histogram("flowsim.delta_active_subflows")
+_DELTA_BATCH = _obs.histogram("flowsim.delta_batch_size")
 
 #: Distinct flow patterns whose :class:`FlowAssignment` is kept per simulator.
 #: Collective schedules and the alltoall aggregate re-assign identical flow
 #: sets (same endpoints and demands) many times; 64 patterns comfortably
-#: cover the phase structure of every schedule in the repository.
+#: cover the phase structure of every schedule in the repository.  Override
+#: per simulator with the ``assign_cache`` constructor argument or process
+#: wide with ``REPRO_ASSIGN_CACHE`` (0 disables the cache).
 _ASSIGNMENT_CACHE_SIZE = 64
+
+
+def _default_assignment_cache() -> int:
+    """The assignment-LRU capacity from ``REPRO_ASSIGN_CACHE`` (or default)."""
+    raw = os.environ.get("REPRO_ASSIGN_CACHE")
+    if raw is None or not raw.strip():
+        return _ASSIGNMENT_CACHE_SIZE
+    try:
+        size = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_ASSIGN_CACHE must be an integer, got {raw!r}"
+        ) from None
+    if size < 0:
+        raise ValueError(f"REPRO_ASSIGN_CACHE must be >= 0, got {size}")
+    return size
 
 
 @dataclass
@@ -79,6 +115,12 @@ class FlowAssignment:
     _subflow_offsets: Optional[np.ndarray] = None
     _link_entry_offsets: Optional[np.ndarray] = None
     _link_entry_ids: Optional[np.ndarray] = None
+    _link_entry_order: Optional[np.ndarray] = None
+    # Lazily-built indexes for the delta path (see flow_subflow_offsets /
+    # subflow_weights / entry_weights); None until first used.
+    _flow_subflow_offsets: Optional[np.ndarray] = None
+    _subflow_weights: Optional[np.ndarray] = None
+    _entry_weights: Optional[np.ndarray] = None
 
     def subflow_offsets(self) -> np.ndarray:
         """Entry-range offsets per subflow: entries of ``s`` are
@@ -103,17 +145,188 @@ class FlowAssignment:
                 ([0], np.cumsum(counts))
             ).astype(np.int64)
             self._link_entry_ids = self.entry_subflow[order]
+            self._link_entry_order = order
         return self._link_entry_offsets, self._link_entry_ids
+
+    def link_entry_order(self, num_links: int) -> np.ndarray:
+        """Entry ids sorted by link (the permutation behind
+        :meth:`link_index`): the entries crossing link ``l`` are
+        ``order[offsets[l]:offsets[l+1]]``."""
+        self.link_index(num_links)
+        return self._link_entry_order
+
+    def flow_subflow_offsets(self) -> np.ndarray:
+        """Subflow-range offsets per flow: the subflows of flow ``i`` are
+        ``[offsets[i], offsets[i+1])`` (``subflow_flow`` is sorted by
+        construction)."""
+        if self._flow_subflow_offsets is None:
+            counts = np.bincount(self.subflow_flow, minlength=self.num_flows)
+            self._flow_subflow_offsets = np.concatenate(
+                ([0], np.cumsum(counts))
+            ).astype(np.int64)
+        return self._flow_subflow_offsets
+
+    def flow_entry_offsets(self) -> np.ndarray:
+        """Entry-range offsets per flow (a flow's subflows are contiguous, so
+        its entries are too)."""
+        return self.subflow_offsets()[self.flow_subflow_offsets()]
+
+    def subflow_weights(self) -> np.ndarray:
+        """Per-subflow demand share: path weight times the flow's demand."""
+        if self._subflow_weights is None:
+            self._subflow_weights = self.subflow_weight * self.flow_demand[self.subflow_flow]
+        return self._subflow_weights
+
+    def entry_weights(self) -> np.ndarray:
+        """Per-entry demand share (the crossing subflow's weight)."""
+        if self._entry_weights is None:
+            self._entry_weights = self.subflow_weights()[self.entry_subflow]
+        return self._entry_weights
+
+    def apply_delta(
+        self,
+        changed: np.ndarray,
+        num_flows: int,
+        seg_demand: np.ndarray,
+        seg_counts: np.ndarray,
+        seg_weights: np.ndarray,
+        seg_links: np.ndarray,
+        seg_lengths: np.ndarray,
+    ) -> "FlowAssignment":
+        """A new assignment with the routed state of ``changed`` flows replaced.
+
+        ``changed`` (sorted, unique) indexes flows in the *new* flow list of
+        ``num_flows`` flows: indices past the old flow count describe appended
+        flows (all of which must be listed), while old flows past
+        ``num_flows`` are dropped.  The ``seg_*`` arrays hold the changed
+        flows' new routing concatenated in ``changed`` order — demand and
+        path count per flow, then per-subflow weights and entry counts, then
+        the concatenated entry links — exactly the per-pair arrays a cold
+        :meth:`FlowSimulator.assign` gathers.  Unchanged flows' CSR rows are
+        spliced in verbatim, so the result is element-wise identical to a
+        cold assignment of the new flow list (same flow-major order, same
+        per-pair path order); only O(changed) routing work is done.
+        """
+        changed = np.asarray(changed, dtype=np.int64)
+        if len(changed) and (int(changed[0]) < 0 or int(changed[-1]) >= num_flows):
+            raise ValueError("changed flow indices out of range")
+        if num_flows > self.num_flows:
+            appended = np.arange(self.num_flows, num_flows, dtype=np.int64)
+            if not np.isin(appended, changed).all():
+                raise ValueError("appended flows must all be listed as changed")
+        n_common = min(self.num_flows, num_flows)
+        fso = self.flow_subflow_offsets()
+        seo = self.subflow_offsets()
+        old_counts = np.diff(fso)
+        old_lengths = np.diff(seo)
+        seg_counts = np.asarray(seg_counts, dtype=np.int64)
+        seg_lengths = np.asarray(seg_lengths, dtype=np.int64)
+        seg_sub_off = np.concatenate(([0], np.cumsum(seg_counts))).astype(np.int64)
+        seg_entry_off = np.concatenate(([0], np.cumsum(seg_lengths))).astype(np.int64)
+        # Entry offset of each changed flow's segment (its subflows'
+        # entry counts are contiguous in seg_lengths).
+        seg_flow_entry = seg_entry_off[seg_sub_off]
+        w_parts: List[np.ndarray] = []
+        len_parts: List[np.ndarray] = []
+        link_parts: List[np.ndarray] = []
+        cnt_parts: List[np.ndarray] = []
+        dem_parts: List[np.ndarray] = []
+
+        def _old_chunk(lo: int, hi: int) -> None:
+            s0, s1 = int(fso[lo]), int(fso[hi])
+            w_parts.append(self.subflow_weight[s0:s1])
+            len_parts.append(old_lengths[s0:s1])
+            link_parts.append(self.entry_link[int(seo[s0]) : int(seo[s1])])
+            cnt_parts.append(old_counts[lo:hi])
+            dem_parts.append(self.flow_demand[lo:hi])
+
+        prev = 0
+        for k, fi in enumerate(changed.tolist()):
+            hi = min(fi, n_common)
+            if hi > prev:
+                _old_chunk(prev, hi)
+            w_parts.append(seg_weights[seg_sub_off[k] : seg_sub_off[k + 1]])
+            len_parts.append(seg_lengths[seg_sub_off[k] : seg_sub_off[k + 1]])
+            link_parts.append(seg_links[seg_flow_entry[k] : seg_flow_entry[k + 1]])
+            cnt_parts.append(seg_counts[k : k + 1])
+            dem_parts.append(seg_demand[k : k + 1])
+            prev = fi + 1
+        if n_common > prev:
+            _old_chunk(prev, n_common)
+        subflow_weight = np.concatenate(w_parts) if w_parts else np.zeros(0)
+        sub_lengths = (
+            np.concatenate(len_parts) if len_parts else np.zeros(0, dtype=np.int64)
+        )
+        entry_link = (
+            np.concatenate(link_parts) if link_parts else np.zeros(0, dtype=np.int64)
+        )
+        counts = (
+            np.concatenate(cnt_parts) if cnt_parts else np.zeros(0, dtype=np.int64)
+        )
+        if sub_lengths.dtype != np.int64:
+            sub_lengths = sub_lengths.astype(np.int64)
+        if entry_link.dtype != np.int64:
+            entry_link = entry_link.astype(np.int64)
+        if counts.dtype != np.int64:
+            counts = counts.astype(np.int64)
+        flow_demand = np.concatenate(dem_parts) if dem_parts else np.zeros(0)
+        num_subflows = int(counts.sum())
+        out = FlowAssignment(
+            num_flows=num_flows,
+            num_subflows=num_subflows,
+            entry_link=entry_link,
+            entry_subflow=np.repeat(np.arange(num_subflows, dtype=np.int64), sub_lengths),
+            subflow_flow=np.repeat(np.arange(num_flows, dtype=np.int64), counts),
+            subflow_weight=subflow_weight,
+            flow_demand=flow_demand,
+        )
+        # The splice already knows both CSR layouts; seed the lazy indexes.
+        out._subflow_offsets = np.concatenate(([0], np.cumsum(sub_lengths))).astype(np.int64)
+        out._flow_subflow_offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        return out
 
 
 def _gather_ranges(offsets: np.ndarray, ids: np.ndarray) -> np.ndarray:
     """Concatenated ``arange(offsets[i], offsets[i+1])`` for every id.
 
-    The shared CSR multi-range gather (:func:`repro.sim.routing.csr_range_indices`),
+    The CSR multi-range gather (same contract as
+    :func:`repro.sim.routing.csr_range_indices`, minus the per-range lengths),
     used by the incremental solver to collect the entries of a set of
-    subflows (or of a set of links) without a Python loop.
+    subflows (or of a set of links) without a Python loop.  Inlined rather
+    than delegated: the delta path calls this a dozen times per solve on
+    tiny id sets, so per-call overhead is what matters.
     """
-    return csr_range_indices(offsets, ids)[0]
+    if not len(ids):
+        return np.zeros(0, dtype=np.int64)
+    starts = offsets[ids]
+    counts = offsets[ids + 1] - starts
+    ends = np.cumsum(counts)
+    out = np.arange(int(ends[-1]), dtype=np.int64)
+    out += np.repeat(starts - (ends - counts), counts)
+    return out
+
+
+def _splice_flow_array(
+    old_vals: np.ndarray,
+    old_off: np.ndarray,
+    new_off: np.ndarray,
+    changed_idx: np.ndarray,
+    n_common: int,
+) -> np.ndarray:
+    """Splice a per-flow CSR payload across a delta: old chunks for unchanged
+    flows (flow ids below ``n_common`` keep their numbering), zero-filled
+    chunks (sized by ``new_off``) for every changed or appended flow."""
+    parts = []
+    prev = 0
+    for fi in changed_idx.tolist():
+        hi = fi if fi < n_common else n_common
+        if hi > prev:
+            parts.append(old_vals[old_off[prev] : old_off[hi]])
+        parts.append(np.zeros(int(new_off[fi + 1] - new_off[fi])))
+        prev = fi + 1
+    if n_common > prev:
+        parts.append(old_vals[old_off[prev] : old_off[n_common]])
+    return np.concatenate(parts) if parts else np.zeros(0)
 
 
 def _pair_range_path_ids(first: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -141,6 +354,51 @@ class PhaseResult:
         return float(self.flow_rates.mean()) if len(self.flow_rates) else 0.0
 
 
+@dataclass
+class WarmState:
+    """The fixed point of one max-min solve, packaged for delta re-solves.
+
+    Besides the solved :class:`PhaseResult` it carries everything the warm
+    path needs to re-verify a perturbed instance: the routed assignment, the
+    per-subflow freeze levels, the per-entry rates they imply, and the
+    per-link used bandwidth.  Produced by
+    :meth:`FlowSimulator.maxmin_warm_state` and by every
+    :meth:`FlowSimulator.maxmin_rates_delta` call (chainable: each delta
+    solve returns the state of the *new* flow list).
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    demand: np.ndarray
+    asg: FlowAssignment
+    levels: np.ndarray
+    entry_rate: np.ndarray
+    used: np.ndarray
+    #: Per-link water level: the max crossing freeze level on saturated
+    #: links, ``_NO_LAM`` elsewhere.  Lets delta solves seed the cascade
+    #: closure and re-verify only touched links.
+    link_lam: np.ndarray
+    result: PhaseResult
+
+
+@dataclass
+class DeltaSolve:
+    """Result of one :meth:`FlowSimulator.maxmin_rates_delta` call.
+
+    ``warm`` is True when the warm-started candidate passed the exact
+    max-min verification; False means the solve fell back to the cold
+    progressive filling (the rates are correct either way).  ``attempts``
+    counts relaxed-fill rounds tried before success or fallback.  ``state``
+    is ``None`` when the solve was invoked with ``want_state=False``.
+    """
+
+    result: PhaseResult
+    state: Optional[WarmState]
+    warm: bool
+    changed: int
+    attempts: int
+
+
 class FlowSimulator:
     """Max-min fair flow-level simulator over a :class:`Topology`.
 
@@ -166,6 +424,7 @@ class FlowSimulator:
         table: Optional[RouteTable] = None,
         policy: Union[str, RoutingPolicy, None] = None,
         mem_budget: Union[str, int, float, None] = None,
+        assign_cache: Optional[int] = None,
     ):
         self.topo = topo
         if table is not None:
@@ -189,6 +448,12 @@ class FlowSimulator:
         self.ranks = list(topo.accelerators)
         self._rank_nodes = np.asarray(self.ranks, dtype=np.int64)
         self.injection_capacity = float(topo.meta.get("injection_capacity", 4.0))
+        if assign_cache is None:
+            self.assign_cache = _default_assignment_cache()
+        else:
+            self.assign_cache = int(assign_cache)
+            if self.assign_cache < 0:
+                raise ValueError(f"assign_cache must be >= 0, got {assign_cache}")
         self._assignments: "OrderedDict[Tuple, FlowAssignment]" = OrderedDict()
         register_route_cache_client(self)
 
@@ -222,11 +487,12 @@ class FlowSimulator:
         traffic (see :meth:`_ugal_paths`).
         """
         key = tuple((f.src, f.dst, f.demand) for f in flows)
-        cached = self._assignments.get(key)
-        if cached is not None:
-            self._assignments.move_to_end(key)
-            _ASSIGNMENT_HITS.inc()
-            return cached
+        if self.assign_cache:
+            cached = self._assignments.get(key)
+            if cached is not None:
+                self._assignments.move_to_end(key)
+                _ASSIGNMENT_HITS.inc()
+                return cached
         _ASSIGNMENTS_BUILT.inc()
         src_ranks = np.fromiter((f.src for f in flows), dtype=np.int64, count=len(flows))
         dst_ranks = np.fromiter((f.dst for f in flows), dtype=np.int64, count=len(flows))
@@ -262,9 +528,10 @@ class FlowSimulator:
             subflow_weight=subflow_weight,
             flow_demand=flow_demand,
         )
-        self._assignments[key] = asg
-        if len(self._assignments) > _ASSIGNMENT_CACHE_SIZE:
-            self._assignments.popitem(last=False)
+        if self.assign_cache:
+            self._assignments[key] = asg
+            while len(self._assignments) > self.assign_cache:
+                self._assignments.popitem(last=False)
         return asg
 
     def _ugal_paths(
@@ -399,13 +666,29 @@ class FlowSimulator:
         summation); the parity test pins the two solvers together at 1e-9.
         """
         asg = self.assign(flows)
+        sub_weights, fill_at_freeze, remaining = self._fill_levels(
+            asg, max_iterations=max_iterations
+        )
+        return self._phase_result(asg, sub_weights, fill_at_freeze, remaining)
+
+    def _fill_levels(
+        self, asg: FlowAssignment, *, max_iterations: int = 100000
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The cold progressive-filling loop on an assignment.
+
+        Returns ``(sub_weights, fill_at_freeze, remaining)``: the per-subflow
+        demand shares, the fill level each subflow froze at, and the per-link
+        remaining capacity at the fixed point.  Shared by
+        :meth:`maxmin_rates`, :meth:`maxmin_warm_state` and the delta path's
+        exact fallback — all three produce bit-identical levels.
+        """
         L = len(self.capacity)
         remaining = self.capacity.copy()
         active = np.ones(asg.num_subflows, dtype=bool)
         num_active = asg.num_subflows
         # Per-entry weight: demand share carried by the subflow on that link.
-        sub_weights = asg.subflow_weight * asg.flow_demand[asg.subflow_flow]
-        entry_weight = sub_weights[asg.entry_subflow]
+        sub_weights = asg.subflow_weights()
+        entry_weight = asg.entry_weights()
         load = np.bincount(asg.entry_link, weights=entry_weight, minlength=L)
         sub_offsets = asg.subflow_offsets()
         link_offsets, link_subflows = asg.link_index(L)
@@ -459,14 +742,1415 @@ class FlowSimulator:
             fill_at_freeze[active] = fill
         _MAXMIN_SOLVES.inc()
         _MAXMIN_ROUNDS.observe(iterations)
+        return sub_weights, fill_at_freeze, remaining
+
+    def _phase_result(
+        self,
+        asg: FlowAssignment,
+        sub_weights: np.ndarray,
+        fill_at_freeze: np.ndarray,
+        remaining: np.ndarray,
+    ) -> PhaseResult:
+        """Assemble a :class:`PhaseResult` from solved freeze levels."""
         sub_rate = sub_weights * fill_at_freeze
         flow_rates = np.bincount(asg.subflow_flow, weights=sub_rate, minlength=asg.num_flows)
         used = self.capacity - remaining
         link_util = np.where(self.capacity > 0, used / self.capacity, 0.0)
-        bottleneck = int(np.argmax(link_util)) if L else -1
+        bottleneck = int(np.argmax(link_util)) if len(self.capacity) else -1
         return PhaseResult(
             flow_rates=flow_rates, link_utilization=link_util, bottleneck_link=bottleneck
         )
+
+    # ------------------------------------------------------------ delta solves
+    def maxmin_warm_state(
+        self, flows: Sequence[Flow], *, max_iterations: int = 100000
+    ) -> WarmState:
+        """Cold-solve ``flows`` and capture the fixed point for delta solves.
+
+        The returned :class:`WarmState` seeds
+        :meth:`maxmin_rates_delta`; its ``result`` field holds the same
+        :class:`PhaseResult` a plain :meth:`maxmin_rates` call produces.
+        """
+        flows = list(flows)
+        asg = self.assign(flows)
+        sub_weights, levels, remaining = self._fill_levels(
+            asg, max_iterations=max_iterations
+        )
+        result = self._phase_result(asg, sub_weights, levels, remaining)
+        return self._warm_state_from(flows, asg, sub_weights, levels, result)
+
+    def _warm_state_from(
+        self,
+        flows: Sequence[Flow],
+        asg: FlowAssignment,
+        sub_weights: np.ndarray,
+        levels: np.ndarray,
+        result: PhaseResult,
+        *,
+        src: Optional[np.ndarray] = None,
+        dst: Optional[np.ndarray] = None,
+        demand: Optional[np.ndarray] = None,
+    ) -> WarmState:
+        if src is None:
+            n = len(flows)
+            src = np.fromiter((f.src for f in flows), dtype=np.int64, count=n)
+            dst = np.fromiter((f.dst for f in flows), dtype=np.int64, count=n)
+            demand = np.fromiter((f.demand for f in flows), dtype=np.float64, count=n)
+        entry_rate = (sub_weights * levels)[asg.entry_subflow]
+        used = np.bincount(asg.entry_link, weights=entry_rate, minlength=len(self.capacity))
+        return WarmState(
+            src=src,
+            dst=dst,
+            demand=demand,
+            asg=asg,
+            levels=levels,
+            entry_rate=entry_rate,
+            used=used,
+            link_lam=self._link_lam_of(asg, levels, used),
+            result=result,
+        )
+
+    def _link_lam_of(
+        self, asg: FlowAssignment, levels: np.ndarray, used: np.ndarray
+    ) -> np.ndarray:
+        """Per-link water level: max crossing level on saturated links."""
+        cap = self.capacity
+        lam = np.full(len(cap), _NO_LAM)
+        if asg.num_subflows and len(asg.entry_link):
+            order = np.argsort(asg.entry_link, kind="stable")
+            sl = asg.entry_link[order]
+            slev = levels[asg.entry_subflow[order]]
+            starts = np.empty(len(sl), dtype=bool)
+            starts[0] = True
+            np.not_equal(sl[1:], sl[:-1], out=starts[1:])
+            firsts = np.flatnonzero(starts)
+            gmax = np.maximum.reduceat(slev, firsts)
+            ul = sl[firsts]
+            sat = used[ul] >= cap[ul] - 2.0 * _EPS * (1.0 + cap[ul])
+            lam[ul[sat]] = gmax[sat]
+        return lam
+
+    def maxmin_rates_delta(
+        self,
+        state: WarmState,
+        flows: Sequence[Flow],
+        *,
+        changed: Optional[Sequence[int]] = None,
+        max_iterations: int = 100000,
+        max_attempts: int = 3,
+        max_active_fraction: float = 0.85,
+        want_state: bool = True,
+    ) -> DeltaSolve:
+        """Max-min rates of ``flows`` warm-started from a previous fixed point.
+
+        ``state`` is the solved state of a *similar* flow list (from
+        :meth:`maxmin_warm_state` or a previous delta solve).  The changed
+        flows' routes are spliced into the previous assignment
+        (:meth:`FlowAssignment.apply_delta`) instead of re-gathering every
+        pair, and their freeze levels are re-solved against the previous
+        solution's per-link residuals (the *relaxed fill*: every unchanged
+        subflow keeps its prior level).  The candidate is then verified
+        against the exact max-min optimality conditions over the **whole**
+        instance — feasibility on every link, and a saturated bottleneck
+        link on which its level is maximal for every positive-weight subflow
+        (the Bertsekas–Gallager characterisation, whose satisfaction pins
+        the unique max-min point).  Candidates that fail grow the re-solved
+        set once or twice (``max_attempts``); if verification still fails,
+        or the perturbation is too large a fraction of the instance, the
+        solve **falls back to the cold solver exactly** — results agree with
+        :meth:`maxmin_rates` to well under 1e-12 either way.
+
+        ``changed`` optionally lists the indices of flows that differ (it
+        must cover every difference; same-length flow lists only) to skip
+        the O(flows) diff.  Policies with per-flow group selection (UGAL)
+        always solve cold: their routing depends on the global load, so no
+        local perturbation argument applies.
+
+        ``want_state=False`` skips building the chainable
+        :class:`WarmState` (``DeltaSolve.state`` is then ``None``); the
+        :class:`PhaseResult` is still returned.  Search loops use this for
+        proposals they are likely to reject — evaluating the objective does
+        not need the state — and re-solve with ``want_state=True`` only on
+        acceptance.
+        """
+        flows = list(flows)
+        n_new = len(flows)
+        n_old = int(state.asg.num_flows)
+        if changed is not None and n_new == n_old:
+            changed_idx = np.asarray(
+                sorted({int(i) for i in changed}), dtype=np.int64
+            )
+            if len(changed_idx) and (
+                int(changed_idx[0]) < 0 or int(changed_idx[-1]) >= n_new
+            ):
+                raise ValueError("changed flow indices out of range")
+            src = state.src.copy()
+            dst = state.dst.copy()
+            demand = state.demand.copy()
+            for i in changed_idx.tolist():
+                f = flows[i]
+                src[i], dst[i], demand[i] = f.src, f.dst, f.demand
+        else:
+            src = np.fromiter((f.src for f in flows), dtype=np.int64, count=n_new)
+            dst = np.fromiter((f.dst for f in flows), dtype=np.int64, count=n_new)
+            demand = np.fromiter((f.demand for f in flows), dtype=np.float64, count=n_new)
+            m = min(n_old, n_new)
+            diff = (
+                (src[:m] != state.src[:m])
+                | (dst[:m] != state.dst[:m])
+                | (demand[:m] != state.demand[:m])
+            )
+            changed_idx = np.concatenate(
+                [np.flatnonzero(diff), np.arange(m, n_new, dtype=np.int64)]
+            )
+        _DELTA_SOLVES.inc()
+        _DELTA_CHANGED.observe(len(changed_idx))
+        if n_new == n_old and not len(changed_idx):
+            _DELTA_WARM.inc()
+            return DeltaSolve(result=state.result, state=state, warm=True, changed=0, attempts=0)
+        if n_new == 0 or n_old == 0 or self.policy.selects_group:
+            # UGAL re-selects per-flow path groups from the *global* load, so
+            # no local perturbation argument applies; degenerate sizes (all
+            # flows new or all gone) have nothing to reuse either.
+            _DELTA_FALLBACKS.inc()
+            new_state = self.maxmin_warm_state(flows, max_iterations=max_iterations)
+            return DeltaSolve(
+                result=new_state.result,
+                state=new_state,
+                warm=False,
+                changed=len(changed_idx),
+                attempts=0,
+            )
+        # The splice is valid regardless of how the solve goes.
+        new_asg = self._assign_delta(state.asg, changed_idx, n_new, src, dst, demand)
+        attempts = 0
+        levels = used = link_lam = ae = ae_rate = active_set = None
+        if len(changed_idx) <= max(4.0, max_active_fraction * n_new):
+            (
+                levels,
+                used,
+                link_lam,
+                ae,
+                ae_rate,
+                active_set,
+                attempts,
+            ) = self._warm_levels(
+                state, new_asg, changed_idx, max_attempts, max_active_fraction
+            )
+        if levels is not None:
+            _DELTA_WARM.inc()
+            cap = self.capacity
+            if n_new == n_old:
+                # Only the active subflows' rates moved: patch the prior
+                # per-flow totals instead of re-reducing the whole instance.
+                flow_rates = state.result.flow_rates.copy()
+                new_fso = new_asg.flow_subflow_offsets()
+                fpatch = np.unique(new_asg.subflow_flow[active_set])
+                ps = _gather_ranges(new_fso, fpatch)
+                plen = new_fso[fpatch + 1] - new_fso[fpatch]
+                p_off = np.concatenate(([0], np.cumsum(plen[:-1]))).astype(np.int64)
+                sw_ps = new_asg.subflow_weight[ps] * new_asg.flow_demand[
+                    new_asg.subflow_flow[ps]
+                ]
+                flow_rates[fpatch] = np.add.reduceat(sw_ps * levels[ps], p_off)
+            else:
+                flow_rates = np.bincount(
+                    new_asg.subflow_flow,
+                    weights=new_asg.subflow_weights() * levels,
+                    minlength=n_new,
+                )
+            link_util = np.where(cap > 0, used / cap, 0.0)
+            bottleneck = int(np.argmax(link_util)) if len(cap) else -1
+            result = PhaseResult(
+                flow_rates=flow_rates,
+                link_utilization=link_util,
+                bottleneck_link=bottleneck,
+            )
+            new_state = None
+            if want_state:
+                entry_rate = _splice_flow_array(
+                    state.entry_rate,
+                    state.asg.flow_entry_offsets(),
+                    new_asg.flow_entry_offsets(),
+                    changed_idx,
+                    min(n_old, n_new),
+                )
+                entry_rate[ae] = ae_rate
+                new_state = WarmState(
+                    src=src,
+                    dst=dst,
+                    demand=demand,
+                    asg=new_asg,
+                    levels=levels,
+                    entry_rate=entry_rate,
+                    used=used,
+                    link_lam=link_lam,
+                    result=result,
+                )
+            return DeltaSolve(
+                result=result,
+                state=new_state,
+                warm=True,
+                changed=len(changed_idx),
+                attempts=attempts,
+            )
+        # Exact fallback: the cold fill on the spliced assignment.
+        _DELTA_FALLBACKS.inc()
+        sw, lv, remaining = self._fill_levels(new_asg, max_iterations=max_iterations)
+        result = self._phase_result(new_asg, sw, lv, remaining)
+        new_state = None
+        if want_state:
+            new_state = self._warm_state_from(
+                flows, new_asg, sw, lv, result, src=src, dst=dst, demand=demand
+            )
+        return DeltaSolve(
+            result=result,
+            state=new_state,
+            warm=False,
+            changed=len(changed_idx),
+            attempts=attempts,
+        )
+
+    def _assign_delta(
+        self,
+        asg: FlowAssignment,
+        changed_idx: np.ndarray,
+        n_new: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        demand: np.ndarray,
+    ) -> FlowAssignment:
+        """Route only the changed pairs and splice them into ``asg``."""
+        csrc = src[changed_idx]
+        cdst = dst[changed_idx]
+        if (csrc == cdst).any():
+            raise ValueError("flows must have distinct endpoints")
+        first, npaths = self.table.pair_arrays(
+            self._rank_nodes[csrc], self._rank_nodes[cdst]
+        )
+        path_ids = _pair_range_path_ids(first, npaths)
+        seg_weights = self.table.gather_path_weights(path_ids)
+        seg_links, seg_lengths = self.table.gather_links(path_ids)
+        _DELTA_ASSIGNS.inc()
+        return asg.apply_delta(
+            changed_idx, n_new, demand[changed_idx], npaths, seg_weights, seg_links, seg_lengths
+        )
+
+    def _warm_levels(
+        self,
+        state: WarmState,
+        new_asg: FlowAssignment,
+        changed_idx: np.ndarray,
+        max_attempts: int,
+        max_active_fraction: float,
+    ):
+        """Warm-start candidate levels for the spliced assignment.
+
+        Carries every unchanged flow's freeze levels across the renumbering,
+        then seeds the *active set* — the subflows whose levels the
+        perturbation can move — by a directional closure over the prior
+        bottleneck hierarchy: starting from the saturated links the changed
+        flows touch, a link recruits the crossing subflows at (or above) its
+        water level, and a recruited subflow recruits its other saturated
+        links whose water level is at or above its own.  Max-min cascades
+        propagate upward through bottleneck levels, so the closure tracks
+        the true cascade instead of flooding the instance.  The active set
+        is re-solved against the prior solution's residual capacities
+        (:meth:`_relaxed_fill`) and verified against the exact optimality
+        conditions (:meth:`_verify_delta`).  On verification failure the
+        active set grows by the subflows crossing the violated links and the
+        fill is retried, up to ``max_attempts`` times.  Returns ``(levels,
+        used, link_lam, ae, ae_rate, active_set, attempts)`` or all-``None``
+        plus the attempt count when the cold solver must take over.
+        """
+        fail = (None, None, None, None, None, None)
+        old = state.asg
+        n_old, n_new = old.num_flows, new_asg.num_flows
+        n_common = min(n_old, n_new)
+        cap = self.capacity
+        L = len(cap)
+        old_fso = old.flow_subflow_offsets()
+        new_fso = new_asg.flow_subflow_offsets()
+        old_seo = old.subflow_offsets()
+        new_seo = new_asg.subflow_offsets()
+        changed_mask = np.zeros(n_new, dtype=bool)
+        changed_mask[changed_idx] = True
+        levels = _splice_flow_array(
+            state.levels, old_fso, new_fso, changed_idx, n_common
+        )
+        # Links whose load the perturbation touches: the changed flows' old
+        # routes (load leaves) and new routes (load arrives), plus dropped
+        # flows' routes on shrink.
+        changed_before = changed_idx[changed_idx < n_common]
+        dropped = (
+            np.arange(n_new, n_old, dtype=np.int64)
+            if n_old > n_new
+            else np.empty(0, dtype=np.int64)
+        )
+        gone_subs = _gather_ranges(old_fso, np.concatenate([changed_before, dropped]))
+        gone_e = _gather_ranges(old_seo, gone_subs)
+        seg_subs = _gather_ranges(new_fso, changed_idx)
+        seg_e = _gather_ranges(new_seo, seg_subs)
+        dirty = np.zeros(L, dtype=bool)
+        if len(gone_e):
+            dirty[old.entry_link[gone_e]] = True
+        dirty[new_asg.entry_link[seg_e]] = True
+        # Directional closure over the prior bottleneck hierarchy.  A dirty
+        # link's water level moves to roughly ``lam * W / (W + net_added)``
+        # (weight-proportional drop when the changed flows add net load, no
+        # drop when load only leaves), so residents at or above that
+        # estimate are recruited; from there, a moved subflow can shift load
+        # on its other links whose water level is at or above its own,
+        # recruiting the residents at (or filling above) those levels in
+        # turn.  Upward steps dominate real cascades, so the climb tracks
+        # them without flooding the instance.  This is a seed heuristic —
+        # exactness comes from :meth:`_verify_delta` plus expansion (which
+        # recruits *every* resident of a violated link) and cold fallback.
+        lam = state.link_lam
+        sat_link = lam < _NO_LAM
+        lo, ls = old.link_index(L)
+        start0 = np.flatnonzero(dirty & sat_link)
+        if len(start0):
+            # Water-level-drop estimate on the seeded links only (an
+            # underestimate recruits more residents — the safe direction).
+            seg_sub = new_asg.entry_subflow[seg_e]
+            seg_w = new_asg.subflow_weight[seg_sub] * new_asg.flow_demand[
+                new_asg.subflow_flow[seg_sub]
+            ]
+            # bincount of an empty input yields int64 even with weights.
+            add_w = np.bincount(
+                new_asg.entry_link[seg_e], weights=seg_w, minlength=L
+            ).astype(np.float64, copy=False)
+            if len(gone_e):
+                add_w -= np.bincount(
+                    old.entry_link[gone_e],
+                    weights=old.entry_weights()[gone_e],
+                    minlength=L,
+                )
+            np.maximum(add_w, 0.0, out=add_w)
+            lam_pos = np.where(sat_link & (lam > 0.0), lam, 1.0)
+            w_est = state.used / lam_pos
+            with np.errstate(divide="ignore", invalid="ignore"):
+                thr0 = np.where(add_w > 0.0, lam * w_est / (w_est + add_w), lam)
+        else:
+            thr0 = None
+        sub_seen = np.zeros(old.num_subflows, dtype=bool)
+        if len(gone_subs):
+            sub_seen[gone_subs] = True  # gone: accounted separately
+        link_seen = np.zeros(L, dtype=bool)
+        budget = max_active_fraction * max(new_asg.num_subflows, 1)
+        seen_count = [0]
+
+        def _closure(start_links: np.ndarray, thr: Optional[np.ndarray]) -> bool:
+            frontier = start_links
+            first = True
+            for _ in range(64):
+                if not len(frontier):
+                    return True
+                link_seen[frontier] = True
+                cross = ls[_gather_ranges(lo, frontier)]
+                if first:
+                    first = False
+                    if thr is None:
+                        cand = cross
+                    else:
+                        t_rep = np.repeat(
+                            thr[frontier], lo[frontier + 1] - lo[frontier]
+                        )
+                        cand = cross[
+                            state.levels[cross] >= t_rep - 1e-9 * (1.0 + np.abs(t_rep))
+                        ]
+                else:
+                    lam_rep = np.repeat(
+                        lam[frontier], lo[frontier + 1] - lo[frontier]
+                    )
+                    cand = cross[
+                        state.levels[cross] >= lam_rep - 1e-9 * (1.0 + lam_rep)
+                    ]
+                cand = cand[~sub_seen[cand]]
+                if not len(cand):
+                    return True
+                cand = np.unique(cand)
+                sub_seen[cand] = True
+                seen_count[0] += len(cand)
+                if seen_count[0] + len(seg_subs) > budget:
+                    return False
+                ce = _gather_ranges(old_seo, cand)
+                cl = old.entry_link[ce]
+                lvl_rep = np.repeat(
+                    state.levels[cand], old_seo[cand + 1] - old_seo[cand]
+                )
+                up = (
+                    sat_link[cl]
+                    & ~link_seen[cl]
+                    & (lam[cl] >= lvl_rep - 1e-9 * (1.0 + lvl_rep))
+                )
+                frontier = np.unique(cl[up])
+            return False  # no closure after 64 layers: effectively global
+
+        def _active_from_seen() -> np.ndarray:
+            seen = np.flatnonzero(sub_seen)
+            sf = old.subflow_flow[seen]
+            keep = sf < n_common
+            seen, sf = seen[keep], sf[keep]
+            keep = ~changed_mask[sf]
+            seen, sf = seen[keep], sf[keep]
+            return np.unique(
+                np.concatenate([seg_subs, seen + (new_fso[sf] - old_fso[sf])])
+            )
+
+        if not _closure(start0, thr0):
+            return fail + (0,)
+        active_set = _active_from_seen()
+        keep_old = np.ones(old.num_subflows, dtype=bool)
+        if len(gone_subs):
+            keep_old[gone_subs] = False
+        attempts = 0
+        while attempts < max_attempts:
+            attempts += 1
+            if len(active_set) > budget:
+                return fail + (attempts,)
+            # Per-link load the re-solved set (plus everything gone) held in
+            # the prior solution; subtracting it leaves the constants' load.
+            af = new_asg.subflow_flow[active_set]
+            unch = ~changed_mask[af]
+            old_active = active_set[unch] - (new_fso[af[unch]] - old_fso[af[unch]])
+            oe = _gather_ranges(old_seo, np.concatenate([old_active, gone_subs]))
+            freed = np.bincount(
+                old.entry_link[oe], weights=state.entry_rate[oe], minlength=L
+            )
+            base_used = state.used - freed
+            ae = _gather_ranges(new_seo, active_set)
+            ae_link = new_asg.entry_link[ae]
+            # Demand shares of the active subflows (and their entries),
+            # gathered directly: the O(entries) cached weight arrays of the
+            # candidate assignment are never materialised on the warm path.
+            aw = new_asg.subflow_weight[active_set] * new_asg.flow_demand[
+                new_asg.subflow_flow[active_set]
+            ]
+            ae_w = np.repeat(aw, new_seo[active_set + 1] - new_seo[active_set])
+            self._relaxed_fill(
+                new_asg, levels, active_set, ae, ae_link, ae_w, aw, base_used
+            )
+            ok, bad_links, used, link_lam, ae_rate = self._verify_delta(
+                state,
+                new_asg,
+                levels,
+                active_set,
+                ae,
+                ae_link,
+                ae_w,
+                aw,
+                base_used,
+                dirty,
+                keep_old,
+                old_active,
+            )
+            if ok:
+                _DELTA_ACTIVE.observe(len(active_set))
+                return levels, used, link_lam, ae, ae_rate, active_set, attempts
+            # Expansion: close over the violated links (all their residents,
+            # then the upward climb) — one attempt absorbs the whole reachable
+            # part of a mispredicted cascade instead of a single BFS layer.
+            if not _closure(np.flatnonzero(bad_links), None):
+                return fail + (attempts,)
+            grown = np.unique(
+                np.concatenate(
+                    [
+                        _active_from_seen(),
+                        new_asg.entry_subflow[
+                            np.flatnonzero(bad_links[new_asg.entry_link])
+                        ],
+                    ]
+                )
+            )
+            if len(grown) == len(active_set):  # no progress: give up
+                return fail + (attempts,)
+            active_set = grown
+        return fail + (attempts,)
+
+    def _relaxed_fill(
+        self,
+        new_asg: FlowAssignment,
+        levels: np.ndarray,
+        active_set: np.ndarray,
+        ae: np.ndarray,
+        ae_link: np.ndarray,
+        ae_w: np.ndarray,
+        aw: np.ndarray,
+        base_used: np.ndarray,
+    ) -> None:
+        """Progressive filling of ``active_set`` against residual capacities.
+
+        Non-active subflows are constants at their prior levels;
+        ``base_used`` carries their per-link load (the prior used bandwidth
+        minus everything re-solved or gone), so each crossed link offers
+        ``capacity - base_used`` of room.  Writes the solved levels into
+        ``levels[active_set]`` in place (zero-weight subflows get level 0;
+        their rate is 0 regardless).  This is a candidate generator —
+        correctness comes from :meth:`_verify_delta`.
+        """
+        cap = self.capacity
+        new_seo = new_asg.subflow_offsets()
+        uL, ae_clink = np.unique(ae_link, return_inverse=True)
+        nL = len(uL)
+        residual = cap[uL] - base_used[uL]
+        np.maximum(residual, 0.0, out=residual)
+        # Mini progressive fill on the compact link set (the cold loop's
+        # structure at O(active) scale).  The vectorised part of each round
+        # — the headroom scan and the load/residual updates — stays numpy;
+        # the per-event bookkeeping (which subflows freeze at which link)
+        # runs on python lists: events touch a handful of elements each, and
+        # at that size scalar indexing beats an array-dispatch cascade.
+        nA = len(active_set)
+        active = aw > 0.0
+        num_active = int(active.sum())
+        ae_lsub = active_set.searchsorted(new_asg.entry_subflow[ae])
+        order = np.argsort(ae_clink, kind="stable")
+        clink_off = np.concatenate(
+            ([0], np.cumsum(np.bincount(ae_clink, minlength=nL)))
+        ).astype(np.int64)
+        clink_sub_l = ae_lsub[order].tolist()
+        clink_off_l = clink_off.tolist()
+        a_lengths = new_seo[active_set + 1] - new_seo[active_set]
+        asub_off = np.concatenate(([0], np.cumsum(a_lengths))).astype(np.int64)
+        asub_off_l = asub_off.tolist()
+        ae_clink_l = ae_clink.tolist()
+        ae_w_l = ae_w.tolist()
+        active_l = active.tolist()
+        lvl_l = [0.0] * nA
+        load = np.bincount(ae_clink, weights=ae_w, minlength=nL)
+        remaining = residual
+        sat_thr_c = _EPS * (1.0 + cap[uL])
+        head = np.empty(nL)
+        tmp = np.empty(nL)
+        sat_ever = [False] * nL
+        inf = float("inf")
+        fill = 0.0
+        rounds = 0
+        max_rounds = 4 * nA + 16
+        while num_active and rounds <= max_rounds:
+            rounds += 1
+            head.fill(inf)
+            np.divide(remaining, load, out=head, where=load > _EPS)
+            inc = float(head.min()) if nL else inf
+            if not inc < inf:  # every crossed link drained: no constraint left
+                break
+            fill += inc
+            np.multiply(load, inc, out=tmp)
+            np.subtract(remaining, tmp, out=remaining)
+            newly = [
+                li for li in np.flatnonzero(remaining <= sat_thr_c).tolist()
+                if not sat_ever[li]
+            ]
+            if not newly:
+                break
+            frozen = []
+            for li in newly:
+                sat_ever[li] = True
+                for s in clink_sub_l[clink_off_l[li] : clink_off_l[li + 1]]:
+                    if active_l[s]:
+                        active_l[s] = False
+                        frozen.append(s)
+            if frozen:
+                num_active -= len(frozen)
+                if len(frozen) > 48:
+                    fr = np.asarray(frozen, dtype=np.int64)
+                    gone = _gather_ranges(asub_off, fr)
+                    load -= np.bincount(
+                        ae_clink[gone], weights=ae_w[gone], minlength=nL
+                    )
+                    for s in frozen:
+                        lvl_l[s] = fill
+                else:
+                    for s in frozen:
+                        lvl_l[s] = fill
+                        for e in range(asub_off_l[s], asub_off_l[s + 1]):
+                            load[ae_clink_l[e]] -= ae_w_l[e]
+            for li in newly:
+                load[li] = 0.0
+        lvl = np.asarray(lvl_l)
+        if num_active:
+            # Unfrozen active subflows have no saturated bottleneck in the
+            # relaxed instance; verification rejects them (correctly — they
+            # should have filled further against some link that must then be
+            # in the active set's closure).
+            lvl[np.asarray(active_l)] = fill
+        lvl[aw <= 0.0] = 0.0
+        levels[active_set] = lvl
+
+    def _verify_delta(
+        self,
+        state: WarmState,
+        new_asg: FlowAssignment,
+        levels: np.ndarray,
+        active_set: np.ndarray,
+        ae: np.ndarray,
+        ae_link: np.ndarray,
+        ae_w: np.ndarray,
+        aw: np.ndarray,
+        base_used: np.ndarray,
+        dirty: np.ndarray,
+        keep_old: np.ndarray,
+        old_active: np.ndarray,
+    ):
+        """Exact max-min optimality check, incremental over touched links.
+
+        A feasible allocation where every positive-weight subflow has a
+        saturated link on which its level is maximal *is* the unique max-min
+        fixed point (feasible use is monotone in the fill, so final
+        feasibility implies trajectory feasibility).  Every rate change is
+        confined to the touched links ``T`` — the dirty links plus the
+        active subflows' links — so elsewhere ``used``, saturation, and the
+        per-link water level carry over from ``state`` verbatim, and the
+        prior state's certificates keep holding for subflows crossing no
+        touched link.  Only the active subflows and the persisting constants
+        crossing ``T`` are re-checked (gathered via the old assignment's
+        link-to-entries index, so the check is O(T), not O(entries)).  The
+        tolerance is tight: the relaxed fill reproduces true levels to
+        ~1e-13, while structurally-wrong candidates miss by far more; a
+        false reject merely costs a retry or a cold solve.  Returns ``(ok,
+        bad_links, used, link_lam, ae_rate)``; on failure ``bad_links``
+        marks the oversubscribed links and every link of each
+        bottleneck-less subflow, for the active-set expansion (``link_lam``
+        and ``ae_rate`` are then None).
+        """
+        cap = self.capacity
+        L = len(cap)
+        sat_thr = _EPS * (1.0 + cap)
+        old = state.asg
+        old_seo = old.subflow_offsets()
+        new_seo = new_asg.subflow_offsets()
+        ae_lev = levels[new_asg.entry_subflow[ae]]
+        ae_rate = ae_w * ae_lev
+        used = base_used + np.bincount(ae_link, weights=ae_rate, minlength=L)
+        over = used > cap + sat_thr
+        satur = used >= cap - 2.0 * sat_thr
+        T = dirty.copy()
+        T[ae_link] = True
+        # Persisting constants' entries on touched links.  The re-solved
+        # subflows' old entries and gone flows' entries are excluded: the
+        # former are represented in ``ae`` at their new levels, the latter
+        # left the instance.
+        rep = keep_old.copy()
+        rep[old_active] = False
+        lo_e, _ = old.link_index(L)
+        sel = old.link_entry_order(L)[_gather_ranges(lo_e, np.flatnonzero(T))]
+        osub = old.entry_subflow[sel]
+        keep_sel = rep[osub]
+        sel = sel[keep_sel]
+        osub = osub[keep_sel]
+        olev = state.levels[osub]
+        # Water levels on touched links, from every crossing entry.
+        all_l = np.concatenate([old.entry_link[sel], ae_link])
+        all_v = np.concatenate([olev, ae_lev])
+        link_lam = state.link_lam.copy()
+        link_lam[T] = _NO_LAM
+        if len(all_l):
+            order = np.argsort(all_l, kind="stable")
+            l_s = all_l[order]
+            v_s = all_v[order]
+            starts = np.empty(len(l_s), dtype=bool)
+            starts[0] = True
+            np.not_equal(l_s[1:], l_s[:-1], out=starts[1:])
+            firsts = np.flatnonzero(starts)
+            gmax = np.maximum.reduceat(v_s, firsts)
+            ul = l_s[firsts]
+            sat_ul = satur[ul]
+            link_lam[ul[sat_ul]] = gmax[sat_ul]
+        # Condition B for the active subflows ...
+        a_len = new_seo[active_set + 1] - new_seo[active_set]
+        if len(active_set):
+            a_off = np.concatenate(([0], np.cumsum(a_len[:-1]))).astype(np.int64)
+            lam_ae = link_lam[ae_link]
+            ok_e = satur[ae_link] & (
+                ae_lev >= lam_ae - 1e-11 * (1.0 + np.minimum(lam_ae, 1.0e6))
+            )
+            okA = np.logical_or.reduceat(ok_e, a_off)
+            failA = (aw > 0.0) & ~okA
+        else:
+            # A pure removal can leave nothing to re-solve: the surviving
+            # flows' old certificates are re-checked below as constants.
+            failA = np.zeros(0, dtype=bool)
+        # ... and for the persisting constants crossing T: their own levels
+        # did not move, but their certificate links' water levels may have.
+        cs = np.unique(osub)
+        ce = _gather_ranges(old_seo, cs)
+        c_len = old_seo[cs + 1] - old_seo[cs]
+        cl = old.entry_link[ce]
+        lam_c = link_lam[cl]
+        ok_ce = satur[cl] & (
+            np.repeat(state.levels[cs], c_len)
+            >= lam_c - 1e-11 * (1.0 + np.minimum(lam_c, 1.0e6))
+        )
+        if len(ce):
+            c_off = np.concatenate(([0], np.cumsum(c_len[:-1]))).astype(np.int64)
+            okC = np.logical_or.reduceat(ok_ce, c_off)
+        else:
+            okC = np.zeros(0, dtype=bool)
+        failC = (old.subflow_weights()[cs] > 0.0) & ~okC
+        if not over.any() and not failA.any() and not failC.any():
+            return True, None, used, link_lam, ae_rate
+        bad = over.copy()
+        if failA.any():
+            bad[ae_link[np.repeat(failA, a_len)]] = True
+        if failC.any():
+            bad[cl[np.repeat(failC, c_len)]] = True
+        return False, bad, used, None, None
+
+    def maxmin_rates_delta_batch(
+        self,
+        state: WarmState,
+        flow_sets: Sequence[Sequence[Flow]],
+        *,
+        changed: Optional[Sequence[Optional[Sequence[int]]]] = None,
+        max_iterations: int = 100000,
+        max_attempts: int = 3,
+        max_active_fraction: float = 0.85,
+    ) -> List[DeltaSolve]:
+        """Warm-started delta solves of **many candidates at once**.
+
+        Every candidate perturbs the *same* prior fixed point ``state``, so
+        the warm machinery of :meth:`maxmin_rates_delta` — the directional
+        closure that seeds each candidate's active set, the relaxed fill of
+        those sets against the prior residuals, and the exact optimality
+        verification — runs **batched** in virtual link space
+        (``candidate * num_links + link``): each BFS layer, fill round, and
+        verification pass costs one set of NumPy dispatches for the whole
+        batch instead of one per candidate.  This is what makes per-neighbor
+        evaluation cheap inside a search loop: at fig12 scale the solve cost
+        is dispatch-dominated, and the batch divides the dispatch count by
+        the batch width.  Candidates whose closure floods, whose fill fails
+        verification ``max_attempts`` times, or whose perturbation is too
+        large fall back together through :meth:`_batch_fill`, whose rounds
+        are bit-identical to solo cold solves — so every returned result
+        matches :meth:`maxmin_rates` to well under 1e-12, warm or not.
+
+        ``changed[j]`` optionally lists candidate ``j``'s changed flow
+        indices (same contract as :meth:`maxmin_rates_delta`).  Results are
+        objective-only: ``DeltaSolve.state`` is always ``None`` — re-solve
+        an accepted candidate with ``maxmin_rates_delta(want_state=True)``
+        to advance the chain.  Candidates with a different flow count than
+        ``state`` (or a group-selecting policy like UGAL) are solved through
+        the sequential path.
+        """
+        flow_sets = [list(fs) for fs in flow_sets]
+        C = len(flow_sets)
+        _DELTA_BATCH.observe(C)
+        if C == 0:
+            return []
+        n = int(state.asg.num_flows)
+        changed_list = list(changed) if changed is not None else [None] * C
+        if len(changed_list) != C:
+            raise ValueError("changed must align with flow_sets")
+        if self.policy.selects_group or n == 0 or any(
+            len(fs) != n for fs in flow_sets
+        ):
+            return [
+                self.maxmin_rates_delta(
+                    state,
+                    fs,
+                    changed=ch,
+                    max_iterations=max_iterations,
+                    max_attempts=max_attempts,
+                    max_active_fraction=max_active_fraction,
+                    want_state=False,
+                )
+                for fs, ch in zip(flow_sets, changed_list)
+            ]
+        old = state.asg
+        cap = self.capacity
+        L = len(cap)
+        nso = old.num_subflows
+        old_fso = old.flow_subflow_offsets()
+        old_seo = old.subflow_offsets()
+        old_el = old.entry_link
+        old_es = old.entry_subflow
+        old_sff = old.subflow_flow
+        old_sw = old.subflow_weights()
+        old_ew = old.entry_weights()
+        lo, ls = old.link_index(L)
+        leo = old.link_entry_order(L)
+        lam = state.link_lam
+        sat_link = lam < _NO_LAM
+        olev = state.levels
+        # Exact at-level weight per saturated link (the weight the new
+        # segment traffic competes with): one O(entries) pass, amortised
+        # over the whole batch.  Tighter than the used/lam overestimate
+        # the sequential path uses, so the layer-0 recruitment threshold
+        # under-recruits less and verification retries are rarer.
+        lam_e = lam[old_el]
+        at_lam = (lam_e < _NO_LAM) & (
+            olev[old_es] >= lam_e - 1e-9 * (1.0 + lam_e)
+        )
+        w_est = np.bincount(old_el, weights=old_ew * at_lam, minlength=L)
+        np.maximum(w_est, 1e-12, out=w_est)
+
+        # ------------------------------------------------ per-candidate setup
+        # Evaluation candidates never materialise the spliced assignment:
+        # the active set is described by old-CSR slices plus the changed
+        # pairs' freshly gathered segment routes, and the warm finalize
+        # patches flow rates by delta.  Only fallbacks splice for real.
+        out: List[Optional[DeltaSolve]] = [None] * C
+        chg_idx: List[Optional[np.ndarray]] = [None] * C
+        chg_mask_c: List[Optional[np.ndarray]] = [None] * C
+        chg_src: List[Optional[np.ndarray]] = [None] * C
+        chg_dst: List[Optional[np.ndarray]] = [None] * C
+        chg_dem: List[Optional[np.ndarray]] = [None] * C
+        gone_subs_c: List[Optional[np.ndarray]] = [None] * C
+        gone_e_c: List[Optional[np.ndarray]] = [None] * C
+        npaths_c: List[Optional[np.ndarray]] = [None] * C
+        seg_links_c: List[Optional[np.ndarray]] = [None] * C
+        seg_lengths_c: List[Optional[np.ndarray]] = [None] * C
+        seg_w_c: List[Optional[np.ndarray]] = [None] * C
+        seg_ew_c: List[Optional[np.ndarray]] = [None] * C
+        fallbacks: List[int] = []
+        pend: List[int] = []
+        dirty_flat = np.zeros(C * L, dtype=bool)
+        thr_flat = np.full(C * L, _NO_LAM)
+        start_parts: List[np.ndarray] = []
+        for j, fs in enumerate(flow_sets):
+            ch = changed_list[j]
+            if ch is not None:
+                cidx = np.asarray(sorted({int(i) for i in ch}), dtype=np.int64)
+                if len(cidx) and (
+                    int(cidx[0]) < 0 or int(cidx[-1]) >= n
+                ):
+                    raise ValueError("changed flow indices out of range")
+                src = state.src.copy()
+                dst = state.dst.copy()
+                dem = state.demand.copy()
+                for i in cidx.tolist():
+                    f = fs[i]
+                    src[i], dst[i], dem[i] = f.src, f.dst, f.demand
+            else:
+                src = np.fromiter((f.src for f in fs), dtype=np.int64, count=n)
+                dst = np.fromiter((f.dst for f in fs), dtype=np.int64, count=n)
+                dem = np.fromiter(
+                    (f.demand for f in fs), dtype=np.float64, count=n
+                )
+                diff = (
+                    (src != state.src)
+                    | (dst != state.dst)
+                    | (dem != state.demand)
+                )
+                cidx = np.flatnonzero(diff)
+            _DELTA_SOLVES.inc()
+            _DELTA_CHANGED.observe(len(cidx))
+            chg_idx[j] = cidx
+            chg_src[j], chg_dst[j], chg_dem[j] = src, dst, dem
+            if not len(cidx):
+                _DELTA_WARM.inc()
+                out[j] = DeltaSolve(
+                    result=state.result,
+                    state=state,
+                    warm=True,
+                    changed=0,
+                    attempts=0,
+                )
+                continue
+            if len(cidx) > max(4.0, max_active_fraction * n):
+                fallbacks.append(j)
+                continue
+            csrc = src[cidx]
+            cdst = dst[cidx]
+            if (csrc == cdst).any():
+                raise ValueError("flows must have distinct endpoints")
+            first, npaths = self.table.pair_arrays(
+                self._rank_nodes[csrc], self._rank_nodes[cdst]
+            )
+            path_ids = _pair_range_path_ids(first, npaths)
+            seg_pw = self.table.gather_path_weights(path_ids)
+            seg_links, seg_lengths = self.table.gather_links(path_ids)
+            seg_w = seg_pw * np.repeat(dem[cidx], npaths)
+            seg_ew = np.repeat(seg_w, seg_lengths)
+            npaths_c[j] = npaths
+            seg_links_c[j] = seg_links
+            seg_lengths_c[j] = seg_lengths
+            seg_w_c[j] = seg_w
+            seg_ew_c[j] = seg_ew
+            cm = np.zeros(n, dtype=bool)
+            cm[cidx] = True
+            chg_mask_c[j] = cm
+            gone_subs = _gather_ranges(old_fso, cidx)
+            gone_e = _gather_ranges(old_seo, gone_subs)
+            gone_subs_c[j] = gone_subs
+            gone_e_c[j] = gone_e
+            row = dirty_flat[j * L : (j + 1) * L]
+            if len(gone_e):
+                row[old_el[gone_e]] = True
+            row[seg_links] = True
+            s0 = np.flatnonzero(row & sat_link)
+            if len(s0):
+                # bincount of an empty input yields int64 even with weights.
+                add_w = np.bincount(
+                    seg_links, weights=seg_ew, minlength=L
+                ).astype(np.float64, copy=False)
+                if len(gone_e):
+                    add_w -= np.bincount(
+                        old_el[gone_e], weights=old_ew[gone_e], minlength=L
+                    )
+                # Thresholds are only read on the closure's first frontier,
+                # which is exactly s0 — no need for a full-L row.
+                a0 = np.maximum(add_w[s0], 0.0)
+                thr_flat[s0 + j * L] = np.where(
+                    a0 > 0.0,
+                    lam[s0] * w_est[s0] / (w_est[s0] + a0),
+                    lam[s0],
+                )
+                start_parts.append(s0 + j * L)
+            pend.append(j)
+
+        # --------------------------------------------------- batched closure
+        sub_seen = np.zeros(C * nso, dtype=bool)
+        link_seen = np.zeros(C * L, dtype=bool)
+        alive = np.zeros(C, dtype=bool)
+        seen_count = np.zeros(C, dtype=np.int64)
+        budget_arr = np.full(C, -1.0)
+        seg_len_arr = np.zeros(C, dtype=np.int64)
+        for j in pend:
+            alive[j] = True
+            nsub_new = nso - len(gone_subs_c[j]) + len(seg_w_c[j])
+            budget_arr[j] = max_active_fraction * max(nsub_new, 1)
+            seg_len_arr[j] = len(seg_w_c[j])
+            gs = gone_subs_c[j]
+            if len(gs):
+                sub_seen[j * nso + gs] = True
+        tol = 1e-9
+
+        def _closure_batch(
+            frontier: np.ndarray, *, use_thr: bool, recruit_all: bool
+        ) -> None:
+            """Batched BFS over the prior bottleneck hierarchy; layer-exact
+            per candidate (candidates live in disjoint virtual id ranges).
+            Over-budget or non-converging candidates are marked dead."""
+            first = True
+            for _ in range(64):
+                if not len(frontier):
+                    return
+                fc = frontier // L
+                keep = alive[fc]
+                if not keep.all():
+                    frontier = frontier[keep]
+                    fc = fc[keep]
+                if not len(frontier):
+                    return
+                link_seen[frontier] = True
+                fl = frontier - fc * L
+                cnt = lo[fl + 1] - lo[fl]
+                cross = ls[_gather_ranges(lo, fl)]
+                cross_c = np.repeat(fc, cnt)
+                if first and recruit_all:
+                    vsub = cross_c * nso + cross
+                elif first and use_thr:
+                    t_rep = np.repeat(thr_flat[frontier], cnt)
+                    m = olev[cross] >= t_rep - tol * (1.0 + np.abs(t_rep))
+                    vsub = (cross_c * nso + cross)[m]
+                else:
+                    lam_rep = np.repeat(lam[fl], cnt)
+                    m = olev[cross] >= lam_rep - tol * (1.0 + lam_rep)
+                    vsub = (cross_c * nso + cross)[m]
+                first = False
+                vsub = vsub[~sub_seen[vsub]]
+                if not len(vsub):
+                    return
+                vsub = np.unique(vsub)
+                sub_seen[vsub] = True
+                vc = vsub // nso
+                seen_count[:] += np.bincount(vc, minlength=C)
+                dead = alive & (seen_count + seg_len_arr > budget_arr)
+                if dead.any():
+                    alive[dead] = False
+                    keepc = alive[vc]
+                    vsub = vsub[keepc]
+                    vc = vc[keepc]
+                    if not len(vsub):
+                        return
+                sub = vsub - vc * nso
+                cnt2 = old_seo[sub + 1] - old_seo[sub]
+                cl = old_el[_gather_ranges(old_seo, sub)]
+                vcl = np.repeat(vc, cnt2) * L + cl
+                lvl_rep = np.repeat(olev[sub], cnt2)
+                up = (
+                    sat_link[cl]
+                    & ~link_seen[vcl]
+                    & (lam[cl] >= lvl_rep - tol * (1.0 + lvl_rep))
+                )
+                frontier = np.unique(vcl[up])
+            if len(frontier):  # no closure after 64 layers: effectively global
+                alive[np.unique(frontier // L)] = False
+
+        if start_parts:
+            _closure_batch(
+                np.concatenate(start_parts), use_thr=True, recruit_all=False
+            )
+
+        def _active_from_seen(j: int) -> np.ndarray:
+            """Recruited *old* subflow ids (unchanged flows only); the
+            changed flows' segment subflows are always active."""
+            seen = np.flatnonzero(sub_seen[j * nso : (j + 1) * nso])
+            return seen[~chg_mask_c[j][old_sff[seen]]]
+
+        def _ctx(j: int, old_active: np.ndarray) -> dict:
+            """Fill/verify context of one candidate's active set: old-CSR
+            slices for the recruited unchanged subflows, then the changed
+            pairs' gathered segment routes — no spliced assignment."""
+            oa_e = _gather_ranges(old_seo, old_active)
+            oe = np.concatenate([oa_e, gone_e_c[j]])
+            freed = np.bincount(
+                old_el[oe], weights=state.entry_rate[oe], minlength=L
+            )
+            return {
+                "j": j,
+                "old_active": old_active,
+                "n_active": len(old_active) + len(seg_w_c[j]),
+                "ae_link": np.concatenate(
+                    [old_el[oa_e], seg_links_c[j]]
+                ),
+                "aw": np.concatenate([old_sw[old_active], seg_w_c[j]]),
+                "a_len": np.concatenate(
+                    [
+                        old_seo[old_active + 1] - old_seo[old_active],
+                        seg_lengths_c[j],
+                    ]
+                ),
+                "ae_w": np.concatenate([old_ew[oa_e], seg_ew_c[j]]),
+                "base_used": state.used - freed,
+            }
+
+        def _fill_batch(ctxs: List[dict]) -> None:
+            """Batched relaxed fill: every candidate's active set filled
+            against its own residuals, rounds shared across the batch."""
+            k = len(ctxs)
+            lenA = np.fromiter(
+                (c["n_active"] for c in ctxs), dtype=np.int64, count=k
+            )
+            a_off = np.concatenate(([0], np.cumsum(lenA))).astype(np.int64)
+            aw_cat = np.concatenate([c["aw"] for c in ctxs])
+            ae_w_cat = np.concatenate([c["ae_w"] for c in ctxs])
+            a_len_cat = np.concatenate([c["a_len"] for c in ctxs])
+            asub_off = np.concatenate(
+                ([0], np.cumsum(a_len_cat))
+            ).astype(np.int64)
+            vlink = np.concatenate(
+                [i * L + c["ae_link"] for i, c in enumerate(ctxs)]
+            )
+            bu_flat = np.concatenate([c["base_used"] for c in ctxs])
+            A = len(aw_cat)
+            lvl_cat = np.zeros(A)
+            uL, inv = np.unique(vlink, return_inverse=True)
+            nLc = len(uL)
+            if nLc:
+                ucand = uL // L
+                ulink = uL - ucand * L
+                residual = cap[ulink] - bu_flat[uL]
+                np.maximum(residual, 0.0, out=residual)
+                load = np.bincount(inv, weights=ae_w_cat, minlength=nLc)
+                order = np.argsort(inv, kind="stable")
+                cell_off = np.concatenate(
+                    ([0], np.cumsum(np.bincount(inv, minlength=nLc)))
+                ).astype(np.int64)
+                e_sub = np.repeat(np.arange(A, dtype=np.int64), a_len_cat)
+                cell_subs = e_sub[order]
+                sub_cand = np.repeat(np.arange(k, dtype=np.int64), lenA)
+                ccounts = np.bincount(ucand, minlength=k)
+                nonempty = ccounts > 0
+                ne_starts = np.concatenate(([0], np.cumsum(ccounts)))[:-1][
+                    nonempty
+                ].astype(np.int64)
+                still = aw_cat > 0.0
+                num_active = np.bincount(sub_cand[still], minlength=k)
+                fill = np.zeros(k)
+                sat_thr_c = _EPS * (1.0 + cap[ulink])
+                sat_ever = np.zeros(nLc, dtype=bool)
+                cap_rounds = 4 * lenA + 16
+                live = num_active > 0
+                inc_c = np.empty(k)
+                rounds = 0
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    while live.any():
+                        rounds += 1
+                        if rounds > max_iterations:  # pragma: no cover
+                            raise RuntimeError(
+                                "batched delta filling did not converge"
+                            )
+                        live &= rounds <= cap_rounds
+                        if not live.any():
+                            break
+                        head = np.where(
+                            load > _EPS,
+                            residual / np.maximum(load, _EPS),
+                            np.inf,
+                        )
+                        inc_c.fill(np.inf)
+                        inc_c[nonempty] = np.minimum.reduceat(head, ne_starts)
+                        live &= np.isfinite(inc_c)
+                        if not live.any():
+                            break
+                        inc_l = np.where(live, inc_c, 0.0)
+                        fill += inc_l
+                        residual -= load * inc_l[ucand]
+                        newly = np.flatnonzero(
+                            (residual <= sat_thr_c) & ~sat_ever & live[ucand]
+                        )
+                        if not len(newly):  # pragma: no cover - numerical
+                            break
+                        sat_ever[newly] = True
+                        frozen = cell_subs[_gather_ranges(cell_off, newly)]
+                        frozen = frozen[still[frozen]]
+                        if len(frozen):
+                            frozen = np.unique(frozen)
+                            still[frozen] = False
+                            num_active -= np.bincount(
+                                sub_cand[frozen], minlength=k
+                            )
+                            lvl_cat[frozen] = fill[sub_cand[frozen]]
+                            gone2 = _gather_ranges(asub_off, frozen)
+                            load -= np.bincount(
+                                inv[gone2],
+                                weights=ae_w_cat[gone2],
+                                minlength=nLc,
+                            )
+                        load[newly] = 0.0
+                        live &= num_active > 0
+                if still.any():
+                    lvl_cat[still] = fill[sub_cand[still]]
+                lvl_cat[aw_cat <= 0.0] = 0.0
+            for i, c in enumerate(ctxs):
+                c["lvl"] = lvl_cat[a_off[i] : a_off[i + 1]]
+
+        def _verify_batch(ctxs: List[dict]) -> None:
+            """Batched exact optimality check (see :meth:`_verify_delta`);
+            sets ``ok``/``used``/``bad`` on every context."""
+            k = len(ctxs)
+            lenA = [len(c["aw"]) for c in ctxs]
+            a_len_cat = np.concatenate([c["a_len"] for c in ctxs])
+            aw_cat = np.concatenate([c["aw"] for c in ctxs])
+            ae_w_cat = np.concatenate([c["ae_w"] for c in ctxs])
+            lvl_cat = np.concatenate([c["lvl"] for c in ctxs])
+            vlink = np.concatenate(
+                [i * L + c["ae_link"] for i, c in enumerate(ctxs)]
+            )
+            bu_flat = np.concatenate([c["base_used"] for c in ctxs])
+            ae_lev = np.repeat(lvl_cat, a_len_cat)
+            ae_rate = ae_w_cat * ae_lev
+            used_flat = bu_flat + np.bincount(
+                vlink, weights=ae_rate, minlength=k * L
+            )
+            cap_t = np.tile(cap, k)
+            sat_thr_t = _EPS * (1.0 + cap_t)
+            over = used_flat > cap_t + sat_thr_t
+            satur = used_flat >= cap_t - 2.0 * sat_thr_t
+            T = np.zeros(k * L, dtype=bool)
+            for i, c in enumerate(ctxs):
+                j = c["j"]
+                T[i * L : (i + 1) * L] = dirty_flat[j * L : (j + 1) * L]
+            T[vlink] = True
+            rep_flat = np.ones(k * nso, dtype=bool)
+            for i, c in enumerate(ctxs):
+                gs = gone_subs_c[c["j"]]
+                if len(gs):
+                    rep_flat[i * nso + gs] = False
+                rep_flat[i * nso + c["old_active"]] = False
+            vT = np.flatnonzero(T)
+            Tc = vT // L
+            Tl = vT - Tc * L
+            cntT = lo[Tl + 1] - lo[Tl]
+            sel = leo[_gather_ranges(lo, Tl)]
+            sel_c = np.repeat(Tc, cntT)
+            osub = old_es[sel]
+            keepm = rep_flat[sel_c * nso + osub]
+            sel = sel[keepm]
+            sel_c = sel_c[keepm]
+            osub = osub[keepm]
+            all_l = np.concatenate([sel_c * L + old_el[sel], vlink])
+            all_v = np.concatenate([olev[osub], ae_lev])
+            lam_flat = np.tile(lam, k)
+            lam_flat[vT] = _NO_LAM
+            if len(all_l):
+                order = np.argsort(all_l, kind="stable")
+                l_s = all_l[order]
+                v_s = all_v[order]
+                starts = np.empty(len(l_s), dtype=bool)
+                starts[0] = True
+                np.not_equal(l_s[1:], l_s[:-1], out=starts[1:])
+                firsts = np.flatnonzero(starts)
+                gmax = np.maximum.reduceat(v_s, firsts)
+                ul = l_s[firsts]
+                sat_ul = satur[ul]
+                lam_flat[ul[sat_ul]] = gmax[sat_ul]
+            a_off2 = np.concatenate(
+                ([0], np.cumsum(a_len_cat[:-1]))
+            ).astype(np.int64)
+            lam_ae = lam_flat[vlink]
+            ok_e = satur[vlink] & (
+                ae_lev >= lam_ae - 1e-11 * (1.0 + np.minimum(lam_ae, 1.0e6))
+            )
+            okA = np.logical_or.reduceat(ok_e, a_off2)
+            failA = (aw_cat > 0.0) & ~okA
+            vcs = np.unique(sel_c * nso + osub)
+            csc = vcs // nso
+            cs = vcs - csc * nso
+            ce = _gather_ranges(old_seo, cs)
+            c_len = old_seo[cs + 1] - old_seo[cs]
+            cl = old_el[ce]
+            vcl = np.repeat(csc, c_len) * L + cl
+            lam_cc = lam_flat[vcl]
+            ok_ce = satur[vcl] & (
+                np.repeat(olev[cs], c_len)
+                >= lam_cc - 1e-11 * (1.0 + np.minimum(lam_cc, 1.0e6))
+            )
+            if len(ce):
+                c_off = np.concatenate(
+                    ([0], np.cumsum(c_len[:-1]))
+                ).astype(np.int64)
+                okC = np.logical_or.reduceat(ok_ce, c_off)
+            else:
+                okC = np.zeros(0, dtype=bool)
+            failC = (old_sw[cs] > 0.0) & ~okC
+            over_c = over.reshape(k, L).any(axis=1)
+            sub_cand = np.repeat(np.arange(k, dtype=np.int64), lenA)
+            failA_c = np.zeros(k, dtype=bool)
+            failA_c[sub_cand[failA]] = True
+            failC_c = np.zeros(k, dtype=bool)
+            failC_c[csc[failC]] = True
+            bad_flat = over.copy()
+            if failA.any():
+                bad_flat[vlink[np.repeat(failA, a_len_cat)]] = True
+            if failC.any():
+                bad_flat[vcl[np.repeat(failC, c_len)]] = True
+            for i, c in enumerate(ctxs):
+                c["ok"] = not (over_c[i] or failA_c[i] or failC_c[i])
+                c["used"] = used_flat[i * L : (i + 1) * L]
+                c["bad"] = bad_flat[i * L : (i + 1) * L]
+
+        # ----------------------------------------- attempts loop + finalize
+        attempts_arr = np.zeros(C, dtype=np.int64)
+
+        def _finish_warm(c: dict) -> None:
+            j = c["j"]
+            used = c["used"]
+            _DELTA_WARM.inc()
+            _DELTA_ACTIVE.observe(c["n_active"])
+            # Patch flow rates by delta: unchanged flows shift by their
+            # re-solved subflows' weighted level change; changed flows are
+            # recomputed from their segment routes.
+            flow_rates = state.result.flow_rates.copy()
+            oa = c["old_active"]
+            n_oa = len(oa)
+            lvl = c["lvl"]
+            if n_oa:
+                flow_rates += np.bincount(
+                    old_sff[oa],
+                    weights=old_sw[oa] * (lvl[:n_oa] - olev[oa]),
+                    minlength=n,
+                )
+            cidx = chg_idx[j]
+            segf = np.repeat(
+                np.arange(len(cidx), dtype=np.int64), npaths_c[j]
+            )
+            flow_rates[cidx] = np.bincount(
+                segf, weights=seg_w_c[j] * lvl[n_oa:], minlength=len(cidx)
+            )
+            link_util = np.where(cap > 0, used / cap, 0.0)
+            bottleneck = int(np.argmax(link_util)) if L else -1
+            out[j] = DeltaSolve(
+                result=PhaseResult(
+                    flow_rates=flow_rates,
+                    link_utilization=link_util,
+                    bottleneck_link=bottleneck,
+                ),
+                state=None,
+                warm=True,
+                changed=len(chg_idx[j]),
+                attempts=int(attempts_arr[j]),
+            )
+
+        ctxs: List[dict] = []
+        for j in pend:
+            if alive[j]:
+                ctxs.append(_ctx(j, _active_from_seen(j)))
+            else:
+                fallbacks.append(j)
+        for attempt in range(max_attempts):
+            if not ctxs:
+                break
+            kept: List[dict] = []
+            for c in ctxs:
+                attempts_arr[c["j"]] += 1
+                if c["n_active"] > budget_arr[c["j"]]:
+                    alive[c["j"]] = False
+                    fallbacks.append(c["j"])
+                else:
+                    kept.append(c)
+            ctxs = kept
+            if not ctxs:
+                break
+            _fill_batch(ctxs)
+            _verify_batch(ctxs)
+            failed: List[dict] = []
+            for c in ctxs:
+                if c["ok"]:
+                    _finish_warm(c)
+                else:
+                    failed.append(c)
+            if not failed:
+                ctxs = []
+                break
+            if attempt == max_attempts - 1:
+                for c in failed:
+                    fallbacks.append(c["j"])
+                ctxs = []
+                break
+            # Expansion: close over the violated links (all their residents,
+            # then the upward climb), per failing candidate.
+            _closure_batch(
+                np.concatenate(
+                    [c["j"] * L + np.flatnonzero(c["bad"]) for c in failed]
+                ),
+                use_thr=False,
+                recruit_all=True,
+            )
+            next_ctxs: List[dict] = []
+            for c in failed:
+                j = c["j"]
+                if not alive[j]:
+                    fallbacks.append(j)
+                    continue
+                badl = np.flatnonzero(c["bad"])
+                crossing = ls[_gather_ranges(lo, badl)]
+                crossing = crossing[~chg_mask_c[j][old_sff[crossing]]]
+                grown = np.unique(
+                    np.concatenate([_active_from_seen(j), crossing])
+                )
+                if len(grown) == len(c["old_active"]):  # no progress
+                    alive[j] = False
+                    fallbacks.append(j)
+                    continue
+                next_ctxs.append(_ctx(j, grown))
+            ctxs = next_ctxs
+
+        # --------------------------- batched exact fallback for the rest
+        if fallbacks:
+            fb_results = self._batch_fill(
+                [
+                    self._assign_delta(
+                        old, chg_idx[j], n, chg_src[j], chg_dst[j], chg_dem[j]
+                    )
+                    for j in fallbacks
+                ],
+                max_iterations=max_iterations,
+            )
+            for j, res in zip(fallbacks, fb_results):
+                _DELTA_FALLBACKS.inc()
+                out[j] = DeltaSolve(
+                    result=res,
+                    state=None,
+                    warm=False,
+                    changed=len(chg_idx[j]),
+                    attempts=int(attempts_arr[j]),
+                )
+        return out
 
     def maxmin_rates_batch(
         self,
@@ -501,6 +2185,20 @@ class FlowSimulator:
         if S == 0:
             return []
         asgs = [self.assign(flows) for flows in flow_sets]
+        return self._batch_fill(asgs, max_iterations=max_iterations)
+
+    def _batch_fill(
+        self,
+        asgs: Sequence[FlowAssignment],
+        *,
+        max_iterations: int = 100000,
+    ) -> List[PhaseResult]:
+        """The vectorized cold fill of :meth:`maxmin_rates_batch` on
+        already-built assignments (also the batched delta path's exact
+        fallback — the batch rounds are bit-identical to per-scenario solo
+        solves, so a fallback through here matches :meth:`maxmin_rates`
+        exactly)."""
+        S = len(asgs)
         L = len(self.capacity)
         sub_counts = np.fromiter((a.num_subflows for a in asgs), dtype=np.int64, count=S)
         sub_base = np.concatenate(([0], np.cumsum(sub_counts)))

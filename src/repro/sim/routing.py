@@ -93,15 +93,23 @@ _SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
 
 
 def parse_mem_budget(value: Union[str, int, float, None]) -> Optional[int]:
-    """Parse a memory budget: bytes, or a string like ``"4G"`` / ``"512M"``.
+    """Parse a memory budget: bytes, or a string like ``"4G"`` / ``"512m"``.
 
-    ``None``, ``""``, and ``"0"`` mean *no budget* (eager storage always).
+    Suffixes are case-insensitive (``"4G"``, ``"4g"``, ``"256m"``, with an
+    optional trailing ``b``/``B``).  ``None`` and ``""`` mean *no budget*
+    (eager storage always); zero or negative budgets raise ``ValueError``
+    rather than silently disabling the shard budget.
     """
     if value is None:
         return None
     if isinstance(value, (int, float)):
         budget = int(value)
-        return budget if budget > 0 else None
+        if budget <= 0:
+            raise ValueError(
+                f"memory budget must be positive, got {value!r} "
+                "(use None for no budget)"
+            )
+        return budget
     text = value.strip().lower()
     if not text:
         return None
@@ -115,7 +123,12 @@ def parse_mem_budget(value: Union[str, int, float, None]) -> Optional[int]:
         budget = int(float(text) * scale)
     except ValueError:
         raise ValueError(f"unparseable memory budget {value!r}") from None
-    return budget if budget > 0 else None
+    if budget <= 0:
+        raise ValueError(
+            f"memory budget must be positive, got {value!r} "
+            "(use an empty string or None for no budget)"
+        )
+    return budget
 
 
 def default_mem_budget() -> Optional[int]:

@@ -1,0 +1,221 @@
+"""Simulated-annealing adversary search over permutation traffic.
+
+The paper's worst-case claims (Section IV-C, Figure 12) are anchored on one
+hand-built adversarial permutation per family
+(:func:`repro.sim.traffic.adversarial_permutation`).  ROADMAP item 3a asks
+for the stronger statement: the *searched* per-policy worst case.  This
+module provides it — a simulated-annealing walk over permutations whose
+neighbour move swaps two destinations (:func:`~repro.sim.traffic.swap_destinations`,
+closed over permutations) and whose objective is the worst per-destination
+receive fraction, the same number :meth:`NetworkModel.permutation_sample`
+reports.
+
+Each neighbour evaluation is a full max-min solve, so the search leans on
+the delta-solve engine: proposals are evaluated **speculatively in
+batches** through :meth:`FlowSimulator.maxmin_rates_delta_batch` — every
+candidate perturbs the same accepted fixed point, the batch shares its
+closure / fill / verification dispatches, and the first Metropolis winner
+(in proposal order) advances the chain while the remaining evaluations are
+discarded.  That is the standard speculative-annealing construction: the
+accepted trajectory is identical to a sequential annealer consuming the
+same proposal stream, because every proposal is genuinely evaluated
+against the state it would have seen.
+
+The hand-built adversary seeds the walk and is evaluated first, so
+``searched_worst <= hand_built_worst`` holds by construction (lower is
+worse for the network, i.e. a stronger adversary).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import obs as _obs
+from ..exp.seeding import SeedLike, as_generator
+from .flowsim import FlowSimulator
+from .traffic import Flow, adversarial_permutation, swap_destinations
+
+__all__ = ["SearchResult", "anneal_adversary", "worst_receive_fraction"]
+
+_SEARCH_STEPS = _obs.counter("search.steps")
+_SEARCH_ACCEPTS = _obs.counter("search.accepts")
+_SEARCH_BEST = _obs.counter("search.best_updates")
+
+
+def worst_receive_fraction(topo, flows: Sequence[Flow], rates: np.ndarray) -> float:
+    """Worst per-destination receive fraction of one solved phase.
+
+    Sums achieved rates by destination, normalises by the injection
+    capacity, and takes the minimum over the **participating**
+    destinations (hand-built adversaries may be partial permutations that
+    leave part of the machine idle).  This is exactly the objective of
+    :meth:`repro.sim.backend.NetworkModel.permutation_sample` reduced with
+    ``.min()``, so searched and hand-built degradations are comparable.
+    """
+    p = topo.num_accelerators
+    inj = float(topo.meta.get("injection_capacity", 4.0))
+    dst = np.fromiter((f.dst for f in flows), dtype=np.int64, count=len(flows))
+    by_dst = np.zeros(p)
+    np.add.at(by_dst, dst, np.asarray(rates, dtype=np.float64))
+    if not len(dst):
+        return 0.0
+    return float(by_dst[dst].min() / inj)
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one :func:`anneal_adversary` run.
+
+    Objectives are worst receive fractions (lower = stronger adversary);
+    ``seed_objective`` is the hand-built (or caller-provided) starting
+    permutation's, and ``best_objective <= seed_objective`` always holds
+    because the seed is the first evaluated candidate.
+    """
+
+    best_flows: List[Flow]
+    best_objective: float
+    seed_objective: float
+    steps: int
+    accepted: int
+    warm_evals: int
+    cold_evals: int
+
+
+def anneal_adversary(
+    sim: FlowSimulator,
+    flows: Optional[Sequence[Flow]] = None,
+    *,
+    steps: int = 256,
+    seed: SeedLike = 0,
+    batch: int = 16,
+    t_initial: float = 0.02,
+    t_final: float = 1e-3,
+    max_attempts: int = 3,
+    max_active_fraction: float = 0.85,
+) -> SearchResult:
+    """Anneal towards the worst-case permutation for ``sim``'s policy.
+
+    Starts from ``flows`` (default: the family's hand-built
+    :func:`~repro.sim.traffic.adversarial_permutation`), proposes
+    swap-two-destinations moves, and accepts with the Metropolis rule
+    under a geometric temperature schedule from ``t_initial`` to
+    ``t_final`` (temperatures are in objective units — receive
+    fractions).  ``steps`` counts proposal evaluations, each a full
+    max-min solve; proposals are evaluated in speculative batches of
+    ``batch`` through :meth:`FlowSimulator.maxmin_rates_delta_batch`, and
+    an accepted move is re-solved with
+    :meth:`FlowSimulator.maxmin_rates_delta` (``want_state=True``) to
+    advance the warm state.  The best candidate ever evaluated — accepted
+    or not — is tracked and returned.
+
+    Deterministic for a given ``(sim, flows, steps, seed, batch,
+    t_initial, t_final)``: proposals come from a seeded generator and the
+    solver is exact.
+    """
+    if steps < 0:
+        raise ValueError("steps must be >= 0")
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if not (0.0 < t_final <= t_initial):
+        raise ValueError("need 0 < t_final <= t_initial")
+    topo = sim.topo
+    cur = list(flows) if flows is not None else adversarial_permutation(topo)
+    n = len(cur)
+    rng = as_generator(seed)
+
+    # The seed is evaluated first (it defines the warm state), so the
+    # search can never report a weaker adversary than the hand-built one.
+    state = sim.maxmin_warm_state(cur)
+    cur_obj = worst_receive_fraction(topo, cur, state.result.flow_rates)
+    seed_obj = cur_obj
+    best_flows = list(cur)
+    best_obj = cur_obj
+
+    def propose() -> Optional[Tuple[int, int]]:
+        """A valid swap: neither flow may become a self-send."""
+        for _ in range(16):
+            i, j = (int(v) for v in rng.choice(n, size=2, replace=False))
+            if cur[i].src != cur[j].dst and cur[j].src != cur[i].dst:
+                return i, j
+        return None
+
+    done = 0
+    accepted = 0
+    warm_evals = 0
+    cold_evals = 0
+    denom = max(steps - 1, 1)
+    ratio = t_final / t_initial
+    while done < steps and n >= 2:
+        width = min(batch, steps - done)
+        moves: List[Tuple[int, int]] = []
+        cands: List[List[Flow]] = []
+        for _ in range(width):
+            mv = propose()
+            if mv is None:
+                continue
+            moves.append(mv)
+            cands.append(swap_destinations(cur, *mv))
+        if not moves:
+            break
+        solves = sim.maxmin_rates_delta_batch(
+            state,
+            cands,
+            changed=moves,
+            max_attempts=max_attempts,
+            max_active_fraction=max_active_fraction,
+        )
+        objs: List[float] = []
+        for cand, ds in zip(cands, solves):
+            obj = worst_receive_fraction(topo, cand, ds.result.flow_rates)
+            objs.append(obj)
+            if ds.warm:
+                warm_evals += 1
+            else:
+                cold_evals += 1
+            # Every evaluation is exact, so even candidates the chain will
+            # discard are fair game for the best-seen record.
+            if obj < best_obj:
+                best_obj = obj
+                best_flows = cand
+                _SEARCH_BEST.inc()
+        winner = -1
+        for k, obj in enumerate(objs):
+            temp = t_initial * ratio ** ((done + k) / denom)
+            delta = obj - cur_obj
+            if delta < 0 or rng.random() < math.exp(-delta / temp):
+                winner = k
+                break
+        # Speculation: proposals after the winner were evaluated against a
+        # base the chain has now left, so they cannot be accepted — but
+        # they were full solves and count against the step budget.
+        done += len(moves)
+        _SEARCH_STEPS.inc(len(moves))
+        if winner >= 0:
+            accepted += 1
+            _SEARCH_ACCEPTS.inc()
+            adv = sim.maxmin_rates_delta(
+                state,
+                cands[winner],
+                changed=moves[winner],
+                max_attempts=max_attempts,
+                max_active_fraction=max_active_fraction,
+                want_state=True,
+            )
+            state = adv.state
+            cur = cands[winner]
+            cur_obj = worst_receive_fraction(
+                topo, cur, state.result.flow_rates
+            )
+    return SearchResult(
+        best_flows=best_flows,
+        best_objective=best_obj,
+        seed_objective=seed_obj,
+        steps=done,
+        accepted=accepted,
+        warm_evals=warm_evals,
+        cold_evals=cold_evals,
+    )

@@ -27,6 +27,7 @@ __all__ = [
     "sampled_alltoall_phases",
     "random_permutation",
     "adversarial_permutation",
+    "swap_destinations",
     "uniform_pair_sample",
     "ring_neighbor_flows",
     "nearest_neighbor_2d_flows",
@@ -209,6 +210,20 @@ def adversarial_permutation(topo) -> List[Flow]:
     if any(perm[r] == r for r in range(p)):
         raise ValueError("could not build a fixed-point-free adversarial permutation")
     return [Flow(r, perm[r]) for r in range(p)]
+
+
+def swap_destinations(flows: Sequence[Flow], i: int, j: int) -> List[Flow]:
+    """The neighbour move of the adversary search: flows ``i`` and ``j``
+    trade destinations (sources and demands stay put), so a permutation
+    stays a permutation.  Returns a new list; ``flows`` is not modified.
+    """
+    if i == j:
+        raise ValueError("swap_destinations needs two distinct flow indices")
+    fi, fj = flows[i], flows[j]
+    out = list(flows)
+    out[i] = Flow(fi.src, fj.dst, fi.demand)
+    out[j] = Flow(fj.src, fi.dst, fj.demand)
+    return out
 
 
 def uniform_pair_sample(p: int, num_samples: int, seed: SeedLike = 0) -> List[Flow]:
