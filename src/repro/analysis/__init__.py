@@ -8,6 +8,7 @@ from .bandwidth import (
     measure_topology,
 )
 from .adversary import adversary_search_sweep
+from .resilience import fault_resilience_sweep
 from .clusters import ClusterTopology, cluster_configs, large_cluster_configs, small_cluster_configs
 from .figures import (
     DEFAULT_FRACTIONS,
@@ -56,6 +57,7 @@ __all__ = [
     "fig12_permutation",
     "routing_policy_sweep",
     "adversary_search_sweep",
+    "fault_resilience_sweep",
     "fig13_allreduce_sweep",
     "fig17_allreduce_sweep",
     "fig15_cost_savings",

@@ -1,0 +1,183 @@
+"""Bandwidth-vs-faults study: the fault-resilience sweep.
+
+The paper argues HammingMesh degrades gracefully under cable faults —
+path diversity turns a dead cable into a bandwidth loss, not a
+connectivity loss.  This sweep quantifies that claim for every topology
+family of the routing-policy study: for each ``(family, policy, fault
+count)`` point a deterministic nested sample of dead cables
+(:func:`~repro.sim.faults.sample_link_faults`) degrades the fabric, and
+the flow backend measures alltoall (phase-capped, the Figure-11
+convention for large instances) and random-permutation bandwidth over
+the surviving pairs.  Because fault samples are nested prefixes, each
+family's curve is monotone in the *fault set*, and the post-processing
+normalizes every point by its own fault-free row into **retained
+fractions** — the number the paper's resilience argument is about.
+
+``num_faults=0`` cells run the ordinary fault-free backend (the empty
+:class:`~repro.sim.faults.FaultSet` maps to the shared memoized route
+table), so the baseline row is bit-identical to the unfaulted study by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..exp import Grid, RunReport, Runner, cell, register_sweep, run_grid
+from .figures import ROUTING_POLICY_TOPOS, _routing_policy_topo
+
+__all__ = [
+    "fault_resilience_cell",
+    "fault_resilience_grid",
+    "fault_resilience_sweep",
+]
+
+#: fault counts of the committed curve (0 pins the fault-free baseline)
+FAULT_COUNTS = (0, 1, 2, 4, 8)
+#: policies worth contrasting under faults: minimal shows the raw
+#: diversity of the family, UGAL shows what adaptive routing recovers
+RESILIENCE_POLICIES = ("minimal", "ugal")
+
+
+@cell(version=1)
+def fault_resilience_cell(
+    *,
+    topo_key: str,
+    policy: str,
+    num_faults: int,
+    seed: int = 0,
+    max_paths: int = 8,
+    num_random: int = 2,
+    num_phases: int = 16,
+) -> dict:
+    """Surviving bandwidth of one ``(family, policy, fault count)`` point.
+
+    Measures the alltoall fraction and random-permutation receive
+    fractions through a flow backend over the degraded route table, plus
+    the disconnected-pair count the backend reported (pairs are zeroed,
+    never crashed on).  The fault sample is the deterministic nested
+    prefix for ``(topology, seed)``, so points along the ``num_faults``
+    axis describe one growing fault scenario.
+    """
+    from ..sim import get_backend, sample_link_faults
+
+    topo = _routing_policy_topo(topo_key)
+    faults = sample_link_faults(topo, num_faults, seed=seed)
+    model = get_backend(
+        "flow", topo, max_paths=max_paths, policy=policy, faults=faults
+    )
+    fractions = model.permutation_fractions(num_permutations=num_random, seed=seed)
+    alltoall = model.alltoall_fraction(num_phases=num_phases, seed=seed)
+    return {
+        "alltoall_fraction": float(alltoall),
+        "permutation_mean": float(fractions.mean()),
+        "permutation_min": float(fractions.min()),
+        "dead_links": len(faults.dead_links),
+        "disconnected_pairs": int(model.disconnected_pairs),
+    }
+
+
+def fault_resilience_grid(
+    *,
+    topo_keys: Sequence[str] = tuple(ROUTING_POLICY_TOPOS),
+    policies: Sequence[str] = RESILIENCE_POLICIES,
+    fault_counts: Sequence[int] = FAULT_COUNTS,
+    seed: int = 0,
+    max_paths: int = 8,
+    num_random: int = 2,
+    num_phases: int = 16,
+) -> Grid:
+    grid = Grid(
+        fault_resilience_cell,
+        common={
+            "seed": seed,
+            "max_paths": max_paths,
+            "num_random": num_random,
+            "num_phases": num_phases,
+        },
+        # Chunk by topology (routing-policy study convention): one worker
+        # walks a family's whole fault schedule, so the fault-free table
+        # and every degraded table stay memoized across its cells.
+        chunk=lambda p: p["topo_key"],
+    )
+    grid.cross("topo_key", list(topo_keys))
+    grid.cross("policy", list(policies))
+    grid.cross("num_faults", list(fault_counts))
+    return grid
+
+
+def _fault_resilience_post(
+    report: RunReport,
+) -> Dict[str, Dict[str, Dict[str, list]]]:
+    """``{topo_key: {policy: {"curve": [point, ...]}}}`` sorted by fault count.
+
+    Each point carries the measured fractions plus ``retained_alltoall``
+    and ``retained_permutation`` — the point's bandwidth relative to the
+    same (family, policy) fault-free row.
+    """
+    by_pair: Dict[str, Dict[str, Dict[int, dict]]] = {}
+    for c in report:
+        params = c.scenario.params
+        by_pair.setdefault(params["topo_key"], {}).setdefault(
+            params["policy"], {}
+        )[params["num_faults"]] = dict(c.value)
+    results: Dict[str, Dict[str, Dict[str, list]]] = {}
+    for topo_key, by_policy in by_pair.items():
+        for policy, points in by_policy.items():
+            base = points.get(0, {})
+            base_a2a = float(base.get("alltoall_fraction", 0.0))
+            base_perm = float(base.get("permutation_mean", 0.0))
+            curve = []
+            for num_faults in sorted(points):
+                point = dict(points[num_faults])
+                point["num_faults"] = num_faults
+                point["retained_alltoall"] = (
+                    point["alltoall_fraction"] / base_a2a if base_a2a > 0 else 0.0
+                )
+                point["retained_permutation"] = (
+                    point["permutation_mean"] / base_perm if base_perm > 0 else 0.0
+                )
+                curve.append(point)
+            results.setdefault(topo_key, {})[policy] = {"curve": curve}
+    return results
+
+
+def fault_resilience_sweep(
+    *,
+    topo_keys: Sequence[str] = tuple(ROUTING_POLICY_TOPOS),
+    policies: Sequence[str] = RESILIENCE_POLICIES,
+    fault_counts: Sequence[int] = FAULT_COUNTS,
+    seed: int = 0,
+    max_paths: int = 8,
+    num_random: int = 2,
+    num_phases: int = 16,
+    runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
+) -> Dict[str, Dict[str, Dict[str, list]]]:
+    """Bandwidth-vs-faults curves per family per policy.
+
+    Returns ``{topo_key: {policy: {"curve": [{num_faults,
+    alltoall_fraction, permutation_mean, permutation_min,
+    retained_alltoall, retained_permutation, dead_links,
+    disconnected_pairs}, ...]}}}`` (recorded in
+    ``BENCH_fault_resilience.json``).
+    """
+    grid = fault_resilience_grid(
+        topo_keys=topo_keys,
+        policies=policies,
+        fault_counts=fault_counts,
+        seed=seed,
+        max_paths=max_paths,
+        num_random=num_random,
+        num_phases=num_phases,
+    )
+    return _fault_resilience_post(run_grid(grid, runner=runner, workers=workers))
+
+
+register_sweep(
+    "fault_resilience",
+    build=fault_resilience_grid,
+    post=_fault_resilience_post,
+    description="Bandwidth retained under nested link-fault schedules per family per policy",
+    artifact="fault_resilience",
+)

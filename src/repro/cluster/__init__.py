@@ -24,6 +24,7 @@ Quick start::
     print(report.summary()["time_weighted_utilization"])
 """
 
+from .coupling import CouplingState, NetworkCoupling
 from .failures import EVICTION_POLICIES, FailureModel
 from .jobs import ClusterJob, JobState
 from .metrics import ClusterMetrics, MetricSample
@@ -47,6 +48,8 @@ __all__ = [
     "POLICIES",
     "FailureModel",
     "EVICTION_POLICIES",
+    "NetworkCoupling",
+    "CouplingState",
     "ClusterMetrics",
     "MetricSample",
     "ClusterSimConfig",

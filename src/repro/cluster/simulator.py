@@ -39,6 +39,7 @@ from ..obs import registry as _obs
 from ..obs import tracing as _tracing
 from ..allocation.grid import BoardGrid
 from ..sim.engine import EventEngine, EventHandle
+from .coupling import CouplingState, NetworkCoupling
 from .failures import FailureModel
 from .jobs import ClusterJob
 from .metrics import ClusterMetrics
@@ -112,6 +113,11 @@ class ClusterSimConfig:
     arrivals: Optional[ArrivalModel] = None
     service: ServiceTimeModel = field(default_factory=LogNormalServiceTime)
     failures: Optional[FailureModel] = None
+    #: couple board failures to interconnect bandwidth: a failed board also
+    #: kills its HammingMesh links, and surviving jobs' remaining service
+    #: time stretches by the probe workload's bandwidth loss.  ``None``
+    #: (the default) keeps the historical uncoupled behavior bit-identical.
+    network: Optional[NetworkCoupling] = None
     #: hard safety cap on processed events (runaway guard)
     max_events: int = 2_000_000
 
@@ -198,6 +204,11 @@ class ClusterSimulator:
         service_rng = np.random.default_rng([cfg.seed, 0x5EE7])
         failure_rng = np.random.default_rng([cfg.seed, 0xFA11])
 
+        net: Optional[CouplingState] = (
+            cfg.network.build_state(cfg.x, cfg.y) if cfg.network is not None else None
+        )
+        bw_factor = [1.0]
+
         jobs: List[ClusterJob] = []
         running: Dict[int, Tuple[ClusterJob, EventHandle]] = {}
         repair_handles: Dict[Tuple[int, int], EventHandle] = {}
@@ -218,8 +229,29 @@ class ClusterSimulator:
         def dispatch() -> None:
             for job, _submesh in scheduler.dispatch():
                 runtime = job.begin(engine.now)
+                if net is not None:
+                    runtime /= max(bw_factor[0], 1e-6)
                 handle = engine.schedule(runtime, _completion(job))
                 running[job.job_id] = (job, handle)
+
+        def apply_bandwidth(new_factor: float) -> None:
+            """Rescale running jobs' remaining time to the new bandwidth.
+
+            Remaining *work* is invariant: a job with wall-clock remainder
+            ``R`` at factor ``f_old`` carries ``R * f_old`` of work, which
+            takes ``R * f_old / f_new`` at the new factor.
+            """
+            old = bw_factor[0]
+            bw_factor[0] = new_factor
+            if new_factor == old:
+                return
+            scale = max(old, 1e-6) / max(new_factor, 1e-6)
+            for job_id, (job, handle) in list(running.items()):
+                remaining = handle.time - engine.now
+                if remaining <= 0.0:
+                    continue
+                engine.cancel(handle)
+                running[job_id] = (job, engine.schedule(remaining * scale, _completion(job)))
 
         def check_finished() -> None:
             if (
@@ -313,6 +345,8 @@ class ClusterSimulator:
                     job.shrink(model.shrink_target(job.num_boards))
                 scheduler.submit(job, front=True)
             grid.fail_boards([board])
+            if net is not None:
+                apply_bandwidth(net.fail_board(board))
             delay = float(failure_rng.exponential(model.mean_repair_seconds))
             repair_handles[board] = engine.schedule(delay, _repair(board))
             dispatch()  # an eviction may have freed boards for queued jobs
@@ -323,6 +357,8 @@ class ClusterSimulator:
             def fire() -> None:
                 repair_handles.pop(board, None)
                 grid.repair_boards([board])
+                if net is not None:
+                    apply_bandwidth(net.repair_board(board))
                 metrics.num_repairs += 1
                 _REPAIRS.inc()
                 dispatch()

@@ -18,13 +18,17 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Optional, Tuple, Union
 
+from .. import obs
 from .scenario import Scenario, jsonify
 
 __all__ = ["ResultCache", "CacheStats", "MISS", "resolve_cache"]
+
+_CACHE_CORRUPT = obs.counter("exp.cache_corrupt")
 
 #: sentinel distinguishing "not cached" from a cached ``None`` result
 MISS = object()
@@ -37,9 +41,15 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    corrupt: int = 0
 
     def as_dict(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+        }
 
 
 class ResultCache:
@@ -57,15 +67,45 @@ class ResultCache:
 
     # ------------------------------------------------------------------- get
     def get(self, content_hash: str) -> Any:
-        """The cached ``(result, elapsed_seconds)`` or :data:`MISS`."""
+        """The cached ``(result, elapsed_seconds)`` or :data:`MISS`.
+
+        A corrupted entry — truncated write, bad JSON, or a payload
+        missing the ``result`` key — is a **miss**, not an error: the
+        file is quarantined aside (``.corrupt`` suffix) with a warning so
+        the cell recomputes and the next write replaces the entry.
+        """
         path = self.path_for(content_hash)
         try:
-            payload = json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            text = path.read_text()
+        except (FileNotFoundError, OSError):
+            self.stats.misses += 1
+            return MISS
+        try:
+            payload = json.loads(text)
+            result = payload["result"]
+            elapsed = float(payload.get("elapsed_s", 0.0))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self._quarantine(path)
             self.stats.misses += 1
             return MISS
         self.stats.hits += 1
-        return payload["result"], float(payload.get("elapsed_s", 0.0))
+        return result, elapsed
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupted entry aside so it cannot shadow the rewrite."""
+        self.stats.corrupt += 1
+        _CACHE_CORRUPT.inc()
+        target = path.with_suffix(path.suffix + ".corrupt")
+        try:
+            os.replace(path, target)
+            where = f"quarantined to {target}"
+        except OSError:
+            where = "and could not be quarantined"
+        warnings.warn(
+            f"corrupted result-cache entry {path} ({where}); treating as a miss",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     # ------------------------------------------------------------------- put
     def put(

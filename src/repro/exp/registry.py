@@ -35,6 +35,7 @@ _SWEEP_MODULES = (
     "repro.analysis.lifetime",
     "repro.analysis.scaleout",
     "repro.analysis.adversary",
+    "repro.analysis.resilience",
 )
 
 _SWEEPS: Dict[str, "SweepSpec"] = {}

@@ -24,6 +24,7 @@ import json
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -38,6 +39,9 @@ __all__ = ["CellResult", "RunReport", "Runner", "run_grid", "default_workers"]
 _CELLS_LIVE = obs.counter("exp.cells_live")
 _CELLS_CACHED = obs.counter("exp.cells_cached")
 _CELLS_BATCHED = obs.counter("exp.cells_batched")
+_WORKER_RETRIES = obs.counter("exp.worker_retries")
+_CELLS_QUARANTINED = obs.counter("exp.cells_quarantined")
+_CELL_TIMEOUTS = obs.counter("exp.cell_timeouts")
 
 
 def default_workers() -> int:
@@ -154,6 +158,10 @@ class CellResult:
     #: memory probe snapshot for a live cell (peak RSS, RSS growth,
     #: tracemalloc peak when traced); ``None`` for cache-served cells
     memory: Optional[Dict[str, Any]] = None
+    #: why the cell was quarantined instead of executed ("timeout" or the
+    #: exception summary from the serial fallback); ``None`` for healthy
+    #: cells.  Quarantined cells carry ``value=None`` and are never cached.
+    error: Optional[str] = None
 
 
 class RunReport:
@@ -224,6 +232,7 @@ class RunReport:
             "cache_misses": self.cache_misses,
             "compute_seconds": sum(c.seconds for c in self.cells if not c.cached),
             "replayed_seconds": sum(c.seconds for c in self.cells if c.cached),
+            "quarantined": sum(1 for c in self.cells if c.error is not None),
             # Highest per-cell worker peak RSS seen this run (live cells
             # only; None on a fully warm run).
             "peak_rss_bytes": max(peaks) if peaks else None,
@@ -236,15 +245,46 @@ class Runner:
     ``workers=None`` reads ``REPRO_EXP_WORKERS`` (default 1: serial in
     process); ``workers=0`` means one per CPU.  See
     :func:`repro.exp.cache.resolve_cache` for the ``cache`` argument.
+
+    The parallel path is hardened against misbehaving cells:
+
+    * ``cell_timeout`` (or ``REPRO_EXP_CELL_TIMEOUT`` seconds) bounds each
+      cell's run; a chunk exceeding ``timeout * len(chunk)`` has its cells
+      quarantined, the stuck worker pool is killed, and the remaining
+      chunks continue on a fresh pool.
+    * A crashed worker (:class:`BrokenProcessPool` — segfault, OOM kill,
+      ``os._exit``) retries the unfinished chunks on a fresh pool with
+      exponential backoff, up to ``max_retries`` times; after that the
+      survivors run serially, one cell at a time, and a cell that still
+      raises is quarantined instead of sinking the run.
+
+    Quarantined cells surface as :class:`CellResult`\\ s with
+    ``error`` set and ``value=None``; they are never written to the
+    cache.  A run with no timeouts or crashes is bit-identical to the
+    unhardened path.
     """
 
-    def __init__(self, *, workers: Optional[int] = None, cache: Any = "auto") -> None:
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        cache: Any = "auto",
+        cell_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+    ) -> None:
         if workers is None:
             workers = default_workers()
         elif workers == 0:
             workers = os.cpu_count() or 1
         self.workers = max(1, int(workers))
         self.cache: Optional[ResultCache] = resolve_cache(cache)
+        if cell_timeout is None:
+            env = os.environ.get("REPRO_EXP_CELL_TIMEOUT", "").strip()
+            cell_timeout = float(env) if env else None
+        self.cell_timeout = cell_timeout
+        self.max_retries = max(0, int(max_retries))
+        self.retry_backoff = max(0.0, float(retry_backoff))
 
     # ------------------------------------------------------------------- run
     def run(self, spec: Any) -> RunReport:
@@ -281,20 +321,16 @@ class Runner:
                 triples, _ = _run_cells(chunk)
                 self._absorb(done, scenarios, triples)
         else:
-            collect_obs = obs.is_enabled()
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                futures = {pool.submit(_run_cells, chunk, collect_obs) for chunk in chunks}
-                while futures:
-                    finished, futures = wait(futures, return_when=FIRST_COMPLETED)
-                    for future in finished:
-                        triples, payload = future.result()
-                        obs.merge_state(payload)
-                        self._absorb(done, scenarios, triples)
+            self._execute_parallel(chunks, done, scenarios, obs.is_enabled())
 
         cells = [done[i] for i in range(len(scenarios))]
         if self.cache is not None:
             for content_hash, cell_result in zip(hashes, cells):
-                if not cell_result.cached and cell_result.scenario.cacheable:
+                if (
+                    not cell_result.cached
+                    and cell_result.scenario.cacheable
+                    and cell_result.error is None
+                ):
                     self.cache.put(
                         content_hash,
                         cell_result.scenario,
@@ -309,6 +345,165 @@ class Runner:
             cache_hits=sum(c.cached for c in cells),
             cache_misses=sum(not c.cached for c in cells),
         )
+
+    # ------------------------------------------------- hardened parallel path
+    def _execute_parallel(
+        self,
+        chunks: List[List[Tuple[int, str, Dict[str, Any]]]],
+        done: Dict[int, "CellResult"],
+        scenarios: Sequence[Scenario],
+        collect_obs: bool,
+    ) -> None:
+        """Drive chunks through worker pools until every cell is accounted for.
+
+        Each pass runs the remaining chunks on one pool.  A pass ends
+        clean (nothing left), after quarantining timed-out chunks (the
+        rest continue on a fresh pool, no retry consumed), or on a pool
+        crash — which consumes a retry with exponential backoff and, once
+        ``max_retries`` is exhausted, drops to the one-cell-at-a-time
+        serial fallback.
+        """
+        pending = list(chunks)
+        attempt = 0
+        while pending:
+            pending, crashed = self._pool_pass(pending, done, scenarios, collect_obs)
+            if not pending:
+                return
+            if crashed:
+                attempt += 1
+                _WORKER_RETRIES.inc()
+                if attempt > self.max_retries:
+                    self._serial_fallback(pending, done, scenarios)
+                    return
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+
+    def _pool_pass(
+        self,
+        chunks: List[List[Tuple[int, str, Dict[str, Any]]]],
+        done: Dict[int, "CellResult"],
+        scenarios: Sequence[Scenario],
+        collect_obs: bool,
+    ) -> Tuple[List[List[Tuple[int, str, Dict[str, Any]]]], bool]:
+        """One pool's worth of work; returns ``(unfinished chunks, crashed)``."""
+        timeout = self.cell_timeout
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        futures: Dict[Any, int] = {
+            pool.submit(_run_cells, chunk, collect_obs): ci
+            for ci, chunk in enumerate(chunks)
+        }
+        deadline = {
+            f: (time.monotonic() + timeout * max(1, len(chunks[ci])))
+            for f, ci in futures.items()
+        } if timeout else {}
+        try:
+            while futures:
+                wait_for = None
+                if timeout:
+                    wait_for = max(
+                        0.0, min(deadline[f] for f in futures) - time.monotonic()
+                    )
+                finished, _ = wait(
+                    list(futures), return_when=FIRST_COMPLETED, timeout=wait_for
+                )
+                for future in finished:
+                    ci = futures.pop(future)
+                    try:
+                        triples, payload = future.result()
+                    except BrokenProcessPool:
+                        remaining = [chunks[ci]]
+                        remaining += [chunks[i] for i in sorted(futures.values())]
+                        return remaining, True
+                    except Exception:
+                        # The kernel raised (the pool itself is healthy):
+                        # isolate the chunk inline so its healthy cells
+                        # still complete and only the poison cell is
+                        # quarantined, then keep draining the pool.
+                        self._serial_fallback([chunks[ci]], done, scenarios)
+                        continue
+                    obs.merge_state(payload)
+                    self._absorb(done, scenarios, triples)
+                if timeout and not finished:
+                    now = time.monotonic()
+                    expired = [f for f in list(futures) if deadline[f] <= now]
+                    if expired:
+                        for future in expired:
+                            ci = futures.pop(future)
+                            self._quarantine_chunk(
+                                chunks[ci], done, scenarios, reason="timeout"
+                            )
+                            _CELL_TIMEOUTS.inc(len(chunks[ci]))
+                        # The stuck worker keeps grinding regardless of the
+                        # cancelled future; kill the pool and let the caller
+                        # resubmit the survivors on a fresh one.
+                        remaining = [chunks[i] for i in sorted(futures.values())]
+                        self._kill_pool(pool)
+                        pool = None
+                        return remaining, False
+            return [], False
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear down a pool that may have a hung worker (no graceful join)."""
+        procs = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+
+    def _serial_fallback(
+        self,
+        chunks: Sequence[Sequence[Tuple[int, str, Dict[str, Any]]]],
+        done: Dict[int, "CellResult"],
+        scenarios: Sequence[Scenario],
+    ) -> None:
+        """Last resort after retries: isolate cells inline, quarantine raisers.
+
+        Running one cell at a time pinpoints the poison cell — everything
+        healthy in a chunk that shared a pool with a crasher still
+        completes, and only the cell that raises is quarantined.
+        """
+        for chunk in chunks:
+            for cell in chunk:
+                index = cell[0]
+                try:
+                    triples, _ = _run_cells([cell])
+                except Exception as exc:
+                    self._quarantine_cell(
+                        index, done, scenarios,
+                        reason=f"{type(exc).__name__}: {exc}",
+                    )
+                else:
+                    self._absorb(done, scenarios, triples)
+
+    def _quarantine_chunk(
+        self,
+        chunk: Sequence[Tuple[int, str, Dict[str, Any]]],
+        done: Dict[int, "CellResult"],
+        scenarios: Sequence[Scenario],
+        *,
+        reason: str,
+    ) -> None:
+        for index, _kernel, _params in chunk:
+            self._quarantine_cell(index, done, scenarios, reason=reason)
+
+    @staticmethod
+    def _quarantine_cell(
+        index: int,
+        done: Dict[int, "CellResult"],
+        scenarios: Sequence[Scenario],
+        *,
+        reason: str,
+    ) -> None:
+        done[index] = CellResult(
+            scenarios[index], None, 0.0, cached=False, wall_seconds=0.0,
+            error=reason,
+        )
+        _CELLS_QUARANTINED.inc()
 
     # ------------------------------------------------------------- internals
     @staticmethod

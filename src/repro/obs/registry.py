@@ -224,8 +224,22 @@ _DEFAULT_SCHEMA: Tuple[Tuple[str, str], ...] = (
     ("probe", "packet.queue_depth"),
     ("probe", "packet.link_utilization"),
     ("histogram", "engine.wave_size"),
+    ("counter", "faults.events"),
+    ("counter", "faults.links_dead"),
+    ("counter", "faults.tables_degraded"),
+    ("counter", "faults.pairs_rerouted"),
+    ("counter", "faults.pairs_disconnected"),
+    ("counter", "faults.delta_resolves"),
+    ("counter", "faults.cold_resolves"),
+    ("counter", "faults.packets_dropped"),
+    ("counter", "faults.packets_retried"),
+    ("counter", "faults.packets_lost"),
     ("counter", "exp.cells_live"),
     ("counter", "exp.cells_cached"),
+    ("counter", "exp.cache_corrupt"),
+    ("counter", "exp.worker_retries"),
+    ("counter", "exp.cells_quarantined"),
+    ("counter", "exp.cell_timeouts"),
     ("counter", "cluster.jobs_completed"),
     ("counter", "cluster.evictions"),
     ("counter", "cluster.failures"),

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Type, Union
 import numpy as np
 
 from ..topology.base import Topology
+from .faults import FaultSet, degraded_route_table, split_connected
 from .flowsim import FlowSimulator
 from .network import PacketNetwork, PacketSimConfig
 from .paths import DEFAULT_MAX_PATHS
@@ -273,7 +274,15 @@ class AnalyticBackend(NetworkModel):
 # -------------------------------------------------------------------------- flow
 @register_backend("flow")
 class FlowBackend(NetworkModel):
-    """Max-min fair flow-level fidelity (wraps :class:`FlowSimulator`)."""
+    """Max-min fair flow-level fidelity (wraps :class:`FlowSimulator`).
+
+    ``faults`` (a :class:`~repro.sim.faults.FaultSet`) switches the backend
+    to the degraded routing view: flows route over surviving paths, and
+    flows with no surviving path are *reported* (rate 0.0, counted in
+    :attr:`disconnected_pairs`) instead of raising.  An empty fault set is
+    bit-identical to the fault-free backend — it resolves to the same
+    shared memoized route table.
+    """
 
     def __init__(
         self,
@@ -284,7 +293,18 @@ class FlowBackend(NetworkModel):
         table: Optional[RouteTable] = None,
         policy: Union[str, RoutingPolicy, None] = None,
         mem_budget: Union[str, int, float, None] = None,
+        faults: Optional[FaultSet] = None,
     ):
+        if faults is not None and not faults.is_empty:
+            if sim is not None or table is not None:
+                raise ValueError(
+                    "pass faults or a prebuilt simulator/table, not both"
+                )
+            if topo is None:
+                raise ValueError("FlowBackend needs a topology to apply faults")
+            table = degraded_route_table(
+                topo, faults, max_paths=max_paths, policy=policy
+            )
         if sim is None:
             if topo is None:
                 raise ValueError("FlowBackend needs a topology or a simulator")
@@ -300,23 +320,75 @@ class FlowBackend(NetworkModel):
         super().__init__(sim.topo)
         self.sim = sim
         self.policy = sim.policy
+        self.faults = faults if faults is not None else FaultSet.empty()
+        #: running count of flow endpoints found disconnected by this backend
+        self.disconnected_pairs = 0
 
     @property
     def table(self) -> RouteTable:
         return self.sim.table
 
+    def _split(self, flows: Sequence[Flow]):
+        """Indices of routable / disconnected flows under the fault view."""
+        ranks = self.sim.ranks
+        pairs = [(ranks[f.src], ranks[f.dst]) for f in flows]
+        ok, dead = split_connected(self.sim.table, pairs)
+        self.disconnected_pairs += len(dead)
+        return ok, dead
+
     def phase_rates(self, flows: Sequence[Flow], *, exact: bool = False) -> np.ndarray:
-        if exact:
-            return self.sim.maxmin_rates(flows).flow_rates
-        return self.sim.symmetric_rate(flows).flow_rates
+        if self.faults.is_empty:
+            if exact:
+                return self.sim.maxmin_rates(flows).flow_rates
+            return self.sim.symmetric_rate(flows).flow_rates
+        ok, dead = self._split(flows)
+        rates = np.zeros(len(flows))
+        if ok:
+            alive = [flows[i] for i in ok]
+            solved = (
+                self.sim.maxmin_rates(alive) if exact else self.sim.symmetric_rate(alive)
+            )
+            rates[ok] = solved.flow_rates
+        return rates
 
     def alltoall_fraction(
         self, *, num_phases: Optional[int] = None, seed: int = 0
     ) -> float:
-        return self.sim.alltoall_bandwidth(num_phases=num_phases, seed=seed)
+        if self.faults.is_empty:
+            return self.sim.alltoall_bandwidth(num_phases=num_phases, seed=seed)
+        from .traffic import alltoall_phases, sampled_alltoall_phases
+
+        sim = self.sim
+        p = len(sim.ranks)
+        if num_phases is None or num_phases >= p - 1:
+            phases = alltoall_phases(p)
+        else:
+            phases = sampled_alltoall_phases(p, num_phases, seed=seed)
+        all_flows = [f for phase in phases for f in phase]
+        ok, dead = self._split(all_flows)
+        if not ok:
+            return 0.0
+        # Mirror of FlowSimulator.alltoall_bandwidth's aggregate model over
+        # the surviving flows: the most loaded surviving link bounds the
+        # achievable per-accelerator injection rate.
+        asg = sim.assign([all_flows[i] for i in ok])
+        weights = asg.subflow_weight[asg.entry_subflow]
+        load = np.bincount(asg.entry_link, weights=weights, minlength=len(sim.capacity))
+        load = load / len(phases)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(load > _EPS, sim.capacity / np.maximum(load, _EPS), np.inf)
+        injection_rate = float(ratio.min())
+        return min(injection_rate / self.injection_capacity, 1.0)
 
     def _permutation_sample(self, flows: Sequence[Flow]) -> np.ndarray:
-        return self.sim.permutation_bandwidths(flows)
+        if self.faults.is_empty:
+            return self.sim.permutation_bandwidths(flows)
+        ok, dead = self._split(flows)
+        if not ok:
+            return np.zeros(self.num_ranks)
+        # Disconnected destinations receive nothing; surviving flows get
+        # their max-min share of the degraded network.
+        return self.sim.permutation_bandwidths([flows[i] for i in ok])
 
 
 # ------------------------------------------------------------------------ packet
@@ -340,6 +412,7 @@ class PacketBackend(NetworkModel):
         message_size: float = 1 << 18,
         impl: str = "vectorized",
         policy: Union[str, RoutingPolicy, None] = None,
+        faults: Optional[FaultSet] = None,
     ):
         super().__init__(topo)
         resolved = get_policy(policy if policy is not None else (config.policy if config else None))
@@ -353,14 +426,20 @@ class PacketBackend(NetworkModel):
         self.config = config
         self.policy = resolved
         self.message_size = float(message_size)
+        self.faults = faults if faults is not None else FaultSet.empty()
+        #: running count of flow endpoints found disconnected by this backend
+        self.disconnected_pairs = 0
         # Built here (and passed to every network instance) so parameterized
         # policy *instances* are honoured even though the frozen config only
-        # records the policy name.
-        self.table = route_table_for(
-            topo, max_paths=self.config.max_paths, policy=resolved
+        # records the policy name.  Under faults the table routes over the
+        # surviving subgraph only.
+        self.table = degraded_route_table(
+            topo, self.faults, max_paths=self.config.max_paths, policy=resolved
         )
         if impl not in ("vectorized", "reference"):
             raise ValueError(f"unknown packet impl {impl!r}")
+        if impl == "reference" and not self.faults.is_empty:
+            raise ValueError("the reference packet impl does not support faults")
         self.impl = impl
 
     def _network(self) -> PacketNetwork:
@@ -368,17 +447,35 @@ class PacketBackend(NetworkModel):
             from .reference import ReferencePacketNetwork
 
             return ReferencePacketNetwork(self.topo, config=self.config, table=self.table)
-        return PacketNetwork(self.topo, config=self.config, table=self.table)
+        return PacketNetwork(
+            self.topo, config=self.config, table=self.table, faults=self.faults
+        )
+
+    def _split(self, flows: Sequence[Flow]):
+        """Indices of routable / disconnected flows under the fault view."""
+        ranks = list(self.topo.accelerators)
+        ok, dead = split_connected(
+            self.table, [(ranks[f.src], ranks[f.dst]) for f in flows]
+        )
+        self.disconnected_pairs += len(dead)
+        return ok, dead
 
     def phase_rates(self, flows: Sequence[Flow], *, exact: bool = False) -> np.ndarray:
+        ok, dead = self._split(flows)
         net = self._network()
-        messages = [
-            net.send(f.src, f.dst, self.message_size * f.demand) for f in flows
-        ]
+        messages = {
+            i: net.send(flows[i].src, flows[i].dst, self.message_size * flows[i].demand)
+            for i in ok
+        }
         net.run()
         # observed bandwidth is bytes/s; normalise to port units.
         return np.array(
-            [m.observed_bandwidth() / self.config.bytes_per_capacity_unit for m in messages]
+            [
+                messages[i].observed_bandwidth() / self.config.bytes_per_capacity_unit
+                if i in messages
+                else 0.0
+                for i in range(len(flows))
+            ]
         )
 
     def alltoall_fraction(
@@ -393,6 +490,9 @@ class PacketBackend(NetworkModel):
             phases = sampled_alltoall_phases(p, num_phases, seed=seed)
         net = self._network()
         for phase in phases:
+            if not self.faults.is_empty:
+                ok, dead = self._split(phase)
+                phase = [phase[i] for i in ok]
             net.send_flows(phase, self.message_size)
         result = net.run()
         if result.finish_time <= 0:

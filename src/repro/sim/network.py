@@ -51,15 +51,16 @@ the parity tests assert exactly that.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from .._hash import mix64  # noqa: F401  (inlined below; kept as the reference)
 from ..obs import registry as _obs
-from ..topology.base import CableClass, Topology
+from ..topology.base import CableClass, Topology, TopologyError
 from .engine import EventEngine
+from .faults import DegradedPathProvider, FaultSet
 from .packet import DEFAULT_PACKET_SIZE, Message
 from .paths import DEFAULT_MAX_PATHS, PathProvider
 from .routing import RouteTable, register_route_cache_client, route_table_for
@@ -86,6 +87,13 @@ _MESSAGES = _obs.counter("packet.messages")
 _PACKETS = _obs.counter("packet.packets")
 _EVENTS = _obs.counter("packet.events")
 _WAVE_SIZE = _obs.histogram("packet.wave_size")
+
+# faults.* instruments shared with repro.sim.faults (same registry names).
+_FAULT_EVENTS = _obs.counter("faults.events")
+_FAULT_LINKS = _obs.counter("faults.links_dead")
+_PKT_DROPPED = _obs.counter("faults.packets_dropped")
+_PKT_RETRIED = _obs.counter("faults.packets_retried")
+_PKT_LOST = _obs.counter("faults.packets_lost")
 
 #: events per slice when ``run`` drives in sampled mode (obs enabled)
 _SAMPLE_CHUNK = 32768
@@ -117,6 +125,10 @@ class PacketSimConfig:
     #: string defers to ``REPRO_PACKET_KERNEL`` and then the default.  All
     #: kernels are bit-identical (see :mod:`repro.sim.wavekernel`).
     wave_kernel: str = ""
+    #: Delay between a link dying and its in-flight packets being re-injected
+    #: on a surviving path (models end-to-end loss detection + retransmission;
+    #: see :meth:`PacketNetwork.schedule_link_faults`).
+    fault_retry_timeout: float = 1e-6
 
 
 @dataclass
@@ -126,6 +138,13 @@ class PacketSimResult:
     messages: List[Message]
     finish_time: float
     link_busy_time: np.ndarray
+    #: fault bookkeeping (non-zero only when link faults were scheduled):
+    #: in-flight packets dropped by a link death, packets successfully
+    #: re-injected on a surviving path, and packets lost for good (their
+    #: message never completes — reported, not raised).
+    packets_dropped: int = 0
+    packets_retried: int = 0
+    packets_lost: int = 0
 
     @property
     def all_finished(self) -> bool:
@@ -161,6 +180,7 @@ class PacketNetwork:
         provider: Optional[PathProvider] = None,
         config: PacketSimConfig = PacketSimConfig(),
         table: Optional[RouteTable] = None,
+        faults: Optional[FaultSet] = None,
     ):
         self.topo = topo
         self.config = config
@@ -240,7 +260,26 @@ class PacketNetwork:
         # packet choosing that link (see `_inject` for why only first-hop
         # terms can change during a packet train).
         self._pair_scoring: Dict[tuple, tuple] = {}
+        # Fault state.  ``_dead`` stays None until the first fault (static or
+        # scheduled) so the fault-free hot paths never pay for it; once set,
+        # injections filter dead candidate paths and scheduled fault events
+        # drop/retransmit in-flight packets (see `schedule_link_faults`).
+        self._dead: Optional[List[bool]] = None
+        self._fault_events: List[tuple] = []
+        self._degraded: Optional[DegradedPathProvider] = None
+        self.packets_dropped = 0
+        self.packets_retried = 0
+        self.packets_lost = 0
+        if faults is not None and not faults.is_empty:
+            self._mark_dead(faults.dead_links)
         register_route_cache_client(self)
+
+    def _mark_dead(self, links) -> None:
+        if self._dead is None:
+            self._dead = [False] * self.topo.num_links
+        for li in links:
+            self._dead[li] = True
+        self._degraded = None
 
     def clear_route_caches(self) -> None:
         """Drop per-pair adaptive-scoring state (route-state reset)."""
@@ -355,9 +394,18 @@ class PacketNetwork:
         pair = (message.src, message.dst)
         entry = self._pair_scoring.get(pair)
         if entry is None:
-            paths = self.table.pair_path_lists(
-                message.src, message.dst, max_paths=config.max_paths
-            )
+            if self._dead is None:
+                paths = self.table.pair_path_lists(
+                    message.src, message.dst, max_paths=config.max_paths
+                )
+            else:
+                paths = self._surviving_paths(message.src, message.dst)
+                if not paths:
+                    # No surviving route at injection time: the message is
+                    # lost (reported via counters; it never completes).
+                    self.packets_lost += num_packets
+                    _PKT_LOST.inc(num_packets)
+                    return seq
             by_first: Dict[int, List[int]] = {}
             for q, p in enumerate(paths):
                 by_first.setdefault(p[0], []).append(q)
@@ -676,6 +724,186 @@ class PacketNetwork:
     def link_busy_time(self) -> np.ndarray:
         return np.asarray(self._link_busy, dtype=np.float64)
 
+    # ------------------------------------------------------------------ faults
+    def schedule_link_faults(self, time: float, links) -> None:
+        """Kill the cables of ``links`` at simulation ``time``.
+
+        ``links`` is a :class:`~repro.sim.faults.FaultSet` or an iterable of
+        directed link indices (each takes its reverse cable partner with
+        it).  When the run reaches ``time``, in-flight packets whose
+        remaining hops cross a dead link are **dropped** and, after
+        ``config.fault_retry_timeout``, **retransmitted** from their source
+        over a surviving path (drop/retry/lost counters on the result);
+        packets injected later avoid dead links at path-choice time.
+        Messages with no surviving route are reported as unfinished rather
+        than raising.
+        """
+        if isinstance(links, FaultSet):
+            dead = links.dead_links
+        else:
+            dead = FaultSet.from_links(self.topo, links).dead_links
+        self._fault_events.append((float(time), tuple(sorted(dead))))
+
+    def _surviving_paths(self, src: int, dst: int) -> List[List[int]]:
+        """Candidate paths avoiding every currently-dead link (may be [])."""
+        dead = self._dead
+        try:
+            cands = self.table.pair_path_lists(
+                src, dst, max_paths=self.config.max_paths
+            )
+        except TopologyError:
+            cands = []
+        alive = [p for p in cands if all(not dead[li] for li in p)]
+        if alive:
+            return alive
+        if self._degraded is None:
+            self._degraded = DegradedPathProvider(
+                self.topo,
+                FaultSet(
+                    dead_links=frozenset(
+                        li for li, is_dead in enumerate(dead) if is_dead
+                    )
+                ),
+                base=self.provider,
+            )
+        try:
+            return self._degraded.paths(src, dst, self.config.max_paths)
+        except TopologyError:
+            return []
+
+    def _apply_link_faults(self, now: float, links) -> None:
+        """Mark links dead and drop/retransmit the in-flight packets on them."""
+        if self._dead is None:
+            self._dead = [False] * self.topo.num_links
+        dead = self._dead
+        new = [li for li in links if not dead[li]]
+        if not new:
+            return
+        self._mark_dead(new)
+        # Cached candidate sets (and their scores) may cross dead links.
+        self._pair_scoring.clear()
+        _FAULT_EVENTS.inc()
+        _FAULT_LINKS.inc(len(new))
+        newset = set(new)
+        pkt_links = self._pkt_links
+        path_end = self._pkt_path_end
+        engine = self.engine
+        seq = engine._sequence
+        victims: List[int] = []
+        removed = 0
+        # Sweep the pending record queue: a _FORWARD record whose packet's
+        # remaining hops cross a dead link is removed (the packet is dropped
+        # mid-flight).  Buckets are rewritten in place; emptied buckets stay
+        # registered (the drive loops tolerate zero-record batches).
+        for t, bucket in self._rbuckets.items():
+            keep = None
+            for i, rec in enumerate(bucket):
+                doomed = False
+                if rec[2] == _FORWARD:
+                    pid = rec[3]
+                    for c in range(rec[4], path_end[pid]):
+                        if pkt_links[c] in newset:
+                            doomed = True
+                            break
+                if doomed:
+                    if keep is None:
+                        keep = bucket[:i]
+                    victims.append(rec[3])
+                    removed += 1
+                elif keep is not None:
+                    keep.append(rec)
+            if keep is not None:
+                bucket[:] = keep
+        # Purge emptied buckets (the engine's generic paths index bucket[0]),
+        # mutating the shared containers in place so live references survive.
+        emptied = [t for t, bucket in self._rbuckets.items() if not bucket]
+        if emptied:
+            for t in emptied:
+                del self._rbuckets[t]
+            self._rtimes[:] = [t for t in self._rtimes if t in self._rbuckets]
+            heapify(self._rtimes)
+        retry_at = now + self.config.fault_retry_timeout
+        added = 0
+        for pid in victims:
+            seq2 = self._retransmit(pid, retry_at, seq)
+            added += seq2 - seq
+            seq = seq2
+        self._flush_soa()
+        engine._sequence = seq
+        engine._live += added - removed
+
+    def _retransmit(self, pid: int, retry_at: float, seq: int) -> int:
+        """Re-inject a dropped packet from its source over a surviving path."""
+        midx = self._pkt_msg[pid]
+        message = self._messages[midx]
+        factor = self._pkt_factor[pid]
+        self.packets_dropped += 1
+        _PKT_DROPPED.inc()
+        paths = self._surviving_paths(message.src, message.dst)
+        if not paths:
+            self.packets_lost += 1
+            _PKT_LOST.inc()
+            return seq
+        # Deterministic adaptive choice at retransmit time: least projected
+        # completion over the surviving candidates (queueing + serialisation
+        # along the path), ties broken by candidate order.
+        link_free = self._link_free
+        ser_list = self._ser_list
+        best = 0
+        best_cost = float("inf")
+        for q, p in enumerate(paths):
+            c = 0.0
+            for li in p:
+                queue = link_free[li] - retry_at
+                if queue < 0.0:
+                    queue = 0.0
+                c += queue + ser_list[li]
+            if c < best_cost:
+                best_cost = c
+                best = q
+        path = paths[best]
+        new_pid = len(self._pkt_msg)
+        start = len(self._pkt_links)
+        self._pkt_links.extend(path)
+        self._pkt_msg.append(midx)
+        self._pkt_size.append(self._pkt_size[pid])
+        self._pkt_factor.append(factor)
+        self._pkt_path_start.append(start)
+        self._pkt_path_end.append(start + len(path))
+        ser0 = ser_list[path[0]]
+        if factor != 1.0:
+            ser0 = ser0 * factor
+        rec = (retry_at, seq, _FORWARD, new_pid, start, ser0)
+        bucket = self._rbuckets.get(retry_at)
+        if bucket is None:
+            self._rbuckets[retry_at] = [rec]
+            heappush(self._rtimes, retry_at)
+        else:
+            bucket.append(rec)
+        self.packets_retried += 1
+        _PKT_RETRIED.inc()
+        return seq + 1
+
+    def _drive_segment(self, until: Optional[float], max_events: Optional[int]) -> float:
+        if self.engine._queue:
+            return self.engine.run(until=until, max_events=max_events)
+        if _obs.is_enabled():
+            return self._drive_sampled(until, max_events)
+        return self._drive(until, max_events)
+
+    def _run_with_faults(self, until: Optional[float], max_events: Optional[int]) -> float:
+        """Drive in segments split at the scheduled fault times."""
+        self._fault_events.sort()
+        finish = self.engine._now
+        while self._fault_events:
+            t, links = self._fault_events[0]
+            if until is not None and t > until:
+                break
+            finish = self._drive_segment(t, None)
+            self._fault_events.pop(0)
+            self._apply_link_faults(t, links)
+        return self._drive_segment(until, max_events)
+
     # ------------------------------------------------------------------- run
     def _drive(self, until: Optional[float], max_events: Optional[int]) -> float:
         """Inlined record drive loop (the common case: records only).
@@ -819,7 +1047,9 @@ class PacketNetwork:
     def run(self, *, until: Optional[float] = None, max_events: Optional[int] = None) -> PacketSimResult:
         """Run the simulation and return the aggregate result."""
         events_before = self.engine._processed
-        if self.engine._queue:
+        if self._fault_events:
+            finish = self._run_with_faults(until, max_events)
+        elif self.engine._queue:
             # Closure events are mixed in (user extensions): let the engine
             # interleave both kinds through the generic handler path.
             finish = self.engine.run(until=until, max_events=max_events)
@@ -837,4 +1067,7 @@ class PacketNetwork:
             messages=list(self._messages),
             finish_time=finish,
             link_busy_time=self.link_busy_time,
+            packets_dropped=self.packets_dropped,
+            packets_retried=self.packets_retried,
+            packets_lost=self.packets_lost,
         )

@@ -74,6 +74,13 @@ class RoutingPolicy:
     #: True when the flow simulator should choose between the minimal and the
     #: non-minimal group per flow by estimated congestion (UGAL)
     selects_group: bool = False
+    #: True when a pair's routes can only change if one of its currently
+    #: used links dies.  Policies whose choice depends on the candidate
+    #: set's *size* (ECMP's hash modulus, Valiant's capped detour
+    #: composition) break this: removing an unused candidate re-routes the
+    #: pair, so warm fault-event splicing cannot prove parity and must
+    #: re-solve cold.
+    local_reroutes: bool = True
 
     def cache_key(self) -> Tuple:
         """Memoization identity of the policy (shared-table key component)."""
@@ -159,6 +166,8 @@ class EcmpPolicy(RoutingPolicy):
     baseline of the paper's minimal-vs-adaptive discussion.
     """
 
+    local_reroutes = False  # the hash modulus shifts when a candidate dies
+
     def __init__(self, seed: int = 0):
         self.seed = seed
 
@@ -184,6 +193,8 @@ class ValiantPolicy(RoutingPolicy):
     traffic splits evenly over the candidates.  Falls back to the minimal
     candidates on degenerate topologies with no usable intermediate.
     """
+
+    local_reroutes = False  # capped detour composition shifts under shrink
 
     def __init__(self, seed: int = 0):
         self.seed = seed

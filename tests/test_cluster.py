@@ -14,6 +14,7 @@ from repro.cluster import (
     FlowSimServiceTime,
     JobState,
     LogNormalServiceTime,
+    NetworkCoupling,
     PoissonArrivals,
     Scheduler,
     TraceArrivals,
@@ -337,3 +338,85 @@ class TestClusterSimulator:
             # determinism: a second run reproduces the exact history
             assert ClusterSimulator(config).run().fingerprint() == report.fingerprint()
         assert utilization["greedy+transpose+aspect"] > utilization["greedy"]
+
+
+# ------------------------------------------------------------- FailureModel
+class TestFailureModelValidation:
+    def test_min_boards_zero_rejected(self):
+        with pytest.raises(ValueError, match="min_boards"):
+            FailureModel(mtbf_hours=40.0, min_boards=0)
+
+    def test_shrink_target_floor(self):
+        model = FailureModel(mtbf_hours=40.0, min_boards=2)
+        assert model.shrink_target(16) == 8
+        assert model.shrink_target(4) == 2
+        assert model.shrink_target(3) == 2      # 3 // 2 == 1 < floor
+        assert model.shrink_target(2) == 2      # already at floor
+
+    def test_shrink_eviction_never_goes_below_floor(self):
+        # Jobs request 4 boards; with min_boards=2 repeated shrink evictions
+        # must never leave a job below 2 boards.
+        arrivals = TraceArrivals([4] * 120, mean_interarrival=30.0)
+        config = ClusterSimConfig(
+            x=8, y=8, num_jobs=120, seed=5, arrivals=arrivals,
+            service=FixedServiceTime(3600.0),
+            failures=FailureModel(
+                mtbf_hours=4.0, mttr_hours=0.5, eviction="shrink", min_boards=2,
+            ),
+        )
+        report = ClusterSimulator(config).run()
+        shrunk = [job for job in report.jobs if job.shrinks > 0]
+        assert shrunk, "with MTBF 4h some job must have shrunk"
+        for job in report.jobs:
+            assert job.num_boards >= 2
+
+
+# --------------------------------------------------------- network coupling
+class TestNetworkCoupling:
+    CONFIG = dict(
+        x=4, y=4, num_jobs=60, seed=9, load=1.5,
+        service=FixedServiceTime(1800.0),
+        failures=FailureModel(mtbf_hours=8.0, mttr_hours=0.5),
+    )
+
+    def test_default_has_no_coupling(self):
+        assert ClusterSimConfig().network is None
+
+    def test_coupled_run_is_deterministic(self):
+        config = ClusterSimConfig(network=NetworkCoupling(), **self.CONFIG)
+        a = ClusterSimulator(config).run()
+        b = ClusterSimulator(config).run()
+        assert a.fingerprint() == b.fingerprint()
+        assert all(job.state == JobState.COMPLETED for job in a.jobs)
+        assert a.metrics.num_failures > 0
+
+    def test_coupling_slows_surviving_jobs(self):
+        # Board failures degrade fabric bandwidth, stretching service times:
+        # an uninterrupted job takes exactly its 1800 s service time without
+        # coupling, and strictly longer when it overlaps a degraded window.
+        uncoupled = ClusterSimulator(ClusterSimConfig(**self.CONFIG)).run()
+        coupled = ClusterSimulator(
+            ClusterSimConfig(network=NetworkCoupling(), **self.CONFIG)
+        ).run()
+        assert coupled.fingerprint() != uncoupled.fingerprint()
+
+        def clean_durations(report):
+            return [
+                job.finish_time - job.start_time
+                for job in report.jobs
+                if job.restarts == 0 and job.shrinks == 0
+            ]
+
+        for wall in clean_durations(uncoupled):
+            assert wall == pytest.approx(1800.0)
+        coupled_walls = clean_durations(coupled)
+        assert all(wall >= 1800.0 - 1e-9 for wall in coupled_walls)
+        assert max(coupled_walls) > 1800.0 + 1e-6
+
+    def test_coupling_state_factor_bounds(self):
+        state = NetworkCoupling().build_state(2, 2)
+        assert state.factor == 1.0
+        degraded = state.fail_board((0, 0))
+        assert 0.0 < degraded < 1.0
+        restored = state.repair_board((0, 0))
+        assert degraded < restored <= 1.0

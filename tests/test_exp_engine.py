@@ -218,3 +218,80 @@ class TestGridChunking:
         grid = fig12_grid(**FIG12_SMALL)
         chunks = {s.chunk for s in grid.scenarios()}
         assert chunks == {"small/hx4mesh", "small/torus"}
+
+
+class TestCacheCorruption:
+    def test_corrupt_entry_quarantined_and_recomputed(self, tmp_path):
+        from repro import obs
+        from repro.exp.grid import scenarios_of
+
+        grid = Grid(PROBE, common={"draws": 3}).cross(seed=[1, 2])
+        cold = run_grid(grid, workers=1, cache=tmp_path)
+        path = ResultCache(tmp_path).path_for(scenarios_of(grid)[0].content_hash())
+        path.write_text(path.read_text()[:17])   # hand-truncated entry
+
+        corrupt = obs.counter("exp.cache_corrupt")
+        before = corrupt.value
+        with pytest.warns(RuntimeWarning, match="corrupted result-cache entry"):
+            mixed = run_grid(grid, workers=1, cache=tmp_path)
+        assert corrupt.value == before + 1
+        assert mixed.cache_hits == 1 and mixed.cache_misses == 1
+        assert mixed.values() == cold.values()
+        assert path.with_suffix(path.suffix + ".corrupt").exists()
+
+        warm = run_grid(grid, workers=1, cache=tmp_path)
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert warm.values() == cold.values()
+
+
+class TestRunnerHardening:
+    @staticmethod
+    def _fragile(**params):
+        from repro.exp.cells import fragile_cell
+
+        return Scenario(kernel_ref(fragile_cell), params)
+
+    def test_worker_crash_retried_on_fresh_pool(self, tmp_path):
+        from repro import obs
+
+        sentinel = str(tmp_path / "crash.sentinel")
+        cells = [self._fragile(mode="crash", sentinel=sentinel, value=0)]
+        cells += [self._fragile(mode="ok", value=i) for i in (1, 2, 3)]
+        retries = obs.counter("exp.worker_retries")
+        before = retries.value
+        report = Runner(workers=2, cache=False, retry_backoff=0.05).run(cells)
+        assert retries.value > before
+        assert sorted(v["value"] for v in report.values()) == [0, 1, 2, 3]
+        assert report.stats()["quarantined"] == 0
+
+    def test_poison_cell_quarantined_others_complete(self):
+        from repro import obs
+
+        cells = [self._fragile(mode="raise", value=0)]
+        cells += [self._fragile(mode="ok", value=i) for i in (1, 2, 3)]
+        quarantined = obs.counter("exp.cells_quarantined")
+        before = quarantined.value
+        report = Runner(workers=2, cache=False, retry_backoff=0.05).run(cells)
+        assert quarantined.value == before + 1
+        assert report.stats()["quarantined"] == 1
+        assert report.cells[0].value is None
+        assert "poison cell" in report.cells[0].error
+        assert sorted(c.value["value"] for c in report.cells[1:]) == [1, 2, 3]
+
+    def test_hung_cell_times_out_and_is_quarantined(self):
+        from repro import obs
+
+        cells = [self._fragile(mode="hang", seconds=60.0, value=0)]
+        cells += [self._fragile(mode="ok", value=i) for i in (1, 2)]
+        timeouts = obs.counter("exp.cell_timeouts")
+        before = timeouts.value
+        report = Runner(
+            workers=2, cache=False, cell_timeout=2.0, retry_backoff=0.05
+        ).run(cells)
+        assert timeouts.value > before
+        assert report.cells[0].error == "timeout"
+        assert sorted(c.value["value"] for c in report.cells[1:]) == [1, 2]
+
+    def test_serial_path_still_propagates(self):
+        with pytest.raises(RuntimeError, match="poison cell"):
+            Runner(workers=1, cache=False).run([self._fragile(mode="raise")])
