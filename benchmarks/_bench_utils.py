@@ -27,6 +27,7 @@ from repro.exp import Runner
 from repro.exp import run_sweep as _engine_run_sweep
 from repro.exp.recording import (
     MemoryProbe,
+    host_metadata,
     to_jsonable,
     write_artifact as _write_artifact,
 )
@@ -64,6 +65,7 @@ def write_artifact(
     wall_seconds: float,
     *,
     memory: Optional[dict] = None,
+    workers: Optional[int] = None,
 ) -> Optional[Path]:
     """Write ``BENCH_<name>.json`` with the result and timing; return its path.
 
@@ -73,11 +75,16 @@ def write_artifact(
     next to the numbers it produced.  ``memory`` (a
     :meth:`~repro.exp.recording.MemoryProbe.as_dict` snapshot) lands under a
     ``"memory"`` key — the artifact's memory axis next to its seconds.
+    Every artifact carries a ``"host"`` key (CPU count, worker count,
+    shared route-table segment bytes) so parallel numbers stay
+    interpretable across machines.
     """
     directory = _artifact_dir()
     if directory is None:
         return None
-    extra: dict = {}
+    if workers is None:
+        workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1") or "1")
+    extra: dict = {"host": host_metadata(workers=workers)}
     if obs.is_enabled():
         summary = obs.metrics_summary()
         if summary:
@@ -85,7 +92,7 @@ def write_artifact(
     if memory is not None:
         extra["memory"] = memory
     return _write_artifact(
-        name, result, wall_seconds, directory=directory, extra=extra or None
+        name, result, wall_seconds, directory=directory, extra=extra
     )
 
 

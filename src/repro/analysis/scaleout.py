@@ -10,9 +10,12 @@ combining the two scale-out mechanisms of :mod:`repro.sim`:
 * every cell routes under a **route-table memory budget** (sharded CSR
   storage with LRU eviction and disk spill; see ``DESIGN.md``), and
 * the cells of one topology share a chunk, so the runner hands them to the
-  cell's batch companion and all permutations of that topology are solved
-  in one vectorized :meth:`~repro.sim.flowsim.FlowSimulator.maxmin_rates_batch`
-  call.
+  cell's batch companion and the permutations of a chunk are solved in one
+  vectorized :meth:`~repro.sim.flowsim.FlowSimulator.maxmin_rates_batch`
+  call.  A multi-worker runner splits oversized chunks into contiguous
+  slices (each slice batch-solves on its worker, seeded with the parent's
+  shared-memory route table), so one topology still fans out across the
+  pool.
 
 Both mechanisms are bit-identical to the plain path, so this sweep's
 numbers agree exactly with an unbudgeted, per-cell run of the same grid.
@@ -44,8 +47,10 @@ def scaleout_grid(
 
     Defaults describe the CI smoke case (4,096 accelerators); pass
     ``x=64, y=64`` for the 16,384-accelerator headline configuration.
-    All cells share one chunk (one topology), so a multi-worker run keeps
-    them on one worker where the batch solver picks them up together.
+    All cells share one chunk (one topology): a serial run batch-solves
+    them together, while a multi-worker run splits the chunk into
+    contiguous slices — one batch solve per worker — with identical
+    results either way.
     """
     grid = Grid(
         maxmin_permutation_cell,

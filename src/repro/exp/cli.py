@@ -22,7 +22,13 @@ from typing import Any, Dict, List, Optional, Tuple
 from .. import obs
 from .cache import MISS, ResultCache
 from .grid import scenarios_of
-from .recording import compact, read_artifact, to_jsonable, write_artifact
+from .recording import (
+    compact,
+    host_metadata,
+    read_artifact,
+    to_jsonable,
+    write_artifact,
+)
 from .registry import get_sweep, list_sweeps, run_sweeps
 from .runner import Runner
 
@@ -122,6 +128,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 run.payload,
                 run.report.wall_seconds,
                 directory=args.out,
+                extra={"host": host_metadata(workers=args.workers)},
             )
             line += f" -> {path}"
         print(line)

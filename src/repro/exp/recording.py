@@ -28,6 +28,8 @@ __all__ = [
     "MAX_SERIES",
     "MemoryProbe",
     "peak_rss_bytes",
+    "anon_rss_bytes",
+    "host_metadata",
     "to_jsonable",
     "compact",
     "write_artifact",
@@ -121,15 +123,57 @@ def peak_rss_bytes() -> int:
     return int(peak) * (1 if sys.platform == "darwin" else 1024)
 
 
+def anon_rss_bytes() -> Optional[int]:
+    """Current *anonymous* resident memory in bytes (Linux), else ``None``.
+
+    Reads ``RssAnon`` from ``/proc/self/status``.  Unlike ``ru_maxrss``
+    this is a current value, not a high-water mark, and it excludes
+    file-backed and shared-memory pages — attaching a shared route table
+    adds ~nothing here, which is exactly the per-worker overhead the
+    scale-out benchmarks assert on.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("RssAnon:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def host_metadata(*, workers: Optional[int] = None) -> Dict[str, Any]:
+    """Host context for BENCH artifacts (pass as ``extra={"host": ...}``).
+
+    Parallel numbers are meaningless without the machine they ran on:
+    records the CPU count, the worker count actually used, and the shared
+    route-table segments/bytes currently exported by this process (the
+    ``routing.shm_*`` gauges).
+    """
+    from .. import obs
+
+    gauges = obs.snapshot().get("gauges", {})
+    return {
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "shm_segments": int(gauges.get("routing.shm_segments", 0) or 0),
+        "shm_bytes": int(gauges.get("routing.shm_bytes", 0) or 0),
+    }
+
+
 class MemoryProbe:
     """Capture a block's memory footprint (the BENCH memory axis).
 
-    Records two complementary signals:
+    Records three complementary signals:
 
     * ``peak_rss_bytes`` — the OS-level high-water mark at block exit, plus
       ``rss_growth_bytes`` (exit minus entry).  Essentially free, but
       monotonic across the process lifetime: a block after a bigger block
       reports the bigger peak.
+    * ``anon_rss_bytes`` / ``anon_growth_bytes`` — current anonymous
+      resident memory (Linux only, ``None`` elsewhere).  Excludes
+      shared-memory pages, so it isolates a worker's *private* footprint
+      from any attached route-table segments.
     * ``tracemalloc_peak_bytes`` — the peak of *Python* allocations inside
       the block, which resets per block and so isolates the block's own
       footprint.  Only measured when tracing is active: pass ``trace=True``
@@ -144,10 +188,14 @@ class MemoryProbe:
         self.entry_rss_bytes = 0
         self.peak_rss_bytes = 0
         self.rss_growth_bytes = 0
+        self.entry_anon_rss_bytes: Optional[int] = None
+        self.anon_rss_bytes: Optional[int] = None
+        self.anon_growth_bytes: Optional[int] = None
         self.tracemalloc_peak_bytes: Optional[int] = None
 
     def __enter__(self) -> "MemoryProbe":
         self.entry_rss_bytes = peak_rss_bytes()
+        self.entry_anon_rss_bytes = anon_rss_bytes()
         if self._trace and not tracemalloc.is_tracing():
             tracemalloc.start()
             self._owns_trace = True
@@ -163,12 +211,17 @@ class MemoryProbe:
                 tracemalloc.stop()
         self.peak_rss_bytes = peak_rss_bytes()
         self.rss_growth_bytes = self.peak_rss_bytes - self.entry_rss_bytes
+        self.anon_rss_bytes = anon_rss_bytes()
+        if self.anon_rss_bytes is not None and self.entry_anon_rss_bytes is not None:
+            self.anon_growth_bytes = self.anon_rss_bytes - self.entry_anon_rss_bytes
 
     def as_dict(self) -> Dict[str, Optional[int]]:
         """JSON-ready snapshot (artifact/``CellResult`` payload shape)."""
         return {
             "peak_rss_bytes": self.peak_rss_bytes,
             "rss_growth_bytes": self.rss_growth_bytes,
+            "anon_rss_bytes": self.anon_rss_bytes,
+            "anon_growth_bytes": self.anon_growth_bytes,
             "tracemalloc_peak_bytes": self.tracemalloc_peak_bytes,
         }
 

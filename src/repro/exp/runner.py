@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import weakref
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -42,6 +43,7 @@ _CELLS_BATCHED = obs.counter("exp.cells_batched")
 _WORKER_RETRIES = obs.counter("exp.worker_retries")
 _CELLS_QUARANTINED = obs.counter("exp.cells_quarantined")
 _CELL_TIMEOUTS = obs.counter("exp.cell_timeouts")
+_WORKERS_SEEDED = obs.counter("exp.workers_seeded")
 
 
 def default_workers() -> int:
@@ -55,6 +57,40 @@ def default_workers() -> int:
 def _normalize(result: Any) -> Any:
     """Canonical JSON round-trip: the one representation of a cell result."""
     return json.loads(canonical_json(result))
+
+
+def _seed_worker(handles: Sequence[Any]) -> None:
+    """Pool initializer: install the parent's shared route tables.
+
+    Workers never rebuild a table the parent already built — any
+    ``route_table_for`` matching a handle attaches the parent's
+    shared-memory segment (zero-copy, read-only) instead.  Module-level so
+    it pickles under every start method.
+    """
+    if handles:
+        from ..sim.routing import seed_shared_route_tables
+
+        seed_shared_route_tables(handles)
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    """Finalizer: tear down a Runner's persistent pool when it is GC'd."""
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _route_table_bytes() -> Optional[int]:
+    """This process' private route-table bytes (None if unavailable).
+
+    Attached shared tables count only their above-baseline growth, so a
+    seeded worker reports ~0 here while a rebuilding worker reports the
+    table footprint — the per-worker memory axis of the scale-out bench.
+    """
+    try:
+        from ..sim.routing import private_route_table_bytes
+
+        return int(private_route_table_bytes())
+    except Exception:  # pragma: no cover - diagnostics must never fail a cell
+        return None
 
 
 def _run_cells(cells: Sequence[Tuple[int, str, Dict[str, Any]]], collect_obs: bool = False):
@@ -119,6 +155,7 @@ def _run_cells(cells: Sequence[Tuple[int, str, Dict[str, Any]]], collect_obs: bo
                 )
             share = elapsed / len(group)
             memory = probe.as_dict()
+            memory["route_table_bytes"] = _route_table_bytes()
             _CELLS_BATCHED.inc(len(group))
             for (cell_index, _, _), raw in zip(group, raws):
                 _CELLS_LIVE.inc()
@@ -132,7 +169,9 @@ def _run_cells(cells: Sequence[Tuple[int, str, Dict[str, Any]]], collect_obs: bo
                     raw = fn(**params)
                     elapsed = time.perf_counter() - start
             _CELLS_LIVE.inc()
-            out.append((index, _normalize(raw), elapsed, probe.as_dict()))
+            memory = probe.as_dict()
+            memory["route_table_bytes"] = _route_table_bytes()
+            out.append((index, _normalize(raw), elapsed, memory))
         pos = end
     payload = obs.export_delta(marker) if marker is not None else None
     return out, payload
@@ -246,6 +285,16 @@ class Runner:
     process); ``workers=0`` means one per CPU.  See
     :func:`repro.exp.cache.resolve_cache` for the ``cache`` argument.
 
+    The parallel path runs on a **persistent warm pool**: one
+    :class:`ProcessPoolExecutor` lives across :meth:`run` calls, and its
+    initializer seeds every worker with shared-memory handles for each
+    route table already built in the parent
+    (:meth:`repro.sim.routing.RouteTable.share`).  Workers attach those
+    segments zero-copy instead of rebuilding tables, so per-worker memory
+    stays ~flat in the number of workers.  Call :meth:`close` (or use the
+    runner as a context manager) to tear the pool down; an unclosed
+    runner's pool is shut down when the runner is garbage collected.
+
     The parallel path is hardened against misbehaving cells:
 
     * ``cell_timeout`` (or ``REPRO_EXP_CELL_TIMEOUT`` seconds) bounds each
@@ -285,6 +334,77 @@ class Runner:
         self.cell_timeout = cell_timeout
         self.max_retries = max(0, int(max_retries))
         self.retry_backoff = max(0.0, float(retry_backoff))
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_finalizer: Optional[weakref.finalize] = None
+        self._seeded_bytes = 0
+
+    # ------------------------------------------------------ persistent pool
+    def _share_handles(self) -> List[Any]:
+        """Export every built route table as a picklable shared handle.
+
+        ``share()`` is idempotent and memoizes the handle on the table, so
+        repeated pool (re)creation re-uses the same segments — replacing a
+        crashed pool re-seeds workers without copying any table bytes.
+        """
+        from ..sim.routing import live_route_tables
+
+        handles: List[Any] = []
+        for table in live_route_tables():
+            try:
+                if table.num_pairs_routed > 0:
+                    handles.append(table.share())
+            except Exception:
+                continue  # unshareable table: workers rebuild it as before
+        self._seeded_bytes = sum(h.nbytes for h in handles)
+        return handles
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """Return the persistent worker pool, creating and seeding it lazily.
+
+        The pool survives across :meth:`run` calls (warm workers keep their
+        attached route tables and imported modules).  It is replaced only
+        when a worker crashes or times out, and torn down by
+        :meth:`close` / garbage collection.
+        """
+        if self._pool is None:
+            handles = self._share_handles()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_seed_worker,
+                initargs=(handles,),
+            )
+            self._pool_finalizer = weakref.finalize(
+                self, _shutdown_pool, self._pool
+            )
+            if handles:
+                # Parent-side accounting: worker initializers run outside
+                # the per-chunk obs delta window, so their increments would
+                # otherwise be lost.
+                _WORKERS_SEEDED.inc(self.workers)
+        return self._pool
+
+    def _discard_pool(self, *, wait: bool = False, kill: bool = False) -> None:
+        """Drop the persistent pool (crashed, hung, or being closed)."""
+        pool, self._pool = self._pool, None
+        finalizer, self._pool_finalizer = self._pool_finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+        if pool is None:
+            return
+        if kill:
+            self._kill_pool(pool)
+        else:
+            pool.shutdown(wait=wait, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        self._discard_pool(wait=True)
+
+    def __enter__(self) -> "Runner":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------- run
     def run(self, spec: Any) -> RunReport:
@@ -384,9 +504,14 @@ class Runner:
         scenarios: Sequence[Scenario],
         collect_obs: bool,
     ) -> Tuple[List[List[Tuple[int, str, Dict[str, Any]]]], bool]:
-        """One pool's worth of work; returns ``(unfinished chunks, crashed)``."""
+        """One pool's worth of work; returns ``(unfinished chunks, crashed)``.
+
+        Uses the persistent warm pool: a clean pass leaves it running for
+        the next pass (or the next :meth:`run`), while a crash or timeout
+        discards it so the caller resubmits on a freshly seeded one.
+        """
         timeout = self.cell_timeout
-        pool = ProcessPoolExecutor(max_workers=self.workers)
+        pool = self._ensure_pool()
         futures: Dict[Any, int] = {
             pool.submit(_run_cells, chunk, collect_obs): ci
             for ci, chunk in enumerate(chunks)
@@ -395,54 +520,50 @@ class Runner:
             f: (time.monotonic() + timeout * max(1, len(chunks[ci])))
             for f, ci in futures.items()
         } if timeout else {}
-        try:
-            while futures:
-                wait_for = None
-                if timeout:
-                    wait_for = max(
-                        0.0, min(deadline[f] for f in futures) - time.monotonic()
-                    )
-                finished, _ = wait(
-                    list(futures), return_when=FIRST_COMPLETED, timeout=wait_for
+        while futures:
+            wait_for = None
+            if timeout:
+                wait_for = max(
+                    0.0, min(deadline[f] for f in futures) - time.monotonic()
                 )
-                for future in finished:
-                    ci = futures.pop(future)
-                    try:
-                        triples, payload = future.result()
-                    except BrokenProcessPool:
-                        remaining = [chunks[ci]]
-                        remaining += [chunks[i] for i in sorted(futures.values())]
-                        return remaining, True
-                    except Exception:
-                        # The kernel raised (the pool itself is healthy):
-                        # isolate the chunk inline so its healthy cells
-                        # still complete and only the poison cell is
-                        # quarantined, then keep draining the pool.
-                        self._serial_fallback([chunks[ci]], done, scenarios)
-                        continue
-                    obs.merge_state(payload)
-                    self._absorb(done, scenarios, triples)
-                if timeout and not finished:
-                    now = time.monotonic()
-                    expired = [f for f in list(futures) if deadline[f] <= now]
-                    if expired:
-                        for future in expired:
-                            ci = futures.pop(future)
-                            self._quarantine_chunk(
-                                chunks[ci], done, scenarios, reason="timeout"
-                            )
-                            _CELL_TIMEOUTS.inc(len(chunks[ci]))
-                        # The stuck worker keeps grinding regardless of the
-                        # cancelled future; kill the pool and let the caller
-                        # resubmit the survivors on a fresh one.
-                        remaining = [chunks[i] for i in sorted(futures.values())]
-                        self._kill_pool(pool)
-                        pool = None
-                        return remaining, False
-            return [], False
-        finally:
-            if pool is not None:
-                pool.shutdown(wait=True, cancel_futures=True)
+            finished, _ = wait(
+                list(futures), return_when=FIRST_COMPLETED, timeout=wait_for
+            )
+            for future in finished:
+                ci = futures.pop(future)
+                try:
+                    triples, payload = future.result()
+                except BrokenProcessPool:
+                    remaining = [chunks[ci]]
+                    remaining += [chunks[i] for i in sorted(futures.values())]
+                    self._discard_pool()
+                    return remaining, True
+                except Exception:
+                    # The kernel raised (the pool itself is healthy):
+                    # isolate the chunk inline so its healthy cells
+                    # still complete and only the poison cell is
+                    # quarantined, then keep draining the pool.
+                    self._serial_fallback([chunks[ci]], done, scenarios)
+                    continue
+                obs.merge_state(payload)
+                self._absorb(done, scenarios, triples)
+            if timeout and not finished:
+                now = time.monotonic()
+                expired = [f for f in list(futures) if deadline[f] <= now]
+                if expired:
+                    for future in expired:
+                        ci = futures.pop(future)
+                        self._quarantine_chunk(
+                            chunks[ci], done, scenarios, reason="timeout"
+                        )
+                        _CELL_TIMEOUTS.inc(len(chunks[ci]))
+                    # The stuck worker keeps grinding regardless of the
+                    # cancelled future; kill the pool and let the caller
+                    # resubmit the survivors on a fresh one.
+                    remaining = [chunks[i] for i in sorted(futures.values())]
+                    self._discard_pool(kill=True)
+                    return remaining, False
+        return [], False
 
     @staticmethod
     def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -506,15 +627,17 @@ class Runner:
         _CELLS_QUARANTINED.inc()
 
     # ------------------------------------------------------------- internals
-    @staticmethod
     def _chunk(
-        pending: Sequence[Tuple[int, Scenario]]
+        self,
+        pending: Sequence[Tuple[int, Scenario]],
     ) -> List[List[Tuple[int, str, Dict[str, Any]]]]:
         """Group pending cells by chunk key (unchunked cells stay singleton).
 
         Chunk order follows first appearance and cells keep scenario order
         within a chunk, so the serial fallback executes in declaration
-        order.
+        order.  Oversized chunks are then split so a single-topology grid
+        still fans out across all workers — with shared route tables,
+        chunks no longer need to be topology-homogeneous to be cheap.
         """
         groups: Dict[str, List[Tuple[int, str, Dict[str, Any]]]] = {}
         order: List[str] = []
@@ -524,7 +647,33 @@ class Runner:
                 groups[key] = []
                 order.append(key)
             groups[key].append((index, scenario.kernel, dict(scenario.params)))
-        return [groups[key] for key in order]
+        return self._split_chunks([groups[key] for key in order])
+
+    def _split_chunks(
+        self,
+        chunks: List[List[Tuple[int, str, Dict[str, Any]]]],
+    ) -> List[List[Tuple[int, str, Dict[str, Any]]]]:
+        """Split chunks larger than an even per-worker share into slices.
+
+        Contiguous slicing preserves within-chunk cell order, so the
+        serial fallback and cache writes stay declaration-ordered; batch
+        kernels regroup per slice, which is bit-identical because the
+        batched solver is pinned to match per-cell solves.
+        """
+        if self.workers <= 1:
+            return chunks
+        total = sum(len(chunk) for chunk in chunks)
+        if total == 0:
+            return chunks
+        target = max(1, -(-total // self.workers))
+        out: List[List[Tuple[int, str, Dict[str, Any]]]] = []
+        for chunk in chunks:
+            if len(chunk) <= target:
+                out.append(chunk)
+            else:
+                for lo in range(0, len(chunk), target):
+                    out.append(chunk[lo:lo + target])
+        return out
 
     @staticmethod
     def _absorb(

@@ -197,12 +197,16 @@ _DEFAULT_SCHEMA: Tuple[Tuple[str, str], ...] = (
     ("counter", "routing.pair_hits"),
     ("counter", "routing.pair_misses"),
     ("counter", "routing.tables_built"),
+    ("counter", "routing.tables_attached"),
     ("gauge", "routing.csr_mem_bytes"),
     ("counter", "routing.shards_built"),
     ("counter", "routing.shards_evicted"),
     ("gauge", "routing.spill_bytes"),
+    ("gauge", "routing.shm_segments"),
+    ("gauge", "routing.shm_bytes"),
     ("counter", "flowsim.maxmin_solves"),
     ("histogram", "flowsim.batch_size"),
+    ("histogram", "flowsim.active_links"),
     ("counter", "flowsim.assignments_built"),
     ("counter", "flowsim.assignment_cache_hits"),
     ("histogram", "flowsim.maxmin_rounds"),
@@ -240,6 +244,7 @@ _DEFAULT_SCHEMA: Tuple[Tuple[str, str], ...] = (
     ("counter", "exp.worker_retries"),
     ("counter", "exp.cells_quarantined"),
     ("counter", "exp.cell_timeouts"),
+    ("counter", "exp.workers_seeded"),
     ("counter", "cluster.jobs_completed"),
     ("counter", "cluster.evictions"),
     ("counter", "cluster.failures"),

@@ -62,6 +62,28 @@ _DELTA_ASSIGNS = _obs.counter("flowsim.delta_assignments")
 _DELTA_CHANGED = _obs.histogram("flowsim.delta_changed_flows")
 _DELTA_ACTIVE = _obs.histogram("flowsim.delta_active_subflows")
 _DELTA_BATCH = _obs.histogram("flowsim.delta_batch_size")
+# sparse link-space compaction: active (touched) links per solve
+_ACTIVE_LINKS = _obs.histogram("flowsim.active_links")
+
+
+def _sparse_links_enabled() -> bool:
+    """Whether solvers compact onto the active-link subset (default: yes).
+
+    ``REPRO_SPARSE_LINKS=0`` (or ``false``/``no``/``off``) restores the
+    dense O(num_links)-per-round path; both paths are bit-identical, the
+    flag exists for benchmarking and for bisecting regressions.
+    """
+    raw = os.environ.get("REPRO_SPARSE_LINKS")
+    if raw is None or not raw.strip():
+        return True
+    return raw.strip().lower() not in ("0", "false", "no", "off")
+
+
+#: Batch solves compact onto active (scenario, link) cells only when the
+#: active fraction is below this: at high density the compaction's per-round
+#: gathers cost more than the dense path's fixed-shape broadcasts save.
+#: Both paths are bit-identical, so the gate is a pure performance choice.
+_SPARSE_BATCH_MAX_DENSITY = 0.5
 
 #: Distinct flow patterns whose :class:`FlowAssignment` is kept per simulator.
 #: Collective schedules and the alltoall aggregate re-assign identical flow
@@ -121,6 +143,11 @@ class FlowAssignment:
     _flow_subflow_offsets: Optional[np.ndarray] = None
     _subflow_weights: Optional[np.ndarray] = None
     _entry_weights: Optional[np.ndarray] = None
+    # Lazily-built active-link compaction (see compact_link_index).
+    _compact_links: Optional[np.ndarray] = None
+    _compact_inverse: Optional[np.ndarray] = None
+    _compact_offsets: Optional[np.ndarray] = None
+    _compact_subflows: Optional[np.ndarray] = None
 
     def subflow_offsets(self) -> np.ndarray:
         """Entry-range offsets per subflow: entries of ``s`` are
@@ -147,6 +174,33 @@ class FlowAssignment:
             self._link_entry_ids = self.entry_subflow[order]
             self._link_entry_order = order
         return self._link_entry_offsets, self._link_entry_ids
+
+    def compact_link_index(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Active-link compaction: ``(links, inverse, offsets, subflows)``.
+
+        ``links`` is the sorted unique set of links the assignment touches;
+        ``inverse`` remaps ``entry_link`` onto compact indices (``inverse``
+        is a *monotone* relabeling, so per-link entry order — and therefore
+        every sequential ``bincount`` summation — is preserved exactly);
+        ``offsets``/``subflows`` are the compact-space equivalent of
+        :meth:`link_index`.  This is what lets the solvers water-fill in
+        O(active links) per round instead of O(num_links).
+        """
+        if self._compact_links is None:
+            uL, inv = np.unique(self.entry_link, return_inverse=True)
+            inv = inv.astype(np.int64, copy=False)
+            order = np.argsort(inv, kind="stable").astype(np.int64)
+            counts = np.bincount(inv, minlength=len(uL))
+            self._compact_offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+            self._compact_subflows = self.entry_subflow[order]
+            self._compact_links = uL.astype(np.int64, copy=False)
+            self._compact_inverse = inv
+        return (
+            self._compact_links,
+            self._compact_inverse,
+            self._compact_offsets,
+            self._compact_subflows,
+        )
 
     def link_entry_order(self, num_links: int) -> np.ndarray:
         """Entry ids sorted by link (the permutation behind
@@ -683,15 +737,32 @@ class FlowSimulator:
         exact fallback — all three produce bit-identical levels.
         """
         L = len(self.capacity)
-        remaining = self.capacity.copy()
-        active = np.ones(asg.num_subflows, dtype=bool)
-        num_active = asg.num_subflows
         # Per-entry weight: demand share carried by the subflow on that link.
         sub_weights = asg.subflow_weights()
         entry_weight = asg.entry_weights()
-        load = np.bincount(asg.entry_link, weights=entry_weight, minlength=L)
         sub_offsets = asg.subflow_offsets()
-        link_offsets, link_subflows = asg.link_index(L)
+        # Sparse link-space compaction (default): every per-round array runs
+        # over the links the assignment actually touches.  The compaction's
+        # ``inverse`` is a monotone relabeling of ``entry_link``, so every
+        # bincount sums entries in the same order as the dense path, the
+        # headroom minimum matches (untouched links contribute +inf), and
+        # the scattered-back ``remaining`` equals the dense output bitwise
+        # (untouched links see a +0.0 load, and ``x - 0.0 * inc == x``).
+        if _sparse_links_enabled():
+            active_links, entry_link, link_offsets, link_subflows = asg.compact_link_index()
+            nL = len(active_links)
+            _ACTIVE_LINKS.observe(nL)
+            capacity = self.capacity[active_links]
+        else:
+            active_links = None
+            entry_link = asg.entry_link
+            link_offsets, link_subflows = asg.link_index(L)
+            nL = L
+            capacity = self.capacity
+        remaining = capacity.copy()
+        active = np.ones(asg.num_subflows, dtype=bool)
+        num_active = asg.num_subflows
+        load = np.bincount(entry_link, weights=entry_weight, minlength=nL)
         # A subflow's rate is its weight times the cumulative fill level at
         # the moment it froze, so the loop only records freeze levels — no
         # per-round pass over the subflows.
@@ -699,11 +770,11 @@ class FlowSimulator:
         fill_at_freeze = np.zeros(asg.num_subflows)
         # Loop-invariant pieces, hoisted: the saturation threshold and the
         # errstate guard for the 0/0 -> masked-away headroom entries.
-        sat_threshold = _EPS * (1.0 + self.capacity)
-        saturated_ever = np.zeros(L, dtype=bool)
+        sat_threshold = _EPS * (1.0 + capacity)
+        saturated_ever = np.zeros(nL, dtype=bool)
         iterations = 0
         with np.errstate(divide="ignore", invalid="ignore"):
-            while num_active:
+            while num_active and nL:
                 iterations += 1
                 if iterations > max_iterations:  # pragma: no cover - defensive
                     raise RuntimeError("max-min filling did not converge")
@@ -731,7 +802,7 @@ class FlowSimulator:
                     fill_at_freeze[frozen] = fill
                     gone = _gather_ranges(sub_offsets, frozen)
                     load = load - np.bincount(
-                        asg.entry_link[gone], weights=entry_weight[gone], minlength=L
+                        entry_link[gone], weights=entry_weight[gone], minlength=nL
                     )
                 # Active load on a saturated link is exactly zero (every
                 # crossing subflow is now frozen); pin it to kill drift.
@@ -742,6 +813,10 @@ class FlowSimulator:
             fill_at_freeze[active] = fill
         _MAXMIN_SOLVES.inc()
         _MAXMIN_ROUNDS.observe(iterations)
+        if active_links is not None:
+            remaining_full = self.capacity.copy()
+            remaining_full[active_links] = remaining
+            remaining = remaining_full
         return sub_weights, fill_at_freeze, remaining
 
     def _phase_result(
@@ -1294,6 +1369,7 @@ class FlowSimulator:
         new_seo = new_asg.subflow_offsets()
         uL, ae_clink = np.unique(ae_link, return_inverse=True)
         nL = len(uL)
+        _ACTIVE_LINKS.observe(nL)
         residual = cap[uL] - base_used[uL]
         np.maximum(residual, 0.0, out=residual)
         # Mini progressive fill on the compact link set (the cold loop's
@@ -1854,6 +1930,8 @@ class FlowSimulator:
                 cell_subs = e_sub[order]
                 sub_cand = np.repeat(np.arange(k, dtype=np.int64), lenA)
                 ccounts = np.bincount(ucand, minlength=k)
+                for c in ccounts.tolist():
+                    _ACTIVE_LINKS.observe(int(c))
                 nonempty = ccounts > 0
                 ne_starts = np.concatenate(([0], np.cumsum(ccounts)))[:-1][
                     nonempty
@@ -2198,6 +2276,15 @@ class FlowSimulator:
         fallback — the batch rounds are bit-identical to per-scenario solo
         solves, so a fallback through here matches :meth:`maxmin_rates`
         exactly)."""
+        if _sparse_links_enabled() and len(self.capacity) and asgs:
+            # Density gate: per-scenario active links are cached on the
+            # assignments, so this costs one pass after warm-up.  Dense-ish
+            # batches (fig12 full permutations) stay on the fixed-shape
+            # broadcast path, which beats per-round compact-space gathers
+            # once most cells are loaded anyway.
+            active_cells = sum(len(a.compact_link_index()[0]) for a in asgs)
+            if active_cells <= _SPARSE_BATCH_MAX_DENSITY * len(asgs) * len(self.capacity):
+                return self._batch_fill_sparse(asgs, max_iterations=max_iterations)
         S = len(asgs)
         L = len(self.capacity)
         sub_counts = np.fromiter((a.num_subflows for a in asgs), dtype=np.int64, count=S)
@@ -2380,6 +2467,190 @@ class FlowSimulator:
         # pinned.  Subflows never frozen (inf headroom on exit) get their
         # scenario's final fill, as in the solo solver.
         np.copyto(remaining_final, remc, where=np.isfinite(remc))
+        if active.any():
+            fill_at_freeze[active] = fillc[sub_scen[active]]
+        _MAXMIN_SOLVES.inc(S)
+        _MAXMIN_ROUNDS.observe(iterations)
+        sub_rate = sub_weights * fill_at_freeze
+        results: List[PhaseResult] = []
+        for s, asg in enumerate(asgs):
+            rates_s = sub_rate[sub_base[s] : sub_base[s + 1]]
+            flow_rates = np.bincount(asg.subflow_flow, weights=rates_s, minlength=asg.num_flows)
+            used = self.capacity - remaining_final[s]
+            link_util = np.where(self.capacity > 0, used / self.capacity, 0.0)
+            bottleneck = int(np.argmax(link_util)) if L else -1
+            results.append(
+                PhaseResult(
+                    flow_rates=flow_rates,
+                    link_utilization=link_util,
+                    bottleneck_link=bottleneck,
+                )
+            )
+        return results
+
+    def _batch_fill_sparse(
+        self,
+        asgs: Sequence[FlowAssignment],
+        *,
+        max_iterations: int = 100000,
+    ) -> List[PhaseResult]:
+        """Sparse sibling of :meth:`_batch_fill`: the same vectorized rounds
+        on the **active** ``(scenario, link)`` cells only.
+
+        The dense path's state is ``(scenarios, links)``; here it is one
+        flat array over the unique virtual cells the batch actually loads
+        (``np.unique`` of ``scenario * L + link``, once per batch).  Every
+        float operation is elementwise identical to the dense rounds — the
+        compaction inverse is a monotone relabeling, so bincount summation
+        order, the stable freeze-subtraction grouping, and the headroom
+        minima (untouched cells contribute +inf) all carry over — which
+        keeps this path bit-identical to :meth:`_batch_fill` and therefore
+        to per-scenario solo solves, while each round costs O(active cells)
+        instead of O(scenarios x links).
+        """
+        S = len(asgs)
+        L = len(self.capacity)
+        sub_counts = np.fromiter((a.num_subflows for a in asgs), dtype=np.int64, count=S)
+        sub_base = np.concatenate(([0], np.cumsum(sub_counts)))
+        total_subs = int(sub_base[-1])
+        entry_counts = np.fromiter((len(a.entry_link) for a in asgs), dtype=np.int64, count=S)
+        entry_base = np.concatenate(([0], np.cumsum(entry_counts)))
+        entry_scen = np.repeat(np.arange(S, dtype=np.int64), entry_counts)
+        if total_subs:
+            entry_link = np.concatenate([a.entry_link for a in asgs])
+            entry_sub = np.concatenate(
+                [a.entry_subflow + sub_base[s] for s, a in enumerate(asgs)]
+            )
+            sub_weights = np.concatenate(
+                [a.subflow_weight * a.flow_demand[a.subflow_flow] for a in asgs]
+            )
+        else:  # pragma: no cover - all-empty batch
+            entry_link = np.zeros(0, dtype=np.int64)
+            entry_sub = np.zeros(0, dtype=np.int64)
+            sub_weights = np.zeros(0)
+        entry_vlink = entry_scen * L + entry_link
+        sub_scen = np.repeat(np.arange(S, dtype=np.int64), sub_counts)
+        entry_weight = sub_weights[entry_sub]
+        sub_offsets = np.concatenate(
+            [a.subflow_offsets()[:-1] + entry_base[s] for s, a in enumerate(asgs)]
+            + [np.array([entry_base[-1]], dtype=np.int64)]
+        )
+        # Active-cell compaction: cells ascend scenario-major/link-ascending
+        # (np.unique sorts), so per-scenario cells are contiguous runs and
+        # ``flatnonzero`` scans reproduce the dense cell order exactly.
+        cells, inv = np.unique(entry_vlink, return_inverse=True)
+        inv = inv.astype(np.int64, copy=False)
+        nV = len(cells)
+        cell_scen = cells // L
+        cell_counts = np.bincount(cell_scen, minlength=S)
+        for c in cell_counts.tolist():
+            _ACTIVE_LINKS.observe(int(c))
+        cell_starts = np.concatenate(([0], np.cumsum(cell_counts)))[:-1].astype(np.int64)
+        nonempty = cell_counts > 0
+        ne_starts = cell_starts[nonempty]
+        cap_v = self.capacity[cells - cell_scen * L]
+        loadc = np.bincount(inv, weights=entry_weight, minlength=nV)
+        remc = cap_v.copy()
+        satc = _EPS * (1.0 + cap_v)
+        # Compact cell -> crossing-subflows CSR (same stable order as dense).
+        order = np.argsort(inv, kind="stable").astype(np.int64)
+        link_offsets = np.concatenate(
+            ([0], np.cumsum(np.bincount(inv, minlength=nV)))
+        ).astype(np.int64)
+        link_offsets_list = link_offsets.tolist()
+        link_subflows = entry_sub[order]
+        fillc = np.zeros(S)
+        live = sub_counts > 0
+        active = np.ones(total_subs, dtype=bool)
+        num_active = sub_counts.copy()
+        fill_at_freeze = np.zeros(total_subs)
+        remaining_final = np.tile(self.capacity, (S, 1))
+        remaining_final_flat = remaining_final.reshape(-1)
+        hm = np.empty(nV)
+        mload = np.empty(nV)
+        bmask = np.empty(nV, dtype=bool)
+        inc = np.empty(S)
+        np.greater(loadc, _EPS, out=bmask)
+        np.multiply(loadc, bmask, out=mload)
+        np.abs(mload, out=mload)
+        iterations = 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            while live.any() and nV:
+                iterations += 1
+                if iterations > max_iterations:  # pragma: no cover - defensive
+                    raise RuntimeError("batched max-min filling did not converge")
+                np.divide(remc, mload, out=hm)
+                if iterations == 1:
+                    # 0.0 / 0.0 cells exist in round one only (see the dense
+                    # sibling): a zero remaining trips the threshold scan and
+                    # the cell is pinned before the next divide.
+                    np.isnan(hm, out=bmask)
+                    np.copyto(hm, np.inf, where=bmask)
+                # Per-scenario minimum over that scenario's contiguous cell
+                # run; scenarios with no cells read +inf, exactly what their
+                # all-inf dense row minimizes to.
+                inc.fill(np.inf)
+                inc[nonempty] = np.minimum.reduceat(hm, ne_starts)
+                live &= np.isfinite(inc)
+                if not live.any():
+                    break
+                inc[~live] = 0.0
+                np.add(fillc, inc, out=fillc)
+                np.multiply(loadc, inc[cell_scen], out=hm)
+                np.subtract(remc, hm, out=remc)
+                np.less_equal(remc, satc, out=bmask)
+                vcells = np.flatnonzero(bmask)
+                if not len(vcells):  # pragma: no cover - numerical safety
+                    break
+                remaining_final_flat[cells[vcells]] = remc[vcells]
+                remc[vcells] = np.inf
+                if len(vcells) <= 48:
+                    frozen = np.concatenate(
+                        [
+                            link_subflows[link_offsets_list[v] : link_offsets_list[v + 1]]
+                            for v in vcells.tolist()
+                        ]
+                    )
+                else:
+                    frozen = link_subflows[_gather_ranges(link_offsets, vcells)]
+                frozen = frozen[active[frozen]]
+                if len(frozen):
+                    frozen.sort()
+                    dmask = np.empty(len(frozen), dtype=bool)
+                    dmask[0] = True
+                    np.not_equal(frozen[1:], frozen[:-1], out=dmask[1:])
+                    frozen = frozen[dmask]
+                    _FROZEN_PER_ROUND.observe(len(frozen))
+                    active[frozen] = False
+                    num_active -= np.bincount(sub_scen[frozen], minlength=S)
+                    fill_at_freeze[frozen] = fillc[sub_scen[frozen]]
+                    gone = _gather_ranges(sub_offsets, frozen)
+                    # Same stable grouping as dense, over compact cell ids
+                    # (``inv`` is monotone in the virtual id, so the stable
+                    # argsort is the identical permutation and bincount adds
+                    # each cell's weights in the identical order).
+                    gv = inv[gone]
+                    sidx = np.argsort(gv, kind="stable")
+                    gv = gv[sidx]
+                    gw = entry_weight[gone][sidx]
+                    smask = np.empty(len(gv), dtype=bool)
+                    smask[0] = True
+                    np.not_equal(gv[1:], gv[:-1], out=smask[1:])
+                    gid = np.cumsum(smask)
+                    gid -= 1
+                    touched = gv[smask]
+                    loadc[touched] -= np.bincount(gid, weights=gw)
+                    msub = loadc[touched]
+                    np.multiply(msub, np.greater(msub, _EPS), out=msub)
+                    np.abs(msub, out=msub)
+                    mload[touched] = msub
+                loadc[vcells] = 0.0
+                mload[vcells] = 0.0
+                live &= num_active > 0
+        # Unsaturated cells keep their final remaining; untouched links were
+        # never loaded and stay at capacity from the initialisation.
+        fin = np.isfinite(remc)
+        remaining_final_flat[cells[fin]] = remc[fin]
         if active.any():
             fill_at_freeze[active] = fillc[sub_scen[active]]
         _MAXMIN_SOLVES.inc(S)

@@ -48,16 +48,38 @@ simulator's :class:`FlowAssignment` LRUs, the tables' materialized
 sharded tables' resident shards, spill files, and budget accounting), so a
 full reset can never serve stale routes out of a derived cache or leave
 spill files behind.
+
+**Zero-copy sharing across processes.**  A built table exports its CSR
+arrays into one ``multiprocessing.shared_memory`` segment with
+:meth:`RouteTable.share`, which returns a picklable
+:class:`SharedRouteHandle`; :meth:`RouteTable.attach` maps the same bytes
+in another process — read-only, zero-copy, bit-identical query results for
+every pair the snapshot contains (misses re-enumerate deterministically
+into process-private memory, never writing the segment).  The experiment
+runner seeds its worker pool with the parent's handles
+(:func:`seed_shared_route_tables`), and :func:`route_table_for` attaches a
+matching seed instead of rebuilding — the topology objects differ by
+identity across processes, so seeds are matched by structural signature
+``(name, nodes, links, accelerators, total capacity)`` plus
+``(policy, max_paths, budget)``.  Segment lifetime follows the owning
+table: a weakref finalizer closes and (owner-side only) unlinks the
+segment when the table is garbage collected — so :func:`clear_route_tables`
+releases segments with the tables it drops — and an ``atexit`` sweep
+catches tables still alive at interpreter exit.  Attached processes
+deregister the segment from their ``resource_tracker`` so a dying worker
+can never unlink a segment the parent still serves.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import shutil
 import tempfile
 import weakref
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -69,10 +91,14 @@ from .policy import RoutingPolicy, get_policy
 __all__ = [
     "RouteTable",
     "RouteTableStats",
+    "SharedRouteHandle",
     "route_table_for",
     "live_route_tables",
+    "private_route_table_bytes",
     "clear_route_tables",
     "register_route_cache_client",
+    "seed_shared_route_tables",
+    "clear_shared_route_seeds",
     "csr_range_indices",
     "parse_mem_budget",
     "default_mem_budget",
@@ -195,6 +221,126 @@ def csr_range_indices(offsets: np.ndarray, ids: np.ndarray) -> Tuple[np.ndarray,
         + np.repeat(starts, lengths)
     )
     return indices, lengths
+
+
+# ------------------------------------------------------------- shared memory
+def _topo_signature(topo: Topology) -> Tuple:
+    """Structural identity of a topology for cross-process seed matching.
+
+    Topology objects never compare equal across processes (identity
+    semantics), so shared-table seeds are matched on the structure the
+    route enumeration actually depends on: the family/instance name, the
+    node/link/accelerator counts, and the total link capacity.
+    """
+    return (
+        topo.name,
+        int(topo.num_nodes),
+        int(topo.num_links),
+        int(topo.num_accelerators),
+        float(topo.link_capacity_array().sum()),
+    )
+
+
+#: shared-segment array dtypes by spec key (everything else is int64)
+_ARRAY_DTYPES = {"weights": np.float64}
+
+
+@dataclass(frozen=True)
+class SharedRouteHandle:
+    """Picklable description of a route table exported to shared memory.
+
+    ``arrays`` (eager tables) and ``shards`` (sharded tables) carry
+    ``(key, byte_offset, length)`` spans inside the single shared segment
+    ``name``; every array is int64 except per-path ``weights`` (float64).
+    The handle embeds the (picklable) topology and policy so
+    :meth:`RouteTable.attach` is self-contained, and :meth:`seed_key` is
+    the structural memo key :func:`route_table_for` uses to match a seed
+    against a locally constructed topology.
+    """
+
+    name: str
+    nbytes: int
+    topo: Topology
+    signature: Tuple
+    policy: RoutingPolicy
+    max_paths: int
+    mem_budget: Optional[int]
+    sharded: bool
+    owner_pid: int = -1
+    owner_tracker_pid: Optional[int] = None
+    shard_sources: Optional[int] = None
+    arrays: Tuple[Tuple[str, int, int], ...] = ()
+    shards: Tuple[Tuple[int, int, Tuple[Tuple[str, int, int], ...]], ...] = ()
+
+    def seed_key(self) -> Tuple:
+        return (
+            self.signature,
+            get_policy(self.policy).cache_key(),
+            self.max_paths,
+            self.mem_budget,
+        )
+
+
+#: lease id -> lease dict for every shared segment this process holds open
+#: (owned or attached); the atexit sweep releases stragglers whose table is
+#: still alive at interpreter shutdown.
+_LIVE_SEGMENTS: Dict[int, Dict[str, object]] = {}
+
+
+def _release_segment(lease: Dict[str, object]) -> None:
+    """Finalizer: close a segment mapping; unlink it if this process owns it.
+
+    The owner-pid guard makes the finalizer safe under ``fork``: children
+    inherit the parent's finalizers and ``_LIVE_SEGMENTS`` entries and may
+    close their inherited mapping, but must never unlink the segment the
+    parent still serves.
+    """
+    if lease.get("released"):
+        return
+    lease["released"] = True
+    _LIVE_SEGMENTS.pop(lease["lease_id"], None)  # type: ignore[arg-type]
+    shm = lease["shm"]
+    try:
+        shm.close()  # type: ignore[union-attr]
+    except (OSError, BufferError):
+        pass
+    if lease.get("owner_pid") == os.getpid():
+        try:
+            shm.unlink()  # type: ignore[union-attr]
+        except (OSError, FileNotFoundError):
+            pass
+        _obs.gauge("routing.shm_segments").add(-1)
+        _obs.gauge("routing.shm_bytes").add(-int(lease["nbytes"]))  # type: ignore[call-overload]
+
+
+def _release_all_segments() -> None:
+    for lease in list(_LIVE_SEGMENTS.values()):
+        _release_segment(lease)
+
+
+atexit.register(_release_all_segments)
+
+
+def _tracker_pid() -> Optional[int]:
+    """Pid of this process's ``resource_tracker`` daemon (POSIX), if any."""
+    try:
+        from multiprocessing import resource_tracker
+
+        return resource_tracker._resource_tracker._pid  # type: ignore[attr-defined]
+    except Exception:
+        return None
+
+
+def _new_lease(shm, nbytes: int, *, owned: bool) -> Dict[str, object]:
+    lease: Dict[str, object] = {
+        "shm": shm,
+        "nbytes": int(nbytes),
+        "owner_pid": os.getpid() if owned else -1,
+        "released": False,
+    }
+    lease["lease_id"] = id(lease)
+    _LIVE_SEGMENTS[id(lease)] = lease
+    return lease
 
 
 #: module sentinel: "parameter not given, fall back to the environment"
@@ -396,6 +542,10 @@ class RouteTable:
         # routing.csr_mem_bytes tracks the estimated bytes of *live* tables:
         # growth is reported as gauge deltas, and a finalizer releases the
         # table's last-reported contribution when it is garbage collected.
+        # Attached tables set a nonzero baseline so bytes the owning process
+        # already reported are not double counted.
+        self._csr_baseline = 0
+        self._builder_pid = os.getpid()
         self._reported_bytes = [0]
         weakref.finalize(self, _release_csr_bytes, self._reported_bytes)
         self._report_csr_bytes()
@@ -427,7 +577,7 @@ class RouteTable:
         )
 
     def _report_csr_bytes(self) -> None:
-        now = self.estimated_csr_bytes()
+        now = self.estimated_csr_bytes() - self._csr_baseline
         delta = now - self._reported_bytes[0]
         if delta:
             self._reported_bytes[0] = now
@@ -447,6 +597,9 @@ class RouteTable:
             self._dropped_bases.clear()
             self._resident_bytes = 0
             self._pairs_routed = 0
+            # an attached table drops its shared views here; anything routed
+            # afterwards is private, so the attach-time baseline is void
+            self._csr_baseline = 0
             _cleanup_spill(self._spill_state)
             self._report_csr_bytes()
 
@@ -592,6 +745,12 @@ class RouteTable:
     def _append_paths(
         self, key: int, paths: List[List[int]], weights: List[float], num_minimal: int
     ) -> None:
+        if not self._pair_first.flags.writeable:
+            # attached (shared, read-only) pair index: privatize on first
+            # miss — the shared segment itself is never written
+            self._pair_first = self._pair_first.copy()
+            self._pair_npaths = self._pair_npaths.copy()
+            self._pair_nmin = self._pair_nmin.copy()
         first = self._num_paths
         need_paths = first + len(paths)
         if need_paths + 1 > len(self._path_offsets):
@@ -859,6 +1018,209 @@ class RouteTable:
         keys = src_nodes * self.topo.num_nodes + dst_nodes
         return self._pair_nmin[keys]
 
+    # ---------------------------------------------------------- shared memory
+    def share(self) -> SharedRouteHandle:
+        """Export the table's current contents into a shared-memory segment.
+
+        Returns a picklable :class:`SharedRouteHandle`; repeated calls
+        return the same handle (one segment per table — the snapshot covers
+        the pairs routed so far, and attached processes re-enumerate later
+        pairs into private memory).  The segment is unlinked when this
+        table is garbage collected or the process exits.
+        """
+        handle = getattr(self, "_shared_handle", None)
+        if handle is not None:
+            return handle
+        from multiprocessing import shared_memory
+
+        offset = 0
+        flat: List[Tuple[int, np.ndarray]] = []
+
+        def pack(arrays) -> Tuple[Tuple[str, int, int], ...]:
+            nonlocal offset
+            specs = []
+            for key, arr in arrays:
+                specs.append((key, offset, int(len(arr))))
+                flat.append((offset, arr))
+                offset += int(arr.nbytes)
+            return tuple(specs)
+
+        arrays_spec: Tuple[Tuple[str, int, int], ...] = ()
+        shards_spec: List[Tuple[int, int, Tuple[Tuple[str, int, int], ...]]] = []
+        if self._sharded:
+            spilled = self._spill_state["files"]
+            for si in sorted(set(self._shards) | set(spilled)):  # type: ignore[arg-type]
+                shard = self._shards.get(si)
+                if shard is None:
+                    shard = self._load_shard(si)
+                if not shard.index:
+                    continue
+                count = len(shard.index)
+                keys = np.fromiter(shard.index.keys(), dtype=np.int64, count=count)
+                vals = np.array(list(shard.index.values()), dtype=np.int64).reshape(count * 3)
+                shards_spec.append(
+                    (
+                        int(si),
+                        int(shard.id_base),
+                        pack(
+                            [
+                                ("keys", keys),
+                                ("vals", vals),
+                                ("offsets", np.ascontiguousarray(shard.offsets[: shard.num_paths + 1])),
+                                ("links", np.ascontiguousarray(shard.links[: shard.links_used])),
+                                ("weights", np.ascontiguousarray(shard.weights[: shard.num_paths])),
+                            ]
+                        ),
+                    )
+                )
+        else:
+            arrays_spec = pack(
+                [
+                    ("pair_first", self._pair_first),
+                    ("pair_npaths", self._pair_npaths),
+                    ("pair_nmin", self._pair_nmin),
+                    ("offsets", np.ascontiguousarray(self._path_offsets[: self._num_paths + 1])),
+                    ("links", np.ascontiguousarray(self._path_links[: self._links_used])),
+                    ("weights", np.ascontiguousarray(self._path_weights[: self._num_paths])),
+                ]
+            )
+        total = max(offset, 8)  # zero-size segments are not allowed
+        seg = shared_memory.SharedMemory(create=True, size=total)
+        for off, arr in flat:
+            if len(arr):
+                np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf, offset=off)[:] = arr
+        handle = SharedRouteHandle(
+            name=seg.name,
+            nbytes=total,
+            topo=self.topo,
+            signature=_topo_signature(self.topo),
+            policy=self.policy,
+            max_paths=self.max_paths,
+            mem_budget=self.mem_budget,
+            sharded=self._sharded,
+            owner_pid=os.getpid(),
+            owner_tracker_pid=_tracker_pid(),
+            shard_sources=self._shard_sources if self._sharded else None,
+            arrays=arrays_spec,
+            shards=tuple(shards_spec),
+        )
+        lease = _new_lease(seg, total, owned=True)
+        weakref.finalize(self, _release_segment, lease)
+        _obs.gauge("routing.shm_segments").add(1)
+        _obs.gauge("routing.shm_bytes").add(total)
+        self._shared_handle = handle
+        self._shm_lease = lease
+        return handle
+
+    @classmethod
+    def attach(
+        cls, handle: SharedRouteHandle, topo: Optional[Topology] = None
+    ) -> "RouteTable":
+        """Map a shared table exported by :meth:`share` into this process.
+
+        Array payloads are zero-copy, read-only views into the shared
+        segment; queries over snapshot pairs are bit-identical to the
+        owning table's.  Misses re-enumerate deterministically into
+        process-private memory (the shared bytes are never written).
+        ``topo`` defaults to the handle's embedded topology; passing a
+        locally built topology with a different structural signature
+        raises ``ValueError``.
+        """
+        from multiprocessing import shared_memory
+
+        if topo is None:
+            topo = handle.topo
+        elif _topo_signature(topo) != handle.signature:
+            raise ValueError(
+                "topology does not match the shared route table "
+                f"(local {_topo_signature(topo)!r} != shared {handle.signature!r})"
+            )
+        seg = shared_memory.SharedMemory(name=handle.name)
+        # CPython registers *every* SharedMemory open with this process's
+        # resource tracker, which would unlink the owner's live segment when
+        # this (attaching) process exits.  Lifetime belongs to the owning
+        # table's finalizer, so deregister the attachment — unless this
+        # process *shares* the owner's tracker daemon (in-process attach,
+        # or a fork child that inherited the tracker pipe): there the
+        # registration is the owner's single entry, the shared tracker
+        # outlives this process, and deregistering here would orphan the
+        # owner's eventual ``unlink`` bookkeeping instead.
+        if _tracker_pid() != handle.owner_tracker_pid or handle.owner_tracker_pid is None:
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(seg._name, "shared_memory")  # type: ignore[attr-defined]
+            except Exception:
+                pass
+
+        def view(spec: Tuple[str, int, int]) -> np.ndarray:
+            key, off, length = spec
+            arr = np.ndarray(
+                (length,), dtype=_ARRAY_DTYPES.get(key, np.int64), buffer=seg.buf, offset=off
+            )
+            arr.flags.writeable = False
+            return arr
+
+        table = object.__new__(cls)
+        table.topo = topo
+        table.max_paths = handle.max_paths
+        table.provider = path_provider_for(topo)
+        table.policy = get_policy(handle.policy)
+        table.stats = RouteTableStats()
+        table._pylists = {}
+        table._sharded = bool(handle.sharded)
+        if table._sharded:
+            table.mem_budget = None  # attached shards are never evicted or spilled
+            table._shard_sources = int(handle.shard_sources or DEFAULT_SHARD_SOURCES)
+            table._spill_enabled = False
+            table._shards = OrderedDict()
+            table._dropped_bases = {}
+            table._resident_bytes = 0
+            table._pairs_routed = 0
+            table.shards_built = 0
+            table.shards_evicted = 0
+            table._spill_state = {"files": {}, "owned_dir": None, "base_dir": None}
+            weakref.finalize(table, _cleanup_spill, table._spill_state)
+            for si, id_base, specs in handle.shards:
+                named = {spec[0]: spec for spec in specs}
+                shard = _RouteShard(id_base=int(id_base))
+                keys = view(named["keys"])
+                vals = view(named["vals"]).reshape(-1, 3)
+                shard.index = {
+                    int(k): (int(v[0]), int(v[1]), int(v[2]))
+                    for k, v in zip(keys.tolist(), vals.tolist())
+                }
+                shard.offsets = view(named["offsets"])
+                shard.links = view(named["links"])
+                shard.weights = view(named["weights"])
+                shard.num_paths = len(shard.weights)
+                shard.links_used = len(shard.links)
+                shard.dirty = False
+                table._shards[int(si)] = shard
+                table._resident_bytes += shard.nbytes()
+                table._pairs_routed += len(shard.index)
+        else:
+            table.mem_budget = handle.mem_budget
+            named = {spec[0]: spec for spec in handle.arrays}
+            table._pair_first = view(named["pair_first"])
+            table._pair_npaths = view(named["pair_npaths"])
+            table._pair_nmin = view(named["pair_nmin"])
+            table._path_offsets = view(named["offsets"])
+            table._path_links = view(named["links"])
+            table._path_weights = view(named["weights"])
+            table._num_paths = len(table._path_weights)
+            table._links_used = len(table._path_links)
+        table._attach_lease = _new_lease(seg, handle.nbytes, owned=False)
+        weakref.finalize(table, _release_segment, table._attach_lease)
+        table._shared_handle = handle
+        table._csr_baseline = table.estimated_csr_bytes()
+        table._builder_pid = os.getpid()
+        table._reported_bytes = [0]
+        weakref.finalize(table, _release_csr_bytes, table._reported_bytes)
+        _obs.counter("routing.tables_attached").inc()
+        register_route_cache_client(table)
+        return table
+
 
 # ------------------------------------------------------------------ memoization
 # topology -> {(policy key, max_paths): RouteTable}; weak keys so tables die
@@ -875,6 +1237,48 @@ def register_route_cache_client(client) -> None:
     """Register an object whose ``clear_route_caches()`` must run when
     :func:`clear_route_tables` resets the routing state."""
     _CACHE_CLIENTS.add(client)
+
+
+# seed key (signature, policy key, max_paths, budget) -> SharedRouteHandle;
+# consulted by route_table_for on memo miss so worker processes attach the
+# parent's shared tables instead of rebuilding them.
+_SHARED_SEEDS: Dict[Tuple, SharedRouteHandle] = {}
+
+
+def seed_shared_route_tables(handles: Sequence[SharedRouteHandle]) -> None:
+    """Install shared-table seeds for :func:`route_table_for` to attach.
+
+    Called in pool workers (via the initializer) with the handles the
+    parent exported: any subsequent ``route_table_for`` whose
+    ``(topology signature, policy, max_paths, budget)`` matches a seed
+    attaches the shared segment instead of building a table.  Later seeds
+    with the same key replace earlier ones.
+    """
+    for handle in handles:
+        _SHARED_SEEDS[handle.seed_key()] = handle
+
+
+def clear_shared_route_seeds() -> None:
+    """Drop every installed shared-table seed (attached tables survive)."""
+    _SHARED_SEEDS.clear()
+
+
+def _attach_seed(
+    topo: Topology, policy: RoutingPolicy, max_paths: int, budget: Optional[int]
+) -> Optional[RouteTable]:
+    """Attach a matching seed, or ``None`` (stale seeds fail soft)."""
+    if not _SHARED_SEEDS:
+        return None
+    key = (_topo_signature(topo), policy.cache_key(), max_paths, budget)
+    handle = _SHARED_SEEDS.get(key)
+    if handle is None:
+        return None
+    try:
+        return RouteTable.attach(handle, topo=topo)
+    except (FileNotFoundError, ValueError, OSError):
+        # the owner died or dropped the table; fall back to a local build
+        _SHARED_SEEDS.pop(key, None)
+        return None
 
 
 def route_table_for(
@@ -908,7 +1312,9 @@ def route_table_for(
     key = (resolved.cache_key(), max_paths, budget)
     table = per_topo.get(key)
     if table is None:
-        table = RouteTable(topo, max_paths=max_paths, policy=resolved, mem_budget=budget)
+        table = _attach_seed(topo, resolved, max_paths, budget)
+        if table is None:
+            table = RouteTable(topo, max_paths=max_paths, policy=resolved, mem_budget=budget)
         per_topo[key] = table
     return table
 
@@ -923,6 +1329,28 @@ def live_route_tables() -> List[RouteTable]:
     :func:`clear_route_tables`).
     """
     return [table for per_topo in _TABLES.values() for table in per_topo.values()]
+
+
+def private_route_table_bytes() -> int:
+    """Route-table CSR bytes *private to this process*.
+
+    A table this process built counts in full; a table attached to another
+    process' shared segment counts only what it added beyond the zero-copy
+    views (privately routed misses).  Tables inherited through ``fork``
+    (built by the parent, still memoized in the child's copied module
+    state) are excluded — they are the parent's bytes, shared
+    copy-on-write.  This is the per-worker memory metric the scale-out
+    benchmarks assert on: a warm-pool worker solving against attached
+    tables reports ~0 where a rebuilding worker reports the table
+    footprint.
+    """
+    pid = os.getpid()
+    total = 0
+    for table in live_route_tables():
+        if getattr(table, "_builder_pid", None) != pid:
+            continue
+        total += max(0, table.estimated_csr_bytes() - table._csr_baseline)
+    return total
 
 
 def clear_route_tables() -> None:

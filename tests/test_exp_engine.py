@@ -295,3 +295,67 @@ class TestRunnerHardening:
     def test_serial_path_still_propagates(self):
         with pytest.raises(RuntimeError, match="poison cell"):
             Runner(workers=1, cache=False).run([self._fragile(mode="raise")])
+
+
+class TestWarmPoolAndChunkSplitting:
+    def test_single_topology_chunk_fans_out(self):
+        """Regression: a 1-topology x N-cells grid must not serialize on one
+        worker — oversized chunks split into contiguous slices."""
+        def build():
+            grid = Grid(PROBE, common={"value": 7, "draws": 2}, chunk="value")
+            grid.cross(seed=list(range(8)))
+            return grid
+
+        serial = run_grid(build(), workers=1, cache=False)
+        assert serial.chunks == 1
+        parallel = run_grid(build(), workers=2, cache=False)
+        assert parallel.chunks >= 2
+        assert parallel.values() == serial.values()
+
+    def test_split_preserves_cell_order(self):
+        grid = Grid(PROBE, common={"value": 0}, chunk="value")
+        grid.cross(seed=list(range(5)))
+        report = run_grid(grid, workers=2, cache=False)
+        assert [c.scenario.params["seed"] for c in report.cells] == list(range(5))
+
+    def test_pool_persists_across_runs_and_close(self):
+        cells = [Scenario(PROBE, {"value": i}) for i in range(3)]
+        with Runner(workers=2, cache=False) as runner:
+            runner.run(cells)
+            pool = runner._pool
+            assert pool is not None
+            runner.run(cells)
+            assert runner._pool is pool  # same executor, no respawn
+        assert runner._pool is None  # close() tore it down
+
+    def test_workers_attach_seeded_route_tables(self, hx2mesh_4x4):
+        """A warm pool's initializer seeds workers with the parent's shared
+        tables: workers attach instead of rebuilding."""
+        from repro import obs
+        from repro.exp.cells import maxmin_permutation_cell
+        from repro.sim import FlowSimulator, clear_route_tables, random_permutation
+
+        clear_route_tables()
+        # Parent-side table with routed pairs (what run() will share).
+        sim = FlowSimulator(hx2mesh_4x4, max_paths=8)
+        sim.maxmin_rates(random_permutation(hx2mesh_4x4.num_accelerators, seed=1))
+        cells = [
+            Scenario(kernel_ref(maxmin_permutation_cell), dict(a=2, b=2, x=4, y=4, seed=s))
+            for s in range(4)
+        ]
+        serial = Runner(workers=1, cache=False).run(cells)
+        attached = obs.counter("routing.tables_attached")
+        built = obs.counter("routing.tables_built")
+        seeded = obs.counter("exp.workers_seeded")
+        obs.enable()  # worker metric deltas only merge while enabled
+        try:
+            b_attached, b_built, b_seeded = attached.value, built.value, seeded.value
+            with Runner(workers=2, cache=False) as runner:
+                report = runner.run(cells)
+            assert seeded.value == b_seeded + 2
+            assert attached.value > b_attached, "no worker attached the seed"
+            assert built.value == b_built, "a seeded worker rebuilt the table"
+        finally:
+            obs.disable()
+        assert report.values() == serial.values()
+        clear_route_tables()

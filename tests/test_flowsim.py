@@ -147,3 +147,100 @@ class TestDerivedMetrics:
         fast = sim.phase_bandwidth(flows)
         exact = sim.phase_bandwidth(flows, exact=True)
         assert exact >= fast - 1e-9
+
+
+class TestSparseLinkParity:
+    """The compacted link-space solves are bit-identical to the dense path.
+
+    ``REPRO_SPARSE_LINKS=0`` pins the dense reference; the default takes
+    the sparse path (solo always, batch below the density gate).  Every
+    family must agree bitwise — not approximately — across the toggle.
+    """
+
+    @staticmethod
+    def _assert_bitwise(a, b, ctx):
+        assert np.array_equal(a.flow_rates, b.flow_rates), ctx
+        assert np.array_equal(a.link_utilization, b.link_utilization), ctx
+        assert int(a.bottleneck_link) == int(b.bottleneck_link), ctx
+
+    @staticmethod
+    def _slab_sets(topo, slab=8, scenarios=4):
+        """Low-density scenarios: permutations inside small rank slabs."""
+        p = topo.num_accelerators
+        sets = []
+        for s in range(scenarios):
+            base = (s * slab) % p
+            ranks = [(base + i) % p for i in range(min(slab, p))]
+            sets.append(
+                [Flow(r, ranks[(i + 1 + s) % len(ranks)])
+                 for i, r in enumerate(ranks)
+                 if r != ranks[(i + 1 + s) % len(ranks)]]
+            )
+        return sets
+
+    def test_solo_bitwise_all_families(self, all_small_topologies, monkeypatch):
+        for name, topo in all_small_topologies.items():
+            sim = FlowSimulator(topo, max_paths=4)
+            flows = random_permutation(topo.num_accelerators, seed=9)
+            monkeypatch.setenv("REPRO_SPARSE_LINKS", "0")
+            dense = sim.maxmin_rates(flows)
+            monkeypatch.setenv("REPRO_SPARSE_LINKS", "1")
+            sparse = sim.maxmin_rates(flows)
+            self._assert_bitwise(dense, sparse, name)
+
+    def test_batch_bitwise_all_families(self, all_small_topologies, monkeypatch):
+        """Low-density batches (below the gate) take and match the sparse path."""
+        import repro.obs as obs
+
+        obs.enable()  # histograms only record while enabled
+        try:
+            for name, topo in all_small_topologies.items():
+                sim = FlowSimulator(topo, max_paths=4)
+                sets = self._slab_sets(topo)
+                monkeypatch.setenv("REPRO_SPARSE_LINKS", "0")
+                dense = sim.maxmin_rates_batch(sets)
+                monkeypatch.setenv("REPRO_SPARSE_LINKS", "1")
+                before = obs.snapshot()["histograms"].get("flowsim.active_links", {}).get("count", 0)
+                sparse = sim.maxmin_rates_batch(sets)
+                after = obs.snapshot()["histograms"].get("flowsim.active_links", {}).get("count", 0)
+                assert after > before, f"{name}: sparse batch path was not taken"
+                for d, s in zip(dense, sparse):
+                    self._assert_bitwise(d, s, name)
+        finally:
+            obs.disable()
+
+    def test_dense_batches_stay_on_the_dense_path(self, hx2mesh_4x4, monkeypatch):
+        """Full permutations load most links: the density gate keeps the
+        fixed-shape dense rounds, with identical results."""
+        import repro.obs as obs
+
+        sim = FlowSimulator(hx2mesh_4x4, max_paths=4)
+        sets = [random_permutation(hx2mesh_4x4.num_accelerators, seed=s)
+                for s in range(3)]
+        monkeypatch.setenv("REPRO_SPARSE_LINKS", "0")
+        dense = sim.maxmin_rates_batch(sets)
+        monkeypatch.setenv("REPRO_SPARSE_LINKS", "1")
+        obs.enable()  # histograms only record while enabled
+        try:
+            before = obs.snapshot()["histograms"].get("flowsim.active_links", {}).get("count", 0)
+            gated = sim.maxmin_rates_batch(sets)
+            after = obs.snapshot()["histograms"].get("flowsim.active_links", {}).get("count", 0)
+        finally:
+            obs.disable()
+        assert after == before, "dense-density batch went down the sparse path"
+        for d, s in zip(dense, gated):
+            self._assert_bitwise(d, s, "gate")
+
+    def test_delta_bitwise(self, hx2mesh_4x4, monkeypatch):
+        """Warm-started delta solves agree bitwise across the toggle."""
+        from repro.sim import swap_destinations
+
+        sim = FlowSimulator(hx2mesh_4x4, max_paths=4)
+        flows = random_permutation(hx2mesh_4x4.num_accelerators, seed=13)
+        cand = swap_destinations(flows, 2, 7)
+        results = {}
+        for flag in ("0", "1"):
+            monkeypatch.setenv("REPRO_SPARSE_LINKS", flag)
+            state = sim.maxmin_warm_state(flows)
+            results[flag] = sim.maxmin_rates_delta(state, cand).result
+        self._assert_bitwise(results["0"], results["1"], "delta")
